@@ -1,0 +1,47 @@
+//! Criterion end-to-end benchmarks: full global routing throughput on a
+//! small and a midsize generated design, constrained and unconstrained.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bgr_core::{GlobalRouter, RouterConfig};
+use bgr_gen::{generate, place_design, GenParams, PlacementStyle};
+
+fn bench_route(c: &mut Criterion) {
+    for (label, cells) in [("small_100", 100usize), ("mid_400", 400)] {
+        let params = GenParams {
+            logic_cells: cells,
+            depth: 10,
+            rows: 6,
+            ..GenParams::small(5)
+        };
+        let design = generate(&params);
+        let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+        c.bench_function(&format!("route_constrained_{label}"), |b| {
+            b.iter(|| {
+                let routed = GlobalRouter::new(RouterConfig::default())
+                    .route(
+                        design.circuit.clone(),
+                        placement.clone(),
+                        design.constraints.clone(),
+                    )
+                    .expect("routes");
+                std::hint::black_box(routed.result.total_length_um)
+            })
+        });
+        c.bench_function(&format!("route_unconstrained_{label}"), |b| {
+            b.iter(|| {
+                let routed = GlobalRouter::new(RouterConfig::unconstrained())
+                    .route(design.circuit.clone(), placement.clone(), vec![])
+                    .expect("routes");
+                std::hint::black_box(routed.result.total_length_um)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = end_to_end;
+    config = Criterion::default().sample_size(10);
+    targets = bench_route
+}
+criterion_main!(end_to_end);

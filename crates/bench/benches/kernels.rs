@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the router's hot kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bgr_core::density::DensityMap;
+use bgr_core::tentative::tentative_tree;
+use bgr_core::RoutingGraph;
+use bgr_gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr_layout::ChannelId;
+use bgr_netlist::NetId;
+
+fn setup() -> (bgr_netlist::Circuit, bgr_layout::Placement, Vec<Vec<(usize, i32)>>) {
+    let params = GenParams {
+        logic_cells: 300,
+        depth: 10,
+        rows: 6,
+        ..GenParams::small(99)
+    };
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    // Feed assignment via the router's public assignment path.
+    let pairs = bgr_core::diffpair::PairMap::build(&design.circuit);
+    let mut slots = bgr_layout::SlotStore::from_placement(&design.circuit, &placement);
+    let order: Vec<NetId> = design.circuit.net_ids().collect();
+    let out = bgr_core::assign::assign_feedthroughs(
+        &design.circuit,
+        &placement,
+        &mut slots,
+        &order,
+        &pairs,
+        bgr_layout::FlagPolicy::Ignore,
+    );
+    (design.circuit, placement, out.feeds)
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let (circuit, placement, feeds) = setup();
+    c.bench_function("routing_graph_build_all_nets", |b| {
+        b.iter(|| {
+            let total: usize = circuit
+                .net_ids()
+                .map(|n| {
+                    RoutingGraph::build(&circuit, &placement, n, &feeds[n.index()], 60.0)
+                        .edges()
+                        .len()
+                })
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_bridges_and_tentative(c: &mut Criterion) {
+    let (circuit, placement, feeds) = setup();
+    let graphs: Vec<RoutingGraph> = circuit
+        .net_ids()
+        .map(|n| RoutingGraph::build(&circuit, &placement, n, &feeds[n.index()], 60.0))
+        .collect();
+    c.bench_function("bridge_recompute_all_nets", |b| {
+        b.iter_batched(
+            || graphs.clone(),
+            |mut gs| {
+                for g in &mut gs {
+                    g.recompute_bridges();
+                }
+                std::hint::black_box(gs.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("tentative_tree_all_nets", |b| {
+        b.iter(|| {
+            let total: f64 = graphs
+                .iter()
+                .filter(|g| g.terminals_connected())
+                .map(|g| tentative_tree(g, None).map(|t| t.length_um).unwrap_or(0.0))
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_density_ops(c: &mut Criterion) {
+    c.bench_function("density_add_remove_1k_spans", |b| {
+        b.iter(|| {
+            let mut d = DensityMap::new(8, 400);
+            for i in 0..1000i32 {
+                let ch = ChannelId::new((i % 8) as usize);
+                let x1 = (i * 7) % 350;
+                d.add_span(ch, x1, x1 + 17, 1, i % 3 == 0);
+            }
+            let mut acc = 0;
+            for cidx in 0..8 {
+                acc += d.c_max(ChannelId::new(cidx)) + d.nc_min(ChannelId::new(cidx));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_graph_build, bench_bridges_and_tentative, bench_density_ops
+}
+criterion_main!(kernels);

@@ -1,0 +1,47 @@
+//! Ablation A7: channel-router track ordering — the fast preference pass
+//! vs the classic VCG-constrained left-edge — on C1P1.
+
+use bgr_channel::{route_channels_with, TrackOrdering};
+use bgr_core::{GlobalRouter, RouterConfig};
+use bgr_gen::PlacementStyle;
+use bgr_timing::{DelayModel, WireParams};
+
+fn main() {
+    let ds = bgr_gen::c1(PlacementStyle::EvenFeed);
+    let routed = GlobalRouter::new(RouterConfig::default())
+        .route(
+            ds.design.circuit.clone(),
+            ds.placement.clone(),
+            ds.design.constraints.clone(),
+        )
+        .expect("routes");
+    println!("Ablation A7 (channel track ordering), data set {}", ds.name);
+    println!(
+        "{:<12} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "ordering", "delay(ps)", "area", "len(mm)", "tracks", "vcg-viol"
+    );
+    for (label, ordering) in [
+        ("preference", TrackOrdering::Preference),
+        ("vcg", TrackOrdering::Vcg),
+    ] {
+        let d = route_channels_with(
+            &routed.circuit,
+            &routed.placement,
+            &routed.result,
+            &ds.design.constraints,
+            DelayModel::Capacitance,
+            WireParams::default(),
+            ordering,
+        )
+        .expect("channel-routes");
+        println!(
+            "{:<12} {:>10.0} {:>9.2} {:>9.1} {:>9} {:>10}",
+            label,
+            d.timing.max_arrival_ps(),
+            d.area_mm2,
+            d.total_length_mm(),
+            d.tracks.iter().sum::<usize>(),
+            d.vcg_violations
+        );
+    }
+}

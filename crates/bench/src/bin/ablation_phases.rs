@@ -1,0 +1,25 @@
+//! Ablation A3: improvement phases on/off on C2P1 —
+//! initial-only, +recover, +delay, +area (full).
+
+use bgr_bench::measure;
+use bgr_core::RouterConfig;
+use bgr_gen::PlacementStyle;
+
+fn main() {
+    let ds = bgr_gen::c2(PlacementStyle::EvenFeed);
+    println!("Ablation A3 (improvement phases), data set {}", ds.name);
+    println!("{:<22} {:>10} {:>9} {:>9} {:>8}", "phases", "delay(ps)", "area", "len(mm)", "viol");
+    let variants: [(&str, RouterConfig); 4] = [
+        ("initial only", RouterConfig { recover_passes: 0, delay_passes: 0, area_passes: 0, ..RouterConfig::default() }),
+        ("+recover", RouterConfig { delay_passes: 0, area_passes: 0, ..RouterConfig::default() }),
+        ("+recover+delay", RouterConfig { area_passes: 0, ..RouterConfig::default() }),
+        ("+recover+delay+area", RouterConfig::default()),
+    ];
+    for (label, cfg) in variants {
+        let (m, _, _) = measure(&ds, cfg);
+        println!(
+            "{:<22} {:>10.0} {:>9.2} {:>9.1} {:>5}/{}",
+            label, m.delay_ps, m.area_mm2, m.length_mm, m.violations, m.constraints
+        );
+    }
+}

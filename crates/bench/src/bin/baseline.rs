@@ -1,0 +1,74 @@
+//! Baseline comparison: the paper's concurrent edge-deletion router vs a
+//! conventional sequential (net-at-a-time, congestion-penalized) router
+//! on the same substrates and measurement pipeline.
+
+use bgr_channel::route_channels;
+use bgr_core::{GlobalRouter, RouterConfig, SequentialConfig, SequentialRouter};
+use bgr_gen::PlacementStyle;
+use bgr_timing::{DelayModel, WireParams};
+
+fn main() {
+    println!("Baseline comparison (channel-routed measurements)");
+    println!(
+        "{:<6} {:<22} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "Data", "router", "delay(ps)", "area", "len(mm)", "tracks", "cpu(s)"
+    );
+    for ds in [
+        bgr_gen::c1(PlacementStyle::EvenFeed),
+        bgr_gen::c2(PlacementStyle::EvenFeed),
+    ] {
+        let runs: Vec<(&str, bgr_core::Routed)> = vec![
+            (
+                "edge-deletion (cons)",
+                GlobalRouter::new(RouterConfig::default())
+                    .route(
+                        ds.design.circuit.clone(),
+                        ds.placement.clone(),
+                        ds.design.constraints.clone(),
+                    )
+                    .expect("routes"),
+            ),
+            (
+                "edge-deletion (unc)",
+                GlobalRouter::new(RouterConfig::unconstrained())
+                    .route(
+                        ds.design.circuit.clone(),
+                        ds.placement.clone(),
+                        ds.design.constraints.clone(),
+                    )
+                    .expect("routes"),
+            ),
+            (
+                "sequential (slack)",
+                SequentialRouter::new(SequentialConfig::default())
+                    .route(
+                        ds.design.circuit.clone(),
+                        ds.placement.clone(),
+                        ds.design.constraints.clone(),
+                    )
+                    .expect("routes"),
+            ),
+        ];
+        for (label, routed) in runs {
+            let detail = route_channels(
+                &routed.circuit,
+                &routed.placement,
+                &routed.result,
+                &ds.design.constraints,
+                DelayModel::Capacitance,
+                WireParams::default(),
+            )
+            .expect("channel-routes");
+            println!(
+                "{:<6} {:<22} {:>10.0} {:>9.2} {:>9.1} {:>9} {:>8.2}",
+                ds.name,
+                label,
+                detail.timing.max_arrival_ps(),
+                detail.area_mm2,
+                detail.total_length_mm(),
+                detail.tracks.iter().sum::<usize>(),
+                routed.result.stats.total.as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Diagnostic: internal (global-estimate) vs final (channel-routed)
+//! arrivals per constraint on C2P1.
+use bgr_bench::measure;
+use bgr_core::RouterConfig;
+use bgr_gen::{arrival_with_lengths, PlacementStyle};
+
+fn main() {
+    let ds = bgr_gen::c2(PlacementStyle::EvenFeed);
+    let (con, conr, _) = measure(&ds, RouterConfig::default());
+    let mut int_viol = 0;
+    let mut fin_viol = 0;
+    let mut ratio = 0.0;
+    for (i, c) in ds.design.constraints.iter().enumerate() {
+        let internal = arrival_with_lengths(&conr.circuit, c.source, c.sink, &conr.result.net_lengths_um).unwrap();
+        let fin = con.arrivals_ps[i];
+        if internal > c.limit_ps { int_viol += 1; }
+        if fin > c.limit_ps { fin_viol += 1; }
+        ratio += fin / internal;
+        if i < 8 {
+            println!("cons{i}: internal={internal:.0} final={fin:.0} limit={:.0}", c.limit_ps);
+        }
+    }
+    let n = ds.design.constraints.len();
+    println!("internal violations {int_viol}/{n}, final violations {fin_viol}/{n}, mean final/internal = {:.3}", ratio / n as f64);
+}

@@ -1,0 +1,13 @@
+//! Diagnostic: where routing time goes per phase.
+use bgr_core::{GlobalRouter, RouterConfig};
+use bgr_gen::PlacementStyle;
+
+fn main() {
+    let ds = bgr_gen::c2(PlacementStyle::EvenFeed);
+    let routed = GlobalRouter::new(RouterConfig::default())
+        .route(ds.design.circuit.clone(), ds.placement.clone(), ds.design.constraints.clone())
+        .unwrap();
+    let s = &routed.result.stats;
+    println!("{}: total {:?} | initial {:?} | improvement {:?} | deletions {} | reroutes {}",
+        ds.name, s.total, s.initial_routing, s.improvement, s.deletions, s.reroutes);
+}

@@ -1,0 +1,26 @@
+//! Table 1: test circuit data — cells, nets, constraints per data set.
+
+use bgr_gen::circuits::table_data_sets;
+use bgr_netlist::CircuitStats;
+
+fn main() {
+    println!("Table 1: Test bipolar circuits (reconstruction)");
+    println!(
+        "{:<6} {:>7} {:>7} {:>7} {:>8} {:>7} {:>6} {:>7}",
+        "Data", "cells", "feeds", "nets", "consts.", "pads", "diff", "wide"
+    );
+    for ds in table_data_sets() {
+        let s = CircuitStats::of(&ds.design.circuit);
+        println!(
+            "{:<6} {:>7} {:>7} {:>7} {:>8} {:>7} {:>6} {:>7}",
+            ds.name,
+            s.logic_cells,
+            s.feed_cells,
+            s.nets,
+            ds.design.constraints.len(),
+            s.pads,
+            s.diff_pairs,
+            s.wide_nets
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Table 2: routing results with and without constraints — Delay (ps),
+//! Area (mm²), Length (mm), CPU (s) for the five data sets.
+
+use bgr_bench::{measure, table2_row};
+use bgr_core::RouterConfig;
+use bgr_gen::circuits::table_data_sets;
+
+fn main() {
+    let sets = table_data_sets();
+    println!("Table 2: Routing Results With Constraints");
+    println!("{:<6} {:>9} {:>9} {:>9} {:>8} {:>8}", "Data", "Delay", "Area", "Length", "CPU", "Viol");
+    let mut with = Vec::new();
+    for ds in &sets {
+        let (m, _, _) = measure(ds, RouterConfig::default());
+        println!("{}", table2_row(&m));
+        with.push(m);
+    }
+    println!();
+    println!("Table 2: Routing Results Without Constraints");
+    println!("{:<6} {:>9} {:>9} {:>9} {:>8} {:>8}", "Data", "Delay", "Area", "Length", "CPU", "Viol");
+    for (ds, w) in sets.iter().zip(&with) {
+        let (m, _, _) = measure(ds, RouterConfig::unconstrained());
+        println!("{}", table2_row(&m));
+        let impr = (m.delay_ps - w.delay_ps) / m.delay_ps * 100.0;
+        println!("       -> delay improvement of constrained run: {impr:.2}% (paper range: 0.56%..23.5%)");
+    }
+}

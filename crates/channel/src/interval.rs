@@ -1,0 +1,77 @@
+//! Channel intervals: merged per-net trunk spans.
+
+use bgr_netlist::NetId;
+
+/// A maximal horizontal interval one net occupies in a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Owning net.
+    pub net: NetId,
+    /// Left end (pitches, inclusive).
+    pub x1: i32,
+    /// Right end (pitches, inclusive).
+    pub x2: i32,
+    /// Vertical extent in tracks (the net's wire width in pitches).
+    pub width: u32,
+}
+
+/// Merges a net's trunk spans within one channel into maximal intervals.
+///
+/// Spans produced by the global router are unit hops between consecutive
+/// tap columns; touching or overlapping spans fuse into one interval.
+pub fn merge_net_spans(net: NetId, width: u32, spans: &[(i32, i32)]) -> Vec<Interval> {
+    let mut spans: Vec<(i32, i32)> = spans.to_vec();
+    spans.sort_unstable();
+    let mut out: Vec<Interval> = Vec::new();
+    for (x1, x2) in spans {
+        match out.last_mut() {
+            Some(last) if x1 <= last.x2 => {
+                last.x2 = last.x2.max(x2);
+            }
+            _ => out.push(Interval { net, x1, x2, width }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_touching_spans() {
+        let net = NetId::new(0);
+        let merged = merge_net_spans(net, 1, &[(5, 8), (0, 2), (2, 5)]);
+        assert_eq!(
+            merged,
+            vec![Interval {
+                net,
+                x1: 0,
+                x2: 8,
+                width: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn keeps_disjoint_spans_separate() {
+        let net = NetId::new(1);
+        let merged = merge_net_spans(net, 2, &[(0, 2), (5, 7)]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].x2, 2);
+        assert_eq!(merged[1].x1, 5);
+        assert!(merged.iter().all(|i| i.width == 2));
+    }
+
+    #[test]
+    fn empty_input_yields_empty() {
+        assert!(merge_net_spans(NetId::new(0), 1, &[]).is_empty());
+    }
+
+    #[test]
+    fn zero_length_span_survives() {
+        let merged = merge_net_spans(NetId::new(0), 1, &[(3, 3)]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!((merged[0].x1, merged[0].x2), (3, 3));
+    }
+}

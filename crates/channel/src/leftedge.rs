@@ -1,0 +1,213 @@
+//! Left-edge track assignment.
+
+use crate::interval::Interval;
+
+/// An interval with its assigned track (track 0 = channel bottom; an
+/// interval of width `w` occupies tracks `track .. track + w`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedInterval {
+    /// The interval.
+    pub interval: Interval,
+    /// Bottom-most occupied track.
+    pub track: usize,
+}
+
+/// The routed layout of one channel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelLayout {
+    /// Number of tracks used.
+    pub tracks: usize,
+    /// Interval placements.
+    pub assignments: Vec<TrackedInterval>,
+}
+
+impl ChannelLayout {
+    /// The track of the interval of `net` covering column `x`, if any.
+    pub fn track_at(&self, net: bgr_netlist::NetId, x: i32) -> Option<usize> {
+        self.assignments
+            .iter()
+            .find(|t| t.interval.net == net && t.interval.x1 <= x && x <= t.interval.x2)
+            .map(|t| t.track)
+    }
+}
+
+/// Assigns intervals to tracks with the greedy left-edge algorithm:
+/// process intervals by ascending left end (longer first on ties) and
+/// place each on the lowest run of `width` adjacent tracks that is free
+/// past the previous occupant.
+///
+/// `prefs` optionally biases a post-pass reordering: per interval, a
+/// positive value means the net taps mostly from the channel top. When
+/// every interval is single-width, whole tracks are permuted so
+/// top-preferring tracks end up near the top, shortening vertical
+/// segments. Widths > 1 disable the permutation (adjacency must hold).
+pub fn assign_tracks(intervals: &[Interval], prefs: &[f64]) -> ChannelLayout {
+    assert!(prefs.is_empty() || prefs.len() == intervals.len());
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| {
+        let iv = &intervals[i];
+        (iv.x1, -(iv.x2 - iv.x1), iv.net)
+    });
+    // last_end[t]: right end of the last interval on track t.
+    let mut last_end: Vec<i32> = Vec::new();
+    let mut assignments = Vec::with_capacity(intervals.len());
+    for i in order {
+        let iv = intervals[i];
+        let w = iv.width as usize;
+        let mut placed = None;
+        let mut t = 0usize;
+        while placed.is_none() {
+            while last_end.len() < t + w {
+                last_end.push(i32::MIN);
+            }
+            if (t..t + w).all(|k| last_end[k] < iv.x1) {
+                placed = Some(t);
+            } else {
+                t += 1;
+            }
+        }
+        let t = placed.expect("always placeable");
+        for slot in last_end.iter_mut().skip(t).take(w) {
+            *slot = iv.x2;
+        }
+        assignments.push(TrackedInterval {
+            interval: iv,
+            track: t,
+        });
+    }
+    let tracks = last_end
+        .iter()
+        .rposition(|&e| e != i32::MIN)
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let mut layout = ChannelLayout {
+        tracks,
+        assignments,
+    };
+    if !prefs.is_empty() && intervals.iter().all(|iv| iv.width == 1) && tracks > 1 {
+        reorder_by_preference(&mut layout, intervals, prefs);
+    }
+    layout
+}
+
+/// Permutes whole tracks so that tracks whose intervals prefer the top
+/// (positive mean preference) move upward.
+fn reorder_by_preference(layout: &mut ChannelLayout, intervals: &[Interval], prefs: &[f64]) {
+    let mut score = vec![(0.0f64, 0usize); layout.tracks];
+    for t in &layout.assignments {
+        // Identify the interval index to fetch its preference.
+        if let Some(idx) = intervals.iter().position(|iv| iv == &t.interval) {
+            score[t.track].0 += prefs[idx];
+            score[t.track].1 += 1;
+        }
+    }
+    let mut by_score: Vec<usize> = (0..layout.tracks).collect();
+    by_score.sort_by(|&a, &b| {
+        let sa = if score[a].1 > 0 {
+            score[a].0 / score[a].1 as f64
+        } else {
+            0.0
+        };
+        let sb = if score[b].1 > 0 {
+            score[b].0 / score[b].1 as f64
+        } else {
+            0.0
+        };
+        sa.total_cmp(&sb).then(a.cmp(&b))
+    });
+    // by_score[k] = old track that should live at new position k
+    // (ascending score bottom-up).
+    let mut new_pos = vec![0usize; layout.tracks];
+    for (k, &old) in by_score.iter().enumerate() {
+        new_pos[old] = k;
+    }
+    for t in &mut layout.assignments {
+        t.track = new_pos[t.track];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_netlist::NetId;
+
+    fn iv(net: usize, x1: i32, x2: i32) -> Interval {
+        Interval {
+            net: NetId::new(net),
+            x1,
+            x2,
+            width: 1,
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals_share_a_track() {
+        let layout = assign_tracks(&[iv(0, 0, 3), iv(1, 5, 8)], &[]);
+        assert_eq!(layout.tracks, 1);
+        assert_eq!(layout.assignments[0].track, 0);
+        assert_eq!(layout.assignments[1].track, 0);
+    }
+
+    #[test]
+    fn overlap_needs_two_tracks() {
+        let layout = assign_tracks(&[iv(0, 0, 5), iv(1, 3, 8)], &[]);
+        assert_eq!(layout.tracks, 2);
+    }
+
+    #[test]
+    fn track_count_equals_density() {
+        // Density at column 4 is 3; left-edge achieves exactly 3.
+        let layout = assign_tracks(&[iv(0, 0, 5), iv(1, 3, 8), iv(2, 4, 4), iv(3, 6, 9)], &[]);
+        assert_eq!(layout.tracks, 3);
+    }
+
+    #[test]
+    fn touching_endpoints_conflict() {
+        // [0,4] and [4,8] share column 4: two tracks.
+        let layout = assign_tracks(&[iv(0, 0, 4), iv(1, 4, 8)], &[]);
+        assert_eq!(layout.tracks, 2);
+    }
+
+    #[test]
+    fn wide_interval_occupies_adjacent_tracks() {
+        let wide = Interval {
+            net: NetId::new(0),
+            x1: 0,
+            x2: 9,
+            width: 2,
+        };
+        let layout = assign_tracks(&[wide, iv(1, 2, 5)], &[]);
+        assert_eq!(layout.tracks, 3);
+        let wide_t = layout
+            .assignments
+            .iter()
+            .find(|t| t.interval.width == 2)
+            .unwrap();
+        assert_eq!(wide_t.track, 0);
+    }
+
+    #[test]
+    fn preference_moves_top_tappers_up() {
+        let a = iv(0, 0, 5); // prefers bottom
+        let b = iv(1, 3, 8); // prefers top
+        let layout = assign_tracks(&[a, b], &[-1.0, 1.0]);
+        let ta = layout.track_at(NetId::new(0), 4).unwrap();
+        let tb = layout.track_at(NetId::new(1), 4).unwrap();
+        assert!(tb > ta);
+    }
+
+    #[test]
+    fn track_at_finds_covering_interval() {
+        let layout = assign_tracks(&[iv(0, 0, 3), iv(0, 6, 9)], &[]);
+        assert!(layout.track_at(NetId::new(0), 2).is_some());
+        assert!(layout.track_at(NetId::new(0), 5).is_none());
+        assert!(layout.track_at(NetId::new(1), 2).is_none());
+    }
+
+    #[test]
+    fn empty_channel() {
+        let layout = assign_tracks(&[], &[]);
+        assert_eq!(layout.tracks, 0);
+        assert!(layout.assignments.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Detailed-routing substrate: a left-edge channel router.
+//!
+//! The paper measures final results "from routing lengths after channel
+//! routing in the same delay model" (§5). This crate assigns every
+//! global-routing trunk to a channel track with the classic left-edge
+//! algorithm (greedy first-fit over intervals sorted by left endpoint,
+//! which achieves the channel's density lower bound for interval
+//! packing), then derives
+//!
+//! * per-channel **track counts** → channel heights → the chip **area**
+//!   of Table 2,
+//! * exact per-net **routed lengths** (trunks + vertical pin taps + row
+//!   crossings) → total length and the final **critical-path delays**.
+//!
+//! Vertical constraint graphs and doglegs are out of scope (the paper
+//! used NTT's production channel router); a preference pass orders
+//! single-pitch tracks so top-tapping nets sit near the channel top,
+//! which shortens vertical segments the way a constraint-aware router
+//! would.
+//!
+//! # Example
+//!
+//! ```
+//! use bgr_channel::route_channels;
+//! use bgr_core::{GlobalRouter, RouterConfig};
+//! use bgr_layout::{Geometry, PlacementBuilder};
+//! use bgr_netlist::{CellLibrary, CircuitBuilder};
+//!
+//! let lib = CellLibrary::ecl();
+//! let inv = lib.kind_by_name("INV").unwrap();
+//! let mut cb = CircuitBuilder::new(lib);
+//! let a = cb.add_input_pad("a");
+//! let y = cb.add_output_pad("y");
+//! let u = cb.add_cell("u", inv);
+//! cb.add_net("n1", cb.pad_term(a), [cb.cell_term(u, "A")?])?;
+//! cb.add_net("n2", cb.cell_term(u, "Y")?, [cb.pad_term(y)])?;
+//! let circuit = cb.finish()?;
+//! let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+//! pb.append_with_width(0, bgr_netlist::CellId::new(0), 3);
+//! pb.place_pad_bottom(a, 0);
+//! pb.place_pad_top(y, 2);
+//! let placement = pb.finish(&circuit)?;
+//! let routed = GlobalRouter::new(RouterConfig::default()).route(circuit, placement, vec![])?;
+//! let detail = route_channels(
+//!     &routed.circuit,
+//!     &routed.placement,
+//!     &routed.result,
+//!     &[],
+//!     bgr_timing::DelayModel::Capacitance,
+//!     bgr_timing::WireParams::default(),
+//! )?;
+//! assert!(detail.area_mm2 > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod detail;
+pub mod interval;
+pub mod leftedge;
+pub mod vcg;
+
+pub use detail::{route_channels, route_channels_with, DetailedRoute, TrackOrdering};
+pub use interval::{merge_net_spans, Interval};
+pub use leftedge::{assign_tracks, ChannelLayout, TrackedInterval};
+pub use vcg::{assign_tracks_vcg, build_constraints, VcgLayout, VerticalConstraint};

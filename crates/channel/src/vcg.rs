@@ -1,0 +1,289 @@
+//! Vertical-constraint-aware track assignment.
+//!
+//! At a column where net *A* enters the channel from the top and net *B*
+//! from the bottom, A's trunk must lie on a higher track than B's or
+//! their vertical segments would overlap. These requirements form the
+//! *vertical constraint graph* (VCG); the classic constrained left-edge
+//! algorithm fills tracks bottom-up, admitting an interval only when
+//! every net that must lie below it is already placed.
+//!
+//! Doglegs (splitting a net to break VCG cycles) are not implemented;
+//! intervals stuck in a cycle are placed by the plain left-edge rule and
+//! counted in [`VcgLayout::violations`].
+
+use std::collections::HashMap;
+
+use bgr_netlist::NetId;
+
+use crate::interval::Interval;
+use crate::leftedge::{ChannelLayout, TrackedInterval};
+
+/// One vertical constraint: `above` must be on a strictly higher track
+/// than `below` (they share a column with opposite-side taps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerticalConstraint {
+    /// Net tapped from the channel top at the shared column.
+    pub above: NetId,
+    /// Net tapped from the channel bottom at the shared column.
+    pub below: NetId,
+}
+
+/// Builds the VCG from per-column taps: `(net, x, from_top)`.
+///
+/// A constraint `above > below` arises at every column carrying both a
+/// top tap of one net and a bottom tap of another.
+pub fn build_constraints(taps: &[(NetId, i32, bool)]) -> Vec<VerticalConstraint> {
+    let mut by_col: HashMap<i32, (Vec<NetId>, Vec<NetId>)> = HashMap::new();
+    for &(net, x, from_top) in taps {
+        let entry = by_col.entry(x).or_default();
+        if from_top {
+            entry.0.push(net);
+        } else {
+            entry.1.push(net);
+        }
+    }
+    let mut out = Vec::new();
+    for (_, (tops, bottoms)) in by_col {
+        for &a in &tops {
+            for &b in &bottoms {
+                if a != b {
+                    let c = VerticalConstraint { above: a, below: b };
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|c| (c.above, c.below));
+    out
+}
+
+/// Result of VCG-constrained assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcgLayout {
+    /// The track layout.
+    pub layout: ChannelLayout,
+    /// Constraints that could not be honored (cycles / width conflicts).
+    pub violations: usize,
+}
+
+/// Constrained left-edge: fills tracks bottom-up; an interval is
+/// admissible on the current track only if no *unplaced* interval's net
+/// must lie below it. Cycle leftovers fall back to plain first-fit and
+/// are counted as violations.
+pub fn assign_tracks_vcg(intervals: &[Interval], constraints: &[VerticalConstraint]) -> VcgLayout {
+    let n = intervals.len();
+    let mut placed = vec![false; n];
+    let mut track_of: Vec<usize> = vec![0; n];
+    // For interval i: the set of interval indices whose nets must be
+    // BELOW i's net (i can only be placed once they are all placed).
+    let below_of = |i: usize| -> Vec<usize> {
+        let net = intervals[i].net;
+        constraints
+            .iter()
+            .filter(|c| c.above == net)
+            .flat_map(|c| {
+                intervals
+                    .iter()
+                    .enumerate()
+                    .filter(move |(_, iv)| iv.net == c.below)
+                    .map(|(j, _)| j)
+            })
+            .collect()
+    };
+    let mut track = 0usize;
+    let mut remaining = n;
+    while remaining > 0 {
+        // Candidates for this track: unplaced, all "below" intervals
+        // already placed on strictly lower tracks.
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&i| !placed[i] && intervals[i].width == 1)
+            .filter(|&i| {
+                below_of(i)
+                    .iter()
+                    .all(|&j| placed[j] && track_of[j] < track)
+            })
+            .collect();
+        order.sort_by_key(|&i| (intervals[i].x1, intervals[i].net, i));
+        let mut last_end = i32::MIN;
+        let mut progress = false;
+        for i in order {
+            if last_end < intervals[i].x1 {
+                placed[i] = true;
+                track_of[i] = track;
+                last_end = intervals[i].x2;
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        if !progress {
+            // Cycle or wide intervals: fall back to first-fit for the
+            // rest, counting unhonored constraints afterwards.
+            break;
+        }
+        track += 1;
+    }
+    let mut layout = ChannelLayout {
+        tracks: track,
+        assignments: (0..n)
+            .filter(|&i| placed[i])
+            .map(|i| TrackedInterval {
+                interval: intervals[i],
+                track: track_of[i],
+            })
+            .collect(),
+    };
+    if remaining > 0 {
+        // Place leftovers (wide intervals, cycle members) with first-fit
+        // above/between whatever exists.
+        let mut last_end: Vec<i32> = vec![i32::MIN; layout.tracks];
+        for t in &layout.assignments {
+            for k in t.track..t.track + t.interval.width as usize {
+                if k < last_end.len() {
+                    last_end[k] = last_end[k].max(t.interval.x2);
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).filter(|&i| !placed[i]).collect();
+        order.sort_by_key(|&i| (intervals[i].x1, -(intervals[i].x2 - intervals[i].x1)));
+        for i in order {
+            let w = intervals[i].width as usize;
+            let mut t = 0usize;
+            loop {
+                while last_end.len() < t + w {
+                    last_end.push(i32::MIN);
+                }
+                // Track-by-track horizontal check only (VCG already
+                // unsatisfiable for these).
+                if (t..t + w).all(|k| last_end[k] < intervals[i].x1) {
+                    break;
+                }
+                t += 1;
+            }
+            for slot in last_end.iter_mut().skip(t).take(w) {
+                *slot = intervals[i].x2;
+            }
+            placed[i] = true;
+            track_of[i] = t;
+            layout.assignments.push(TrackedInterval {
+                interval: intervals[i],
+                track: t,
+            });
+        }
+        layout.tracks = last_end
+            .iter()
+            .rposition(|&e| e != i32::MIN)
+            .map(|p| p + 1)
+            .unwrap_or(layout.tracks);
+    }
+    // Count violated constraints in the final layout.
+    let mut violations = 0;
+    for c in constraints {
+        let ta = layout
+            .assignments
+            .iter()
+            .filter(|t| t.interval.net == c.above)
+            .map(|t| t.track)
+            .min();
+        let tb = layout
+            .assignments
+            .iter()
+            .filter(|t| t.interval.net == c.below)
+            .map(|t| t.track)
+            .max();
+        if let (Some(ta), Some(tb)) = (ta, tb) {
+            if ta <= tb {
+                violations += 1;
+            }
+        }
+    }
+    VcgLayout { layout, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(net: usize, x1: i32, x2: i32) -> Interval {
+        Interval {
+            net: NetId::new(net),
+            x1,
+            x2,
+            width: 1,
+        }
+    }
+
+    #[test]
+    fn constraints_from_shared_columns() {
+        let taps = vec![
+            (NetId::new(0), 5, true),
+            (NetId::new(1), 5, false),
+            (NetId::new(2), 9, true),
+        ];
+        let cons = build_constraints(&taps);
+        assert_eq!(
+            cons,
+            vec![VerticalConstraint {
+                above: NetId::new(0),
+                below: NetId::new(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn vcg_orders_tracks() {
+        // Nets 0 and 1 overlap horizontally AND net 0 must be above 1.
+        let intervals = vec![iv(0, 0, 6), iv(1, 3, 9)];
+        let cons = vec![VerticalConstraint {
+            above: NetId::new(0),
+            below: NetId::new(1),
+        }];
+        let out = assign_tracks_vcg(&intervals, &cons);
+        assert_eq!(out.violations, 0);
+        let t0 = out.layout.track_at(NetId::new(0), 4).unwrap();
+        let t1 = out.layout.track_at(NetId::new(1), 4).unwrap();
+        assert!(t0 > t1, "net 0 above net 1: {t0} vs {t1}");
+    }
+
+    #[test]
+    fn vcg_can_cost_extra_tracks() {
+        // Without constraints, these disjoint intervals share one track;
+        // the constraint forces two.
+        let intervals = vec![iv(0, 0, 3), iv(1, 5, 9)];
+        let cons = vec![VerticalConstraint {
+            above: NetId::new(0),
+            below: NetId::new(1),
+        }];
+        let out = assign_tracks_vcg(&intervals, &cons);
+        assert_eq!(out.violations, 0);
+        assert_eq!(out.layout.tracks, 2);
+    }
+
+    #[test]
+    fn cycles_fall_back_with_violation_count() {
+        // 0 above 1 and 1 above 0: unsatisfiable without doglegs.
+        let intervals = vec![iv(0, 0, 6), iv(1, 3, 9)];
+        let cons = vec![
+            VerticalConstraint {
+                above: NetId::new(0),
+                below: NetId::new(1),
+            },
+            VerticalConstraint {
+                above: NetId::new(1),
+                below: NetId::new(0),
+            },
+        ];
+        let out = assign_tracks_vcg(&intervals, &cons);
+        assert_eq!(out.layout.assignments.len(), 2);
+        assert!(out.violations >= 1);
+    }
+
+    #[test]
+    fn no_constraints_matches_density() {
+        let intervals = vec![iv(0, 0, 5), iv(1, 3, 8), iv(2, 6, 9)];
+        let out = assign_tracks_vcg(&intervals, &[]);
+        assert_eq!(out.violations, 0);
+        assert_eq!(out.layout.tracks, 2);
+    }
+}

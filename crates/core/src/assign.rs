@@ -1,0 +1,300 @@
+//! Feedthrough assignment (§3.1).
+//!
+//! For every net that must pass through cell rows, one feedthrough
+//! position per crossed row is chosen by searching outward from the mean
+//! x of the net's terminals; assignments across multiple rows prefer a
+//! common column. Nets are processed in ascending static-slack order.
+//! Differential pairs are treated as double-width windows (§4.1); the
+//! second net of the pair gets the right half of the window.
+
+use bgr_layout::{FlagPolicy, Placement, SlotRange, SlotStore, TermSite};
+use bgr_netlist::{AccessSide, Circuit, NetId};
+
+use crate::diffpair::PairMap;
+
+/// One unmet feedthrough requirement: `width` adjacent slots in `row`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shortfall {
+    /// The net that could not be assigned.
+    pub net: NetId,
+    /// Row missing capacity.
+    pub row: usize,
+    /// Effective window width in pitches (doubled for diff pairs).
+    pub width: u32,
+}
+
+/// Result of one assignment pass.
+#[derive(Debug, Clone, Default)]
+pub struct AssignOutcome {
+    /// Per net: assigned `(row, x)` feedthrough points (x = the net's own
+    /// column start).
+    pub feeds: Vec<Vec<(usize, i32)>>,
+    /// Per net: occupied slot ranges (primary nets only; used for width
+    /// flagging by feed-cell insertion).
+    pub ranges: Vec<Vec<SlotRange>>,
+    /// Unmet requirements.
+    pub failures: Vec<Shortfall>,
+}
+
+/// Rows a net must cross with a feedthrough.
+///
+/// Each terminal reaches a channel interval `[lo_t, hi_t]`
+/// (one channel for single-side pins and boundary pads, two for
+/// both-side pins). Connecting all terminals requires the channel
+/// interval `[min_t hi_t, max_t lo_t]` to be linked; crossing row `r`
+/// links channels `r` and `r+1`. Rows where the net has a both-side pin
+/// cross "for free" through the pin itself and are excluded.
+pub fn rows_to_cross(circuit: &Circuit, placement: &Placement, net: NetId) -> Vec<usize> {
+    let num_rows = placement.num_rows();
+    let mut min_hi = usize::MAX;
+    let mut max_lo = 0usize;
+    let mut free_rows = vec![false; num_rows];
+    for term in circuit.net(net).terms() {
+        let pos = placement.term_pos(circuit, term);
+        let channels = pos.channels(num_rows);
+        let lo = channels.iter().map(|c| c.index()).min().expect("nonempty");
+        let hi = channels.iter().map(|c| c.index()).max().expect("nonempty");
+        min_hi = min_hi.min(hi);
+        max_lo = max_lo.max(lo);
+        if let TermSite::Cell { row, access } = pos.site {
+            if access == AccessSide::Both {
+                free_rows[row] = true;
+            }
+        }
+    }
+    if min_hi >= max_lo {
+        return Vec::new();
+    }
+    (min_hi..max_lo).filter(|&r| !free_rows[r]).collect()
+}
+
+/// Mean terminal x of a net, in pitches.
+pub fn mean_terminal_x(circuit: &Circuit, placement: &Placement, net: NetId) -> i32 {
+    let mut sum = 0i64;
+    let mut count = 0i64;
+    for term in circuit.net(net).terms() {
+        sum += placement.term_pos(circuit, term).x as i64;
+        count += 1;
+    }
+    (sum / count.max(1)) as i32
+}
+
+/// Runs one assignment pass over `order`ed nets.
+///
+/// Secondary nets of differential pairs are skipped (their primary
+/// allocates the double-width window and fills in their feeds).
+pub fn assign_feedthroughs(
+    circuit: &Circuit,
+    placement: &Placement,
+    slots: &mut SlotStore,
+    order: &[NetId],
+    pairs: &PairMap,
+    policy: FlagPolicy,
+) -> AssignOutcome {
+    let n = circuit.nets().len();
+    let mut out = AssignOutcome {
+        feeds: vec![Vec::new(); n],
+        ranges: vec![Vec::new(); n],
+        failures: Vec::new(),
+    };
+    for &net in order {
+        if pairs.is_secondary(net) {
+            continue;
+        }
+        let partner = pairs.partner_of(net);
+        let mut rows = rows_to_cross(circuit, placement, net);
+        if let Some(p) = partner {
+            for r in rows_to_cross(circuit, placement, p) {
+                if !rows.contains(&r) {
+                    rows.push(r);
+                }
+            }
+            rows.sort_unstable();
+        }
+        if rows.is_empty() {
+            continue;
+        }
+        let own_width = circuit.net(net).width_pitches();
+        let width = own_width * if partner.is_some() { 2 } else { 1 };
+        let mut target = mean_terminal_x(circuit, placement, net);
+        if let Some(p) = partner {
+            target = (target + mean_terminal_x(circuit, placement, p)) / 2;
+        }
+        let mut aligned_x: Option<i32> = None;
+        for row in rows {
+            let range = aligned_x
+                .and_then(|x| slots.find_at_x(row, width, x, policy))
+                .or_else(|| slots.find_adjacent_free(row, width, target, policy));
+            match range {
+                Some(r) => {
+                    slots.occupy(r, net);
+                    let x = slots.x_of(bgr_layout::SlotId {
+                        row: r.row,
+                        idx: r.start,
+                    });
+                    aligned_x.get_or_insert(x);
+                    out.feeds[net.index()].push((row, x));
+                    out.ranges[net.index()].push(r);
+                    if let Some(p) = partner {
+                        out.feeds[p.index()].push((row, x + own_width as i32));
+                    }
+                }
+                None => out.failures.push(Shortfall { net, row, width }),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_layout::{Geometry, PlacementBuilder};
+    use bgr_netlist::{CellId, CellLibrary, CircuitBuilder};
+
+    /// u1 in row 0, u2 in row 2, a feed cell in row 1 at x=6.
+    fn three_rows() -> (Circuit, Placement, NetId) {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let feed = lib.kind_by_name("FEED1").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let y = cb.add_output_pad("y");
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", inv);
+        let f0 = cb.add_cell("f0", feed);
+        let f1 = cb.add_cell("f1", feed);
+        cb.add_net("n0", cb.pad_term(a), [cb.cell_term(u1, "A").unwrap()])
+            .unwrap();
+        let net = cb
+            .add_net(
+                "n1",
+                cb.cell_term(u1, "Y").unwrap(),
+                [cb.cell_term(u2, "A").unwrap()],
+            )
+            .unwrap();
+        cb.add_net("n2", cb.cell_term(u2, "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 3);
+        pb.append_with_width(0, CellId::new(0), 3); // u1
+        pb.append_with_width(2, CellId::new(1), 3); // u2
+        pb.place_at(1, f0, 6, 1).unwrap();
+        pb.place_at(1, f1, 7, 1).unwrap();
+        let _ = f1;
+        pb.place_pad_bottom(a, 0);
+        pb.place_pad_top(y, 5);
+        let placement = pb.finish(&circuit).unwrap();
+        (circuit, placement, net)
+    }
+
+    #[test]
+    fn rows_to_cross_spans_between_terminals() {
+        let (circuit, placement, net) = three_rows();
+        // u1 in row 0 (channels 0,1), u2 in row 2 (channels 2,3):
+        // interval [1, 2) -> row 1 only.
+        assert_eq!(rows_to_cross(&circuit, &placement, net), vec![1]);
+        // n0: pad (channel 0) to u1 row 0 (Both): row 0 is bridged by the
+        // pin -> nothing to cross.
+        assert!(rows_to_cross(&circuit, &placement, NetId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn assignment_picks_nearest_slot() {
+        let (circuit, placement, net) = three_rows();
+        let mut slots = SlotStore::from_placement(&circuit, &placement);
+        let pairs = PairMap::build(&circuit);
+        let order: Vec<NetId> = circuit.net_ids().collect();
+        let out = assign_feedthroughs(
+            &circuit,
+            &placement,
+            &mut slots,
+            &order,
+            &pairs,
+            FlagPolicy::Ignore,
+        );
+        assert!(out.failures.is_empty());
+        // Terminal mean x ≈ (2 + 3) / 2 = 2; nearest slot in row 1 is the
+        // feed at x=6.
+        assert_eq!(out.feeds[net.index()], vec![(1, 6)]);
+    }
+
+    #[test]
+    fn exhaustion_reports_shortfall() {
+        let (circuit, placement, net) = three_rows();
+        let mut slots = SlotStore::from_placement(&circuit, &placement);
+        let pairs = PairMap::build(&circuit);
+        // Occupy both slots in row 1 up front.
+        let r = slots
+            .find_adjacent_free(1, 2, 0, FlagPolicy::Ignore)
+            .unwrap();
+        slots.occupy(r, NetId::new(0));
+        let order = vec![net];
+        let out = assign_feedthroughs(
+            &circuit,
+            &placement,
+            &mut slots,
+            &order,
+            &pairs,
+            FlagPolicy::Ignore,
+        );
+        assert_eq!(
+            out.failures,
+            vec![Shortfall {
+                net,
+                row: 1,
+                width: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn multi_row_assignments_align() {
+        // Net from row 0 to row 3 with feed slots in rows 1 and 2 at
+        // matching and non-matching columns: alignment prefers the same x.
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let feed = lib.kind_by_name("FEED1").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", inv);
+        let fa1 = cb.add_cell("fa1", feed);
+        let fa2 = cb.add_cell("fa2", feed);
+        let fb1 = cb.add_cell("fb1", feed);
+        let fb2 = cb.add_cell("fb2", feed);
+        let net = cb
+            .add_net(
+                "n",
+                cb.cell_term(u1, "Y").unwrap(),
+                [cb.cell_term(u2, "A").unwrap()],
+            )
+            .unwrap();
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 4);
+        pb.append_with_width(0, u1, 3);
+        pb.append_with_width(3, u2, 3);
+        // Row 1: slots at x=0 and x=9. Row 2: slots at x=9 and x=20.
+        pb.place_at(1, fa1, 0, 1).unwrap();
+        pb.place_at(1, fa2, 9, 1).unwrap();
+        pb.place_at(2, fb1, 9, 1).unwrap();
+        pb.place_at(2, fb2, 20, 1).unwrap();
+        let placement = pb.finish(&circuit).unwrap();
+        let mut slots = SlotStore::from_placement(&circuit, &placement);
+        let pairs = PairMap::build(&circuit);
+        let out = assign_feedthroughs(
+            &circuit,
+            &placement,
+            &mut slots,
+            &[net],
+            &pairs,
+            FlagPolicy::Ignore,
+        );
+        assert!(out.failures.is_empty());
+        // Mean x = 2; row 1 picks x=0 (closest to 2). Row 2 has no slot at
+        // x=0, falls back to nearest (x=9).
+        assert_eq!(out.feeds[net.index()], vec![(1, 0), (2, 9)]);
+    }
+
+    use bgr_layout::Placement;
+    use bgr_netlist::Circuit;
+}

@@ -1,0 +1,274 @@
+//! A conventional *sequential* global router, as a baseline.
+//!
+//! The paper's contribution is that "the interconnection wiring of all
+//! nets is determined concurrently" by global edge deletion. The classic
+//! alternative — which routers of the era (and the paper's references
+//! \[6\]–\[9\]) used — routes **one net at a time**: each net takes its
+//! shortest tree under a congestion penalty on the channel columns other
+//! nets have already claimed.
+//!
+//! This module implements that baseline on the same substrates
+//! (feedthrough assignment, routing graphs, channel measurement), so
+//! `bgr-bench` can compare the two approaches apples-to-apples.
+
+use bgr_layout::Placement;
+use bgr_netlist::{Circuit, NetId};
+use bgr_timing::{nets_by_ascending_slack, PathConstraint};
+
+use crate::config::RouterConfig;
+use crate::density::DensityMap;
+use crate::error::RouteError;
+use crate::feedcell::assign_with_insertion;
+use crate::graph::{REdgeKind, RoutingGraph};
+use crate::result::{NetTree, RouteStats, RoutingResult, TimingReport};
+use crate::router::Routed;
+use crate::tentative::tentative_tree_with;
+
+/// Configuration for the sequential baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialConfig {
+    /// Shared options (delay model, wire, branch length, slack ordering).
+    pub base: RouterConfig,
+    /// Congestion penalty: extra µm charged per unit of existing density
+    /// under a trunk edge's interval.
+    pub congestion_penalty_um: f64,
+}
+
+impl Default for SequentialConfig {
+    fn default() -> Self {
+        Self {
+            base: RouterConfig::default(),
+            congestion_penalty_um: 16.0,
+        }
+    }
+}
+
+/// The sequential (net-at-a-time) baseline router.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialRouter {
+    config: SequentialConfig,
+}
+
+impl SequentialRouter {
+    /// Creates a baseline router.
+    pub fn new(config: SequentialConfig) -> Self {
+        Self { config }
+    }
+
+    /// Routes every net once, in slack order, committing each net's
+    /// congestion before the next is routed.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`crate::GlobalRouter::route`].
+    pub fn route(
+        &self,
+        mut circuit: Circuit,
+        mut placement: Placement,
+        constraints: Vec<PathConstraint>,
+    ) -> Result<Routed, RouteError> {
+        let t_start = std::time::Instant::now();
+        circuit.validate()?;
+        placement.validate(&circuit)?;
+        let order: Vec<NetId> = if self.config.base.use_constraints {
+            nets_by_ascending_slack(&circuit, &constraints)?
+        } else {
+            circuit.net_ids().collect()
+        };
+        let pairs = crate::diffpair::PairMap::build(&circuit);
+        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 8)?;
+
+        let mut graphs: Vec<RoutingGraph> = circuit
+            .net_ids()
+            .map(|n| {
+                RoutingGraph::build(
+                    &circuit,
+                    &placement,
+                    n,
+                    &plan.feeds[n.index()],
+                    self.config.base.branch_length_um,
+                )
+            })
+            .collect();
+        for (i, g) in graphs.iter().enumerate() {
+            if !g.terminals_connected() {
+                return Err(RouteError::DisconnectedNet(NetId::new(i)));
+            }
+        }
+        let mut density = DensityMap::new(
+            placement.num_channels(),
+            placement.width_pitches().max(1) as usize,
+        );
+        let lambda = self.config.congestion_penalty_um;
+        for &net in &order {
+            let g = &mut graphs[net.index()];
+            g.prune_dangling();
+            // Shortest tree under the congestion penalty.
+            let edges_snapshot: Vec<crate::graph::REdge> = g.edges().to_vec();
+            let density_ref = &density;
+            let tree = tentative_tree_with(g, None, |e| {
+                let edge = &edges_snapshot[e as usize];
+                match edge.kind {
+                    REdgeKind::Trunk { channel } => {
+                        let d = density_ref.edge_density(channel, edge.x1, edge.x2);
+                        edge.len_um + lambda * d.d_max as f64
+                    }
+                    _ => edge.len_um,
+                }
+            })
+            .ok_or(RouteError::DisconnectedNet(net))?;
+            let mut mask = vec![false; g.edges().len()];
+            for e in &tree.edges {
+                mask[*e as usize] = true;
+            }
+            g.set_alive_mask(&mask);
+            for e in g.alive_edges() {
+                let edge = g.edges()[e as usize];
+                if let REdgeKind::Trunk { channel } = edge.kind {
+                    density.add_span(channel, edge.x1, edge.x2, g.width() as i32, true);
+                }
+            }
+        }
+        // Measurement identical to the main router.
+        let trees: Vec<NetTree> = graphs.iter().map(NetTree::from_graph).collect();
+        let net_lengths_um: Vec<f64> = graphs.iter().map(|g| g.alive_length_um()).collect();
+        let total_length_um = net_lengths_um.iter().sum();
+        let timing = TimingReport::evaluate(
+            &circuit,
+            &constraints,
+            self.config.base.delay_model,
+            self.config.base.wire,
+            &net_lengths_um,
+        )?;
+        let stats = RouteStats {
+            feed_cells_inserted: plan.inserted_cells,
+            widened_pitches: plan.widened,
+            total: t_start.elapsed(),
+            ..RouteStats::default()
+        };
+        // `d_m` was used as commit storage; `C_M == C_m` here.
+        let result = RoutingResult {
+            trees,
+            channel_tracks: density.channel_maxima(),
+            net_lengths_um,
+            total_length_um,
+            timing,
+            stats,
+        };
+        Ok(Routed {
+            circuit,
+            placement,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::GlobalRouter;
+    use bgr_layout::{Geometry, PlacementBuilder};
+    use bgr_netlist::{CellId, CellLibrary, CircuitBuilder};
+
+    fn testcase() -> (Circuit, Placement) {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let y = cb.add_output_pad("y");
+        let cells: Vec<CellId> = (0..4).map(|i| cb.add_cell(format!("u{i}"), inv)).collect();
+        cb.add_net("n0", cb.pad_term(a), [cb.cell_term(cells[0], "A").unwrap()])
+            .unwrap();
+        for w in cells.windows(2) {
+            cb.add_net(
+                format!("n{:?}", w[1]),
+                cb.cell_term(w[0], "Y").unwrap(),
+                [cb.cell_term(w[1], "A").unwrap()],
+            )
+            .unwrap();
+        }
+        cb.add_net(
+            "ny",
+            cb.cell_term(cells[3], "Y").unwrap(),
+            [cb.pad_term(y)],
+        )
+        .unwrap();
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+        for &c in &cells {
+            pb.append_with_width(0, c, 3);
+        }
+        pb.place_pad_bottom(a, 0);
+        pb.place_pad_top(y, 11);
+        let placement = pb.finish(&circuit).unwrap();
+        (circuit, placement)
+    }
+
+    #[test]
+    fn sequential_routes_all_nets_to_trees() {
+        let (circuit, placement) = testcase();
+        let routed = SequentialRouter::new(SequentialConfig::default())
+            .route(circuit, placement, vec![])
+            .unwrap();
+        assert_eq!(routed.result.trees.len(), 5);
+        for tree in &routed.result.trees {
+            assert!(tree.length_um > 0.0);
+        }
+        assert!(routed.result.channel_tracks.iter().sum::<i32>() > 0);
+    }
+
+    #[test]
+    fn congestion_penalty_spreads_nets() {
+        // Parallel 2-pin nets in one row: with zero penalty they may all
+        // pick the same channel; with a penalty, density spreads across
+        // the two channels.
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let mut drivers = Vec::new();
+        let mut sinks = Vec::new();
+        for i in 0..4 {
+            drivers.push(cb.add_cell(format!("d{i}"), inv));
+            sinks.push(cb.add_cell(format!("s{i}"), inv));
+        }
+        for i in 0..4 {
+            cb.add_net(
+                format!("n{i}"),
+                cb.cell_term(drivers[i], "Y").unwrap(),
+                [cb.cell_term(sinks[i], "A").unwrap()],
+            )
+            .unwrap();
+        }
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+        for i in 0..4 {
+            pb.place_at(0, drivers[i], i as i32 * 3, 3).unwrap();
+            pb.place_at(0, sinks[i], 20 + i as i32 * 3, 3).unwrap();
+        }
+        let placement = pb.finish(&circuit).unwrap();
+        let spread = SequentialRouter::new(SequentialConfig {
+            congestion_penalty_um: 1000.0,
+            ..SequentialConfig::default()
+        })
+        .route(circuit.clone(), placement.clone(), vec![])
+        .unwrap();
+        // With a huge penalty, both channels get used.
+        let used: Vec<i32> = spread.result.channel_tracks.clone();
+        assert!(used[0] > 0 && used[1] > 0, "density spread: {used:?}");
+        assert!(used[0] <= 3 && used[1] <= 3);
+    }
+
+    #[test]
+    fn edge_deletion_router_not_worse_on_tracks() {
+        let (circuit, placement) = testcase();
+        let seq = SequentialRouter::new(SequentialConfig::default())
+            .route(circuit.clone(), placement.clone(), vec![])
+            .unwrap();
+        let del = GlobalRouter::new(RouterConfig::unconstrained())
+            .route(circuit, placement, vec![])
+            .unwrap();
+        let seq_tracks: i32 = seq.result.channel_tracks.iter().sum();
+        let del_tracks: i32 = del.result.channel_tracks.iter().sum();
+        assert!(del_tracks <= seq_tracks + 1);
+    }
+}

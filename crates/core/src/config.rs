@@ -1,0 +1,108 @@
+//! Router configuration.
+
+use bgr_timing::{DelayModel, WireParams};
+
+/// Order in which the edge-selection heuristics are compared (§3.4, §3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CriteriaOrder {
+    /// The initial-routing / delay-improvement order: delay criteria
+    /// (`C_d`, `Gl`, `LD`) first, then the five density conditions.
+    #[default]
+    DelayFirst,
+    /// The area-improvement order (§3.5): `C_d` first, then the density
+    /// conditions, with `Gl` and `LD` compared last.
+    AreaFirst,
+    /// Density conditions only (ablation A1: what a conventional
+    /// area-minimizing edge-deletion router would do).
+    DensityOnly,
+}
+
+/// Configuration for [`crate::GlobalRouter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Whether the router *optimizes* under the given path constraints.
+    /// When `false` (the paper's "without constraints" runs), routing uses
+    /// density criteria only, but the result's timing report still
+    /// evaluates the constraints for comparison.
+    pub use_constraints: bool,
+    /// Interconnect delay model.
+    pub delay_model: DelayModel,
+    /// Wire parasitics.
+    pub wire: WireParams,
+    /// Nominal vertical length in µm charged to a branch (pin-tap) edge.
+    ///
+    /// Detailed routing realizes each tap as a run from the row edge to
+    /// the assigned track, so this should approximate *half the expected
+    /// channel height*; an unrealistically small value makes the
+    /// router's internal margins optimistic and de-fangs the timing
+    /// criteria.
+    pub branch_length_um: f64,
+    /// Maximum passes of the constraint-violation recovery phase.
+    pub recover_passes: usize,
+    /// Maximum passes of the delay improvement phase.
+    pub delay_passes: usize,
+    /// Maximum passes of the area improvement phase.
+    pub area_passes: usize,
+    /// Criteria ordering for initial routing and delay phases.
+    pub criteria_order: CriteriaOrder,
+    /// Whether differential pairs are routed in lockstep (§4.1). Disabling
+    /// routes the pair members independently (ablation A5).
+    pub pair_differential: bool,
+    /// Whether feedthrough assignment processes nets in ascending
+    /// static-slack order (§3.1). Disabling falls back to netlist order
+    /// (ablation A6); ignored when `use_constraints` is off.
+    pub slack_ordering: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            use_constraints: true,
+            delay_model: DelayModel::Capacitance,
+            wire: WireParams::default(),
+            branch_length_um: 30.0,
+            recover_passes: 3,
+            delay_passes: 2,
+            area_passes: 1,
+            criteria_order: CriteriaOrder::DelayFirst,
+            pair_differential: true,
+            slack_ordering: true,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// The paper's "without constraints" configuration: pure
+    /// area-minimizing routing (delay criteria all zero), improvement
+    /// phases limited to the area phase.
+    pub fn unconstrained() -> Self {
+        Self {
+            use_constraints: false,
+            recover_passes: 0,
+            delay_passes: 0,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_constraints_and_phases() {
+        let c = RouterConfig::default();
+        assert!(c.use_constraints);
+        assert!(c.recover_passes > 0 && c.delay_passes > 0 && c.area_passes > 0);
+        assert_eq!(c.criteria_order, CriteriaOrder::DelayFirst);
+    }
+
+    #[test]
+    fn unconstrained_disables_delay_phases() {
+        let c = RouterConfig::unconstrained();
+        assert!(!c.use_constraints);
+        assert_eq!(c.recover_passes, 0);
+        assert_eq!(c.delay_passes, 0);
+        assert!(c.area_passes > 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Channel density bookkeeping (§3.3, Fig. 4).
+//!
+//! For every channel `c` and wiring-grid column `x`, the router tracks
+//!
+//! * `d_M(c,x)` — the number of *alive* trunk edges (weighted by net
+//!   width) running over `x`: an **upper bound** on the final density;
+//! * `d_m(c,x)` — the same count restricted to *bridge* trunk edges,
+//!   i.e. wiring that can no longer be avoided: a **lower bound**.
+//!
+//! Channel aggregates `C_M, NC_M, C_m, NC_m` (the maxima and the number of
+//! columns attaining them) and per-edge interval parameters
+//! `D_M, ND_M, D_m, ND_m` feed the density conditions of §3.4.
+
+use bgr_layout::ChannelId;
+
+/// Per-edge density parameters over the edge's interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdgeDensity {
+    /// `D_M(e)`: max of `d_M` over the interval.
+    pub d_max: i32,
+    /// `ND_M(e)`: columns of the interval attaining `D_M(e)`.
+    pub nd_max: i32,
+    /// `D_m(e)`: max of `d_m` over the interval.
+    pub d_min: i32,
+    /// `ND_m(e)`: columns of the interval attaining `D_m(e)`.
+    pub nd_min: i32,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    d_max: Vec<i32>,
+    d_min: Vec<i32>,
+    dirty: bool,
+    c_max: i32,
+    nc_max: i32,
+    c_min: i32,
+    nc_min: i32,
+}
+
+impl Channel {
+    fn new(width: usize) -> Self {
+        Self {
+            d_max: vec![0; width],
+            d_min: vec![0; width],
+            dirty: false,
+            c_max: 0,
+            nc_max: 0,
+            c_min: 0,
+            nc_min: 0,
+        }
+    }
+
+    fn refresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let (mut cm, mut ncm) = (0, 0);
+        for &d in &self.d_max {
+            if d > cm {
+                cm = d;
+                ncm = 1;
+            } else if d == cm {
+                ncm += 1;
+            }
+        }
+        let (mut cn, mut ncn) = (0, 0);
+        for &d in &self.d_min {
+            if d > cn {
+                cn = d;
+                ncn = 1;
+            } else if d == cn {
+                ncn += 1;
+            }
+        }
+        self.c_max = cm;
+        self.nc_max = if cm == 0 { 0 } else { ncm };
+        self.c_min = cn;
+        self.nc_min = if cn == 0 { 0 } else { ncn };
+        self.dirty = false;
+    }
+}
+
+/// Density state over all channels.
+#[derive(Debug, Clone)]
+pub struct DensityMap {
+    width: usize,
+    channels: Vec<Channel>,
+}
+
+impl DensityMap {
+    /// Creates an all-zero map for `num_channels` channels over a chip of
+    /// `width` pitch columns.
+    pub fn new(num_channels: usize, width: usize) -> Self {
+        Self {
+            width,
+            channels: vec![Channel::new(width); num_channels],
+        }
+    }
+
+    /// Chip width in columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    fn clamp(&self, x1: i32, x2: i32) -> (usize, usize) {
+        let a = x1.clamp(0, self.width as i32) as usize;
+        let b = x2.clamp(0, self.width as i32) as usize;
+        (a, b)
+    }
+
+    /// Adds a trunk span of weight `w` over `[x1, x2)` to `d_M`; when
+    /// `bridge`, also to `d_m`.
+    pub fn add_span(&mut self, channel: ChannelId, x1: i32, x2: i32, w: i32, bridge: bool) {
+        let (a, b) = self.clamp(x1, x2);
+        if a >= b {
+            return;
+        }
+        let ch = &mut self.channels[channel.index()];
+        for x in a..b {
+            ch.d_max[x] += w;
+        }
+        if bridge {
+            for x in a..b {
+                ch.d_min[x] += w;
+            }
+        }
+        ch.dirty = true;
+    }
+
+    /// Removes a span previously added with the given bridge status.
+    pub fn remove_span(&mut self, channel: ChannelId, x1: i32, x2: i32, w: i32, was_bridge: bool) {
+        let (a, b) = self.clamp(x1, x2);
+        if a >= b {
+            return;
+        }
+        let ch = &mut self.channels[channel.index()];
+        for x in a..b {
+            ch.d_max[x] -= w;
+            debug_assert!(ch.d_max[x] >= 0, "d_M underflow");
+        }
+        if was_bridge {
+            for x in a..b {
+                ch.d_min[x] -= w;
+                debug_assert!(ch.d_min[x] >= 0, "d_m underflow");
+            }
+        }
+        ch.dirty = true;
+    }
+
+    /// Promotes a span to bridge status (adds it to `d_m` only).
+    pub fn promote_span(&mut self, channel: ChannelId, x1: i32, x2: i32, w: i32) {
+        let (a, b) = self.clamp(x1, x2);
+        if a >= b {
+            return;
+        }
+        let ch = &mut self.channels[channel.index()];
+        for x in a..b {
+            ch.d_min[x] += w;
+        }
+        ch.dirty = true;
+    }
+
+    /// `C_M(c)`: maximum of `d_M` in the channel.
+    pub fn c_max(&mut self, channel: ChannelId) -> i32 {
+        let ch = &mut self.channels[channel.index()];
+        ch.refresh();
+        ch.c_max
+    }
+
+    /// `NC_M(c)`: number of columns attaining `C_M(c)`.
+    pub fn nc_max(&mut self, channel: ChannelId) -> i32 {
+        let ch = &mut self.channels[channel.index()];
+        ch.refresh();
+        ch.nc_max
+    }
+
+    /// `C_m(c)`: maximum of `d_m` in the channel.
+    pub fn c_min(&mut self, channel: ChannelId) -> i32 {
+        let ch = &mut self.channels[channel.index()];
+        ch.refresh();
+        ch.c_min
+    }
+
+    /// `NC_m(c)`: number of columns attaining `C_m(c)`.
+    pub fn nc_min(&mut self, channel: ChannelId) -> i32 {
+        let ch = &mut self.channels[channel.index()];
+        ch.refresh();
+        ch.nc_min
+    }
+
+    /// Per-edge parameters `D_M, ND_M, D_m, ND_m` over `[x1, x2)`.
+    ///
+    /// An empty interval yields all zeros (vertical edges have no density
+    /// footprint).
+    pub fn edge_density(&self, channel: ChannelId, x1: i32, x2: i32) -> EdgeDensity {
+        let (a, b) = self.clamp(x1, x2);
+        let mut out = EdgeDensity::default();
+        if a >= b {
+            return out;
+        }
+        let ch = &self.channels[channel.index()];
+        for x in a..b {
+            let d = ch.d_max[x];
+            if d > out.d_max {
+                out.d_max = d;
+                out.nd_max = 1;
+            } else if d == out.d_max {
+                out.nd_max += 1;
+            }
+            let d = ch.d_min[x];
+            if d > out.d_min {
+                out.d_min = d;
+                out.nd_min = 1;
+            } else if d == out.d_min {
+                out.nd_min += 1;
+            }
+        }
+        out
+    }
+
+    /// Column of the globally highest `d_M` and its channel.
+    pub fn hottest_column(&mut self) -> Option<(ChannelId, usize, i32)> {
+        let mut best: Option<(ChannelId, usize, i32)> = None;
+        for c in 0..self.channels.len() {
+            self.channels[c].refresh();
+            let ch = &self.channels[c];
+            if ch.c_max == 0 {
+                continue;
+            }
+            if best.map(|(_, _, d)| ch.c_max > d).unwrap_or(true) {
+                let x = ch
+                    .d_max
+                    .iter()
+                    .position(|&d| d == ch.c_max)
+                    .expect("c_max attained");
+                best = Some((ChannelId::new(c), x, ch.c_max));
+            }
+        }
+        best
+    }
+
+    /// Snapshot of `d_M` per channel (for reporting and for the channel
+    /// router's lower-bound checks).
+    pub fn snapshot_max(&self) -> Vec<Vec<i32>> {
+        self.channels.iter().map(|c| c.d_max.clone()).collect()
+    }
+
+    /// Final per-channel density (`C_M`), the global-routing estimate of
+    /// channel track counts.
+    pub fn channel_maxima(&mut self) -> Vec<i32> {
+        (0..self.channels.len())
+            .map(|c| self.c_max(ChannelId::new(c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut d = DensityMap::new(2, 10);
+        let c = ChannelId::new(1);
+        d.add_span(c, 2, 6, 1, false);
+        d.add_span(c, 4, 8, 2, true);
+        assert_eq!(d.c_max(c), 3);
+        assert_eq!(d.c_min(c), 2);
+        d.remove_span(c, 4, 8, 2, true);
+        assert_eq!(d.c_max(c), 1);
+        assert_eq!(d.c_min(c), 0);
+        d.remove_span(c, 2, 6, 1, false);
+        assert_eq!(d.c_max(c), 0);
+    }
+
+    #[test]
+    fn nc_counts_columns_at_max() {
+        let mut d = DensityMap::new(1, 10);
+        let c = ChannelId::new(0);
+        d.add_span(c, 0, 4, 1, false);
+        d.add_span(c, 2, 8, 1, false);
+        // d_max: 1 1 2 2 1 1 1 1 0 0 -> C_M = 2 at columns 2,3.
+        assert_eq!(d.c_max(c), 2);
+        assert_eq!(d.nc_max(c), 2);
+    }
+
+    #[test]
+    fn promote_moves_lower_bound() {
+        let mut d = DensityMap::new(1, 10);
+        let c = ChannelId::new(0);
+        d.add_span(c, 0, 5, 1, false);
+        assert_eq!(d.c_min(c), 0);
+        d.promote_span(c, 0, 5, 1);
+        assert_eq!(d.c_min(c), 1);
+        assert_eq!(d.nc_min(c), 5);
+    }
+
+    #[test]
+    fn edge_density_over_interval() {
+        let mut d = DensityMap::new(1, 10);
+        let c = ChannelId::new(0);
+        d.add_span(c, 0, 4, 1, true);
+        d.add_span(c, 2, 8, 1, false);
+        // d_max: 1 1 2 2 1 1 1 1 0 0 ; d_min: 1 1 1 1 0 0 0 0 0 0
+        let e = d.edge_density(c, 1, 5);
+        assert_eq!(e.d_max, 2);
+        assert_eq!(e.nd_max, 2);
+        assert_eq!(e.d_min, 1);
+        assert_eq!(e.nd_min, 3);
+        // Vertical edge: zero footprint.
+        assert_eq!(d.edge_density(c, 3, 3), EdgeDensity::default());
+    }
+
+    #[test]
+    fn width_weights_spans() {
+        let mut d = DensityMap::new(1, 10);
+        let c = ChannelId::new(0);
+        d.add_span(c, 0, 3, 2, false);
+        assert_eq!(d.c_max(c), 2);
+    }
+
+    #[test]
+    fn hottest_column_finds_global_peak() {
+        let mut d = DensityMap::new(3, 10);
+        d.add_span(ChannelId::new(0), 0, 2, 1, false);
+        d.add_span(ChannelId::new(2), 5, 7, 4, false);
+        let (c, x, v) = d.hottest_column().unwrap();
+        assert_eq!(c, ChannelId::new(2));
+        assert_eq!(x, 5);
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    fn spans_outside_chip_are_clamped() {
+        let mut d = DensityMap::new(1, 4);
+        let c = ChannelId::new(0);
+        d.add_span(c, -3, 99, 1, false);
+        assert_eq!(d.c_max(c), 1);
+        assert_eq!(d.nc_max(c), 4);
+        d.remove_span(c, -3, 99, 1, false);
+        assert_eq!(d.c_max(c), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Differential drive pairs (§4.1).
+//!
+//! "When two nets are specified as a differential drive pair, those nets
+//! must be routed physically parallel to each other." The pair is treated
+//! as a 2-pitch window in feedthrough assignment; afterwards a one-to-one
+//! edge correspondence is established **iff** the two routing graphs are
+//! *homogeneous* — same structure with the same relative positions — and
+//! every deletion then cascades to the corresponding edge of the partner.
+
+use bgr_netlist::{Circuit, NetId};
+
+use crate::graph::{REdgeKind, RVertKind, RoutingGraph};
+
+/// Partner lookup for differential pairs.
+#[derive(Debug, Clone, Default)]
+pub struct PairMap {
+    partner: Vec<Option<NetId>>,
+    secondary: Vec<bool>,
+}
+
+impl PairMap {
+    /// Builds the map from a circuit's declared pairs. The first net of
+    /// each stored pair is the *primary* (it drives feedthrough
+    /// assignment); the second is *secondary*.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.nets().len();
+        let mut map = Self {
+            partner: vec![None; n],
+            secondary: vec![false; n],
+        };
+        for &(a, b) in circuit.diff_pairs() {
+            map.partner[a.index()] = Some(b);
+            map.partner[b.index()] = Some(a);
+            map.secondary[b.index()] = true;
+        }
+        map
+    }
+
+    /// The partner of `net`, if paired.
+    pub fn partner_of(&self, net: NetId) -> Option<NetId> {
+        self.partner[net.index()]
+    }
+
+    /// Whether `net` is the secondary member of a pair.
+    pub fn is_secondary(&self, net: NetId) -> bool {
+        self.secondary[net.index()]
+    }
+}
+
+fn vert_class(kind: RVertKind) -> (u8, u32, u32) {
+    match kind {
+        RVertKind::Terminal(_) => (0, 0, 0),
+        RVertKind::TermTap { channel, .. } => (1, channel.index() as u32, 0),
+        RVertKind::Feed { row } => (2, row, 0),
+        RVertKind::FeedTap { row, channel } => (3, row, channel.index() as u32),
+    }
+}
+
+/// Checks the paper's homogeneity condition: same vertex/edge structure,
+/// matching vertex classes (kind + channel/row) and matching relative
+/// positions (per-edge x spans).
+///
+/// Graphs built by [`RoutingGraph::build`] enumerate vertices and edges in
+/// a deterministic order, so index-wise comparison realizes the paper's
+/// "searching both graphs from driving terminal vertices".
+pub fn is_homogeneous(a: &RoutingGraph, b: &RoutingGraph) -> bool {
+    if a.verts().len() != b.verts().len() || a.edges().len() != b.edges().len() {
+        return false;
+    }
+    for (va, vb) in a.verts().iter().zip(b.verts()) {
+        if vert_class(va.kind) != vert_class(vb.kind) {
+            return false;
+        }
+    }
+    for (ea, eb) in a.edges().iter().zip(b.edges()) {
+        if ea.a != eb.a || ea.b != eb.b {
+            return false;
+        }
+        let kinds_match = match (ea.kind, eb.kind) {
+            (REdgeKind::Trunk { channel: ca }, REdgeKind::Trunk { channel: cb }) => ca == cb,
+            (REdgeKind::Branch { channel: ca }, REdgeKind::Branch { channel: cb }) => ca == cb,
+            (REdgeKind::FeedHalf { row: ra }, REdgeKind::FeedHalf { row: rb }) => ra == rb,
+            _ => false,
+        };
+        if !kinds_match {
+            return false;
+        }
+        if (ea.x2 - ea.x1) != (eb.x2 - eb.x1) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_layout::{Geometry, PlacementBuilder};
+    use bgr_netlist::{CellLibrary, CircuitBuilder};
+
+    /// Two parallel nets between adjacent cells in one row:
+    /// u1.Y -> u3.A and u2.Y -> u4.A with u2/u4 one pitch right of u1/u3.
+    fn parallel_pair(shift: i32) -> (RoutingGraph, RoutingGraph, Circuit) {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let cells: Vec<_> = (0..4).map(|i| cb.add_cell(format!("u{i}"), inv)).collect();
+        let p = cb
+            .add_net(
+                "p",
+                cb.cell_term(cells[0], "Y").unwrap(),
+                [cb.cell_term(cells[2], "A").unwrap()],
+            )
+            .unwrap();
+        let n = cb
+            .add_net(
+                "n",
+                cb.cell_term(cells[1], "Y").unwrap(),
+                [cb.cell_term(cells[3], "A").unwrap()],
+            )
+            .unwrap();
+        cb.mark_diff_pair(p, n).unwrap();
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+        pb.place_at(0, cells[0], 0, 3).unwrap();
+        pb.place_at(0, cells[1], 3, 3).unwrap();
+        pb.place_at(0, cells[2], 10, 3).unwrap();
+        pb.place_at(0, cells[3], 13 + shift, 3).unwrap();
+        let placement = pb.finish(&circuit).unwrap();
+        let ga = RoutingGraph::build(&circuit, &placement, p, &[], 30.0);
+        let gb = RoutingGraph::build(&circuit, &placement, n, &[], 30.0);
+        (ga, gb, circuit)
+    }
+
+    #[test]
+    fn parallel_graphs_are_homogeneous() {
+        let (ga, gb, _) = parallel_pair(0);
+        assert!(is_homogeneous(&ga, &gb));
+    }
+
+    #[test]
+    fn shifted_spans_break_homogeneity() {
+        let (ga, gb, _) = parallel_pair(2);
+        assert!(!is_homogeneous(&ga, &gb));
+    }
+
+    #[test]
+    fn pair_map_marks_primary_and_secondary() {
+        let (_, _, circuit) = parallel_pair(0);
+        let map = PairMap::build(&circuit);
+        let (a, b) = circuit.diff_pairs()[0];
+        assert_eq!(map.partner_of(a), Some(b));
+        assert_eq!(map.partner_of(b), Some(a));
+        assert!(!map.is_secondary(a));
+        assert!(map.is_secondary(b));
+    }
+
+    use bgr_netlist::Circuit;
+}

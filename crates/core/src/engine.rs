@@ -1,0 +1,465 @@
+//! The deletion engine: global state and the `select_edge` /
+//! `delete_and_modify` loop of Fig. 2 (lines 04–07).
+//!
+//! One [`Engine`] owns every net's routing graph, the channel-density
+//! map, and the incremental timing analyzer. Each iteration scans the
+//! deletable (non-bridge) edges of every in-scope net, ranks them with
+//! [`crate::select::compare`], deletes the winner, and updates bridges,
+//! densities, tentative lengths and margins — so the wiring of all nets
+//! is determined *concurrently*, as the paper emphasizes.
+//!
+//! Per-edge *hypothetical wire states* (tentative-tree length assuming the
+//! edge's deletion) are cached and invalidated only when the owning net's
+//! graph changes; margins and longest paths are always read live from the
+//! analyzer, so cached entries never go stale.
+
+use bgr_netlist::NetId;
+use bgr_timing::Sta;
+
+use crate::config::CriteriaOrder;
+use crate::criteria::{DelayCriteria, HypWire};
+use crate::density::DensityMap;
+use crate::graph::{REdgeKind, RoutingGraph};
+use crate::select::{compare, EdgeKey};
+use crate::tentative::tentative_length_um;
+
+/// Mutable routing state shared by the initial-routing and improvement
+/// phases.
+#[derive(Debug)]
+pub struct Engine {
+    graphs: Vec<RoutingGraph>,
+    density: DensityMap,
+    sta: Sta,
+    hyp: Vec<Vec<Option<HypWire>>>,
+    partner: Vec<Option<NetId>>,
+    /// Total edges deleted (selected + cascaded + pruned).
+    pub deletions: usize,
+    /// Total nets ripped up and rerouted.
+    pub reroutes: usize,
+}
+
+impl Engine {
+    /// Creates the engine over freshly built routing graphs.
+    ///
+    /// `partner[net]` marks differential-pair lockstep partners whose
+    /// graphs have been verified homogeneous (§4.1); deletions cascade to
+    /// them.
+    pub fn new(
+        mut graphs: Vec<RoutingGraph>,
+        sta: Sta,
+        partner: Vec<Option<NetId>>,
+        num_channels: usize,
+        chip_width: usize,
+    ) -> Self {
+        let mut density = DensityMap::new(num_channels, chip_width);
+        for g in &mut graphs {
+            g.prune_dangling();
+            g.recompute_bridges();
+        }
+        for g in &graphs {
+            let w = g.width() as i32;
+            for e in g.alive_edges() {
+                let edge = &g.edges()[e as usize];
+                if let REdgeKind::Trunk { channel } = edge.kind {
+                    density.add_span(channel, edge.x1, edge.x2, w, g.is_bridge(e));
+                }
+            }
+        }
+        let hyp = graphs
+            .iter()
+            .map(|g| vec![None; g.edges().len()])
+            .collect();
+        let mut engine = Self {
+            graphs,
+            density,
+            sta,
+            hyp,
+            partner,
+            deletions: 0,
+            reroutes: 0,
+        };
+        for i in 0..engine.graphs.len() {
+            engine.refresh_length(NetId::new(i));
+        }
+        engine
+    }
+
+    /// The routing graphs, indexed by net.
+    pub fn graphs(&self) -> &[RoutingGraph] {
+        &self.graphs
+    }
+
+    /// The density map.
+    pub fn density_mut(&mut self) -> &mut DensityMap {
+        &mut self.density
+    }
+
+    /// The timing analyzer.
+    pub fn sta(&self) -> &Sta {
+        &self.sta
+    }
+
+    /// Lockstep partner of a net, if any.
+    pub fn partner(&self, net: NetId) -> Option<NetId> {
+        self.partner[net.index()]
+    }
+
+    fn refresh_length(&mut self, net: NetId) {
+        let len = tentative_length_um(&self.graphs[net.index()], None)
+            .expect("net graphs stay connected");
+        self.sta.set_net_length(net, len);
+    }
+
+    /// Hypothetical wire state if `e` of `net` were deleted (cached).
+    fn hyp_for(&mut self, net: NetId, e: u32) -> HypWire {
+        if let Some(h) = self.hyp[net.index()][e as usize] {
+            return h;
+        }
+        let len = tentative_length_um(&self.graphs[net.index()], Some(e))
+            .expect("deleting a non-bridge keeps the net connected");
+        let (cl_ff, rc_ps) = self.sta.lengths().wire_terms_at(net, len);
+        let h = HypWire {
+            length_um: len,
+            cl_ff,
+            rc_ps,
+        };
+        self.hyp[net.index()][e as usize] = Some(h);
+        h
+    }
+
+    /// Builds the full comparison key for a deletable edge.
+    pub fn edge_key(&mut self, net: NetId, e: u32) -> EdgeKey {
+        let delay = if self.sta.constraints_of_net(net).is_empty() {
+            DelayCriteria::default()
+        } else {
+            let hyp = self.hyp_for(net, e);
+            DelayCriteria::evaluate(&self.sta, net, &hyp)
+        };
+        let g = &self.graphs[net.index()];
+        let edge = g.edges()[e as usize];
+        let (is_trunk, f_min, n_min, f_max, n_max) = match edge.kind {
+            REdgeKind::Trunk { channel } => {
+                let ed = self.density.edge_density(channel, edge.x1, edge.x2);
+                (
+                    true,
+                    self.density.c_min(channel) - ed.d_min,
+                    self.density.nc_min(channel) - ed.nd_min,
+                    self.density.c_max(channel) - ed.d_max,
+                    self.density.nc_max(channel) - ed.nd_max,
+                )
+            }
+            REdgeKind::Branch { channel } => (
+                false,
+                self.density.c_min(channel),
+                self.density.nc_min(channel),
+                self.density.c_max(channel),
+                self.density.nc_max(channel),
+            ),
+            REdgeKind::FeedHalf { .. } => (false, 0, 0, 0, 0),
+        };
+        EdgeKey {
+            delay,
+            is_trunk,
+            f_min,
+            n_min,
+            f_max,
+            n_max,
+            len_um: edge.len_um,
+            net,
+            edge: e,
+        }
+    }
+
+    fn remove_density(&mut self, net: NetId, e: u32) {
+        let g = &self.graphs[net.index()];
+        let edge = g.edges()[e as usize];
+        if let REdgeKind::Trunk { channel } = edge.kind {
+            self.density
+                .remove_span(channel, edge.x1, edge.x2, g.width() as i32, g.is_bridge(e));
+        }
+    }
+
+    /// Deletes one edge of one net and restores every invariant: density
+    /// spans, pruned dangling chains, bridge flags (with `d_m`
+    /// promotions), the net's tentative length / margins, and the net's
+    /// hypothesis cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is dead or a bridge.
+    pub fn delete_one(&mut self, net: NetId, e: u32) {
+        let ni = net.index();
+        assert!(self.graphs[ni].is_alive(e), "edge already dead");
+        assert!(!self.graphs[ni].is_bridge(e), "refusing to delete a bridge");
+        self.remove_density(net, e);
+        self.graphs[ni].delete_edge(e);
+        self.deletions += 1;
+        let pruned = self.graphs[ni].prune_dangling();
+        self.deletions += pruned.len();
+        for pe in pruned {
+            // Density removal uses the stale bridge flag, which is exactly
+            // the status the span was added/promoted under.
+            let g = &self.graphs[ni];
+            let edge = g.edges()[pe as usize];
+            if let REdgeKind::Trunk { channel } = edge.kind {
+                self.density.remove_span(
+                    channel,
+                    edge.x1,
+                    edge.x2,
+                    g.width() as i32,
+                    g.is_bridge(pe),
+                );
+            }
+        }
+        let old_bridge: Vec<bool> = (0..self.graphs[ni].edges().len() as u32)
+            .map(|i| self.graphs[ni].is_bridge(i))
+            .collect();
+        self.graphs[ni].recompute_bridges();
+        for i in 0..self.graphs[ni].edges().len() as u32 {
+            let g = &self.graphs[ni];
+            if g.is_alive(i) && !old_bridge[i as usize] && g.is_bridge(i) {
+                let edge = g.edges()[i as usize];
+                if let REdgeKind::Trunk { channel } = edge.kind {
+                    self.density
+                        .promote_span(channel, edge.x1, edge.x2, g.width() as i32);
+                }
+            }
+        }
+        self.refresh_length(net);
+        self.hyp[ni].iter_mut().for_each(|h| *h = None);
+    }
+
+    /// Deletes an edge and cascades to the differential partner (§4.1):
+    /// the homogeneous partner graph deletes the same edge index when it
+    /// is still deletable there.
+    pub fn delete_with_partner(&mut self, net: NetId, e: u32) {
+        self.delete_one(net, e);
+        if let Some(p) = self.partner[net.index()] {
+            let pg = &self.graphs[p.index()];
+            if pg.is_alive(e) && !pg.is_bridge(e) {
+                self.delete_one(p, e);
+            }
+        }
+    }
+
+    /// Runs the deletion loop over `scope` (all nets when `None`) until no
+    /// in-scope non-bridge edge remains. Returns the number of selections.
+    pub fn run_deletion(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
+        let nets: Vec<NetId> = match scope {
+            Some(s) => s.to_vec(),
+            None => (0..self.graphs.len()).map(NetId::new).collect(),
+        };
+        let mut selections = 0;
+        loop {
+            let mut best: Option<EdgeKey> = None;
+            for &net in &nets {
+                let ecount = self.graphs[net.index()].edges().len() as u32;
+                for e in 0..ecount {
+                    let g = &self.graphs[net.index()];
+                    if !g.is_alive(e) || g.is_bridge(e) {
+                        continue;
+                    }
+                    let key = self.edge_key(net, e);
+                    let better = match &best {
+                        None => true,
+                        Some(b) => compare(&key, b, order) == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some(key) = best else { break };
+            self.delete_with_partner(key.net, key.edge);
+            selections += 1;
+        }
+        selections
+    }
+
+    /// Rips up a net (and its lockstep partner) and reroutes it with the
+    /// given criteria order (§3.5 improvement phases).
+    pub fn reroute_net(&mut self, net: NetId, order: CriteriaOrder) {
+        let mut scope = vec![net];
+        if let Some(p) = self.partner[net.index()] {
+            scope.push(p);
+        }
+        for &n in &scope {
+            let ni = n.index();
+            // Remove the current (tree) density contribution.
+            for e in 0..self.graphs[ni].edges().len() as u32 {
+                if self.graphs[ni].is_alive(e) {
+                    let g = &self.graphs[ni];
+                    let edge = g.edges()[e as usize];
+                    if let REdgeKind::Trunk { channel } = edge.kind {
+                        self.density.remove_span(
+                            channel,
+                            edge.x1,
+                            edge.x2,
+                            g.width() as i32,
+                            g.is_bridge(e),
+                        );
+                    }
+                }
+            }
+            self.graphs[ni].restore_all();
+            self.graphs[ni].prune_dangling();
+            self.graphs[ni].recompute_bridges();
+            for e in 0..self.graphs[ni].edges().len() as u32 {
+                let g = &self.graphs[ni];
+                if g.is_alive(e) {
+                    let edge = g.edges()[e as usize];
+                    if let REdgeKind::Trunk { channel } = edge.kind {
+                        self.density
+                            .add_span(channel, edge.x1, edge.x2, g.width() as i32, g.is_bridge(e));
+                    }
+                }
+            }
+            self.hyp[ni].iter_mut().for_each(|h| *h = None);
+            self.refresh_length(n);
+            self.reroutes += 1;
+        }
+        self.run_deletion(Some(&scope), order);
+    }
+
+    /// Captures the alive-edge masks of a net and its partner, for
+    /// revertible rerouting.
+    pub fn snapshot(&self, net: NetId) -> Vec<(NetId, Vec<bool>)> {
+        let mut out = vec![(net, self.graphs[net.index()].alive_mask())];
+        if let Some(p) = self.partner[net.index()] {
+            out.push((p, self.graphs[p.index()].alive_mask()));
+        }
+        out
+    }
+
+    /// Restores a snapshot taken with [`Engine::snapshot`], rebuilding
+    /// density spans, lengths, margins and caches.
+    pub fn restore(&mut self, snapshot: &[(NetId, Vec<bool>)]) {
+        for (net, mask) in snapshot {
+            let ni = net.index();
+            // Remove current density contribution.
+            for e in 0..self.graphs[ni].edges().len() as u32 {
+                if self.graphs[ni].is_alive(e) {
+                    let g = &self.graphs[ni];
+                    let edge = g.edges()[e as usize];
+                    if let REdgeKind::Trunk { channel } = edge.kind {
+                        self.density.remove_span(
+                            channel,
+                            edge.x1,
+                            edge.x2,
+                            g.width() as i32,
+                            g.is_bridge(e),
+                        );
+                    }
+                }
+            }
+            self.graphs[ni].set_alive_mask(mask);
+            for e in 0..self.graphs[ni].edges().len() as u32 {
+                let g = &self.graphs[ni];
+                if g.is_alive(e) {
+                    let edge = g.edges()[e as usize];
+                    if let REdgeKind::Trunk { channel } = edge.kind {
+                        self.density.add_span(
+                            channel,
+                            edge.x1,
+                            edge.x2,
+                            g.width() as i32,
+                            g.is_bridge(e),
+                        );
+                    }
+                }
+            }
+            self.hyp[ni].iter_mut().for_each(|h| *h = None);
+            self.refresh_length(*net);
+        }
+    }
+
+    /// Whether every net's graph is now a spanning tree.
+    pub fn all_trees(&self) -> bool {
+        self.graphs.iter().all(|g| g.is_tree())
+    }
+
+    /// Consumes the engine, returning graphs, density and analyzer.
+    pub fn into_parts(self) -> (Vec<RoutingGraph>, DensityMap, Sta) {
+        (self.graphs, self.density, self.sta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::tests::same_row_net;
+    use crate::graph::RoutingGraph;
+    use bgr_timing::{DelayModel, Sta, WireParams};
+
+    fn engine_for_same_row() -> Engine {
+        let (circuit, placement, _net) = same_row_net();
+        let graphs: Vec<RoutingGraph> = circuit
+            .net_ids()
+            .map(|n| RoutingGraph::build(&circuit, &placement, n, &[], 30.0))
+            .collect();
+        let sta = Sta::new(&circuit, vec![], DelayModel::Capacitance, WireParams::default())
+            .unwrap();
+        let partner = vec![None; circuit.nets().len()];
+        let width = placement.width_pitches() as usize;
+        Engine::new(graphs, sta, partner, placement.num_channels(), width)
+    }
+
+    #[test]
+    fn initial_state_has_density_and_lengths() {
+        let mut engine = engine_for_same_row();
+        // Channel 0 and 1 both have trunk spans from net n1 plus branches
+        // don't count; some density must exist.
+        let total: i32 = (0..engine.density_mut().num_channels())
+            .map(|c| engine.density_mut().c_max(bgr_layout::ChannelId::new(c)))
+            .sum();
+        assert!(total > 0);
+        assert!(engine.sta().lengths().total_length_um() > 0.0);
+    }
+
+    #[test]
+    fn run_deletion_reaches_all_trees() {
+        let mut engine = engine_for_same_row();
+        assert!(!engine.all_trees());
+        let selections = engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        assert!(selections > 0);
+        assert!(engine.all_trees());
+        // After routing, every alive edge is a bridge: d_m == d_M.
+        for g in engine.graphs() {
+            for e in g.alive_edges() {
+                assert!(g.is_bridge(e));
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_reduces_density_upper_bound() {
+        let mut engine = engine_for_same_row();
+        let before: i32 = (0..engine.density_mut().num_channels())
+            .map(|c| engine.density_mut().c_max(bgr_layout::ChannelId::new(c)))
+            .sum();
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        let after: i32 = (0..engine.density_mut().num_channels())
+            .map(|c| engine.density_mut().c_max(bgr_layout::ChannelId::new(c)))
+            .sum();
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn reroute_restores_and_resolves() {
+        let mut engine = engine_for_same_row();
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        let len_before = engine.sta().lengths().total_length_um();
+        engine.reroute_net(bgr_netlist::NetId::new(1), CriteriaOrder::AreaFirst);
+        assert!(engine.all_trees());
+        // Deterministic graphs: rerouting an optimal tree keeps length.
+        let len_after = engine.sta().lengths().total_length_um();
+        assert!((len_before - len_after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deletion_count_includes_prunes() {
+        let mut engine = engine_for_same_row();
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        assert!(engine.deletions > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for global routing.
+
+use bgr_netlist::{NetId, NetlistError};
+use bgr_timing::TimingError;
+
+/// Errors produced by [`crate::GlobalRouter::route`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// A net's routing graph is disconnected even after feed-cell
+    /// insertion — the placement offers no path between its terminals.
+    DisconnectedNet(NetId),
+    /// The circuit failed validation.
+    Netlist(NetlistError),
+    /// Constraint-graph construction failed.
+    Timing(TimingError),
+    /// The placement failed validation.
+    Layout(bgr_layout::LayoutError),
+    /// Feedthrough re-assignment failed after feed-cell insertion; this
+    /// indicates an internal invariant violation (§4.3 guarantees
+    /// success).
+    ReassignFailed(NetId),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DisconnectedNet(n) => write!(f, "routing graph of net {n} is disconnected"),
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::Timing(e) => write!(f, "timing error: {e}"),
+            Self::Layout(e) => write!(f, "layout error: {e}"),
+            Self::ReassignFailed(n) => {
+                write!(f, "feedthrough re-assignment failed for net {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            Self::Timing(e) => Some(e),
+            Self::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for RouteError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+impl From<TimingError> for RouteError {
+    fn from(e: TimingError) -> Self {
+        Self::Timing(e)
+    }
+}
+
+impl From<bgr_layout::LayoutError> for RouteError {
+    fn from(e: bgr_layout::LayoutError) -> Self {
+        Self::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_impl_and_source() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<RouteError>();
+        let e = RouteError::from(NetlistError::EmptyNet(NetId::new(1)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("netlist error"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The three rip-up-and-reroute improvement phases (§3.5).
+
+use std::collections::HashSet;
+
+use bgr_netlist::NetId;
+
+use crate::config::CriteriaOrder;
+use crate::engine::Engine;
+
+const EPS: f64 = 1e-6;
+
+/// Timing score of the current state: `(total violation, total arrival)`
+/// over all constraints — smaller is better. Summing (rather than taking
+/// the worst) prevents a reroute from trading one constraint's slack for
+/// another's violation.
+fn timing_score(engine: &Engine) -> (f64, f64) {
+    let sta = engine.sta();
+    let mut violation = 0.0;
+    let mut arrival = 0.0;
+    for c in 0..sta.num_constraints() {
+        violation += (-sta.margin_ps(c)).max(0.0);
+        arrival += sta.arrival_ps(c);
+    }
+    (violation, arrival)
+}
+
+/// Reroutes one net, reverting if the timing score regresses (the
+/// improvement phases must never make things worse).
+fn reroute_guarded(engine: &mut Engine, net: NetId, order: CriteriaOrder) {
+    let snap = engine.snapshot(net);
+    let before = timing_score(engine);
+    engine.reroute_net(net, order);
+    let after = timing_score(engine);
+    let worse = after.0 > before.0 + EPS
+        || (after.0 > before.0 - EPS && after.1 > before.1 + EPS);
+    if worse {
+        engine.restore(&snap);
+    }
+}
+
+/// Nets on the critical paths of the given constraints, in ascending
+/// margin order, deduplicated.
+fn critical_nets_by_margin(engine: &Engine, only_violated: bool) -> Vec<NetId> {
+    let sta = engine.sta();
+    let mut cids: Vec<usize> = (0..sta.num_constraints())
+        .filter(|&c| !only_violated || sta.margin_ps(c) < 0.0)
+        .collect();
+    cids.sort_by(|&a, &b| sta.margin_ps(a).total_cmp(&sta.margin_ps(b)));
+    let mut seen = HashSet::new();
+    let mut nets = Vec::new();
+    for cid in cids {
+        for net in sta.critical_nets(cid) {
+            if seen.insert(net) {
+                nets.push(net);
+            }
+        }
+    }
+    nets
+}
+
+/// Constraint-violation recovery (§3.5 phase 1): reroutes the nets on the
+/// critical paths of violated constraints until the violations are gone,
+/// progress stalls, or `passes` is exhausted. Returns reroute count.
+pub fn recover_violate(engine: &mut Engine, passes: usize, order: CriteriaOrder) -> usize {
+    let mut reroutes = 0;
+    for _ in 0..passes {
+        if engine.sta().worst_margin_ps() >= 0.0 {
+            break;
+        }
+        let before = engine.sta().worst_margin_ps();
+        for net in critical_nets_by_margin(engine, true) {
+            reroute_guarded(engine, net, order);
+            reroutes += 1;
+        }
+        if engine.sta().worst_margin_ps() <= before + EPS {
+            break;
+        }
+    }
+    reroutes
+}
+
+/// Delay improvement (§3.5 phase 2): reroutes critical-path nets of *all*
+/// constraints, tightest first, until no margin progress. Returns reroute
+/// count.
+pub fn improve_delay(engine: &mut Engine, passes: usize, order: CriteriaOrder) -> usize {
+    let mut reroutes = 0;
+    for _ in 0..passes {
+        if engine.sta().num_constraints() == 0 {
+            break;
+        }
+        let worst_before = engine.sta().worst_margin_ps();
+        let arrival_before = engine.sta().max_arrival_ps();
+        for net in critical_nets_by_margin(engine, false) {
+            reroute_guarded(engine, net, order);
+            reroutes += 1;
+        }
+        let improved = engine.sta().worst_margin_ps() > worst_before + EPS
+            || engine.sta().max_arrival_ps() < arrival_before - EPS;
+        if !improved {
+            break;
+        }
+    }
+    reroutes
+}
+
+/// Area improvement (§3.5 phase 3): reroutes nets running through the
+/// most congested columns first, with the reordered (area) criteria.
+/// Returns reroute count.
+pub fn improve_area(engine: &mut Engine, passes: usize) -> usize {
+    let mut reroutes = 0;
+    for _ in 0..passes {
+        let tracks_before: i32 = engine.density_mut().channel_maxima().iter().sum();
+        let hottest = engine
+            .density_mut()
+            .channel_maxima()
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        if hottest == 0 {
+            break;
+        }
+        // Score nets by the peak density their tree runs through.
+        let all_spans: Vec<Vec<(bgr_layout::ChannelId, i32, i32)>> = engine
+            .graphs()
+            .iter()
+            .map(|g| {
+                g.alive_edges()
+                    .filter_map(|e| {
+                        let edge = &g.edges()[e as usize];
+                        match edge.kind {
+                            crate::graph::REdgeKind::Trunk { channel } => {
+                                Some((channel, edge.x1, edge.x2))
+                            }
+                            _ => None,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut scored: Vec<(i32, NetId)> = Vec::new();
+        for (i, spans) in all_spans.into_iter().enumerate() {
+            let net = NetId::new(i);
+            let mut score = 0;
+            for (c, x1, x2) in spans {
+                score = score.max(engine.density_mut().edge_density(c, x1, x2).d_max);
+            }
+            if score >= hottest - 1 && score > 0 {
+                scored.push((score, net));
+            }
+        }
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, net) in scored {
+            let snap = engine.snapshot(net);
+            let tracks_b: i32 = engine.density_mut().channel_maxima().iter().sum();
+            let timing_b = timing_score(engine);
+            engine.reroute_net(net, CriteriaOrder::AreaFirst);
+            let tracks_a: i32 = engine.density_mut().channel_maxima().iter().sum();
+            let timing_a = timing_score(engine);
+            if tracks_a > tracks_b || timing_a.0 > timing_b.0 + EPS {
+                engine.restore(&snap);
+            }
+            reroutes += 1;
+        }
+        let tracks_after: i32 = engine.density_mut().channel_maxima().iter().sum();
+        if tracks_after >= tracks_before {
+            break;
+        }
+    }
+    reroutes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoutingGraph;
+    use bgr_layout::{Geometry, PlacementBuilder};
+    use bgr_netlist::{CellLibrary, CircuitBuilder};
+    use bgr_timing::{DelayModel, PathConstraint, Sta, WireParams};
+
+    /// A chain with one cross-channel net under a tight constraint.
+    fn engine_with_constraint(limit: f64) -> Engine {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let y = cb.add_output_pad("y");
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", inv);
+        cb.add_net("n0", cb.pad_term(a), [cb.cell_term(u1, "A").unwrap()])
+            .unwrap();
+        cb.add_net(
+            "n1",
+            cb.cell_term(u1, "Y").unwrap(),
+            [cb.cell_term(u2, "A").unwrap()],
+        )
+        .unwrap();
+        cb.add_net("n2", cb.cell_term(u2, "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
+        let cons = vec![PathConstraint::new(
+            "p",
+            cb.pad_term(a),
+            cb.pad_term(y),
+            limit,
+        )];
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+        pb.append_with_width(0, bgr_netlist::CellId::new(0), 3);
+        pb.append_with_width(0, bgr_netlist::CellId::new(1), 3);
+        pb.place_pad_bottom(a, 0);
+        pb.place_pad_top(y, 5);
+        let placement = pb.finish(&circuit).unwrap();
+        let graphs: Vec<RoutingGraph> = circuit
+            .net_ids()
+            .map(|n| RoutingGraph::build(&circuit, &placement, n, &[], 30.0))
+            .collect();
+        let sta = Sta::new(&circuit, cons, DelayModel::Capacitance, WireParams::default())
+            .unwrap();
+        let partner = vec![None; circuit.nets().len()];
+        let width = placement.width_pitches() as usize;
+        Engine::new(graphs, sta, partner, placement.num_channels(), width)
+    }
+
+    #[test]
+    fn phases_run_and_preserve_trees() {
+        let mut engine = engine_with_constraint(500.0);
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        assert!(engine.all_trees());
+        recover_violate(&mut engine, 3, CriteriaOrder::DelayFirst);
+        improve_delay(&mut engine, 2, CriteriaOrder::DelayFirst);
+        improve_area(&mut engine, 1);
+        assert!(engine.all_trees());
+    }
+
+    #[test]
+    fn recover_is_noop_without_violation() {
+        let mut engine = engine_with_constraint(10_000.0);
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        let r = recover_violate(&mut engine, 3, CriteriaOrder::DelayFirst);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn improve_delay_runs_on_constrained_design() {
+        let mut engine = engine_with_constraint(500.0);
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        let arrival_before = engine.sta().max_arrival_ps();
+        improve_delay(&mut engine, 2, CriteriaOrder::DelayFirst);
+        assert!(engine.sta().max_arrival_ps() <= arrival_before + 1e-6);
+    }
+}

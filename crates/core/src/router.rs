@@ -1,0 +1,358 @@
+//! The top-level router driver (Fig. 2).
+
+use std::time::Instant;
+
+use bgr_layout::Placement;
+use bgr_netlist::{Circuit, NetId};
+use bgr_timing::{nets_by_ascending_slack, PathConstraint, Sta};
+
+use crate::config::RouterConfig;
+use crate::diffpair::{is_homogeneous, PairMap};
+use crate::engine::Engine;
+use crate::error::RouteError;
+use crate::feedcell::assign_with_insertion;
+use crate::graph::RoutingGraph;
+use crate::improve::{improve_area, improve_delay, recover_violate};
+use crate::result::{NetTree, RouteStats, RoutingResult, TimingReport};
+
+/// The global router.
+///
+/// See the [crate docs](crate) for the algorithm outline and an example.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalRouter {
+    config: RouterConfig,
+}
+
+/// Everything a route produces. The circuit and placement are returned
+/// because feed-cell insertion (§4.3) may have extended them.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// The circuit (possibly with inserted feed cells).
+    pub circuit: Circuit,
+    /// The placement (possibly widened).
+    pub placement: Placement,
+    /// The routing result.
+    pub result: RoutingResult,
+}
+
+impl GlobalRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: RouterConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes a placed circuit under the given path constraints.
+    ///
+    /// When `config.use_constraints` is `false`, routing itself ignores
+    /// the constraints (pure area mode) but the returned timing report
+    /// still evaluates them, enabling the paper's Table 2 comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the inputs fail validation, a constraint is
+    /// unreachable, or a net cannot be connected even after feed-cell
+    /// insertion.
+    pub fn route(
+        &self,
+        mut circuit: Circuit,
+        mut placement: Placement,
+        constraints: Vec<PathConstraint>,
+    ) -> Result<Routed, RouteError> {
+        let t_start = Instant::now();
+        circuit.validate()?;
+        placement.validate(&circuit)?;
+
+        // §3.1: net ordering by ascending static slack (netlist order
+        // when routing unconstrained or when the A6 ablation disables it).
+        let order: Vec<NetId> = if self.config.use_constraints && self.config.slack_ordering {
+            nets_by_ascending_slack(&circuit, &constraints)?
+        } else {
+            circuit.net_ids().collect()
+        };
+
+        // Fig. 2 line 01: feedthrough assignment with §4.3 insertion.
+        let pairs = PairMap::build(&circuit);
+        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 8)?;
+
+        // Fig. 2 line 02: routing graphs — two passes. The first pass uses
+        // the nominal branch length and only serves to estimate each
+        // channel's final density (full graphs hold both channel options,
+        // roughly double the routed density); the second pass charges
+        // each pin tap half the *expected* channel height so delay
+        // estimates track what the channel router will realize.
+        let nominal = vec![self.config.branch_length_um; placement.num_channels()];
+        let probe: Vec<RoutingGraph> = circuit
+            .net_ids()
+            .map(|n| {
+                RoutingGraph::build_with_channel_branches(
+                    &circuit,
+                    &placement,
+                    n,
+                    &plan.feeds[n.index()],
+                    &nominal,
+                )
+            })
+            .collect();
+        let mut est = crate::density::DensityMap::new(
+            placement.num_channels(),
+            placement.width_pitches().max(1) as usize,
+        );
+        for g in &probe {
+            if !g.terminals_connected() {
+                continue; // reported as an error after the real build
+            }
+            // The tentative tree picks one channel per span, like the
+            // final route will: its density is a realistic track estimate.
+            let tree = crate::tentative::tentative_tree(g, None)
+                .expect("connected probe graph has a tentative tree");
+            for e in tree.edges {
+                let edge = &g.edges()[e as usize];
+                if let crate::graph::REdgeKind::Trunk { channel } = edge.kind {
+                    est.add_span(channel, edge.x1, edge.x2, g.width() as i32, false);
+                }
+            }
+        }
+        let tp = placement.geometry().track_pitch_um;
+        let branch_lens: Vec<f64> = est
+            .channel_maxima()
+            .iter()
+            .map(|&tracks| {
+                (tracks as f64 / 2.0 * tp).max(self.config.branch_length_um)
+            })
+            .collect();
+        drop(probe);
+        let graphs: Vec<RoutingGraph> = circuit
+            .net_ids()
+            .map(|n| {
+                RoutingGraph::build_with_channel_branches(
+                    &circuit,
+                    &placement,
+                    n,
+                    &plan.feeds[n.index()],
+                    &branch_lens,
+                )
+            })
+            .collect();
+        for (i, g) in graphs.iter().enumerate() {
+            if !g.terminals_connected() {
+                return Err(RouteError::DisconnectedNet(NetId::new(i)));
+            }
+        }
+
+        // Fig. 2 line 03: delay constraint graphs.
+        let routing_constraints = if self.config.use_constraints {
+            constraints.clone()
+        } else {
+            Vec::new()
+        };
+        let sta = Sta::new(
+            &circuit,
+            routing_constraints,
+            self.config.delay_model,
+            self.config.wire,
+        )?;
+
+        // §4.1: lockstep partners for homogeneous pairs.
+        let mut partner = vec![None; circuit.nets().len()];
+        let mut stats = RouteStats {
+            feed_cells_inserted: plan.inserted_cells,
+            widened_pitches: plan.widened,
+            ..RouteStats::default()
+        };
+        if self.config.pair_differential {
+            for &(a, b) in circuit.diff_pairs() {
+                if is_homogeneous(&graphs[a.index()], &graphs[b.index()]) {
+                    partner[a.index()] = Some(b);
+                    partner[b.index()] = Some(a);
+                    stats.diff_pairs_locked += 1;
+                } else {
+                    stats.diff_pairs_independent += 1;
+                }
+            }
+        } else {
+            stats.diff_pairs_independent = circuit.diff_pairs().len();
+        }
+
+        let mut engine = Engine::new(
+            graphs,
+            sta,
+            partner,
+            placement.num_channels(),
+            placement.width_pitches().max(1) as usize,
+        );
+
+        // Fig. 2 lines 04-07: initial routing.
+        let t0 = Instant::now();
+        engine.run_deletion(None, self.config.criteria_order);
+        stats.initial_routing = t0.elapsed();
+        debug_assert!(engine.all_trees(), "initial routing must reach trees");
+
+        // Fig. 2 lines 08-10: improvement loops.
+        let t1 = Instant::now();
+        if self.config.use_constraints {
+            recover_violate(&mut engine, self.config.recover_passes, self.config.criteria_order);
+            improve_delay(&mut engine, self.config.delay_passes, self.config.criteria_order);
+        }
+        improve_area(&mut engine, self.config.area_passes);
+        stats.improvement = t1.elapsed();
+        debug_assert!(engine.all_trees(), "improvement must preserve trees");
+
+        stats.deletions = engine.deletions;
+        stats.reroutes = engine.reroutes;
+        let (graphs, mut density, _sta) = engine.into_parts();
+
+        let trees: Vec<NetTree> = graphs.iter().map(NetTree::from_graph).collect();
+        let net_lengths_um: Vec<f64> = graphs.iter().map(|g| g.alive_length_um()).collect();
+        let total_length_um = net_lengths_um.iter().sum();
+        // The report always evaluates the *requested* constraints.
+        let timing = TimingReport::evaluate(
+            &circuit,
+            &constraints,
+            self.config.delay_model,
+            self.config.wire,
+            &net_lengths_um,
+        )?;
+        stats.total = t_start.elapsed();
+        let result = RoutingResult {
+            trees,
+            channel_tracks: density.channel_maxima(),
+            net_lengths_um,
+            total_length_um,
+            timing,
+            stats,
+        };
+        Ok(Routed {
+            circuit,
+            placement,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_layout::{Geometry, PlacementBuilder};
+    use bgr_netlist::{CellId, CellLibrary, CircuitBuilder};
+
+    /// A 2-row, 6-cell circuit with a pad-to-pad constraint.
+    fn testcase() -> (Circuit, Placement, Vec<PathConstraint>) {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let nor2 = lib.kind_by_name("NOR2").unwrap();
+        let feed = lib.kind_by_name("FEED1").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let b = cb.add_input_pad("b");
+        let y = cb.add_output_pad("y");
+        let u0 = cb.add_cell("u0", inv);
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", nor2);
+        let u3 = cb.add_cell("u3", inv);
+        let _f0 = cb.add_cell("f0", feed);
+        let _f1 = cb.add_cell("f1", feed);
+        cb.add_net("na", cb.pad_term(a), [cb.cell_term(u0, "A").unwrap()])
+            .unwrap();
+        cb.add_net("nb", cb.pad_term(b), [cb.cell_term(u1, "A").unwrap()])
+            .unwrap();
+        cb.add_net(
+            "n0",
+            cb.cell_term(u0, "Y").unwrap(),
+            [cb.cell_term(u2, "A").unwrap()],
+        )
+        .unwrap();
+        cb.add_net(
+            "n1",
+            cb.cell_term(u1, "Y").unwrap(),
+            [cb.cell_term(u2, "B").unwrap()],
+        )
+        .unwrap();
+        cb.add_net(
+            "n2",
+            cb.cell_term(u2, "Y").unwrap(),
+            [cb.cell_term(u3, "A").unwrap()],
+        )
+        .unwrap();
+        cb.add_net("ny", cb.cell_term(u3, "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
+        let cons = vec![
+            PathConstraint::new("a2y", cb.pad_term(a), cb.pad_term(y), 600.0),
+            PathConstraint::new("b2y", cb.pad_term(b), cb.pad_term(y), 600.0),
+        ];
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 2);
+        pb.append_with_width(0, CellId::new(0), 3); // u0
+        pb.append_with_width(0, CellId::new(1), 3); // u1
+        pb.append_with_width(0, CellId::new(4), 1); // f0
+        pb.append_with_width(1, CellId::new(2), 4); // u2
+        pb.append_with_width(1, CellId::new(3), 3); // u3
+        pb.append_with_width(1, CellId::new(5), 1); // f1
+        pb.place_pad_bottom(a, 0);
+        pb.place_pad_bottom(b, 4);
+        pb.place_pad_top(y, 6);
+        let placement = pb.finish(&circuit).unwrap();
+        (circuit, placement, cons)
+    }
+
+    #[test]
+    fn routes_to_trees_with_constraints() {
+        let (circuit, placement, cons) = testcase();
+        let routed = GlobalRouter::new(RouterConfig::default())
+            .route(circuit, placement, cons)
+            .unwrap();
+        assert_eq!(routed.result.trees.len(), 6);
+        for tree in &routed.result.trees {
+            assert!(!tree.segments.is_empty());
+            assert!(tree.length_um > 0.0);
+        }
+        assert_eq!(routed.result.timing.constraints.len(), 2);
+        assert!(routed.result.total_length_um > 0.0);
+        assert!(routed.result.stats.deletions > 0);
+    }
+
+    #[test]
+    fn unconstrained_mode_still_reports_timing() {
+        let (circuit, placement, cons) = testcase();
+        let routed = GlobalRouter::new(RouterConfig::unconstrained())
+            .route(circuit, placement, cons)
+            .unwrap();
+        assert_eq!(routed.result.timing.constraints.len(), 2);
+        assert!(routed.result.timing.max_arrival_ps() > 0.0);
+    }
+
+    #[test]
+    fn constrained_delay_not_worse_than_unconstrained() {
+        let (circuit, placement, cons) = testcase();
+        let with = GlobalRouter::new(RouterConfig::default())
+            .route(circuit.clone(), placement.clone(), cons.clone())
+            .unwrap();
+        let without = GlobalRouter::new(RouterConfig::unconstrained())
+            .route(circuit, placement, cons)
+            .unwrap();
+        assert!(
+            with.result.timing.max_arrival_ps()
+                <= without.result.timing.max_arrival_ps() + 1e-6
+        );
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        let (circuit, placement, cons) = testcase();
+        let r1 = GlobalRouter::new(RouterConfig::default())
+            .route(circuit.clone(), placement.clone(), cons.clone())
+            .unwrap();
+        let r2 = GlobalRouter::new(RouterConfig::default())
+            .route(circuit, placement, cons)
+            .unwrap();
+        assert_eq!(r1.result.trees, r2.result.trees);
+        assert_eq!(r1.result.channel_tracks, r2.result.channel_tracks);
+    }
+
+    use bgr_layout::Placement;
+    use bgr_netlist::Circuit;
+}

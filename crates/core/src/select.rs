@@ -1,0 +1,202 @@
+//! Edge-selection comparison (§3.4 and the §3.5 area variant).
+//!
+//! Deletion candidates are compared lexicographically. The delay criteria
+//! come first (an edge whose deletion hurts timing less is preferred);
+//! when they tie, the five density conditions are examined in order:
+//!
+//! 1. a trunk edge is preferred over a branch edge (deleting a trunk
+//!    directly reduces channel density),
+//! 2. smaller `F_m(c,e) = C_m(c) − D_m(e)`,
+//! 3. smaller `N_m(c,e) = NC_m(c) − ND_m(e)`,
+//! 4. smaller `C_M(c) − D_M(e)`,
+//! 5. smaller `NC_M(c) − ND_M(e)`;
+//!
+//! if still even, the **longer** edge is selected. A final id comparison
+//! makes selection fully deterministic.
+
+use std::cmp::Ordering;
+
+use bgr_netlist::NetId;
+
+use crate::config::CriteriaOrder;
+use crate::criteria::DelayCriteria;
+
+/// Everything the comparator needs about one candidate edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeKey {
+    /// Delay criteria (`C_d`, `Gl`, `LD`).
+    pub delay: DelayCriteria,
+    /// Whether the edge is a trunk.
+    pub is_trunk: bool,
+    /// `C_m(c) − D_m(e)` (condition 2); 0 for edges without a channel.
+    pub f_min: i32,
+    /// `NC_m(c) − ND_m(e)` (condition 3).
+    pub n_min: i32,
+    /// `C_M(c) − D_M(e)` (condition 4).
+    pub f_max: i32,
+    /// `NC_M(c) − ND_M(e)` (condition 5).
+    pub n_max: i32,
+    /// Edge length in µm (final preference: longer wins).
+    pub len_um: f64,
+    /// Owning net (determinism tiebreak).
+    pub net: NetId,
+    /// Edge index within the net (determinism tiebreak).
+    pub edge: u32,
+}
+
+const EPS: f64 = 1e-9;
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    if (a - b).abs() <= EPS {
+        Ordering::Equal
+    } else {
+        a.total_cmp(&b)
+    }
+}
+
+fn cmp_delay(a: &EdgeKey, b: &EdgeKey) -> Ordering {
+    a.delay
+        .cd
+        .cmp(&b.delay.cd)
+        .then_with(|| cmp_f64(a.delay.gl, b.delay.gl))
+        .then_with(|| cmp_f64(a.delay.ld, b.delay.ld))
+}
+
+fn cmp_density(a: &EdgeKey, b: &EdgeKey) -> Ordering {
+    // Trunk preferred: `true` should come first, i.e. compare !is_trunk.
+    (!a.is_trunk)
+        .cmp(&!b.is_trunk)
+        .then_with(|| a.f_min.cmp(&b.f_min))
+        .then_with(|| a.n_min.cmp(&b.n_min))
+        .then_with(|| a.f_max.cmp(&b.f_max))
+        .then_with(|| a.n_max.cmp(&b.n_max))
+}
+
+fn cmp_tail(a: &EdgeKey, b: &EdgeKey) -> Ordering {
+    // Longer edge preferred -> reverse length comparison; then ids.
+    cmp_f64(b.len_um, a.len_um)
+        .then_with(|| a.net.cmp(&b.net))
+        .then_with(|| a.edge.cmp(&b.edge))
+}
+
+/// Total order on candidates: `Less` means "select `a` before `b`".
+pub fn compare(a: &EdgeKey, b: &EdgeKey, order: CriteriaOrder) -> Ordering {
+    match order {
+        CriteriaOrder::DelayFirst => cmp_delay(a, b)
+            .then_with(|| cmp_density(a, b))
+            .then_with(|| cmp_tail(a, b)),
+        CriteriaOrder::AreaFirst => a
+            .delay
+            .cd
+            .cmp(&b.delay.cd)
+            .then_with(|| cmp_density(a, b))
+            .then_with(|| cmp_f64(a.delay.gl, b.delay.gl))
+            .then_with(|| cmp_f64(a.delay.ld, b.delay.ld))
+            .then_with(|| cmp_tail(a, b)),
+        CriteriaOrder::DensityOnly => cmp_density(a, b).then_with(|| cmp_tail(a, b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EdgeKey {
+        EdgeKey {
+            delay: DelayCriteria::default(),
+            is_trunk: true,
+            f_min: 0,
+            n_min: 0,
+            f_max: 0,
+            n_max: 0,
+            len_um: 10.0,
+            net: NetId::new(0),
+            edge: 0,
+        }
+    }
+
+    #[test]
+    fn smaller_cd_wins_first() {
+        let mut a = base();
+        let mut b = base();
+        a.delay.cd = 0;
+        b.delay.cd = 2;
+        // Even if b is much better on density:
+        b.f_max = -100;
+        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Less);
+    }
+
+    #[test]
+    fn gl_breaks_cd_ties() {
+        let mut a = base();
+        let mut b = base();
+        a.delay.gl = 0.1;
+        b.delay.gl = 0.5;
+        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Less);
+        assert_eq!(compare(&b, &a, CriteriaOrder::DelayFirst), Ordering::Greater);
+    }
+
+    #[test]
+    fn trunk_preferred_over_branch_on_delay_tie() {
+        let mut a = base();
+        let mut b = base();
+        a.is_trunk = false;
+        b.is_trunk = true;
+        assert_eq!(compare(&b, &a, CriteriaOrder::DelayFirst), Ordering::Less);
+    }
+
+    #[test]
+    fn density_conditions_in_order() {
+        let mut a = base();
+        let mut b = base();
+        a.f_min = 1;
+        b.f_min = 2;
+        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Less);
+        // n_min only matters when f_min ties.
+        a.f_min = 2;
+        a.n_min = 0;
+        b.n_min = 5;
+        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Less);
+    }
+
+    #[test]
+    fn longer_edge_wins_final_tie() {
+        let mut a = base();
+        let mut b = base();
+        a.len_um = 50.0;
+        b.len_um = 10.0;
+        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Less);
+    }
+
+    #[test]
+    fn ids_make_order_total() {
+        let a = base();
+        let mut b = base();
+        b.edge = 1;
+        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Less);
+        assert_eq!(compare(&a, &a, CriteriaOrder::DelayFirst), Ordering::Equal);
+    }
+
+    #[test]
+    fn area_order_checks_density_before_gl() {
+        let mut a = base();
+        let mut b = base();
+        // a is worse on Gl but better on density.
+        a.delay.gl = 5.0;
+        a.f_max = -1;
+        b.delay.gl = 0.0;
+        b.f_max = 3;
+        assert_eq!(compare(&a, &b, CriteriaOrder::AreaFirst), Ordering::Less);
+        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Greater);
+    }
+
+    #[test]
+    fn density_only_ignores_delay() {
+        let mut a = base();
+        let mut b = base();
+        a.delay.cd = 9;
+        b.delay.cd = 0;
+        a.f_min = -1;
+        assert_eq!(compare(&a, &b, CriteriaOrder::DensityOnly), Ordering::Less);
+    }
+}

@@ -1,0 +1,219 @@
+//! Tentative-tree wire-length estimation (§3.2).
+//!
+//! "The shortest paths from the driving terminal vertex to all other
+//! terminals are first obtained with Dijkstra's shortest-path algorithm.
+//! The union of all paths is the tentative tree." The tentative tree's
+//! total length is the net's wire-length estimate `CL(n)` feeding the
+//! delay model; re-running it *assuming the deletion of `e`* yields the
+//! hypothetical lengths behind `LM(e, P)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::RoutingGraph;
+
+/// Min-heap entry with a total-order `f64` key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    vert: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; ties by vertex for determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vert.cmp(&self.vert))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a tentative-tree computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TentativeTree {
+    /// Total length of the union of driver-to-sink shortest paths, in µm.
+    pub length_um: f64,
+    /// Edge indices of the union.
+    pub edges: Vec<u32>,
+}
+
+/// Computes the tentative tree of a net's routing graph, optionally
+/// assuming one extra edge is deleted.
+///
+/// Returns `None` if some terminal is unreachable from the driver under
+/// the assumption (never happens when `skip` is a non-bridge).
+pub fn tentative_tree(graph: &RoutingGraph, skip: Option<u32>) -> Option<TentativeTree> {
+    tentative_tree_with(graph, skip, |e| graph.edges()[e as usize].len_um)
+}
+
+/// Like [`tentative_tree`], but with a caller-supplied edge weight for
+/// the shortest-path search (e.g. length plus a congestion penalty, as
+/// the sequential baseline router uses). The returned `length_um` is
+/// always the *physical* length of the union, independent of the
+/// weights.
+pub fn tentative_tree_with(
+    graph: &RoutingGraph,
+    skip: Option<u32>,
+    weight: impl Fn(u32) -> f64,
+) -> Option<TentativeTree> {
+    let nv = graph.verts().len();
+    let mut dist = vec![f64::INFINITY; nv];
+    let mut parent_edge = vec![u32::MAX; nv];
+    let src = graph.driver_vert();
+    dist[src as usize] = 0.0;
+    let mut heap = BinaryHeap::with_capacity(nv);
+    heap.push(HeapItem {
+        dist: 0.0,
+        vert: src,
+    });
+    while let Some(HeapItem { dist: d, vert: v }) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &(w, e) in graph.adj(v) {
+            if !graph.is_alive(e) || Some(e) == skip {
+                continue;
+            }
+            let nd = d + weight(e);
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                parent_edge[w as usize] = e;
+                heap.push(HeapItem { dist: nd, vert: w });
+            }
+        }
+    }
+    // Union of the driver-to-terminal paths.
+    let mut in_union = vec![false; graph.edges().len()];
+    for &t in graph.terminal_verts() {
+        if dist[t as usize].is_infinite() {
+            return None;
+        }
+        let mut cur = t;
+        while cur != src {
+            let e = parent_edge[cur as usize];
+            if e == u32::MAX || in_union[e as usize] {
+                break;
+            }
+            in_union[e as usize] = true;
+            let edge = &graph.edges()[e as usize];
+            cur = if edge.a == cur { edge.b } else { edge.a };
+        }
+    }
+    let mut length_um = 0.0;
+    let mut edges = Vec::new();
+    for (i, &used) in in_union.iter().enumerate() {
+        if used {
+            length_um += graph.edges()[i].len_um;
+            edges.push(i as u32);
+        }
+    }
+    Some(TentativeTree { length_um, edges })
+}
+
+/// Tentative length only (µm); `None` on disconnection.
+pub fn tentative_length_um(graph: &RoutingGraph, skip: Option<u32>) -> Option<f64> {
+    tentative_tree(graph, skip).map(|t| t.length_um)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::tests::{cross_row_net, same_row_net};
+    use crate::graph::RoutingGraph;
+
+    #[test]
+    fn picks_shortest_side_of_cycle() {
+        let (circuit, placement, net) = same_row_net();
+        let g = RoutingGraph::build(&circuit, &placement, net, &[], 30.0);
+        let t = tentative_tree(&g, None).unwrap();
+        // Shortest driver->sink path: branch + trunk + branch = 30 + 8 + 30.
+        assert!((t.length_um - 68.0).abs() < 1e-9);
+        assert_eq!(t.edges.len(), 3);
+    }
+
+    #[test]
+    fn skip_forces_detour() {
+        let (circuit, placement, net) = same_row_net();
+        let g = RoutingGraph::build(&circuit, &placement, net, &[], 30.0);
+        let base = tentative_tree(&g, None).unwrap();
+        // Skipping an edge on the chosen path forces the same-cost other
+        // channel (symmetric graph), so length is unchanged; skipping BOTH
+        // is impossible with one skip, so check a used trunk.
+        let used_trunk = base
+            .edges
+            .iter()
+            .copied()
+            .find(|&e| g.edges()[e as usize].kind.is_trunk())
+            .unwrap();
+        let alt = tentative_tree(&g, Some(used_trunk)).unwrap();
+        assert!((alt.length_um - base.length_um).abs() < 1e-9);
+        assert!(!alt.edges.contains(&used_trunk));
+    }
+
+    #[test]
+    fn disconnection_returns_none() {
+        let (circuit, placement, net) = cross_row_net();
+        let g = RoutingGraph::build(&circuit, &placement, net, &[(1, 4)], 30.0);
+        // The feed-half edges are bridges; skipping one disconnects.
+        let feed_half = (0..g.edges().len() as u32)
+            .find(|&e| matches!(g.edges()[e as usize].kind, crate::graph::REdgeKind::FeedHalf { .. }))
+            .unwrap();
+        assert!(tentative_tree(&g, Some(feed_half)).is_none());
+        assert!(tentative_tree(&g, None).is_some());
+    }
+
+    #[test]
+    fn multi_sink_union_shares_trunk() {
+        // Three terminals in one row: driver at x=2 (u1.Y), sinks at x=6,
+        // x=9; the union should share trunk segments, with total length
+        // less than the sum of individual paths.
+        use bgr_layout::{Geometry, PlacementBuilder};
+        use bgr_netlist::{CellId, CellLibrary, CircuitBuilder};
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let y = cb.add_output_pad("y");
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", inv);
+        let u3 = cb.add_cell("u3", inv);
+        cb.add_net("n0", cb.pad_term(a), [cb.cell_term(u1, "A").unwrap()])
+            .unwrap();
+        let net = cb
+            .add_net(
+                "n1",
+                cb.cell_term(u1, "Y").unwrap(),
+                [
+                    cb.cell_term(u2, "A").unwrap(),
+                    cb.cell_term(u3, "A").unwrap(),
+                ],
+            )
+            .unwrap();
+        cb.add_net("n2", cb.cell_term(u2, "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
+        // u3.Y dangles (legal).
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+        pb.append_with_width(0, CellId::new(0), 3);
+        pb.append_with_width(0, CellId::new(1), 3);
+        pb.append_with_width(0, CellId::new(2), 3);
+        pb.place_pad_bottom(a, 0);
+        pb.place_pad_top(y, 8);
+        let placement = pb.finish(&circuit).unwrap();
+        let g = RoutingGraph::build(&circuit, &placement, net, &[], 30.0);
+        let t = tentative_tree(&g, None).unwrap();
+        // Driver u1.Y at x=2, sinks at x=3 and x=6 (pin offsets included):
+        // one channel: branches 3×30 + trunk spans (2->3) + (3->6) =
+        // 8 + 24 µm.
+        assert!((t.length_um - (90.0 + 8.0 + 24.0)).abs() < 1e-9);
+    }
+}

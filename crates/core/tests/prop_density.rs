@@ -1,0 +1,101 @@
+//! Property tests: the incremental density map must agree with a naive
+//! recomputation oracle under any sequence of add/remove/promote ops.
+
+use bgr_core::density::DensityMap;
+use bgr_layout::ChannelId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { c: usize, x1: i32, x2: i32, w: i32, bridge: bool },
+    Promote(usize),
+    Remove(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(usize, i32, i32, i32, bool, u8)>> {
+    proptest::collection::vec(
+        (0usize..3, 0i32..30, 0i32..30, 1i32..3, any::<bool>(), 0u8..3),
+        1..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn matches_naive_oracle(raw in arb_ops()) {
+        const W: usize = 30;
+        let mut map = DensityMap::new(3, W);
+        // Track live spans so removals are valid.
+        let mut live: Vec<(usize, i32, i32, i32, bool)> = Vec::new();
+        let mut ops: Vec<Op> = Vec::new();
+        for (c, a, b, w, bridge, kind) in raw {
+            let (x1, x2) = (a.min(b), a.max(b));
+            match kind {
+                0 => {
+                    live.push((c, x1, x2, w, bridge));
+                    ops.push(Op::Add { c, x1, x2, w, bridge });
+                }
+                1 => {
+                    // Promote a random live non-bridge span.
+                    if let Some(i) = live.iter().position(|s| !s.4) {
+                        live[i].4 = true;
+                        ops.push(Op::Promote(i));
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        ops.push(Op::Remove(live.len() - 1));
+                        live.pop();
+                    }
+                }
+            }
+        }
+        // Replay ops on the map; keep an oracle span list.
+        let mut oracle: Vec<(usize, i32, i32, i32, bool)> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Add { c, x1, x2, w, bridge } => {
+                    map.add_span(ChannelId::new(c), x1, x2, w, bridge);
+                    oracle.push((c, x1, x2, w, bridge));
+                }
+                Op::Promote(i) => {
+                    let (c, x1, x2, w, _) = oracle[i];
+                    map.promote_span(ChannelId::new(c), x1, x2, w);
+                    oracle[i].4 = true;
+                }
+                Op::Remove(i) => {
+                    let (c, x1, x2, w, bridge) = oracle[i];
+                    map.remove_span(ChannelId::new(c), x1, x2, w, bridge);
+                    oracle.remove(i);
+                }
+            }
+        }
+        // Compare aggregates per channel against the oracle.
+        for c in 0..3 {
+            let mut d_max = [0i32; W];
+            let mut d_min = [0i32; W];
+            for &(oc, x1, x2, w, bridge) in &oracle {
+                if oc != c { continue; }
+                for x in x1.max(0)..x2.min(W as i32) {
+                    d_max[x as usize] += w;
+                    if bridge { d_min[x as usize] += w; }
+                }
+            }
+            let cm = *d_max.iter().max().unwrap();
+            let ncm = if cm == 0 { 0 } else { d_max.iter().filter(|&&d| d == cm).count() as i32 };
+            let cn = *d_min.iter().max().unwrap();
+            let ncn = if cn == 0 { 0 } else { d_min.iter().filter(|&&d| d == cn).count() as i32 };
+            prop_assert_eq!(map.c_max(ChannelId::new(c)), cm);
+            prop_assert_eq!(map.nc_max(ChannelId::new(c)), ncm);
+            prop_assert_eq!(map.c_min(ChannelId::new(c)), cn);
+            prop_assert_eq!(map.nc_min(ChannelId::new(c)), ncn);
+            // Edge density over a window agrees with the oracle too.
+            let ed = map.edge_density(ChannelId::new(c), 5, 15);
+            let window = &d_max[5..15];
+            let wmax = *window.iter().max().unwrap();
+            if wmax > 0 {
+                prop_assert_eq!(ed.d_max, wmax);
+                prop_assert_eq!(ed.nd_max, window.iter().filter(|&&d| d == wmax).count() as i32);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: any sequence of non-bridge deletions keeps the
+//! routing graph's terminals connected, and the process always ends in a
+//! spanning tree.
+
+use bgr_core::RoutingGraph;
+use bgr_layout::{Geometry, PlacementBuilder};
+use bgr_netlist::{CellId, CellLibrary, CircuitBuilder, NetId};
+use proptest::prelude::*;
+
+/// Builds a multi-fanout net across `rows` rows with `sinks` sinks.
+fn build_graph(rows: usize, sinks: usize, xs: Vec<i32>) -> RoutingGraph {
+    let lib = CellLibrary::ecl();
+    let inv = lib.kind_by_name("INV").unwrap();
+    let mut cb = CircuitBuilder::new(lib);
+    let drv = cb.add_cell("drv", inv);
+    let sink_cells: Vec<CellId> = (0..sinks)
+        .map(|i| cb.add_cell(format!("s{i}"), inv))
+        .collect();
+    let net = cb
+        .add_net(
+            "n",
+            cb.cell_term(drv, "Y").unwrap(),
+            sink_cells
+                .iter()
+                .map(|&c| cb.cell_term(c, "A").unwrap())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+    let circuit = cb.finish().unwrap();
+    let mut pb = PlacementBuilder::new(Geometry::default(), rows);
+    pb.place_at(0, drv, xs[0].max(0), 3).unwrap();
+    for (i, &c) in sink_cells.iter().enumerate() {
+        let row = (i + 1) % rows;
+        // Spread sinks; collisions avoided by striding.
+        pb.place_at(row, c, 10 + 10 * i as i32 + xs[i + 1].max(0) % 5, 3)
+            .unwrap();
+    }
+    let placement = pb.finish(&circuit).unwrap();
+    // One feedthrough per row strictly between min and max rows used.
+    let feeds: Vec<(usize, i32)> = (1..rows.saturating_sub(1))
+        .map(|r| (r, 5 + r as i32))
+        .collect();
+    let _ = net;
+    RoutingGraph::build(&circuit, &placement, NetId::new(0), &feeds, 30.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_deletion_order_always_yields_a_tree(
+        rows in 1usize..4,
+        sinks in 1usize..5,
+        xs in proptest::collection::vec(0i32..8, 6),
+        picks in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let mut g = build_graph(rows, sinks, xs);
+        prop_assume!(g.terminals_connected());
+        g.prune_dangling();
+        g.recompute_bridges();
+        let mut pi = 0;
+        loop {
+            let candidates: Vec<u32> = g.non_bridge_edges().collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = picks.get(pi).copied().unwrap_or(0) as usize % candidates.len();
+            pi += 1;
+            g.delete_edge(candidates[pick]);
+            g.prune_dangling();
+            g.recompute_bridges();
+            prop_assert!(g.terminals_connected(), "terminals stay connected");
+        }
+        prop_assert!(g.is_tree());
+        // A tree over k alive vertices has exactly k-1 alive edges.
+        let alive_verts: std::collections::HashSet<u32> = g
+            .alive_edges()
+            .flat_map(|e| [g.edges()[e as usize].a, g.edges()[e as usize].b])
+            .collect();
+        if !alive_verts.is_empty() {
+            prop_assert_eq!(g.alive_count(), alive_verts.len() - 1);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Constraint harvesting: synthesize the designer-supplied constraint
+//! sets of the paper's Table 1.
+//!
+//! The paper's constraints came from "interviews with the logic
+//! designers" (C1/C2) or layout-data analysis (C3). We reconstruct the
+//! same *kind* of constraint set: pad-to-pad and register-to-register
+//! paths, each granted a wiring-delay budget of `wire_budget ×` its pure
+//! gate delay — tight enough that unconstrained routing violates some of
+//! them, loose enough that the timing-driven router can close them.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use bgr_netlist::{Circuit, TermDir, TermId};
+use bgr_timing::{ConstraintGraph, DelayGraph, PathConstraint};
+
+/// Harvests up to `count` satisfiable path constraints.
+///
+/// Sources are input pads and flip-flop `Q` outputs; sinks are output
+/// pads and flip-flop `D` inputs. Every returned constraint is
+/// reachable, and its limit is `gate_delay × (1 + wire_budget)`.
+pub fn harvest_constraints(
+    circuit: &Circuit,
+    count: usize,
+    wire_budget: f64,
+    seed: u64,
+) -> Vec<PathConstraint> {
+    let dg = DelayGraph::build(circuit);
+    let zero = vec![0.0; dg.num_nets()];
+
+    let mut sources: Vec<TermId> = Vec::new();
+    let mut sinks: Vec<TermId> = Vec::new();
+    for pad in circuit.pads() {
+        match pad.dir() {
+            TermDir::Input => sources.push(pad.term()),
+            TermDir::Output => sinks.push(pad.term()),
+        }
+    }
+    for cell in circuit.cells() {
+        let kind = circuit.library().kind(cell.kind());
+        if !kind.is_sequential() {
+            continue;
+        }
+        for (pin, spec) in kind.terms().iter().enumerate() {
+            match (spec.dir, spec.name.as_str()) {
+                (TermDir::Output, _) => sources.push(cell.terms()[pin]),
+                (TermDir::Input, "D") => sinks.push(cell.terms()[pin]),
+                _ => {}
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs: Vec<(TermId, TermId)> = sources
+        .iter()
+        .flat_map(|&s| sinks.iter().map(move |&t| (s, t)))
+        .collect();
+    pairs.shuffle(&mut rng);
+
+    let mut out = Vec::new();
+    for (s, t) in pairs {
+        if out.len() >= count {
+            break;
+        }
+        let c = PathConstraint::new(format!("p{}", out.len()), s, t, f64::INFINITY);
+        let Ok(cg) = ConstraintGraph::build(&dg, c) else {
+            continue;
+        };
+        let lp = cg.longest_paths(&dg, &zero, &zero);
+        let gate_delay = cg.arrival_ps(&lp);
+        if gate_delay <= 0.0 {
+            continue;
+        }
+        out.push(PathConstraint::new(
+            format!("p{}", out.len()),
+            s,
+            t,
+            gate_delay * (1.0 + wire_budget),
+        ));
+    }
+    out
+}
+
+/// Arrival time (ps) of an `(s, t)` path at given per-net lengths, or
+/// `None` when unreachable.
+pub fn arrival_with_lengths(
+    circuit: &Circuit,
+    source: TermId,
+    sink: TermId,
+    lengths_um: &[f64],
+) -> Option<f64> {
+    let dg = DelayGraph::build(circuit);
+    let wire = bgr_timing::WireParams::default();
+    let model = bgr_timing::DelayModel::Capacitance;
+    let cl: Vec<f64> = circuit
+        .net_ids()
+        .map(|n| model.wire_cap_ff(&wire, lengths_um[n.index()], circuit.net(n).width_pitches()))
+        .collect();
+    let rc = vec![0.0; cl.len()];
+    let cg = ConstraintGraph::build(&dg, PathConstraint::new("tmp", source, sink, 0.0)).ok()?;
+    let lp = cg.longest_paths(&dg, &cl, &rc);
+    Some(cg.arrival_ps(&lp))
+}
+
+/// Harvests constraints with limits set *between* a per-path lower bound
+/// and a reference (e.g. naively routed) delay:
+/// `τ = lb + β·(ref − lb)`.
+///
+/// This mirrors the paper's constraint provenance — designer interviews
+/// for C1/C2, and explicit layout-data analysis for C3 ("constraints for
+/// C3 were improved according to the layout data analysis") — and
+/// guarantees every constraint is demanding (the reference route
+/// violates it for β < 1) yet anchored to achievability (the lower
+/// bound satisfies it for β > 0).
+pub fn harvest_between(
+    circuit: &Circuit,
+    count: usize,
+    beta: f64,
+    seed: u64,
+    lb_lengths_um: &[f64],
+    ref_lengths_um: &[f64],
+) -> Vec<PathConstraint> {
+    // Reuse the gate-budget harvester purely for (source, sink) picking.
+    let picked = harvest_constraints(circuit, count, 0.0, seed);
+    picked
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let lb = arrival_with_lengths(circuit, c.source, c.sink, lb_lengths_um)?;
+            let rf = arrival_with_lengths(circuit, c.source, c.sink, ref_lengths_um)?;
+            let rf = rf.max(lb);
+            Some(PathConstraint::new(
+                format!("p{i}"),
+                c.source,
+                c.sink,
+                lb + beta * (rf - lb),
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netgen::{generate, GenParams};
+    use bgr_netlist::TermOwner;
+
+    #[test]
+    fn harvest_between_brackets_limits() {
+        let design = generate(&GenParams::small(3));
+        let n = design.circuit.nets().len();
+        let lb = vec![100.0; n];
+        let rf = vec![500.0; n];
+        let cons = harvest_between(&design.circuit, 3, 0.5, 11, &lb, &rf);
+        assert!(!cons.is_empty());
+        for c in &cons {
+            let at_lb =
+                arrival_with_lengths(&design.circuit, c.source, c.sink, &lb).unwrap();
+            let at_rf =
+                arrival_with_lengths(&design.circuit, c.source, c.sink, &rf).unwrap();
+            assert!(c.limit_ps >= at_lb - 1e-9, "lower bound satisfies");
+            assert!(c.limit_ps <= at_rf + 1e-9, "reference violates");
+        }
+    }
+
+    #[test]
+    fn constraints_are_reachable_and_budgeted() {
+        let design = generate(&GenParams::small(3));
+        let dg = DelayGraph::build(&design.circuit);
+        let zero = vec![0.0; dg.num_nets()];
+        assert!(!design.constraints.is_empty());
+        for c in &design.constraints {
+            let cg = ConstraintGraph::build(&dg, c.clone()).expect("reachable");
+            let lp = cg.longest_paths(&dg, &zero, &zero);
+            let gate = cg.arrival_ps(&lp);
+            // Limit = gate × (1 + 0.35).
+            assert!((c.limit_ps / gate - 1.35).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn harvest_respects_count() {
+        let design = generate(&GenParams::small(3));
+        let cons = harvest_constraints(&design.circuit, 2, 0.5, 11);
+        assert!(cons.len() <= 2);
+        assert!(!cons.is_empty());
+    }
+
+    #[test]
+    fn harvest_is_deterministic() {
+        let design = generate(&GenParams::small(3));
+        let a = harvest_constraints(&design.circuit, 3, 0.5, 11);
+        let b = harvest_constraints(&design.circuit, 3, 0.5, 11);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.source, x.sink), (y.source, y.sink));
+        }
+    }
+
+    #[test]
+    fn source_sink_owners_are_pads_or_ffs() {
+        let design = generate(&GenParams::small(5));
+        for c in &design.constraints {
+            for t in [c.source, c.sink] {
+                match design.circuit.term(t).owner() {
+                    TermOwner::Pad(_) => {}
+                    TermOwner::Cell { cell, .. } => {
+                        let kind = design
+                            .circuit
+                            .library()
+                            .kind(design.circuit.cell(cell).kind());
+                        assert!(kind.is_sequential());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Half-perimeter wire-length estimates.
+//!
+//! Table 3 of the paper compares routed critical-path delays against a
+//! lower bound obtained "by assuming the wire length for each net to be
+//! half the perimeter of the rectangle containing the net terminals".
+
+use bgr_layout::{PadSide, Placement, TermSite};
+use bgr_netlist::Circuit;
+
+/// Per-net half-perimeter lengths in µm.
+///
+/// x spans come from terminal pitch coordinates; y spans from row
+/// positions (`row_height` per row step, pads on the chip boundary).
+/// Channel heights are unknown before routing and excluded — that is
+/// what makes this a lower bound.
+pub fn hpwl_net_lengths_um(circuit: &Circuit, placement: &Placement) -> Vec<f64> {
+    let g = placement.geometry();
+    let num_rows = placement.num_rows();
+    circuit
+        .net_ids()
+        .map(|net| {
+            let mut x_min = f64::INFINITY;
+            let mut x_max = f64::NEG_INFINITY;
+            let mut y_min = f64::INFINITY;
+            let mut y_max = f64::NEG_INFINITY;
+            for term in circuit.net(net).terms() {
+                let pos = placement.term_pos(circuit, term);
+                let x = g.pitches_to_um(pos.x as f64);
+                let y = match pos.site {
+                    TermSite::Cell { row, .. } => (row as f64 + 0.5) * g.row_height_um,
+                    TermSite::Pad(PadSide::Bottom) => 0.0,
+                    TermSite::Pad(PadSide::Top) => num_rows as f64 * g.row_height_um,
+                };
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+            (x_max - x_min) + (y_max - y_min)
+        })
+        .collect()
+}
+
+/// Per-net half-perimeter lengths in µm **within a routed layout**:
+/// y spans include the given per-channel track heights, matching the
+/// paper's rectangle "containing the net terminals" in the final layout.
+///
+/// # Panics
+///
+/// Panics if `channel_tracks.len() != placement.num_channels()`.
+pub fn hpwl_net_lengths_in_layout_um(
+    circuit: &Circuit,
+    placement: &Placement,
+    channel_tracks: &[usize],
+) -> Vec<f64> {
+    let g = placement.geometry();
+    let num_rows = placement.num_rows();
+    assert_eq!(channel_tracks.len(), num_rows + 1, "one track count per channel");
+    // y of the center of each row, bottom-up, accumulating channel
+    // heights below it.
+    let mut row_y = Vec::with_capacity(num_rows);
+    let mut y = 0.0;
+    for (r, &t) in channel_tracks.iter().take(num_rows).enumerate() {
+        y += g.channel_height_um(t);
+        row_y.push(y + g.row_height_um / 2.0);
+        y += g.row_height_um;
+        let _ = r;
+    }
+    let total = y + g.channel_height_um(channel_tracks[num_rows]);
+    circuit
+        .net_ids()
+        .map(|net| {
+            let mut x_min = f64::INFINITY;
+            let mut x_max = f64::NEG_INFINITY;
+            let mut y_min = f64::INFINITY;
+            let mut y_max = f64::NEG_INFINITY;
+            for term in circuit.net(net).terms() {
+                let pos = placement.term_pos(circuit, term);
+                let x = g.pitches_to_um(pos.x as f64);
+                let yy = match pos.site {
+                    TermSite::Cell { row, .. } => row_y[row],
+                    TermSite::Pad(PadSide::Bottom) => 0.0,
+                    TermSite::Pad(PadSide::Top) => total,
+                };
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(yy);
+                y_max = y_max.max(yy);
+            }
+            (x_max - x_min) + (y_max - y_min)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_layout::{Geometry, PlacementBuilder};
+    use bgr_netlist::{CellId, CellLibrary, CircuitBuilder};
+
+    #[test]
+    fn hpwl_spans_x_and_rows() {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", inv);
+        cb.add_net(
+            "n",
+            cb.cell_term(u1, "Y").unwrap(),
+            [cb.cell_term(u2, "A").unwrap()],
+        )
+        .unwrap();
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 3);
+        pb.place_at(0, CellId::new(0), 0, 3).unwrap();
+        pb.place_at(2, CellId::new(1), 10, 3).unwrap();
+        let placement = pb.finish(&circuit).unwrap();
+        let lens = hpwl_net_lengths_um(&circuit, &placement);
+        // u1.Y at x=2 (16 µm), u2.A at x=10 (80 µm): Δx = 64 µm.
+        // Rows 0 -> 2: Δy = 2 × 160 µm = 320 µm.
+        assert!((lens[0] - (64.0 + 320.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_row_net_has_no_y_span() {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", inv);
+        cb.add_net(
+            "n",
+            cb.cell_term(u1, "Y").unwrap(),
+            [cb.cell_term(u2, "A").unwrap()],
+        )
+        .unwrap();
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+        pb.place_at(0, CellId::new(0), 0, 3).unwrap();
+        pb.place_at(0, CellId::new(1), 5, 3).unwrap();
+        let placement = pb.finish(&circuit).unwrap();
+        let lens = hpwl_net_lengths_um(&circuit, &placement);
+        // u1.Y at pitch 2 (16 µm), u2.A at pitch 5 (40 µm): Δx = 24 µm.
+        assert!((lens[0] - 24.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Benchmark reconstruction substrate.
+//!
+//! The paper evaluates on three proprietary NTT bipolar transmission-
+//! system circuits (C1–C3, Table 1) with designer placements P1 (even
+//! automatic feed-cell insertion) and P2 (feed cells moved aside). Those
+//! designs are unavailable, so this crate synthesizes ECL standard-cell
+//! circuits with the same *statistical* shape — levelized random logic
+//! with flip-flops, a wide multi-pitch clock tree, differential pairs,
+//! pad-bounded paths — plus the two placement styles and a constraint
+//! harvester that mimics "interviews with the logic designers" by
+//! granting each critical path a configurable wiring-delay budget on top
+//! of its pure gate delay.
+//!
+//! # Example
+//!
+//! ```
+//! use bgr_gen::{generate, GenParams, place, PlacementStyle};
+//!
+//! let params = GenParams::small(42);
+//! let design = generate(&params);
+//! let placement = place(&design.circuit, &params, PlacementStyle::EvenFeed);
+//! assert!(design.circuit.cells().len() > 10);
+//! assert!(placement.num_rows() == params.rows);
+//! assert!(!design.constraints.is_empty());
+//! ```
+
+pub mod circuits;
+pub mod constraints;
+pub mod hpwl;
+pub mod netgen;
+pub mod placegen;
+
+pub use circuits::{c1, c2, c3, DataSet};
+pub use constraints::{arrival_with_lengths, harvest_between, harvest_constraints};
+pub use hpwl::{hpwl_net_lengths_in_layout_um, hpwl_net_lengths_um};
+pub use netgen::{generate, GenParams, GeneratedDesign};
+pub use placegen::{place, place_design, PlacementStyle};

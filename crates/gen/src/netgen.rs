@@ -1,0 +1,320 @@
+//! Synthetic ECL circuit generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bgr_netlist::{CellId, CellLibrary, Circuit, CircuitBuilder, NetId, TermId};
+use bgr_timing::PathConstraint;
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Approximate number of logic cells (excluding feed cells).
+    pub logic_cells: usize,
+    /// Logic levels between registers/pads.
+    pub depth: usize,
+    /// Cell rows for placement.
+    pub rows: usize,
+    /// Probability that a level cell is a flip-flop.
+    pub ff_fraction: f64,
+    /// Number of differential (DBUF) links.
+    pub diff_pairs: usize,
+    /// Input/output pad count (each).
+    pub pads: usize,
+    /// Feed cells pre-inserted per row (the "designer" insertion of P1).
+    pub feeds_per_row: usize,
+    /// Fraction of gate inputs driven by a uniformly random earlier
+    /// producer instead of a recent (local) one — models global signals
+    /// that span many rows.
+    pub global_fanin: f64,
+    /// Number of path constraints to harvest.
+    pub num_constraints: usize,
+    /// Wiring-delay budget granted to each constraint, as a fraction of
+    /// its zero-wire gate delay (smaller = tighter).
+    pub wire_budget: f64,
+    /// Wire pitch / row geometry.
+    pub geometry: bgr_layout::Geometry,
+}
+
+impl GenParams {
+    /// A laptop-quick design for tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            logic_cells: 80,
+            depth: 8,
+            rows: 4,
+            ff_fraction: 0.12,
+            diff_pairs: 2,
+            pads: 6,
+            feeds_per_row: 10,
+            global_fanin: 0.10,
+            num_constraints: 4,
+            wire_budget: 0.35,
+            geometry: bgr_layout::Geometry::default(),
+        }
+    }
+}
+
+/// A generated circuit with its harvested constraints.
+#[derive(Debug, Clone)]
+pub struct GeneratedDesign {
+    /// The circuit (logic + clock + diff pairs + pre-inserted feed cells).
+    pub circuit: Circuit,
+    /// Harvested path constraints.
+    pub constraints: Vec<PathConstraint>,
+    /// Ids of pre-inserted feed cells, grouped by intended row.
+    pub feed_cells: Vec<Vec<CellId>>,
+    /// Non-feed cells in placement order (level order), grouped by row.
+    pub row_cells: Vec<Vec<CellId>>,
+}
+
+/// Generates a levelized random ECL circuit.
+///
+/// Structure: `pads → [logic levels with embedded DFFs] → pads`, one
+/// 2-pitch clock net from a `CLKDRV` to every DFF, and `diff_pairs`
+/// DBUF→DBUF differential links spliced between levels.
+pub fn generate(params: &GenParams) -> GeneratedDesign {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let lib = CellLibrary::ecl();
+    let kind = |name: &str| lib.kind_by_name(name).expect("ecl kind");
+    let gates = [
+        kind("INV"),
+        kind("BUF"),
+        kind("NOR2"),
+        kind("OR2"),
+        kind("AND2"),
+        kind("NOR3"),
+        kind("XOR2"),
+        kind("MUX2"),
+    ];
+    let dff = kind("DFF");
+    let dbuf = kind("DBUF");
+    let clkdrv = kind("CLKDRV");
+    let feed1 = kind("FEED1");
+    let mut cb = CircuitBuilder::new(lib);
+
+    // Pads.
+    let in_pads: Vec<_> = (0..params.pads)
+        .map(|i| cb.add_input_pad(format!("in{i}")))
+        .collect();
+    let out_pads: Vec<_> = (0..params.pads)
+        .map(|i| cb.add_output_pad(format!("out{i}")))
+        .collect();
+    let clk_pad = cb.add_input_pad("clk");
+
+    let mut net_count = 0usize;
+    let new_net =
+        |cb: &mut CircuitBuilder, drv: TermId, sinks: Vec<TermId>, count: &mut usize| -> NetId {
+            let id = cb
+                .add_net(format!("n{}", *count), drv, sinks)
+                .expect("generator wiring is valid");
+            *count += 1;
+            id
+        };
+
+    // Levelized logic: per level, cells consume signals from the previous
+    // two levels (or pads) and publish their outputs.
+    let per_level = params.logic_cells.div_ceil(params.depth.max(1));
+    let mut ff_cells: Vec<CellId> = Vec::new();
+    let mut cell_order: Vec<CellId> = Vec::new();
+    // Pending sink lists per produced signal index.
+    let mut pending_sinks: Vec<Vec<TermId>> = Vec::new();
+    let mut producers: Vec<(TermId, usize)> = Vec::new(); // (driver term, level)
+
+    // Seed producers with input pads (level 0).
+    for &p in &in_pads {
+        producers.push((cb.pad_term(p), 0));
+        pending_sinks.push(Vec::new());
+    }
+
+    let mut diff_budget = params.diff_pairs;
+
+    for level in 1..=params.depth {
+        let mut next_producers: Vec<(TermId, usize)> = Vec::new();
+        let mut next_pending: Vec<Vec<TermId>> = Vec::new();
+        for c in 0..per_level {
+            // Choose a producer for each input from recent levels.
+            let global_fanin = params.global_fanin;
+            let pick = |rng: &mut StdRng| -> usize {
+                let n = producers.len();
+                if rng.random_bool(global_fanin) {
+                    // Global signal: any earlier producer.
+                    rng.random_range(0..n)
+                } else {
+                    // Bias toward late producers for locality.
+                    let lo = n.saturating_sub(3 * per_level.max(params.pads));
+                    rng.random_range(lo..n)
+                }
+            };
+            let is_ff = rng.random_bool(params.ff_fraction);
+            let want_diff = diff_budget > 0 && level > 1 && c == 0;
+            if want_diff {
+                // Differential link: DBUF driver feeding a DBUF receiver.
+                diff_budget -= 1;
+                let u = cb.add_cell(format!("dd{}_{}", level, c), dbuf);
+                let v = cb.add_cell(format!("dr{}_{}", level, c), dbuf);
+                cell_order.push(u);
+                cell_order.push(v);
+                let s1 = pick(&mut rng);
+                let mut s2 = pick(&mut rng);
+                if s2 == s1 {
+                    s2 = (s1 + 1) % producers.len();
+                }
+                pending_sinks[s1].push(cb.cell_term(u, "A").expect("pin"));
+                pending_sinks[s2].push(cb.cell_term(u, "AN").expect("pin"));
+                // The pair nets themselves: u.Y -> v.A and u.YN -> v.AN.
+                let uy = cb.cell_term(u, "Y").expect("pin");
+                let va = cb.cell_term(v, "A").expect("pin");
+                let uyn = cb.cell_term(u, "YN").expect("pin");
+                let van = cb.cell_term(v, "AN").expect("pin");
+                let p = new_net(&mut cb, uy, vec![va], &mut net_count);
+                let q = new_net(&mut cb, uyn, vec![van], &mut net_count);
+                cb.mark_diff_pair(p, q).expect("fresh pair");
+                next_producers.push((cb.cell_term(v, "Y").expect("pin"), level));
+                next_pending.push(Vec::new());
+                next_producers.push((cb.cell_term(v, "YN").expect("pin"), level));
+                next_pending.push(Vec::new());
+                continue;
+            }
+            let kind_id = if is_ff {
+                dff
+            } else {
+                gates[rng.random_range(0..gates.len())]
+            };
+            let cell = cb.add_cell(format!("u{}_{}", level, c), kind_id);
+            cell_order.push(cell);
+            if is_ff {
+                ff_cells.push(cell);
+                let s = pick(&mut rng);
+                pending_sinks[s].push(cb.cell_term(cell, "D").expect("pin"));
+                next_producers.push((cb.cell_term(cell, "Q").expect("pin"), level));
+            } else {
+                let kind = cb.library().kind(kind_id).clone();
+                for pin in kind.input_pins() {
+                    let s = pick(&mut rng);
+                    let term = cb.cell_term_at(cell, pin);
+                    pending_sinks[s].push(term);
+                }
+                let out_pin = kind.output_pins().next().expect("gate has output");
+                next_producers.push((cb.cell_term_at(cell, out_pin), level));
+            }
+            next_pending.push(Vec::new());
+        }
+        producers.append(&mut next_producers);
+        pending_sinks.append(&mut next_pending);
+    }
+
+    // Route final-level producers to output pads; ensure every output pad
+    // is driven.
+    for (i, &p) in out_pads.iter().enumerate() {
+        let idx = producers.len() - 1 - (i % per_level.max(1)).min(producers.len() - 1);
+        pending_sinks[idx].push(cb.pad_term(p));
+    }
+
+    // Clock tree: CLKDRV -> all DFF clock pins, as a 2-pitch net.
+    let drv = cb.add_cell("clkdrv", clkdrv);
+    cell_order.push(drv);
+    let clk_term = cb.pad_term(clk_pad);
+    let drv_a = cb.cell_term(drv, "A").expect("pin");
+    new_net(&mut cb, clk_term, vec![drv_a], &mut net_count);
+    if !ff_cells.is_empty() {
+        let sinks: Vec<TermId> = ff_cells
+            .iter()
+            .map(|&ff| cb.cell_term(ff, "CK").expect("pin"))
+            .collect();
+        let drv_y = cb.cell_term(drv, "Y").expect("pin");
+        cb.add_wide_net("clk", drv_y, sinks, 2).expect("clock net");
+        net_count += 1;
+    }
+
+    // Materialize all pending producer nets with at least one sink.
+    for (idx, sinks) in pending_sinks.into_iter().enumerate() {
+        if sinks.is_empty() {
+            continue;
+        }
+        let (drv, _) = producers[idx];
+        new_net(&mut cb, drv, sinks, &mut net_count);
+    }
+
+    // Feed cells, grouped per row for the placer.
+    let mut feed_cells = vec![Vec::new(); params.rows];
+    for (r, row) in feed_cells.iter_mut().enumerate() {
+        for k in 0..params.feeds_per_row {
+            row.push(cb.add_cell(format!("feed{r}_{k}"), feed1));
+        }
+    }
+
+    let circuit = cb.finish().expect("generated circuit validates");
+
+    // Split placeable logic cells over rows in level order.
+    let per_row = cell_order.len().div_ceil(params.rows.max(1));
+    let row_cells: Vec<Vec<CellId>> = cell_order
+        .chunks(per_row.max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    let mut row_cells = row_cells;
+    row_cells.resize(params.rows, Vec::new());
+
+    let constraints = crate::constraints::harvest_constraints(
+        &circuit,
+        params.num_constraints,
+        params.wire_budget,
+        params.seed ^ 0x9e37_79b9,
+    );
+
+    GeneratedDesign {
+        circuit,
+        constraints,
+        feed_cells,
+        row_cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_netlist::CircuitStats;
+
+    #[test]
+    fn small_design_validates_and_has_structure() {
+        let design = generate(&GenParams::small(7));
+        let stats = CircuitStats::of(&design.circuit);
+        assert!(stats.logic_cells >= 60);
+        assert!(stats.feed_cells >= 40);
+        assert!(stats.nets > 50);
+        assert_eq!(stats.diff_pairs, 2);
+        assert!(stats.wide_nets >= 1, "clock net is 2-pitch");
+        assert!(stats.max_fanout >= 3);
+        assert!(!design.constraints.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GenParams::small(7));
+        let b = generate(&GenParams::small(7));
+        assert_eq!(a.circuit.cells().len(), b.circuit.cells().len());
+        assert_eq!(a.circuit.nets().len(), b.circuit.nets().len());
+        assert_eq!(a.constraints.len(), b.constraints.len());
+        for (x, y) in a.constraints.iter().zip(&b.constraints) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.sink, y.sink);
+            assert!((x.limit_ps - y.limit_ps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenParams::small(1));
+        let b = generate(&GenParams::small(2));
+        assert!(
+            a.circuit.nets().len() != b.circuit.nets().len()
+                || a.constraints
+                    .iter()
+                    .zip(&b.constraints)
+                    .any(|(x, y)| x.source != y.source)
+        );
+    }
+}

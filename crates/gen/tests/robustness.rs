@@ -1,0 +1,103 @@
+//! Generator robustness at parameter extremes: every combination must
+//! yield a valid, placeable, routable design.
+
+use bgr_core::{GlobalRouter, RouterConfig};
+use bgr_gen::{generate, place_design, GenParams, PlacementStyle};
+
+fn params(f: impl FnOnce(&mut GenParams)) -> GenParams {
+    let mut p = GenParams::small(17);
+    f(&mut p);
+    p
+}
+
+fn routes(p: &GenParams) {
+    let design = generate(p);
+    design.circuit.validate().expect("valid circuit");
+    for style in [PlacementStyle::EvenFeed, PlacementStyle::FeedAside] {
+        let placement = place_design(&design, p, style);
+        placement.validate(&design.circuit).expect("valid placement");
+        GlobalRouter::new(RouterConfig::unconstrained())
+            .route(design.circuit.clone(), placement, vec![])
+            .expect("routes");
+    }
+}
+
+#[test]
+fn single_row() {
+    routes(&params(|p| {
+        p.rows = 1;
+        p.logic_cells = 30;
+    }));
+}
+
+#[test]
+fn shallow_depth() {
+    routes(&params(|p| {
+        p.depth = 1;
+        p.logic_cells = 20;
+    }));
+}
+
+#[test]
+fn no_feed_cells_at_all() {
+    routes(&params(|p| {
+        p.feeds_per_row = 0;
+        p.rows = 5;
+    }));
+}
+
+#[test]
+fn no_flip_flops() {
+    routes(&params(|p| {
+        p.ff_fraction = 0.0;
+    }));
+}
+
+#[test]
+fn all_flip_flops() {
+    routes(&params(|p| {
+        p.ff_fraction = 1.0;
+    }));
+}
+
+#[test]
+fn many_diff_pairs() {
+    let p = params(|p| {
+        p.diff_pairs = 10;
+        p.depth = 12;
+    });
+    let design = generate(&p);
+    assert!(design.circuit.diff_pairs().len() >= 5);
+    routes(&p);
+}
+
+#[test]
+fn minimal_pads() {
+    routes(&params(|p| {
+        p.pads = 1;
+    }));
+}
+
+#[test]
+fn fully_global_fanin() {
+    routes(&params(|p| {
+        p.global_fanin = 1.0;
+    }));
+}
+
+#[test]
+fn more_rows_than_cells_per_level() {
+    routes(&params(|p| {
+        p.rows = 12;
+        p.logic_cells = 24;
+        p.depth = 4;
+    }));
+}
+
+#[test]
+fn zero_constraints_requested() {
+    let p = params(|p| p.num_constraints = 0);
+    let design = generate(&p);
+    assert!(design.constraints.is_empty());
+    routes(&p);
+}

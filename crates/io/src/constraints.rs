@@ -1,0 +1,183 @@
+//! The `.bgrt` constraint format.
+//!
+//! ```text
+//! bgr-constraints v1
+//! constraint p0 from pad:a to pad:y limit 700
+//! constraint p1 from ff0.Q to ff1.D limit 950.5
+//! ```
+
+use std::collections::HashMap;
+
+use bgr_netlist::{Circuit, TermId, TermOwner};
+use bgr_timing::PathConstraint;
+
+use crate::error::ParseError;
+
+fn term_ref(circuit: &Circuit, t: TermId) -> String {
+    match circuit.term(t).owner() {
+        TermOwner::Pad(p) => format!("pad:{}", circuit.pad(p).name()),
+        TermOwner::Cell { cell, pin } => {
+            let c = circuit.cell(cell);
+            format!(
+                "{}.{}",
+                c.name(),
+                circuit.library().kind(c.kind()).terms()[pin].name
+            )
+        }
+    }
+}
+
+/// Serializes constraints to `.bgrt` text.
+pub fn write_constraints(circuit: &Circuit, constraints: &[PathConstraint]) -> String {
+    let mut out = String::from("bgr-constraints v1\n");
+    for c in constraints {
+        out.push_str(&format!(
+            "constraint {} from {} to {} limit {}\n",
+            c.name,
+            term_ref(circuit, c.source),
+            term_ref(circuit, c.sink),
+            c.limit_ps
+        ));
+    }
+    out
+}
+
+/// Parses `.bgrt` text against its circuit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed lines or unresolvable terminal
+/// references.
+pub fn parse_constraints(circuit: &Circuit, text: &str) -> Result<Vec<PathConstraint>, ParseError> {
+    let cells: HashMap<&str, bgr_netlist::CellId> = circuit
+        .cell_ids()
+        .map(|id| (circuit.cell(id).name(), id))
+        .collect();
+    let pads: HashMap<&str, TermId> = circuit
+        .pads()
+        .iter()
+        .map(|p| (p.name(), p.term()))
+        .collect();
+    let resolve = |ln: usize, s: &str| -> Result<TermId, ParseError> {
+        if let Some(p) = s.strip_prefix("pad:") {
+            return pads
+                .get(p)
+                .copied()
+                .ok_or_else(|| ParseError::new(ln, format!("unknown pad `{p}`")));
+        }
+        let (cell, pin) = s
+            .split_once('.')
+            .ok_or_else(|| ParseError::new(ln, format!("terminal `{s}` is not CELL.PIN")))?;
+        let id = cells
+            .get(cell)
+            .ok_or_else(|| ParseError::new(ln, format!("unknown cell `{cell}`")))?;
+        let c = circuit.cell(*id);
+        let kind = circuit.library().kind(c.kind());
+        let pin = kind
+            .pin(pin)
+            .ok_or_else(|| ParseError::new(ln, format!("kind has no pin `{pin}`")))?;
+        Ok(c.terms()[pin])
+    };
+
+    let mut out = Vec::new();
+    let mut header_seen = false;
+    for (i, raw) in text.lines().enumerate() {
+        let ln = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let t: Vec<&str> = line.split_whitespace().collect();
+        if !header_seen {
+            if t != ["bgr-constraints", "v1"] {
+                return Err(ParseError::new(ln, "expected header `bgr-constraints v1`"));
+            }
+            header_seen = true;
+            continue;
+        }
+        if t.len() != 8 || t[0] != "constraint" || t[2] != "from" || t[4] != "to" || t[6] != "limit"
+        {
+            return Err(ParseError::new(
+                ln,
+                "constraint takes `constraint NAME from SRC to SNK limit PS`",
+            ));
+        }
+        let limit: f64 = t[7]
+            .parse()
+            .map_err(|_| ParseError::new(ln, format!("bad limit `{}`", t[7])))?;
+        out.push(PathConstraint::new(
+            t[1],
+            resolve(ln, t[3])?,
+            resolve(ln, t[5])?,
+            limit,
+        ));
+    }
+    if !header_seen {
+        return Err(ParseError::new(0, "empty input"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_netlist::{CellLibrary, CircuitBuilder};
+
+    fn demo() -> (Circuit, Vec<PathConstraint>) {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let y = cb.add_output_pad("y");
+        let u = cb.add_cell("u1", inv);
+        cb.add_net("n0", cb.pad_term(a), [cb.cell_term(u, "A").unwrap()])
+            .unwrap();
+        cb.add_net("n1", cb.cell_term(u, "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
+        let cons = vec![
+            PathConstraint::new("p0", cb.pad_term(a), cb.pad_term(y), 700.0),
+            PathConstraint::new(
+                "p1",
+                cb.pad_term(a),
+                cb.cell_term(u, "A").unwrap(),
+                123.5,
+            ),
+        ];
+        (cb.finish().unwrap(), cons)
+    }
+
+    #[test]
+    fn roundtrip_preserves_constraints() {
+        let (circuit, cons) = demo();
+        let text = write_constraints(&circuit, &cons);
+        let back = parse_constraints(&circuit, &text).unwrap();
+        assert_eq!(back.len(), cons.len());
+        for (a, b) in cons.iter().zip(&back) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.sink, b.sink);
+            assert!((a.limit_ps - b.limit_ps).abs() < 1e-12);
+        }
+        assert_eq!(text, write_constraints(&circuit, &back));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let (circuit, _) = demo();
+        let err =
+            parse_constraints(&circuit, "bgr-constraints v1\nconstraint p0 from pad:a\n")
+                .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_terminals_are_rejected() {
+        let (circuit, _) = demo();
+        let err = parse_constraints(
+            &circuit,
+            "bgr-constraints v1\nconstraint p from pad:zz to pad:y limit 1\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("zz"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Text interchange formats and SVG rendering for the `bgr` workspace.
+//!
+//! Three line-oriented text formats cover the router's inputs, plus an
+//! SVG renderer for routed layouts:
+//!
+//! * **netlist** (`.bgrn`): cell library + circuit (cells, pads, nets,
+//!   differential pairs, multi-pitch widths) —
+//!   [`write_netlist`] / [`parse_netlist`];
+//! * **placement** (`.bgrp`): geometry, rows, cell and pad positions —
+//!   [`write_placement`] / [`parse_placement`];
+//! * **constraints** (`.bgrt`): path constraints `(S, T, τ)` —
+//!   [`write_constraints`] / [`parse_constraints`];
+//! * **SVG**: [`render_svg`] draws rows, cells, feedthroughs and every
+//!   routed trunk/branch of a [`bgr_core::RoutingResult`].
+//!
+//! All writers round-trip: `parse(write(x))` reconstructs an equivalent
+//! object (see the crate's property tests).
+//!
+//! # Example
+//!
+//! ```
+//! use bgr_io::{parse_netlist, write_netlist};
+//! use bgr_netlist::{CellLibrary, CircuitBuilder};
+//!
+//! let lib = CellLibrary::ecl();
+//! let inv = lib.kind_by_name("INV").unwrap();
+//! let mut cb = CircuitBuilder::new(lib);
+//! let a = cb.add_input_pad("a");
+//! let u = cb.add_cell("u1", inv);
+//! let y = cb.add_output_pad("y");
+//! cb.add_net("n0", cb.pad_term(a), [cb.cell_term(u, "A")?])?;
+//! cb.add_net("n1", cb.cell_term(u, "Y")?, [cb.pad_term(y)])?;
+//! let circuit = cb.finish()?;
+//!
+//! let text = write_netlist(&circuit);
+//! let back = parse_netlist(&text)?;
+//! assert_eq!(back.cells().len(), 1);
+//! assert_eq!(back.nets().len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod constraints;
+pub mod error;
+pub mod netlist;
+pub mod placement;
+pub mod svg;
+
+pub use constraints::{parse_constraints, write_constraints};
+pub use error::ParseError;
+pub use netlist::{parse_netlist, write_netlist};
+pub use placement::{parse_placement, write_placement};
+pub use svg::render_svg;

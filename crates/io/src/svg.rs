@@ -1,0 +1,258 @@
+//! SVG rendering of placements and routed layouts.
+//!
+//! Rows are drawn bottom-up (row 0 at the bottom, matching the
+//! channel-numbering convention); channels get their routed heights when
+//! track counts are supplied; every net's trunks, pin taps and row
+//! crossings are drawn in a stable per-net color.
+
+use bgr_core::{RoutingResult, Segment};
+use bgr_layout::{PadSide, Placement};
+use bgr_netlist::{Circuit, PadId};
+
+/// Stable, readable color per net id.
+fn net_color(net: usize) -> String {
+    // Golden-angle hue walk: adjacent ids get distant hues.
+    let hue = (net as f64 * 137.508) % 360.0;
+    format!("hsl({hue:.0},70%,40%)")
+}
+
+struct Frame {
+    /// y (SVG, downward) of the *bottom* of each channel, indexed by
+    /// channel.
+    channel_bottom: Vec<f64>,
+    /// Height of each channel in µm.
+    channel_height: Vec<f64>,
+    /// y of the bottom of each row.
+    row_bottom: Vec<f64>,
+    total_height: f64,
+    row_height: f64,
+    pitch: f64,
+}
+
+impl Frame {
+    fn new(placement: &Placement, tracks: Option<&[i32]>) -> Self {
+        let g = placement.geometry();
+        let rows = placement.num_rows();
+        let channel_height: Vec<f64> = (0..=rows)
+            .map(|c| {
+                let t = tracks.and_then(|t| t.get(c).copied()).unwrap_or(4).max(1);
+                g.channel_height_um(t as usize)
+            })
+            .collect();
+        // Build bottom-up in chip coordinates first.
+        let mut y = 0.0;
+        let mut channel_bottom_up = Vec::with_capacity(rows + 1);
+        let mut row_bottom_up = Vec::with_capacity(rows);
+        for (c, &h) in channel_height.iter().enumerate() {
+            channel_bottom_up.push(y);
+            y += h;
+            if c < rows {
+                row_bottom_up.push(y);
+                y += g.row_height_um;
+            }
+        }
+        let total = y;
+        // Flip to SVG coordinates (y grows downward).
+        let channel_bottom = channel_bottom_up.iter().map(|&b| total - b).collect();
+        let row_bottom = row_bottom_up.iter().map(|&b| total - b).collect();
+        Self {
+            channel_bottom,
+            channel_height,
+            row_bottom,
+            total_height: total,
+            row_height: g.row_height_um,
+            pitch: g.pitch_um,
+        }
+    }
+
+    fn x(&self, pitches: i32) -> f64 {
+        pitches as f64 * self.pitch
+    }
+
+    /// y of the vertical middle of a channel.
+    fn channel_mid(&self, c: usize) -> f64 {
+        self.channel_bottom[c] - self.channel_height[c] / 2.0
+    }
+}
+
+/// Renders a placement — and, when given, its routing — as an SVG
+/// document string.
+///
+/// `result` draws every net tree; pass `None` for a placement-only
+/// floorplan view.
+pub fn render_svg(
+    circuit: &Circuit,
+    placement: &Placement,
+    result: Option<&RoutingResult>,
+) -> String {
+    let frame = Frame::new(placement, result.map(|r| r.channel_tracks.as_slice()));
+    let width = frame.x(placement.width_pitches());
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"-10 -10 {} {}\" \
+         font-family=\"monospace\" font-size=\"10\">\n",
+        width + 20.0,
+        frame.total_height + 20.0
+    ));
+    s.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{width}\" height=\"{}\" fill=\"#fafafa\" stroke=\"#888\"/>\n",
+        frame.total_height
+    ));
+    // Rows and cells.
+    for (r, row) in placement.rows().iter().enumerate() {
+        let y_top = frame.row_bottom[r] - frame.row_height;
+        s.push_str(&format!(
+            "<rect x=\"0\" y=\"{y_top}\" width=\"{width}\" height=\"{}\" \
+             fill=\"#eef2f7\" stroke=\"#ccd\"/>\n",
+            frame.row_height
+        ));
+        for pc in row.cells() {
+            let kind = circuit.library().kind(circuit.cell(pc.cell).kind());
+            let fill = if kind.is_feed() { "#ffe9b3" } else { "#cfe3cf" };
+            s.push_str(&format!(
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\" \
+                 stroke=\"#667\"><title>{} ({})</title></rect>\n",
+                frame.x(pc.x),
+                y_top + 4.0,
+                pc.width as f64 * frame.pitch,
+                frame.row_height - 8.0,
+                circuit.cell(pc.cell).name(),
+                kind.name(),
+            ));
+        }
+    }
+    // Pads.
+    for (i, pad) in circuit.pads().iter().enumerate() {
+        let (side, x) = placement.pad_loc(PadId::new(i));
+        let y = match side {
+            PadSide::Bottom => frame.total_height,
+            PadSide::Top => 0.0,
+        };
+        s.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{y}\" r=\"5\" fill=\"#336\" \
+             ><title>{}</title></circle>\n",
+            frame.x(x) + frame.pitch / 2.0,
+            pad.name()
+        ));
+    }
+    // Routed wiring.
+    if let Some(result) = result {
+        for (ni, tree) in result.trees.iter().enumerate() {
+            let color = net_color(ni);
+            let stroke = 1.0 + (tree.width_pitches.saturating_sub(1)) as f64 * 1.5;
+            // Deterministic per-net offset inside the channel so parallel
+            // trunks don't overdraw.
+            let jitter = ((ni * 29) % 17) as f64 - 8.0;
+            for seg in &tree.segments {
+                match *seg {
+                    Segment::Trunk { channel, x1, x2 } => {
+                        let y = frame.channel_mid(channel.index()) + jitter;
+                        s.push_str(&format!(
+                            "<line x1=\"{}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" \
+                             stroke=\"{color}\" stroke-width=\"{stroke}\"/>\n",
+                            frame.x(x1) + frame.pitch / 2.0,
+                            frame.x(x2) + frame.pitch / 2.0,
+                        ));
+                    }
+                    Segment::Branch { channel, x, .. } => {
+                        let c = channel.index();
+                        let y1 = frame.channel_bottom[c] - frame.channel_height[c];
+                        let y2 = frame.channel_bottom[c];
+                        s.push_str(&format!(
+                            "<line x1=\"{0}\" y1=\"{y1}\" x2=\"{0}\" y2=\"{y2}\" \
+                             stroke=\"{color}\" stroke-width=\"{stroke}\" \
+                             stroke-dasharray=\"2,2\"/>\n",
+                            frame.x(x) + frame.pitch / 2.0,
+                        ));
+                    }
+                    Segment::Feed { row, x } => {
+                        let y1 = frame.row_bottom[row as usize] - frame.row_height;
+                        let y2 = frame.row_bottom[row as usize];
+                        s.push_str(&format!(
+                            "<line x1=\"{0}\" y1=\"{y1}\" x2=\"{0}\" y2=\"{y2}\" \
+                             stroke=\"{color}\" stroke-width=\"{stroke}\"/>\n",
+                            frame.x(x) + frame.pitch / 2.0,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_core::{GlobalRouter, RouterConfig};
+    use bgr_layout::{Geometry, PlacementBuilder};
+    use bgr_netlist::{CellLibrary, CircuitBuilder};
+
+    fn routed_demo() -> (Circuit, Placement, RoutingResult) {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let feed = lib.kind_by_name("FEED1").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let y = cb.add_output_pad("y");
+        let u1 = cb.add_cell("u1", inv);
+        let u2 = cb.add_cell("u2", inv);
+        let f = cb.add_cell("f", feed);
+        cb.add_net("n0", cb.pad_term(a), [cb.cell_term(u1, "A").unwrap()])
+            .unwrap();
+        cb.add_net(
+            "n1",
+            cb.cell_term(u1, "Y").unwrap(),
+            [cb.cell_term(u2, "A").unwrap()],
+        )
+        .unwrap();
+        cb.add_net("n2", cb.cell_term(u2, "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
+        let circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 2);
+        pb.append_with_width(0, u1, 3);
+        pb.append_with_width(0, f, 1);
+        pb.append_with_width(1, u2, 3);
+        pb.place_pad_bottom(a, 0);
+        pb.place_pad_top(y, 3);
+        let placement = pb.finish(&circuit).unwrap();
+        let routed = GlobalRouter::new(RouterConfig::default())
+            .route(circuit, placement, vec![])
+            .unwrap();
+        (routed.circuit, routed.placement, routed.result)
+    }
+
+    #[test]
+    fn renders_well_formed_svg_with_all_cells() {
+        let (circuit, placement, result) = routed_demo();
+        let svg = render_svg(&circuit, &placement, Some(&result));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One background + one rect per row + one per cell.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + placement.num_rows() + circuit.cells().len());
+        // Every pad appears.
+        for pad in circuit.pads() {
+            assert!(svg.contains(&format!("<title>{}</title>", pad.name())));
+        }
+        // Routed wiring appears as lines.
+        assert!(svg.matches("<line").count() >= 3);
+    }
+
+    #[test]
+    fn placement_only_view_has_no_wiring() {
+        let (circuit, placement, _) = routed_demo();
+        let svg = render_svg(&circuit, &placement, None);
+        assert_eq!(svg.matches("<line").count(), 0);
+        assert!(svg.contains("u1 (INV)"));
+        assert!(svg.contains("f (FEED1)"));
+    }
+
+    #[test]
+    fn colors_are_stable_and_distinct_for_small_ids() {
+        assert_eq!(net_color(0), net_color(0));
+        assert_ne!(net_color(0), net_color(1));
+        assert_ne!(net_color(1), net_color(2));
+    }
+}

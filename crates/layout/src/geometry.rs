@@ -1,0 +1,62 @@
+//! Physical geometry parameters.
+
+/// Chip geometry in micrometers, with the wiring *pitch* as the horizontal
+/// unit used everywhere else in the workspace.
+///
+/// The default values follow early-1990s bipolar standard-cell processes:
+/// wide, low-resistance wires on an 8 µm pitch and tall ECL cell rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    /// Horizontal wiring pitch in µm (one feedthrough slot = one pitch).
+    pub pitch_um: f64,
+    /// Cell row height in µm.
+    pub row_height_um: f64,
+    /// Vertical distance between adjacent channel tracks in µm.
+    pub track_pitch_um: f64,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self {
+            pitch_um: 8.0,
+            row_height_um: 160.0,
+            track_pitch_um: 8.0,
+        }
+    }
+}
+
+impl Geometry {
+    /// Converts a horizontal distance in pitches to µm.
+    #[inline]
+    pub fn pitches_to_um(&self, pitches: f64) -> f64 {
+        pitches * self.pitch_um
+    }
+
+    /// Height in µm of a channel routed with `tracks` tracks.
+    #[inline]
+    pub fn channel_height_um(&self, tracks: usize) -> f64 {
+        tracks as f64 * self.track_pitch_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let g = Geometry::default();
+        assert!(g.pitch_um > 0.0 && g.row_height_um > 0.0 && g.track_pitch_um > 0.0);
+    }
+
+    #[test]
+    fn conversions() {
+        let g = Geometry {
+            pitch_um: 10.0,
+            row_height_um: 100.0,
+            track_pitch_um: 5.0,
+        };
+        assert_eq!(g.pitches_to_um(3.0), 30.0);
+        assert_eq!(g.channel_height_um(4), 20.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Placement substrate for the `bgr` global router.
+//!
+//! Models the physical side of a bipolar standard-cell chip as the router
+//! of Harada & Kitazawa (DAC 1994) sees it:
+//!
+//! * a [`Geometry`] (wiring pitch, row height, track pitch),
+//! * a [`Placement`]: horizontal cell rows with x positions in *pitch*
+//!   units, external pads on the top/bottom chip boundary, and the derived
+//!   channel structure — channel `i` lies **below** row `i`, channel
+//!   `num_rows` lies above the last row,
+//! * a [`SlotStore`] of feedthrough positions. Bipolar standard cells have
+//!   no built-in feedthrough space (§4.3 of the paper), so slots come from
+//!   dedicated feed cells; a `w`-pitch net needs `w` *adjacent* slots.
+//!
+//! # Example
+//!
+//! ```
+//! use bgr_layout::{Geometry, PlacementBuilder};
+//! use bgr_netlist::{CellLibrary, CircuitBuilder};
+//!
+//! let lib = CellLibrary::ecl();
+//! let inv = lib.kind_by_name("INV").unwrap();
+//! let mut cb = CircuitBuilder::new(lib);
+//! let a = cb.add_input_pad("a");
+//! let u = cb.add_cell("u", inv);
+//! let y = cb.add_output_pad("y");
+//! cb.add_net("n1", cb.pad_term(a), [cb.cell_term(u, "A")?])?;
+//! cb.add_net("n2", cb.cell_term(u, "Y")?, [cb.pad_term(y)])?;
+//! let circuit = cb.finish()?;
+//!
+//! let mut pb = PlacementBuilder::new(Geometry::default(), 1);
+//! pb.append(0, bgr_netlist::CellId::new(0));
+//! pb.place_pad_bottom(a, 0);
+//! pb.place_pad_top(y, 2);
+//! let placement = pb.finish(&circuit)?;
+//! assert_eq!(placement.num_rows(), 1);
+//! assert_eq!(placement.num_channels(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod error;
+pub mod geometry;
+pub mod placement;
+pub mod slots;
+
+pub use error::LayoutError;
+pub use geometry::Geometry;
+pub use placement::{
+    CellLoc, ChannelId, PadSide, PlacedCell, Placement, PlacementBuilder, Row, TermPos, TermSite,
+};
+pub use slots::{FlagPolicy, SlotId, SlotRange, SlotStore};

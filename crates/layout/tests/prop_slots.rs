@@ -1,0 +1,108 @@
+//! Property tests for the feedthrough slot store: found windows are
+//! always free, adjacent and flag-compatible, and occupancy round-trips.
+
+use bgr_layout::{FlagPolicy, SlotId, SlotRange, SlotStore};
+use bgr_netlist::NetId;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn found_windows_are_free_adjacent_and_nearest(
+        xs in proptest::collection::btree_set(0i32..60, 1..25),
+        occupied_sel in proptest::collection::vec(any::<bool>(), 25),
+        width in 1u32..4,
+        target in 0i32..60,
+    ) {
+        let mut store = SlotStore::new(1);
+        let xs: Vec<i32> = xs.into_iter().collect();
+        for &x in &xs {
+            store.add_slot(0, x, None);
+        }
+        // Occupy a random subset.
+        for (i, &occ) in occupied_sel.iter().take(xs.len()).enumerate() {
+            if occ {
+                store.occupy(
+                    SlotRange { row: 0, start: i as u32, len: 1 },
+                    NetId::new(99),
+                );
+            }
+        }
+        if let Some(r) = store.find_adjacent_free(0, width, target, FlagPolicy::Ignore) {
+            prop_assert_eq!(r.len, width);
+            let slots: Vec<SlotId> = r.iter().collect();
+            for pair in slots.windows(2) {
+                prop_assert_eq!(store.x_of(pair[1]), store.x_of(pair[0]) + 1, "adjacent");
+            }
+            for s in &slots {
+                prop_assert!(store.occupant(*s).is_none(), "free");
+            }
+            // No strictly nearer eligible window exists (oracle scan).
+            let found_center2 =
+                store.x_of(slots[0]) as i64 + store.x_of(slots[slots.len() - 1]) as i64;
+            let found_dist = (found_center2 - 2 * target as i64).abs();
+            for start in 0..xs.len() {
+                let end = start + width as usize;
+                if end > xs.len() { break; }
+                let adjacent = (start..end - 1).all(|k| xs[k + 1] == xs[k] + 1);
+                let free = (start..end).all(|k| {
+                    store
+                        .occupant(SlotId { row: 0, idx: k as u32 })
+                        .is_none()
+                });
+                if adjacent && free {
+                    let c2 = xs[start] as i64 + xs[end - 1] as i64;
+                    prop_assert!(
+                        (c2 - 2 * target as i64).abs() >= found_dist,
+                        "nearest window returned"
+                    );
+                }
+            }
+        } else {
+            // Oracle: no eligible window may exist.
+            for start in 0..xs.len() {
+                let end = start + width as usize;
+                if end > xs.len() { break; }
+                let adjacent = (start..end - 1).all(|k| xs[k + 1] == xs[k] + 1);
+                let free = (start..end).all(|k| {
+                    store
+                        .occupant(SlotId { row: 0, idx: k as u32 })
+                        .is_none()
+                });
+                prop_assert!(!(adjacent && free), "window missed by find");
+            }
+        }
+    }
+
+    #[test]
+    fn release_net_frees_exactly_its_slots(
+        count in 2usize..20,
+        picks in proptest::collection::vec(0usize..20, 1..10),
+    ) {
+        let mut store = SlotStore::new(1);
+        for x in 0..count as i32 {
+            store.add_slot(0, x, None);
+        }
+        let mut owned = vec![None::<NetId>; count];
+        for (turn, &p) in picks.iter().enumerate() {
+            let idx = p % count;
+            if owned[idx].is_none() {
+                let net = NetId::new(turn % 3);
+                store.occupy(
+                    SlotRange { row: 0, start: idx as u32, len: 1 },
+                    net,
+                );
+                owned[idx] = Some(net);
+            }
+        }
+        store.release_net(NetId::new(0));
+        for (i, o) in owned.iter().enumerate() {
+            let slot = SlotId { row: 0, idx: i as u32 };
+            match o {
+                Some(n) if *n != NetId::new(0) => {
+                    prop_assert_eq!(store.occupant(slot), Some(*n))
+                }
+                _ => prop_assert!(store.occupant(slot).is_none()),
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for circuit construction and validation.
+
+use crate::ids::{CellId, KindId, NetId, TermId};
+
+/// Errors produced while building or validating a [`crate::Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net's driver terminal is not an output-direction terminal
+    /// (a cell output pin or an input pad).
+    DriverNotOutput(NetId, TermId),
+    /// A net sink terminal is not an input-direction terminal
+    /// (a cell input pin or an output pad).
+    SinkNotInput(NetId, TermId),
+    /// A terminal was connected to more than one net.
+    TerminalReused(TermId, NetId, NetId),
+    /// A net has no sinks.
+    EmptyNet(NetId),
+    /// The combinational subgraph contains a cycle through the given cell.
+    CombinationalCycle(CellId),
+    /// A differential pair references the same net twice.
+    DiffPairSelf(NetId),
+    /// A differential pair's nets have different sink counts or widths.
+    DiffPairMismatch(NetId, NetId),
+    /// A net participates in more than one differential pair.
+    DiffPairReused(NetId),
+    /// A kind id does not exist in the library.
+    UnknownKind(KindId),
+    /// A pin name lookup failed on the given kind.
+    UnknownPin(KindId, String),
+    /// A net width of zero pitches was requested.
+    ZeroWidth(NetId),
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DriverNotOutput(net, term) => {
+                write!(f, "net {net} is driven by non-output terminal {term}")
+            }
+            Self::SinkNotInput(net, term) => {
+                write!(f, "net {net} has non-input sink terminal {term}")
+            }
+            Self::TerminalReused(term, a, b) => {
+                write!(f, "terminal {term} connected to both {a} and {b}")
+            }
+            Self::EmptyNet(net) => write!(f, "net {net} has no sinks"),
+            Self::CombinationalCycle(cell) => {
+                write!(f, "combinational cycle through cell {cell}")
+            }
+            Self::DiffPairSelf(net) => write!(f, "differential pair of {net} with itself"),
+            Self::DiffPairMismatch(a, b) => {
+                write!(f, "differential pair {a}/{b} has mismatched sinks or widths")
+            }
+            Self::DiffPairReused(net) => {
+                write!(f, "net {net} appears in more than one differential pair")
+            }
+            Self::UnknownKind(kind) => write!(f, "unknown cell kind {kind}"),
+            Self::UnknownPin(kind, pin) => write!(f, "kind {kind} has no pin named `{pin}`"),
+            Self::ZeroWidth(net) => write!(f, "net {net} requested zero-pitch width"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        let err = NetlistError::EmptyNet(NetId::new(4));
+        let text = err.to_string();
+        assert!(text.contains("NetId(4)"));
+        assert!(text.ends_with("no sinks"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

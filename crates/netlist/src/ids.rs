@@ -1,0 +1,106 @@
+//! Typed index newtypes for the circuit model.
+//!
+//! All collections in this workspace are index-addressed `Vec`s; these
+//! newtypes keep a `CellId` from being confused with a `NetId` at compile
+//! time (Rust API guideline C-NEWTYPE).
+
+/// Defines a `u32`-backed index newtype with the common trait set and
+/// conversion helpers.
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index for slice addressing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a [`crate::CellKind`] within a [`crate::CellLibrary`].
+    KindId
+);
+define_id!(
+    /// Index of a [`crate::Cell`] instance within a [`crate::Circuit`].
+    CellId
+);
+define_id!(
+    /// Index of a [`crate::Net`] within a [`crate::Circuit`].
+    NetId
+);
+define_id!(
+    /// Index of a [`crate::Terminal`] within a [`crate::Circuit`].
+    ///
+    /// Terminals are created eagerly: one per cell pin when the cell is
+    /// instantiated, and one per external pad.
+    TermId
+);
+define_id!(
+    /// Index of an external [`crate::Pad`] within a [`crate::Circuit`].
+    PadId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let id = CellId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(CellId::from(42usize), id);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(NetId::new(7), NetId::new(7));
+    }
+
+    #[test]
+    fn display_names_the_type() {
+        assert_eq!(TermId::new(3).to_string(), "TermId(3)");
+    }
+
+    #[test]
+    fn ids_are_hashable() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(PadId::new(0));
+        set.insert(PadId::new(0));
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Circuit substrate for the `bgr` global router.
+//!
+//! This crate models the *logical* side of a bipolar (ECL) standard-cell
+//! LSI exactly as the router of Harada & Kitazawa (DAC 1994) consumes it:
+//!
+//! * a [`CellLibrary`] of [`CellKind`]s carrying the capacitance delay-model
+//!   parameters of the paper's Eq. (1): intrinsic delays `T0(t_i, t_o)`
+//!   per timing arc, fan-in capacitance factors `F_in(t)` per terminal, and
+//!   per-output fan-in delay factor `T_f(t_o)` and unit-capacitance delay
+//!   `T_d(t_o)`;
+//! * a [`Circuit`] of cell instances, external pads and [`Net`]s, including
+//!   the bipolar-specific annotations the router needs — *differential
+//!   drive pairs* (§4.1) and *multi-pitch* wide nets (§4.2).
+//!
+//! # Example
+//!
+//! Build a two-gate circuit and validate it:
+//!
+//! ```
+//! use bgr_netlist::{CellLibrary, CircuitBuilder};
+//!
+//! let lib = CellLibrary::ecl();
+//! let inv = lib.kind_by_name("INV").unwrap();
+//! let mut cb = CircuitBuilder::new(lib);
+//! let a = cb.add_input_pad("a");
+//! let y = cb.add_output_pad("y");
+//! let u1 = cb.add_cell("u1", inv);
+//! let u2 = cb.add_cell("u2", inv);
+//! cb.add_net("n1", cb.pad_term(a), [cb.cell_term(u1, "A").unwrap()])?;
+//! cb.add_net("n2", cb.cell_term(u1, "Y").unwrap(), [cb.cell_term(u2, "A").unwrap()])?;
+//! cb.add_net("n3", cb.cell_term(u2, "Y").unwrap(), [cb.pad_term(y)])?;
+//! let circuit = cb.finish()?;
+//! assert_eq!(circuit.cells().len(), 2);
+//! # Ok::<(), bgr_netlist::NetlistError>(())
+//! ```
+
+pub mod circuit;
+pub mod error;
+pub mod ids;
+pub mod library;
+pub mod stats;
+
+pub use circuit::{Cell, Circuit, CircuitBuilder, Net, Pad, TermOwner, Terminal};
+pub use error::NetlistError;
+pub use ids::{CellId, KindId, NetId, PadId, TermId};
+pub use library::{AccessSide, ArcSpec, CellKind, CellKindBuilder, CellLibrary, TermDir, TermSpec};
+pub use stats::CircuitStats;

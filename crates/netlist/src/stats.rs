@@ -1,0 +1,139 @@
+//! Summary statistics for circuits (Table 1 of the paper).
+
+use crate::circuit::Circuit;
+
+/// Aggregate circuit statistics, as reported in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CircuitStats {
+    /// Number of non-feed cell instances.
+    pub logic_cells: usize,
+    /// Number of feed-cell instances.
+    pub feed_cells: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of external pads.
+    pub pads: usize,
+    /// Number of differential pairs.
+    pub diff_pairs: usize,
+    /// Number of multi-pitch (width > 1) nets.
+    pub wide_nets: usize,
+    /// Largest net fan-out (sink count).
+    pub max_fanout: usize,
+    /// Mean net fan-out.
+    pub mean_fanout: f64,
+}
+
+impl CircuitStats {
+    /// Computes statistics for a circuit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bgr_netlist::{CellLibrary, CircuitBuilder, CircuitStats};
+    ///
+    /// let lib = CellLibrary::ecl();
+    /// let inv = lib.kind_by_name("INV").unwrap();
+    /// let mut cb = CircuitBuilder::new(lib);
+    /// let a = cb.add_input_pad("a");
+    /// let u = cb.add_cell("u", inv);
+    /// let y = cb.add_output_pad("y");
+    /// cb.add_net("n1", cb.pad_term(a), [cb.cell_term(u, "A")?])?;
+    /// cb.add_net("n2", cb.cell_term(u, "Y")?, [cb.pad_term(y)])?;
+    /// let stats = CircuitStats::of(&cb.finish()?);
+    /// assert_eq!(stats.logic_cells, 1);
+    /// assert_eq!(stats.nets, 2);
+    /// # Ok::<(), bgr_netlist::NetlistError>(())
+    /// ```
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut stats = Self {
+            pads: circuit.pads().len(),
+            nets: circuit.nets().len(),
+            diff_pairs: circuit.diff_pairs().len(),
+            ..Self::default()
+        };
+        for cell in circuit.cells() {
+            if circuit.library().kind(cell.kind()).is_feed() {
+                stats.feed_cells += 1;
+            } else {
+                stats.logic_cells += 1;
+            }
+        }
+        let mut total_fanout = 0usize;
+        for net in circuit.nets() {
+            let fanout = net.sinks().len();
+            total_fanout += fanout;
+            stats.max_fanout = stats.max_fanout.max(fanout);
+            if net.width_pitches() > 1 {
+                stats.wide_nets += 1;
+            }
+        }
+        if stats.nets > 0 {
+            stats.mean_fanout = total_fanout as f64 / stats.nets as f64;
+        }
+        stats
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} logic cells, {} feed cells, {} nets ({} wide, {} diff pairs), \
+             {} pads, fan-out max {} mean {:.2}",
+            self.logic_cells,
+            self.feed_cells,
+            self.nets,
+            self.wide_nets,
+            self.diff_pairs,
+            self.pads,
+            self.max_fanout,
+            self.mean_fanout,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::library::CellLibrary;
+
+    #[test]
+    fn counts_feed_and_logic_cells() {
+        let lib = CellLibrary::ecl();
+        let inv = lib.kind_by_name("INV").unwrap();
+        let feed = lib.kind_by_name("FEED1").unwrap();
+        let mut cb = CircuitBuilder::new(lib);
+        let a = cb.add_input_pad("a");
+        let u = cb.add_cell("u", inv);
+        cb.add_cell("f0", feed);
+        cb.add_cell("f1", feed);
+        let y = cb.add_output_pad("y");
+        cb.add_net("n1", cb.pad_term(a), [cb.cell_term(u, "A").unwrap()])
+            .unwrap();
+        cb.add_net("n2", cb.cell_term(u, "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
+        let stats = CircuitStats::of(&cb.finish().unwrap());
+        assert_eq!(stats.logic_cells, 1);
+        assert_eq!(stats.feed_cells, 2);
+        assert_eq!(stats.max_fanout, 1);
+        assert!((stats.mean_fanout - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let stats = CircuitStats {
+            logic_cells: 3,
+            feed_cells: 1,
+            nets: 4,
+            pads: 2,
+            diff_pairs: 1,
+            wide_nets: 1,
+            max_fanout: 5,
+            mean_fanout: 2.5,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("3 logic cells"));
+        assert!(text.contains("max 5"));
+    }
+}

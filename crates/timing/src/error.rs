@@ -1,0 +1,54 @@
+//! Error type for timing analysis.
+
+use bgr_netlist::TermId;
+
+/// Errors produced while building constraint graphs or analyzing timing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// The constraint's sink is not reachable from its source in `G_D`.
+    Unreachable {
+        /// Constraint source terminal.
+        source: TermId,
+        /// Constraint sink terminal.
+        sink: TermId,
+    },
+    /// The constraint subgraph contains a cycle (e.g. a gated-clock loop).
+    CyclicConstraint {
+        /// Constraint source terminal.
+        source: TermId,
+        /// Constraint sink terminal.
+        sink: TermId,
+    },
+    /// A terminal id out of range for the circuit.
+    UnknownTerm(TermId),
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unreachable { source, sink } => {
+                write!(f, "constraint sink {sink} unreachable from source {source}")
+            }
+            Self::CyclicConstraint { source, sink } => {
+                write!(f, "constraint graph {source} -> {sink} contains a cycle")
+            }
+            Self::UnknownTerm(t) => write!(f, "unknown terminal {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error_impl() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TimingError>();
+        let err = TimingError::UnknownTerm(TermId::new(3));
+        assert!(err.to_string().contains("TermId(3)"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Wire parasitics and the delay models of §2.1.
+
+/// Per-unit-length wire parasitics.
+///
+/// Bipolar wires are made wide to limit current density, so resistance is
+/// small — the reason the paper adopts a capacitance-only model. The
+/// defaults model a 1-pitch bipolar metal wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireParams {
+    /// Capacitance per µm of a 1-pitch wire, in fF.
+    pub cap_ff_per_um: f64,
+    /// Resistance per µm of a 1-pitch wire, in Ω.
+    pub res_ohm_per_um: f64,
+}
+
+impl Default for WireParams {
+    fn default() -> Self {
+        Self {
+            cap_ff_per_um: 0.20,
+            res_ohm_per_um: 0.03,
+        }
+    }
+}
+
+/// Interconnect delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayModel {
+    /// The paper's model (Eq. 1): wire delay is `CL(n) · T_d(t_o)` with
+    /// `CL(n)` the total wiring capacitance.
+    #[default]
+    Capacitance,
+    /// The RC extension the paper mentions in §2.1: adds a lumped Elmore
+    /// term `R_wire · (CL/2 + C_fanout)`. A `w`-pitch wire has `w×` the
+    /// capacitance and `1/w` the resistance.
+    Elmore,
+}
+
+impl DelayModel {
+    /// Total wiring capacitance `CL(n)` in fF for a net of the given
+    /// routed `length_um` and width in pitches.
+    #[inline]
+    pub fn wire_cap_ff(self, wire: &WireParams, length_um: f64, width_pitches: u32) -> f64 {
+        wire.cap_ff_per_um * length_um * width_pitches as f64
+    }
+
+    /// Model-dependent *extra* wire delay in ps beyond the `CL·T_d` term
+    /// (zero for [`DelayModel::Capacitance`]).
+    ///
+    /// For [`DelayModel::Elmore`] this is the lumped
+    /// `R_wire · (CL/2 + C_fanout)` term; Ω·fF = 10⁻³ ps.
+    #[inline]
+    pub fn wire_rc_ps(
+        self,
+        wire: &WireParams,
+        length_um: f64,
+        width_pitches: u32,
+        fanout_ff: f64,
+    ) -> f64 {
+        match self {
+            Self::Capacitance => 0.0,
+            Self::Elmore => {
+                let w = width_pitches as f64;
+                let r = wire.res_ohm_per_um * length_um / w;
+                let c = self.wire_cap_ff(wire, length_um, width_pitches);
+                r * (c / 2.0 + fanout_ff) * 1.0e-3
+            }
+        }
+    }
+}
+
+/// Per-sink RC skew of a routed net: the spread of distributed-RC wire
+/// delays `R(dist)·(C(dist)/2 + C_sink)` over sinks at the given wire
+/// distances from the driver.
+///
+/// This is the §4.2 story in numbers: a `w`-pitch wire has `1/w` the
+/// resistance, so the *differences* between sink delays — the skew —
+/// shrink by `1/w` even though each sink's capacitance grows.
+///
+/// Returns 0 for fewer than two sinks.
+pub fn rc_skew_ps(
+    wire: &WireParams,
+    sink_dists_um: &[f64],
+    width_pitches: u32,
+    sink_cap_ff: f64,
+) -> f64 {
+    if sink_dists_um.len() < 2 {
+        return 0.0;
+    }
+    let w = width_pitches as f64;
+    let delays = sink_dists_um.iter().map(|&d| {
+        let r = wire.res_ohm_per_um * d / w;
+        let c = wire.cap_ff_per_um * d * w;
+        r * (c / 2.0 + sink_cap_ff) * 1.0e-3
+    });
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for d in delays {
+        min = min.min(d);
+        max = max.max(d);
+    }
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitance_scales_with_width_and_length() {
+        let w = WireParams::default();
+        let c1 = DelayModel::Capacitance.wire_cap_ff(&w, 100.0, 1);
+        let c2 = DelayModel::Capacitance.wire_cap_ff(&w, 100.0, 2);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+        assert!((c1 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitance_model_has_no_rc_term() {
+        let w = WireParams::default();
+        assert_eq!(DelayModel::Capacitance.wire_rc_ps(&w, 1000.0, 1, 10.0), 0.0);
+    }
+
+    #[test]
+    fn elmore_term_positive_and_width_reduces_resistance() {
+        let w = WireParams::default();
+        let d1 = DelayModel::Elmore.wire_rc_ps(&w, 1000.0, 1, 10.0);
+        assert!(d1 > 0.0);
+        // Doubling the width halves R but doubles C: the C/2 part is
+        // unchanged while the fan-out part halves, so total decreases.
+        let d2 = DelayModel::Elmore.wire_rc_ps(&w, 1000.0, 2, 10.0);
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    fn wider_clock_wire_shrinks_skew() {
+        let wire = WireParams::default();
+        let dists = [500.0, 1500.0, 3000.0];
+        let s1 = rc_skew_ps(&wire, &dists, 1, 9.0);
+        let s2 = rc_skew_ps(&wire, &dists, 2, 9.0);
+        assert!(s1 > 0.0);
+        assert!(s2 < s1, "2-pitch wire has less skew: {s2} vs {s1}");
+    }
+
+    #[test]
+    fn skew_zero_for_single_sink() {
+        let wire = WireParams::default();
+        assert_eq!(rc_skew_ps(&wire, &[1000.0], 1, 5.0), 0.0);
+        assert_eq!(rc_skew_ps(&wire, &[], 1, 5.0), 0.0);
+    }
+
+    #[test]
+    fn elmore_units_are_ps() {
+        // 1000 µm at 0.03 Ω/µm = 30 Ω; CL = 200 fF; fanout 0.
+        // 30 Ω · 100 fF = 3000 Ω·fF = 3 ps.
+        let w = WireParams::default();
+        let d = DelayModel::Elmore.wire_rc_ps(&w, 1000.0, 1, 0.0);
+        assert!((d - 3.0).abs() < 1e-9);
+    }
+}

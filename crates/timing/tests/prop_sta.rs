@@ -1,0 +1,77 @@
+//! Property test: the incremental analyzer's margins always equal a
+//! from-scratch recomputation, regardless of the net-length update
+//! sequence.
+
+use bgr_netlist::{CellLibrary, CircuitBuilder, NetId};
+use bgr_timing::{DelayModel, PathConstraint, Sta, WireParams};
+use proptest::prelude::*;
+
+/// A reconvergent 3-level circuit with two constraints.
+fn circuit() -> (bgr_netlist::Circuit, Vec<PathConstraint>) {
+    let lib = CellLibrary::ecl();
+    let inv = lib.kind_by_name("INV").unwrap();
+    let nor2 = lib.kind_by_name("NOR2").unwrap();
+    let mut cb = CircuitBuilder::new(lib);
+    let a = cb.add_input_pad("a");
+    let b = cb.add_input_pad("b");
+    let y = cb.add_output_pad("y");
+    let z = cb.add_output_pad("z");
+    let u0 = cb.add_cell("u0", inv);
+    let u1 = cb.add_cell("u1", inv);
+    let u2 = cb.add_cell("u2", nor2);
+    let u3 = cb.add_cell("u3", inv);
+    cb.add_net("na", cb.pad_term(a), [cb.cell_term(u0, "A").unwrap()])
+        .unwrap();
+    cb.add_net("nb", cb.pad_term(b), [cb.cell_term(u1, "A").unwrap()])
+        .unwrap();
+    cb.add_net(
+        "n0",
+        cb.cell_term(u0, "Y").unwrap(),
+        [
+            cb.cell_term(u2, "A").unwrap(),
+            cb.cell_term(u3, "A").unwrap(),
+        ],
+    )
+    .unwrap();
+    cb.add_net(
+        "n1",
+        cb.cell_term(u1, "Y").unwrap(),
+        [cb.cell_term(u2, "B").unwrap()],
+    )
+    .unwrap();
+    cb.add_net("ny", cb.cell_term(u2, "Y").unwrap(), [cb.pad_term(y)])
+        .unwrap();
+    cb.add_net("nz", cb.cell_term(u3, "Y").unwrap(), [cb.pad_term(z)])
+        .unwrap();
+    let cons = vec![
+        PathConstraint::new("ay", cb.pad_term(a), cb.pad_term(y), 800.0),
+        PathConstraint::new("bz", cb.pad_term(b), cb.pad_term(y), 700.0),
+    ];
+    (cb.finish().unwrap(), cons)
+}
+
+proptest! {
+    #[test]
+    fn incremental_margins_match_fresh_analyzer(
+        updates in proptest::collection::vec((0usize..6, 0.0f64..5000.0), 1..30),
+        model_elmore in any::<bool>(),
+    ) {
+        let (circuit, cons) = circuit();
+        let model = if model_elmore { DelayModel::Elmore } else { DelayModel::Capacitance };
+        let mut sta = Sta::new(&circuit, cons.clone(), model, WireParams::default()).unwrap();
+        let mut lengths = vec![0.0; circuit.nets().len()];
+        for (net, len) in updates {
+            sta.set_net_length(NetId::new(net), len);
+            lengths[net] = len;
+        }
+        // Fresh analyzer fed the same final lengths.
+        let mut fresh = Sta::new(&circuit, cons, model, WireParams::default()).unwrap();
+        for (i, &len) in lengths.iter().enumerate() {
+            fresh.set_net_length(NetId::new(i), len);
+        }
+        for c in 0..sta.num_constraints() {
+            prop_assert!((sta.margin_ps(c) - fresh.margin_ps(c)).abs() < 1e-9);
+            prop_assert!((sta.arrival_ps(c) - fresh.arrival_ps(c)).abs() < 1e-9);
+        }
+    }
+}

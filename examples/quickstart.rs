@@ -1,0 +1,105 @@
+//! Quickstart: build a tiny ECL circuit by hand, place it in two rows,
+//! route it under one path constraint, and print the routed trees and
+//! the timing report.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use bgr::channel::route_channels;
+use bgr::layout::{Geometry, PlacementBuilder};
+use bgr::netlist::{CellLibrary, CircuitBuilder};
+use bgr::router::{GlobalRouter, RouterConfig, Segment};
+use bgr::timing::{DelayModel, PathConstraint, WireParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-gate circuit: a, b -> NOR2 -> INV -> y, with a side branch.
+    let lib = CellLibrary::ecl();
+    let inv = lib.kind_by_name("INV").expect("ecl kind");
+    let nor2 = lib.kind_by_name("NOR2").expect("ecl kind");
+    let feed = lib.kind_by_name("FEED1").expect("ecl kind");
+
+    let mut cb = CircuitBuilder::new(lib);
+    let a = cb.add_input_pad("a");
+    let b = cb.add_input_pad("b");
+    let y = cb.add_output_pad("y");
+    let u0 = cb.add_cell("u0", inv);
+    let u1 = cb.add_cell("u1", inv);
+    let u2 = cb.add_cell("u2", nor2);
+    let u3 = cb.add_cell("u3", inv);
+    let f0 = cb.add_cell("f0", feed);
+    let f1 = cb.add_cell("f1", feed);
+
+    cb.add_net("na", cb.pad_term(a), [cb.cell_term(u0, "A")?])?;
+    cb.add_net("nb", cb.pad_term(b), [cb.cell_term(u1, "A")?])?;
+    cb.add_net("n0", cb.cell_term(u0, "Y")?, [cb.cell_term(u2, "A")?])?;
+    cb.add_net("n1", cb.cell_term(u1, "Y")?, [cb.cell_term(u2, "B")?])?;
+    cb.add_net("n2", cb.cell_term(u2, "Y")?, [cb.cell_term(u3, "A")?])?;
+    cb.add_net("ny", cb.cell_term(u3, "Y")?, [cb.pad_term(y)])?;
+
+    let constraints = vec![
+        PathConstraint::new("a->y", cb.pad_term(a), cb.pad_term(y), 700.0),
+        PathConstraint::new("b->y", cb.pad_term(b), cb.pad_term(y), 700.0),
+    ];
+    let circuit = cb.finish()?;
+
+    // Two rows with one feed cell each; pads on the chip boundary.
+    let mut pb = PlacementBuilder::new(Geometry::default(), 2);
+    pb.append_with_width(0, u0, 3);
+    pb.append_with_width(0, u1, 3);
+    pb.append_with_width(0, f0, 1);
+    pb.append_with_width(1, u2, 4);
+    pb.append_with_width(1, u3, 3);
+    pb.append_with_width(1, f1, 1);
+    pb.place_pad_bottom(a, 0);
+    pb.place_pad_bottom(b, 4);
+    pb.place_pad_top(y, 6);
+    let placement = pb.finish(&circuit)?;
+
+    // Global routing (Fig. 2 of the paper).
+    let routed = GlobalRouter::new(RouterConfig::default()).route(
+        circuit,
+        placement,
+        constraints.clone(),
+    )?;
+
+    println!("== routed trees ==");
+    for (i, tree) in routed.result.trees.iter().enumerate() {
+        let name = routed.circuit.net(bgr::netlist::NetId::new(i)).name().to_owned();
+        print!("{name:>3}: {:6.1} µm |", tree.length_um);
+        for seg in &tree.segments {
+            match seg {
+                Segment::Trunk { channel, x1, x2 } => print!(" trunk[ch{}:{}..{}]", channel.index(), x1, x2),
+                Segment::Branch { channel, x, .. } => print!(" tap[ch{}@{}]", channel.index(), x),
+                Segment::Feed { row, x } => print!(" feed[row{row}@{x}]"),
+            }
+        }
+        println!();
+    }
+
+    println!("\n== channel densities (global estimate) ==");
+    for (c, t) in routed.result.channel_tracks.iter().enumerate() {
+        println!("channel {c}: {t} tracks");
+    }
+
+    // Detailed (channel) routing and final measurements.
+    let detail = route_channels(
+        &routed.circuit,
+        &routed.placement,
+        &routed.result,
+        &constraints,
+        DelayModel::Capacitance,
+        WireParams::default(),
+    )?;
+    println!("\n== final timing (after channel routing) ==");
+    for c in &detail.timing.constraints {
+        println!(
+            "{:>5}: arrival {:6.1} ps, limit {:6.1} ps, margin {:+7.1} ps",
+            c.name, c.arrival_ps, c.limit_ps, c.margin_ps
+        );
+    }
+    println!(
+        "\narea {:.4} mm², total length {:.3} mm",
+        detail.area_mm2,
+        detail.total_length_mm()
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Render a routed layout: generate a design, route it, and write the
+//! interchange files plus an SVG picture next to the target directory.
+//!
+//! Run with `cargo run --release --example render_layout`, then open
+//! `target/bgr_layout.svg` in a browser.
+
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::io::{render_svg, write_constraints, write_netlist, write_placement};
+use bgr::router::{GlobalRouter, RouterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = GenParams {
+        logic_cells: 60,
+        depth: 6,
+        rows: 4,
+        ..GenParams::small(31)
+    };
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    let routed = GlobalRouter::new(RouterConfig::default()).route(
+        design.circuit.clone(),
+        placement,
+        design.constraints.clone(),
+    )?;
+
+    std::fs::create_dir_all("target")?;
+    std::fs::write("target/bgr_design.bgrn", write_netlist(&routed.circuit))?;
+    std::fs::write(
+        "target/bgr_design.bgrp",
+        write_placement(&routed.circuit, &routed.placement),
+    )?;
+    std::fs::write(
+        "target/bgr_design.bgrt",
+        write_constraints(&routed.circuit, &design.constraints),
+    )?;
+    let svg = render_svg(&routed.circuit, &routed.placement, Some(&routed.result));
+    std::fs::write("target/bgr_layout.svg", &svg)?;
+    println!(
+        "wrote target/bgr_design.bgrn/.bgrp/.bgrt and target/bgr_layout.svg ({} nets, {} bytes of SVG)",
+        routed.result.trees.len(),
+        svg.len()
+    );
+    Ok(())
+}

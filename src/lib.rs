@@ -1,0 +1,64 @@
+//! `bgr` — a timing- and area-optimizing global router for high-speed
+//! bipolar LSIs.
+//!
+//! Rust reproduction of Harada & Kitazawa, *"A Global Router Optimizing
+//! Timing and Area for High-Speed Bipolar LSI's"*, DAC 1994. This facade
+//! crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`netlist`] | `bgr-netlist` | cell library, circuits, nets, differential pairs |
+//! | [`layout`] | `bgr-layout` | rows, channels, feedthrough slots, placements |
+//! | [`timing`] | `bgr-timing` | delay models, `G_D`, constraint graphs `G_d(P)`, STA |
+//! | [`router`] | `bgr-core` | **the paper's router**: edge deletion, criteria, phases |
+//! | [`channel`] | `bgr-channel` | left-edge channel routing, final area/length/delay |
+//! | [`gen`] | `bgr-gen` | synthetic ECL benchmarks (C1–C3 reconstruction) |
+//! | [`io`] | `bgr-io` | text interchange formats (.bgrn/.bgrp/.bgrt) + SVG rendering |
+//!
+//! # Quickstart
+//!
+//! Generate a small design, route it with and without constraints, and
+//! compare the critical-path delay after channel routing:
+//!
+//! ```
+//! use bgr::channel::route_channels;
+//! use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+//! use bgr::router::{GlobalRouter, RouterConfig};
+//! use bgr::timing::{DelayModel, WireParams};
+//!
+//! let params = GenParams::small(1);
+//! let design = generate(&params);
+//! let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+//!
+//! let routed = GlobalRouter::new(RouterConfig::default()).route(
+//!     design.circuit.clone(),
+//!     placement,
+//!     design.constraints.clone(),
+//! )?;
+//! let detail = route_channels(
+//!     &routed.circuit,
+//!     &routed.placement,
+//!     &routed.result,
+//!     &design.constraints,
+//!     DelayModel::Capacitance,
+//!     WireParams::default(),
+//! )?;
+//! println!(
+//!     "delay {:.0} ps over {:.2} mm² ({} violations)",
+//!     detail.timing.max_arrival_ps(),
+//!     detail.area_mm2,
+//!     detail.timing.violations(),
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use bgr_channel as channel;
+pub use bgr_core as router;
+pub use bgr_gen as gen;
+pub use bgr_io as io;
+pub use bgr_layout as layout;
+pub use bgr_netlist as netlist;
+pub use bgr_timing as timing;

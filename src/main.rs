@@ -1,0 +1,202 @@
+//! `bgr` command-line interface.
+//!
+//! ```text
+//! bgr route   --netlist D.bgrn --placement D.bgrp [--constraints D.bgrt]
+//!             [--unconstrained] [--elmore] [--svg OUT.svg] [--report]
+//! bgr gen     --cells N [--rows R] [--seed S] --out PREFIX
+//! bgr render  --netlist D.bgrn --placement D.bgrp --svg OUT.svg
+//! ```
+//!
+//! `route` reads the text formats, runs the global + channel routers and
+//! prints the Table-2-style measurement line; `gen` writes a synthetic
+//! benchmark to `PREFIX.bgrn/.bgrp/.bgrt`; `render` draws a placement.
+
+use std::process::ExitCode;
+
+use bgr::channel::route_channels;
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::io::{
+    parse_constraints, parse_netlist, parse_placement, render_svg, write_constraints,
+    write_netlist, write_placement,
+};
+use bgr::router::{GlobalRouter, RouterConfig};
+use bgr::timing::{DelayModel, WireParams};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("route") => cmd_route(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bgr route  --netlist D.bgrn --placement D.bgrp [--constraints D.bgrt]
+             [--unconstrained] [--elmore] [--svg OUT.svg] [--report]
+  bgr gen    --cells N [--rows R] [--seed S] [--constraints K] --out PREFIX
+  bgr render --netlist D.bgrn --placement D.bgrp --svg OUT.svg";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Minimal `--key value` / `--flag` argument scanner.
+struct Opts<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> Result<&'a str, String> {
+        self.value(key).ok_or_else(|| format!("missing {key}"))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+}
+
+fn cmd_route(args: &[String]) -> CliResult {
+    let opts = Opts { args };
+    let netlist_text = std::fs::read_to_string(opts.required("--netlist")?)?;
+    let circuit = parse_netlist(&netlist_text)?;
+    let placement_text = std::fs::read_to_string(opts.required("--placement")?)?;
+    let placement = parse_placement(&circuit, &placement_text)?;
+    let constraints = match opts.value("--constraints") {
+        Some(path) => parse_constraints(&circuit, &std::fs::read_to_string(path)?)?,
+        None => Vec::new(),
+    };
+    let config = RouterConfig {
+        use_constraints: !opts.flag("--unconstrained") && !constraints.is_empty(),
+        delay_model: if opts.flag("--elmore") {
+            DelayModel::Elmore
+        } else {
+            DelayModel::Capacitance
+        },
+        ..RouterConfig::default()
+    };
+    let t = std::time::Instant::now();
+    let routed = GlobalRouter::new(config.clone()).route(circuit, placement, constraints.clone())?;
+    let cpu = t.elapsed().as_secs_f64();
+    let detail = route_channels(
+        &routed.circuit,
+        &routed.placement,
+        &routed.result,
+        &constraints,
+        config.delay_model,
+        WireParams::default(),
+    )?;
+    println!(
+        "delay {:.0} ps | area {:.3} mm² | length {:.2} mm | cpu {:.2} s | violations {}/{}",
+        detail.timing.max_arrival_ps(),
+        detail.area_mm2,
+        detail.total_length_mm(),
+        cpu,
+        detail.timing.violations(),
+        constraints.len()
+    );
+    if opts.flag("--report") {
+        println!("\nper-constraint timing:");
+        for c in &detail.timing.constraints {
+            println!(
+                "  {:<12} arrival {:>8.1} ps  limit {:>8.1} ps  margin {:>+8.1} ps",
+                c.name, c.arrival_ps, c.limit_ps, c.margin_ps
+            );
+        }
+        println!("\nchannel tracks (global estimate -> channel-routed):");
+        for (c, (&g, &d)) in routed
+            .result
+            .channel_tracks
+            .iter()
+            .zip(&detail.tracks)
+            .enumerate()
+        {
+            println!("  channel {c:>3}: {g:>4} -> {d:>4}");
+        }
+        println!("\ncongestion:");
+        let congestion = bgr::router::CongestionReport::from_result(
+            &routed.result,
+            routed.placement.width_pitches().max(1) as usize,
+        );
+        print!("{}", congestion.to_ascii());
+        let s = &routed.result.stats;
+        println!(
+            "\nstats: {} deletions, {} reroutes, {} feed cells inserted (+{} pitches), \
+             {} diff pairs locked",
+            s.deletions, s.reroutes, s.feed_cells_inserted, s.widened_pitches, s.diff_pairs_locked
+        );
+    }
+    if let Some(path) = opts.value("--svg") {
+        std::fs::write(
+            path,
+            render_svg(&routed.circuit, &routed.placement, Some(&routed.result)),
+        )?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let opts = Opts { args };
+    let cells: usize = opts.required("--cells")?.parse()?;
+    let rows: usize = opts.value("--rows").unwrap_or("6").parse()?;
+    let seed: u64 = opts.value("--seed").unwrap_or("1").parse()?;
+    let num_constraints: usize = opts.value("--constraints").unwrap_or("8").parse()?;
+    let prefix = opts.required("--out")?;
+    let params = GenParams {
+        logic_cells: cells,
+        rows,
+        depth: (cells / 20).clamp(4, 24),
+        num_constraints,
+        ..GenParams::small(seed)
+    };
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    std::fs::write(format!("{prefix}.bgrn"), write_netlist(&design.circuit))?;
+    std::fs::write(
+        format!("{prefix}.bgrp"),
+        write_placement(&design.circuit, &placement),
+    )?;
+    std::fs::write(
+        format!("{prefix}.bgrt"),
+        write_constraints(&design.circuit, &design.constraints),
+    )?;
+    println!(
+        "wrote {prefix}.bgrn/.bgrp/.bgrt ({} cells, {} nets, {} constraints)",
+        design.circuit.cells().len(),
+        design.circuit.nets().len(),
+        design.constraints.len()
+    );
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> CliResult {
+    let opts = Opts { args };
+    let circuit = parse_netlist(&std::fs::read_to_string(opts.required("--netlist")?)?)?;
+    let placement = parse_placement(
+        &circuit,
+        &std::fs::read_to_string(opts.required("--placement")?)?,
+    )?;
+    let out = opts.required("--svg")?;
+    std::fs::write(out, render_svg(&circuit, &placement, None))?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Shape assertions for the paper's evaluation claims, on a C1-lite data
+//! set (kept small so `cargo test` stays fast; the full-size numbers are
+//! produced by the `bgr-bench` table binaries).
+
+use bgr::channel::route_channels;
+use bgr::gen::circuits::custom;
+use bgr::gen::{GenParams, PlacementStyle};
+use bgr::router::{GlobalRouter, RouterConfig};
+use bgr::timing::{DelayModel, WireParams};
+
+fn c1_lite(style: PlacementStyle) -> bgr::gen::DataSet {
+    let params = GenParams {
+        seed: 0xC1,
+        logic_cells: 260,
+        depth: 10,
+        rows: 6,
+        ff_fraction: 0.15,
+        diff_pairs: 3,
+        pads: 10,
+        feeds_per_row: 8,
+        global_fanin: 0.25,
+        num_constraints: 10,
+        wire_budget: 0.30,
+        geometry: bgr::layout::Geometry {
+            track_pitch_um: 4.0,
+            ..bgr::layout::Geometry::default()
+        },
+    };
+    custom("C1lite", params, style)
+}
+
+fn measure(ds: &bgr::gen::DataSet, config: RouterConfig) -> (f64, f64, usize, Vec<f64>) {
+    let routed = GlobalRouter::new(config)
+        .route(
+            ds.design.circuit.clone(),
+            ds.placement.clone(),
+            ds.design.constraints.clone(),
+        )
+        .expect("routes");
+    let detail = route_channels(
+        &routed.circuit,
+        &routed.placement,
+        &routed.result,
+        &ds.design.constraints,
+        DelayModel::Capacitance,
+        WireParams::default(),
+    )
+    .expect("channel-routes");
+    (
+        detail.timing.max_arrival_ps(),
+        detail.area_mm2,
+        detail.timing.violations(),
+        detail
+            .timing
+            .constraints
+            .iter()
+            .map(|c| c.arrival_ps)
+            .collect(),
+    )
+}
+
+#[test]
+fn constrained_beats_unconstrained_with_comparable_area() {
+    let ds = c1_lite(PlacementStyle::EvenFeed);
+    let (delay_con, area_con, viol_con, arr_con) = measure(&ds, RouterConfig::default());
+    let (delay_unc, area_unc, viol_unc, arr_unc) = measure(&ds, RouterConfig::unconstrained());
+    // Table 2 shape: delay improves, area almost unchanged.
+    assert!(
+        delay_con <= delay_unc + 1e-6,
+        "constrained {delay_con} vs unconstrained {delay_unc}"
+    );
+    assert!(viol_con <= viol_unc);
+    assert!(
+        (area_con - area_unc).abs() / area_unc < 0.10,
+        "area almost unchanged: {area_con} vs {area_unc}"
+    );
+    // Mean constrained arrival strictly better (the 17.6% story in
+    // miniature: some reduction on average).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(mean(&arr_con) < mean(&arr_unc));
+}
+
+#[test]
+fn even_feed_placement_not_worse_than_aside() {
+    // The paper's P2 exists "to test the even spacing effect of feed-cell
+    // insertion": with feeds pushed aside, detours and insertions grow.
+    let p1 = c1_lite(PlacementStyle::EvenFeed);
+    let p2 = c1_lite(PlacementStyle::FeedAside);
+    let r1 = GlobalRouter::new(RouterConfig::default())
+        .route(
+            p1.design.circuit.clone(),
+            p1.placement.clone(),
+            p1.design.constraints.clone(),
+        )
+        .expect("routes");
+    let r2 = GlobalRouter::new(RouterConfig::default())
+        .route(
+            p2.design.circuit.clone(),
+            p2.placement.clone(),
+            p2.design.constraints.clone(),
+        )
+        .expect("routes");
+    // Evenly spread feeds give assignment more nearby slots: the total
+    // estimated wirelength should not degrade, and the inserted-cell
+    // count should not be larger.
+    assert!(
+        r1.result.stats.feed_cells_inserted <= r2.result.stats.feed_cells_inserted + 2,
+        "P1 insertion {} vs P2 {}",
+        r1.result.stats.feed_cells_inserted,
+        r2.result.stats.feed_cells_inserted
+    );
+}
+
+#[test]
+fn timing_criteria_help_over_density_only() {
+    use bgr::router::CriteriaOrder;
+    let ds = c1_lite(PlacementStyle::EvenFeed);
+    let (delay_timing, ..) = measure(&ds, RouterConfig::default());
+    let (delay_density, ..) = measure(
+        &ds,
+        RouterConfig {
+            criteria_order: CriteriaOrder::DensityOnly,
+            recover_passes: 0,
+            delay_passes: 0,
+            ..RouterConfig::default()
+        },
+    );
+    assert!(
+        delay_timing <= delay_density + 1e-6,
+        "timing-driven {delay_timing} vs density-only {delay_density}"
+    );
+}

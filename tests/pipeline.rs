@@ -1,0 +1,148 @@
+//! Cross-crate integration: generator → global router → channel router,
+//! checking the invariants the paper's flow guarantees.
+
+use bgr::channel::route_channels;
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::netlist::NetId;
+use bgr::router::{GlobalRouter, RouterConfig, Routed, Segment};
+use bgr::timing::{DelayModel, WireParams};
+
+fn route_small(seed: u64, config: RouterConfig) -> (bgr::gen::GeneratedDesign, Routed) {
+    let params = GenParams::small(seed);
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    let routed = GlobalRouter::new(config)
+        .route(design.circuit.clone(), placement, design.constraints.clone())
+        .expect("small designs route");
+    (design, routed)
+}
+
+#[test]
+fn every_net_gets_a_tree_tapping_all_terminals() {
+    let (_, routed) = route_small(11, RouterConfig::default());
+    assert_eq!(routed.result.trees.len(), routed.circuit.nets().len());
+    for (i, tree) in routed.result.trees.iter().enumerate() {
+        let net = routed.circuit.net(NetId::new(i));
+        // Every terminal of the net is tapped by exactly one branch.
+        let mut tapped: Vec<bgr::netlist::TermId> = tree
+            .segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Branch { term, .. } => Some(*term),
+                _ => None,
+            })
+            .collect();
+        tapped.sort();
+        tapped.dedup();
+        let mut wanted: Vec<bgr::netlist::TermId> = net.terms().collect();
+        wanted.sort();
+        assert_eq!(tapped, wanted, "net {i} taps all its terminals once");
+        assert!(tree.length_um > 0.0);
+    }
+}
+
+#[test]
+fn detail_tracks_cover_global_density_everywhere() {
+    let (design, routed) = route_small(12, RouterConfig::default());
+    let detail = route_channels(
+        &routed.circuit,
+        &routed.placement,
+        &routed.result,
+        &design.constraints,
+        DelayModel::Capacitance,
+        WireParams::default(),
+    )
+    .expect("channel routing succeeds");
+    assert_eq!(detail.tracks.len(), routed.placement.num_channels());
+    for (c, &t) in detail.tracks.iter().enumerate() {
+        assert!(
+            t as i32 >= routed.result.channel_tracks[c],
+            "channel {c}: {} tracks < density {}",
+            t,
+            routed.result.channel_tracks[c]
+        );
+    }
+    // Channel-routed lengths dominate the x-extent of each net.
+    for (i, &len) in detail.net_lengths_um.iter().enumerate() {
+        let tree = &routed.result.trees[i];
+        let trunk_um: f64 = tree
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Trunk { x1, x2, .. } => (x2 - x1) as f64 * 8.0,
+                _ => 0.0,
+            })
+            .sum();
+        assert!(len + 1e-9 >= trunk_um, "net {i} detail length covers trunks");
+    }
+}
+
+#[test]
+fn routing_is_deterministic_across_runs() {
+    let (_, r1) = route_small(13, RouterConfig::default());
+    let (_, r2) = route_small(13, RouterConfig::default());
+    assert_eq!(r1.result.trees, r2.result.trees);
+    assert_eq!(r1.result.channel_tracks, r2.result.channel_tracks);
+    assert_eq!(r1.result.stats.deletions, r2.result.stats.deletions);
+}
+
+#[test]
+fn constrained_never_loses_to_unconstrained_on_its_own_estimate() {
+    let (design, con) = route_small(14, RouterConfig::default());
+    let (_, unc) = route_small(14, RouterConfig::unconstrained());
+    let det = |routed: &Routed| {
+        route_channels(
+            &routed.circuit,
+            &routed.placement,
+            &routed.result,
+            &design.constraints,
+            DelayModel::Capacitance,
+            WireParams::default(),
+        )
+        .expect("channel routing succeeds")
+    };
+    let dc = det(&con);
+    let du = det(&unc);
+    // Violations and worst delay must not be worse with constraints on.
+    assert!(dc.timing.violations() <= du.timing.violations());
+    assert!(dc.timing.max_arrival_ps() <= du.timing.max_arrival_ps() * 1.02);
+}
+
+#[test]
+fn diff_pairs_route_in_lockstep_when_possible() {
+    let (_, routed) = route_small(15, RouterConfig::default());
+    let stats = &routed.result.stats;
+    assert!(
+        stats.diff_pairs_locked + stats.diff_pairs_independent
+            == routed.circuit.diff_pairs().len()
+    );
+    for &(a, b) in routed.circuit.diff_pairs() {
+        let ta = &routed.result.trees[a.index()];
+        let tb = &routed.result.trees[b.index()];
+        // Locked pairs have congruent trees (same segment count & length).
+        if stats.diff_pairs_independent == 0 {
+            assert_eq!(ta.segments.len(), tb.segments.len());
+            assert!((ta.length_um - tb.length_um).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn widened_placement_stays_valid() {
+    // Scarce feeds force insertion; circuit + placement must stay
+    // consistent afterwards.
+    let params = GenParams {
+        feeds_per_row: 1,
+        ..GenParams::small(16)
+    };
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    let routed = GlobalRouter::new(RouterConfig::default())
+        .route(design.circuit, placement, design.constraints)
+        .expect("routes with insertion");
+    assert!(routed.result.stats.feed_cells_inserted > 0);
+    routed
+        .placement
+        .validate(&routed.circuit)
+        .expect("widened placement valid");
+}
