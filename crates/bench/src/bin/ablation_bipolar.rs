@@ -9,17 +9,26 @@ fn main() {
     let p1 = bgr_gen::c1(PlacementStyle::EvenFeed);
     let p2 = bgr_gen::c1(PlacementStyle::FeedAside);
     println!("Ablation A5 (bipolar features)");
-    println!("{:<26} {:>10} {:>9} {:>9} {:>9} {:>9}", "variant", "delay(ps)", "area", "len(mm)", "locked", "inserted");
+    println!(
+        "{:<26} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "variant", "delay(ps)", "area", "len(mm)", "locked", "inserted"
+    );
     for (label, ds, pair) in [
         ("P1 + diff lockstep", &p1, true),
         ("P1, independent pairs", &p1, false),
         ("P2 + diff lockstep", &p2, true),
     ] {
-        let cfg = RouterConfig { pair_differential: pair, ..RouterConfig::default() };
+        let cfg = RouterConfig {
+            pair_differential: pair,
+            ..RouterConfig::default()
+        };
         let (m, routed, _) = measure(ds, cfg);
         println!(
             "{:<26} {:>10.0} {:>9.2} {:>9.1} {:>9} {:>9}",
-            label, m.delay_ps, m.area_mm2, m.length_mm,
+            label,
+            m.delay_ps,
+            m.area_mm2,
+            m.length_mm,
             routed.result.stats.diff_pairs_locked,
             routed.result.stats.feed_cells_inserted
         );

@@ -8,18 +8,27 @@ use bgr_gen::PlacementStyle;
 fn main() {
     let ds = bgr_gen::c2(PlacementStyle::EvenFeed);
     println!("Ablation A1 (criteria ordering), data set {}", ds.name);
-    println!("{:<14} {:>10} {:>9} {:>9} {:>12}", "order", "delay(ps)", "area", "len(mm)", "above-lb(%)");
+    println!(
+        "{:<14} {:>10} {:>9} {:>9} {:>12}",
+        "order", "delay(ps)", "area", "len(mm)", "above-lb(%)"
+    );
     for (label, order) in [
         ("delay-first", CriteriaOrder::DelayFirst),
         ("area-first", CriteriaOrder::AreaFirst),
         ("density-only", CriteriaOrder::DensityOnly),
     ] {
-        let cfg = RouterConfig { criteria_order: order, ..RouterConfig::default() };
+        let cfg = RouterConfig {
+            criteria_order: order,
+            ..RouterConfig::default()
+        };
         let (m, routed, detail) = measure(&ds, cfg);
         let lb = lower_bound_delays_in_layout(&ds, &routed, &detail.tracks);
         println!(
             "{:<14} {:>10.0} {:>9.2} {:>9.1} {:>12.1}",
-            label, m.delay_ps, m.area_mm2, m.length_mm,
+            label,
+            m.delay_ps,
+            m.area_mm2,
+            m.length_mm,
             mean_diff_from_lb_percent(&m.arrivals_ps, &lb)
         );
     }

@@ -9,10 +9,22 @@ use bgr_timing::DelayModel;
 fn main() {
     let ds = bgr_gen::c1(PlacementStyle::EvenFeed);
     println!("Ablation A4 (delay model), data set {}", ds.name);
-    println!("{:<14} {:>10} {:>9} {:>9} {:>8}", "model", "delay(ps)", "area", "len(mm)", "cpu(s)");
-    for (label, model) in [("capacitance", DelayModel::Capacitance), ("elmore", DelayModel::Elmore)] {
-        let cfg = RouterConfig { delay_model: model, ..RouterConfig::default() };
+    println!(
+        "{:<14} {:>10} {:>9} {:>9} {:>8}",
+        "model", "delay(ps)", "area", "len(mm)", "cpu(s)"
+    );
+    for (label, model) in [
+        ("capacitance", DelayModel::Capacitance),
+        ("elmore", DelayModel::Elmore),
+    ] {
+        let cfg = RouterConfig {
+            delay_model: model,
+            ..RouterConfig::default()
+        };
         let (m, _, _) = measure(&ds, cfg);
-        println!("{:<14} {:>10.0} {:>9.2} {:>9.1} {:>8.2}", label, m.delay_ps, m.area_mm2, m.length_mm, m.cpu_s);
+        println!(
+            "{:<14} {:>10.0} {:>9.2} {:>9.1} {:>8.2}",
+            label, m.delay_ps, m.area_mm2, m.length_mm, m.cpu_s
+        );
     }
 }

@@ -8,15 +8,27 @@ use bgr_gen::PlacementStyle;
 
 fn main() {
     println!("Ablation A6 (assignment net ordering)");
-    println!("{:<6} {:<14} {:>10} {:>9} {:>12}", "Data", "order", "delay(ps)", "len(mm)", "above-lb(%)");
-    for ds in [bgr_gen::c1(PlacementStyle::EvenFeed), bgr_gen::c2(PlacementStyle::EvenFeed)] {
+    println!(
+        "{:<6} {:<14} {:>10} {:>9} {:>12}",
+        "Data", "order", "delay(ps)", "len(mm)", "above-lb(%)"
+    );
+    for ds in [
+        bgr_gen::c1(PlacementStyle::EvenFeed),
+        bgr_gen::c2(PlacementStyle::EvenFeed),
+    ] {
         for (label, slack) in [("slack (§3.1)", true), ("netlist id", false)] {
-            let cfg = RouterConfig { slack_ordering: slack, ..RouterConfig::default() };
+            let cfg = RouterConfig {
+                slack_ordering: slack,
+                ..RouterConfig::default()
+            };
             let (m, routed, detail) = measure(&ds, cfg);
             let lb = lower_bound_delays_in_layout(&ds, &routed, &detail.tracks);
             println!(
                 "{:<6} {:<14} {:>10.0} {:>9.1} {:>12.1}",
-                ds.name, label, m.delay_ps, m.length_mm,
+                ds.name,
+                label,
+                m.delay_ps,
+                m.length_mm,
                 mean_diff_from_lb_percent(&m.arrivals_ps, &lb)
             );
         }

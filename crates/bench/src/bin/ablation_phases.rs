@@ -8,11 +8,35 @@ use bgr_gen::PlacementStyle;
 fn main() {
     let ds = bgr_gen::c2(PlacementStyle::EvenFeed);
     println!("Ablation A3 (improvement phases), data set {}", ds.name);
-    println!("{:<22} {:>10} {:>9} {:>9} {:>8}", "phases", "delay(ps)", "area", "len(mm)", "viol");
+    println!(
+        "{:<22} {:>10} {:>9} {:>9} {:>8}",
+        "phases", "delay(ps)", "area", "len(mm)", "viol"
+    );
     let variants: [(&str, RouterConfig); 4] = [
-        ("initial only", RouterConfig { recover_passes: 0, delay_passes: 0, area_passes: 0, ..RouterConfig::default() }),
-        ("+recover", RouterConfig { delay_passes: 0, area_passes: 0, ..RouterConfig::default() }),
-        ("+recover+delay", RouterConfig { area_passes: 0, ..RouterConfig::default() }),
+        (
+            "initial only",
+            RouterConfig {
+                recover_passes: 0,
+                delay_passes: 0,
+                area_passes: 0,
+                ..RouterConfig::default()
+            },
+        ),
+        (
+            "+recover",
+            RouterConfig {
+                delay_passes: 0,
+                area_passes: 0,
+                ..RouterConfig::default()
+            },
+        ),
+        (
+            "+recover+delay",
+            RouterConfig {
+                area_passes: 0,
+                ..RouterConfig::default()
+            },
+        ),
         ("+recover+delay+area", RouterConfig::default()),
     ];
     for (label, cfg) in variants {

@@ -1,0 +1,59 @@
+//! Deletions-per-second: incremental scoreboard vs full-rescan oracle.
+//!
+//! Routes one generated instance (≥200 nets) under both
+//! [`SelectionStrategy`] variants and reports the deletion throughput of
+//! each, plus the speedup. The two runs are asserted to make identical
+//! selections, so the comparison is work-for-work.
+
+use std::time::Instant;
+
+use bgr_core::{GlobalRouter, RouterConfig, SelectionStrategy};
+use bgr_gen::{custom, GenParams, PlacementStyle};
+
+fn main() {
+    let params = GenParams {
+        logic_cells: 1400,
+        depth: 8,
+        rows: 14,
+        diff_pairs: 4,
+        feeds_per_row: 6,
+        num_constraints: 10,
+        ..GenParams::small(0xDE1)
+    };
+    let ds = custom("RATE", params, PlacementStyle::EvenFeed);
+    let nets = ds.design.circuit.nets().len();
+    assert!(nets >= 200, "instance too small: {nets} nets");
+    println!("{}: {} nets", ds.name, nets);
+
+    let rate = |strategy: SelectionStrategy| {
+        let config = RouterConfig {
+            selection: strategy,
+            ..RouterConfig::default()
+        };
+        let t = Instant::now();
+        let routed = GlobalRouter::new(config)
+            .route(
+                ds.design.circuit.clone(),
+                ds.placement.clone(),
+                ds.design.constraints.clone(),
+            )
+            .expect("instance routes");
+        let secs = t.elapsed().as_secs_f64();
+        let dels = routed.result.stats.deletions;
+        println!(
+            "  {strategy:?}: {dels} deletions in {secs:.3}s = {:.0} deletions/s",
+            dels as f64 / secs
+        );
+        (routed.result.stats.selection_log.clone(), secs, dels)
+    };
+
+    let (log_fast, t_fast, d_fast) = rate(SelectionStrategy::Scoreboard);
+    let (log_slow, t_slow, d_slow) = rate(SelectionStrategy::FullRescan);
+    assert_eq!(log_fast, log_slow, "strategies diverged");
+    assert_eq!(d_fast, d_slow);
+    println!("  speedup: {:.2}x", t_slow / t_fast);
+    assert!(
+        t_fast < t_slow,
+        "scoreboard ({t_fast:.3}s) must beat full rescan ({t_slow:.3}s)"
+    );
+}

@@ -11,13 +11,22 @@ fn main() {
     let mut fin_viol = 0;
     let mut ratio = 0.0;
     for (i, c) in ds.design.constraints.iter().enumerate() {
-        let internal = arrival_with_lengths(&conr.circuit, c.source, c.sink, &conr.result.net_lengths_um).unwrap();
+        let internal =
+            arrival_with_lengths(&conr.circuit, c.source, c.sink, &conr.result.net_lengths_um)
+                .unwrap();
         let fin = con.arrivals_ps[i];
-        if internal > c.limit_ps { int_viol += 1; }
-        if fin > c.limit_ps { fin_viol += 1; }
+        if internal > c.limit_ps {
+            int_viol += 1;
+        }
+        if fin > c.limit_ps {
+            fin_viol += 1;
+        }
         ratio += fin / internal;
         if i < 8 {
-            println!("cons{i}: internal={internal:.0} final={fin:.0} limit={:.0}", c.limit_ps);
+            println!(
+                "cons{i}: internal={internal:.0} final={fin:.0} limit={:.0}",
+                c.limit_ps
+            );
         }
     }
     let n = ds.design.constraints.len();

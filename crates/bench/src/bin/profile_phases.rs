@@ -5,9 +5,15 @@ use bgr_gen::PlacementStyle;
 fn main() {
     let ds = bgr_gen::c2(PlacementStyle::EvenFeed);
     let routed = GlobalRouter::new(RouterConfig::default())
-        .route(ds.design.circuit.clone(), ds.placement.clone(), ds.design.constraints.clone())
+        .route(
+            ds.design.circuit.clone(),
+            ds.placement.clone(),
+            ds.design.constraints.clone(),
+        )
         .unwrap();
     let s = &routed.result.stats;
-    println!("{}: total {:?} | initial {:?} | improvement {:?} | deletions {} | reroutes {}",
-        ds.name, s.total, s.initial_routing, s.improvement, s.deletions, s.reroutes);
+    println!(
+        "{}: total {:?} | initial {:?} | improvement {:?} | deletions {} | reroutes {}",
+        ds.name, s.total, s.initial_routing, s.improvement, s.deletions, s.reroutes
+    );
 }

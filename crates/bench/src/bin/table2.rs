@@ -8,7 +8,10 @@ use bgr_gen::circuits::table_data_sets;
 fn main() {
     let sets = table_data_sets();
     println!("Table 2: Routing Results With Constraints");
-    println!("{:<6} {:>9} {:>9} {:>9} {:>8} {:>8}", "Data", "Delay", "Area", "Length", "CPU", "Viol");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "Data", "Delay", "Area", "Length", "CPU", "Viol"
+    );
     let mut with = Vec::new();
     for ds in &sets {
         let (m, _, _) = measure(ds, RouterConfig::default());
@@ -17,7 +20,10 @@ fn main() {
     }
     println!();
     println!("Table 2: Routing Results Without Constraints");
-    println!("{:<6} {:>9} {:>9} {:>9} {:>8} {:>8}", "Data", "Delay", "Area", "Length", "CPU", "Viol");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "Data", "Delay", "Area", "Length", "CPU", "Viol"
+    );
     for (ds, w) in sets.iter().zip(&with) {
         let (m, _, _) = measure(ds, RouterConfig::unconstrained());
         println!("{}", table2_row(&m));

@@ -3,13 +3,18 @@
 //! "average reduction of the critical-path delay as % of the lower
 //! bound" (paper: 17.6%).
 
-use bgr_bench::{lower_bound_delays_in_layout, mean_diff_from_lb_percent, mean_reduction_of_lb_percent, measure};
+use bgr_bench::{
+    lower_bound_delays_in_layout, mean_diff_from_lb_percent, mean_reduction_of_lb_percent, measure,
+};
 use bgr_core::RouterConfig;
 use bgr_gen::circuits::table_data_sets;
 
 fn main() {
     println!("Table 3: Difference from the lower bound");
-    println!("{:<6} {:>10} {:>14} {:>16}", "Data", "lb (ps)", "Constr. (%)", "Unconstr. (%)");
+    println!(
+        "{:<6} {:>10} {:>14} {:>16}",
+        "Data", "lb (ps)", "Constr. (%)", "Unconstr. (%)"
+    );
     let mut reductions = Vec::new();
     for ds in table_data_sets() {
         let (con, con_routed, con_detail) = measure(&ds, RouterConfig::default());
@@ -21,7 +26,11 @@ fn main() {
         let dc = mean_diff_from_lb_percent(&con.arrivals_ps, &lb);
         let du = mean_diff_from_lb_percent(&unc.arrivals_ps, &lb);
         println!("{:<6} {:>10.0} {:>14.1} {:>16.1}", ds.name, lb_max, dc, du);
-        reductions.push(mean_reduction_of_lb_percent(&con.arrivals_ps, &unc.arrivals_ps, &lb));
+        reductions.push(mean_reduction_of_lb_percent(
+            &con.arrivals_ps,
+            &unc.arrivals_ps,
+            &lb,
+        ));
     }
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
     println!("Average critical-path delay reduction: {avg:.1}% of the lower bound (paper: 17.6%)");

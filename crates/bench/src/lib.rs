@@ -7,7 +7,7 @@
 //! the *shape* of the results (who wins, by roughly what factor).
 
 use bgr_channel::{route_channels, DetailedRoute};
-use bgr_core::{GlobalRouter, RouterConfig, Routed};
+use bgr_core::{GlobalRouter, Routed, RouterConfig};
 use bgr_gen::{arrival_with_lengths, hpwl_net_lengths_in_layout_um, hpwl_net_lengths_um, DataSet};
 use bgr_timing::{DelayModel, WireParams};
 
@@ -103,8 +103,7 @@ pub fn lower_bound_delays_in_layout(
     routed: &Routed,
     channel_tracks: &[usize],
 ) -> Vec<f64> {
-    let lb =
-        hpwl_net_lengths_in_layout_um(&routed.circuit, &routed.placement, channel_tracks);
+    let lb = hpwl_net_lengths_in_layout_um(&routed.circuit, &routed.placement, channel_tracks);
     ds.design
         .constraints
         .iter()

@@ -1,62 +1,53 @@
-//! Property tests for the left-edge channel router: no horizontal
+//! Randomized tests for the left-edge channel router: no horizontal
 //! overlap within a track, wide intervals stay on adjacent tracks, and
 //! for unit widths the greedy assignment achieves the channel density
 //! (the optimum for interval packing).
 
 use bgr_channel::{assign_tracks, Interval};
-use bgr_netlist::NetId;
-use proptest::prelude::*;
+use bgr_netlist::{NetId, SplitMix64};
 
-fn arb_intervals() -> impl Strategy<Value = Vec<Interval>> {
-    proptest::collection::vec((0i32..40, 0i32..10, 1u32..3), 1..30).prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (x1, len, width))| Interval {
+fn random_intervals(rng: &mut SplitMix64, max_width: u32) -> Vec<Interval> {
+    let n = rng.range_usize(1, 30);
+    (0..n)
+        .map(|i| {
+            let x1 = rng.range_i32(0, 40);
+            let len = rng.range_i32(0, 10);
+            Interval {
                 net: NetId::new(i),
                 x1,
                 x2: x1 + len,
-                width,
-            })
-            .collect()
-    })
+                width: rng.range_i32(1, max_width as i32 + 1) as u32,
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn no_overlap_and_adjacency_hold(intervals in arb_intervals()) {
+#[test]
+fn no_overlap_and_adjacency_hold() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(0x1EF7 ^ (seed << 4));
+        let intervals = random_intervals(&mut rng, 2);
         let layout = assign_tracks(&intervals, &[]);
-        prop_assert_eq!(layout.assignments.len(), intervals.len());
+        assert_eq!(layout.assignments.len(), intervals.len());
         // Expand each assignment to its occupied tracks and check
         // pairwise conflicts.
         for (i, a) in layout.assignments.iter().enumerate() {
-            prop_assert!(a.track + a.interval.width as usize <= layout.tracks);
+            assert!(a.track + a.interval.width as usize <= layout.tracks);
             for b in layout.assignments.iter().skip(i + 1) {
                 let tracks_overlap = a.track < b.track + b.interval.width as usize
                     && b.track < a.track + a.interval.width as usize;
-                let x_overlap =
-                    a.interval.x1 <= b.interval.x2 && b.interval.x1 <= a.interval.x2;
-                prop_assert!(
-                    !(tracks_overlap && x_overlap),
-                    "{:?} and {:?} collide",
-                    a,
-                    b
-                );
+                let x_overlap = a.interval.x1 <= b.interval.x2 && b.interval.x1 <= a.interval.x2;
+                assert!(!(tracks_overlap && x_overlap), "{a:?} and {b:?} collide");
             }
         }
     }
+}
 
-    #[test]
-    fn unit_width_achieves_density(raw in proptest::collection::vec((0i32..40, 0i32..10), 1..30)) {
-        let intervals: Vec<Interval> = raw
-            .into_iter()
-            .enumerate()
-            .map(|(i, (x1, len))| Interval {
-                net: NetId::new(i),
-                x1,
-                x2: x1 + len,
-                width: 1,
-            })
-            .collect();
+#[test]
+fn unit_width_achieves_density() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(0xDE45 ^ (seed << 4));
+        let intervals = random_intervals(&mut rng, 1);
         let layout = assign_tracks(&intervals, &[]);
         // Closed-interval density at any column.
         let density = (0..=50)
@@ -68,6 +59,6 @@ proptest! {
             })
             .max()
             .unwrap_or(0);
-        prop_assert_eq!(layout.tracks, density);
+        assert_eq!(layout.tracks, density);
     }
 }

@@ -187,12 +187,8 @@ mod tests {
             )
             .unwrap();
         }
-        cb.add_net(
-            "ny",
-            cb.cell_term(cells[3], "Y").unwrap(),
-            [cb.pad_term(y)],
-        )
-        .unwrap();
+        cb.add_net("ny", cb.cell_term(cells[3], "Y").unwrap(), [cb.pad_term(y)])
+            .unwrap();
         let circuit = cb.finish().unwrap();
         let mut pb = PlacementBuilder::new(Geometry::default(), 1);
         for &c in &cells {

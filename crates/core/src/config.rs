@@ -17,6 +17,24 @@ pub enum CriteriaOrder {
     DensityOnly,
 }
 
+/// How `select_edge` (Fig. 2 line 06) finds the best deletable edge.
+///
+/// Both strategies are defined to produce the **same deletion sequence**;
+/// [`SelectionStrategy::FullRescan`] exists as the executable oracle for
+/// differential testing and for auditing suspected scoreboard bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Incremental candidate scoreboard: every deletable edge's key is
+    /// held in an ordered structure with generation-stamped lazy
+    /// invalidation, and a deletion only re-keys the nets whose graph,
+    /// partner, timing margins or touched channels actually changed.
+    #[default]
+    Scoreboard,
+    /// The naive oracle: recompute every in-scope candidate key from
+    /// scratch on every iteration (`O(nets × edges)` per selection).
+    FullRescan,
+}
+
 /// Configuration for [`crate::GlobalRouter`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterConfig {
@@ -52,6 +70,9 @@ pub struct RouterConfig {
     /// static-slack order (§3.1). Disabling falls back to netlist order
     /// (ablation A6); ignored when `use_constraints` is off.
     pub slack_ordering: bool,
+    /// Candidate-selection implementation; the result is identical
+    /// either way (see [`SelectionStrategy`]).
+    pub selection: SelectionStrategy,
 }
 
 impl Default for RouterConfig {
@@ -67,6 +88,7 @@ impl Default for RouterConfig {
             criteria_order: CriteriaOrder::DelayFirst,
             pair_differential: true,
             slack_ordering: true,
+            selection: SelectionStrategy::default(),
         }
     }
 }
@@ -95,6 +117,14 @@ mod tests {
         assert!(c.use_constraints);
         assert!(c.recover_passes > 0 && c.delay_passes > 0 && c.area_passes > 0);
         assert_eq!(c.criteria_order, CriteriaOrder::DelayFirst);
+    }
+
+    #[test]
+    fn scoreboard_is_the_default_selection() {
+        assert_eq!(
+            RouterConfig::default().selection,
+            SelectionStrategy::Scoreboard
+        );
     }
 
     #[test]

@@ -114,7 +114,13 @@ mod tests {
             limit,
         )];
         let circuit = cb.finish().unwrap();
-        let sta = Sta::new(&circuit, cons, DelayModel::Capacitance, WireParams::default()).unwrap();
+        let sta = Sta::new(
+            &circuit,
+            cons,
+            DelayModel::Capacitance,
+            WireParams::default(),
+        )
+        .unwrap();
         (sta, net)
     }
 

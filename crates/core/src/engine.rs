@@ -2,26 +2,66 @@
 //! `delete_and_modify` loop of Fig. 2 (lines 04–07).
 //!
 //! One [`Engine`] owns every net's routing graph, the channel-density
-//! map, and the incremental timing analyzer. Each iteration scans the
-//! deletable (non-bridge) edges of every in-scope net, ranks them with
+//! map, and the incremental timing analyzer. Each iteration selects the
+//! best deletable (non-bridge) edge across every in-scope net, ranked by
 //! [`crate::select::compare`], deletes the winner, and updates bridges,
 //! densities, tentative lengths and margins — so the wiring of all nets
 //! is determined *concurrently*, as the paper emphasizes.
 //!
-//! Per-edge *hypothetical wire states* (tentative-tree length assuming the
-//! edge's deletion) are cached and invalidated only when the owning net's
-//! graph changes; margins and longest paths are always read live from the
-//! analyzer, so cached entries never go stale.
+//! # Incremental selection
+//!
+//! Selection runs on a [`Scoreboard`](crate::scoreboard::Scoreboard) by
+//! default: every candidate's [`EdgeKey`] sits in a heap with
+//! generation-stamped lazy invalidation, and after a deletion only the
+//! *dirty* nets are re-keyed. The dirty set is derived from explicit
+//! invalidation hooks:
+//!
+//! * **graph** — the deleted net and its cascaded partner (their
+//!   [`RoutingGraph::generation`] advanced: alive set, bridges, pruning);
+//! * **density** — nets reading a *touched channel* (span removed,
+//!   pruned or promoted there), found through a static channel → nets
+//!   reverse index. The channel's four aggregates are snapshotted at
+//!   first touch: if they moved, every net with an edge there is dirty
+//!   (branch keys read the aggregates); if they held, only trunk keys
+//!   whose interval overlaps a touched span can have changed (their
+//!   window query reads the profile there), so only those nets re-key;
+//! * **timing** — every member net of each constraint the analyzer
+//!   refreshed ([`bgr_timing::Sta::nets_of_constraint`]); a length
+//!   change moves that constraint's longest paths and margins, which
+//!   feed the delay criteria of all member nets.
+//!
+//! Nets outside the dirty set provably keep their keys, so the
+//! scoreboard's pool always equals what a full rescan would compute.
+//! The rescan itself remains available as
+//! [`SelectionStrategy::FullRescan`] — an executable oracle used by the
+//! differential tests to prove byte-identical deletion sequences.
+//!
+//! Per-edge *hypothetical wire states* (tentative-tree length assuming
+//! the edge's deletion) are cached per net and keyed on the owning
+//! graph's generation, so they invalidate themselves the moment the
+//! graph changes.
 
+use std::collections::BTreeSet;
+
+use bgr_layout::ChannelId;
 use bgr_netlist::NetId;
 use bgr_timing::Sta;
 
-use crate::config::CriteriaOrder;
+use crate::config::{CriteriaOrder, SelectionStrategy};
 use crate::criteria::{DelayCriteria, HypWire};
 use crate::density::DensityMap;
 use crate::graph::{REdgeKind, RoutingGraph};
+use crate::scoreboard::Scoreboard;
 use crate::select::{compare, EdgeKey};
 use crate::tentative::tentative_length_um;
+
+/// Per-net cache of hypothetical wire states, valid only while the
+/// owning graph's generation matches `stamp`.
+#[derive(Debug)]
+struct HypCache {
+    stamp: u64,
+    slots: Vec<Option<HypWire>>,
+}
 
 /// Mutable routing state shared by the initial-routing and improvement
 /// phases.
@@ -30,8 +70,32 @@ pub struct Engine {
     graphs: Vec<RoutingGraph>,
     density: DensityMap,
     sta: Sta,
-    hyp: Vec<Vec<Option<HypWire>>>,
+    hyp: Vec<HypCache>,
     partner: Vec<Option<NetId>>,
+    /// Static reverse index: per channel, every net owning at least one
+    /// trunk or branch edge there, with the bounding interval of its
+    /// *trunk* edges (empty sentinel when the net only branches into the
+    /// channel — branch keys read aggregates only). Edge sets never
+    /// grow, so this needs no maintenance; dead edges only make it
+    /// conservative.
+    channel_nets: Vec<Vec<(NetId, i32, i32)>>,
+    selection: SelectionStrategy,
+    /// Density spans touched during the current deletion (scratch,
+    /// drained by the scoreboard loop).
+    delta_spans: Vec<(ChannelId, i32, i32)>,
+    /// Aggregate snapshot (`C_M`, `NC_M`, `C_m`, `NC_m`) of each touched
+    /// channel, captured before its first mutation of the deletion.
+    delta_snap: Vec<(ChannelId, [i32; 4])>,
+    /// Constraints the analyzer refreshed during the current deletion.
+    delta_cons: Vec<u32>,
+    /// Nets whose graph changed during the current deletion.
+    delta_nets: Vec<NetId>,
+    /// Every selection made by `run_deletion`, in order — the audit
+    /// trail compared across strategies by the oracle tests.
+    pub selection_log: Vec<(NetId, u32)>,
+    /// Diagnostic: nets re-keyed by the scoreboard path, by cause
+    /// (graph-dirty, aggregate-moved channel, span-overlap, constraint).
+    pub rekey_causes: [usize; 4],
     /// Total edges deleted (selected + cascaded + pruned).
     pub deletions: usize,
     /// Total nets ripped up and rerouted.
@@ -67,20 +131,53 @@ impl Engine {
         }
         let hyp = graphs
             .iter()
-            .map(|g| vec![None; g.edges().len()])
+            .map(|g| HypCache {
+                stamp: g.generation(),
+                slots: vec![None; g.edges().len()],
+            })
             .collect();
+        let mut channel_nets: Vec<Vec<(NetId, i32, i32)>> = vec![Vec::new(); num_channels];
+        for (i, g) in graphs.iter().enumerate() {
+            // (channel, trunk bounding interval); the empty sentinel
+            // (MAX, MIN) never overlaps anything.
+            let mut bounds = vec![(i32::MAX, i32::MIN); num_channels];
+            let mut present = vec![false; num_channels];
+            for e in g.edges() {
+                let Some(c) = e.kind.channel() else { continue };
+                present[c.index()] = true;
+                if matches!(e.kind, REdgeKind::Trunk { .. }) {
+                    let b = &mut bounds[c.index()];
+                    b.0 = b.0.min(e.x1);
+                    b.1 = b.1.max(e.x2);
+                }
+            }
+            for c in 0..num_channels {
+                if present[c] {
+                    channel_nets[c].push((NetId::new(i), bounds[c].0, bounds[c].1));
+                }
+            }
+        }
         let mut engine = Self {
             graphs,
             density,
             sta,
             hyp,
             partner,
+            channel_nets,
+            selection: SelectionStrategy::default(),
+            delta_spans: Vec::new(),
+            delta_snap: Vec::new(),
+            delta_cons: Vec::new(),
+            delta_nets: Vec::new(),
+            selection_log: Vec::new(),
+            rekey_causes: [0; 4],
             deletions: 0,
             reroutes: 0,
         };
         for i in 0..engine.graphs.len() {
             engine.refresh_length(NetId::new(i));
         }
+        engine.clear_delta();
         engine
     }
 
@@ -90,8 +187,8 @@ impl Engine {
     }
 
     /// The density map.
-    pub fn density_mut(&mut self) -> &mut DensityMap {
-        &mut self.density
+    pub fn density(&self) -> &DensityMap {
+        &self.density
     }
 
     /// The timing analyzer.
@@ -104,18 +201,64 @@ impl Engine {
         self.partner[net.index()]
     }
 
+    /// Selects the candidate-selection strategy for subsequent
+    /// [`Engine::run_deletion`] calls. Both strategies produce identical
+    /// deletion sequences; `FullRescan` is the testing oracle.
+    pub fn set_selection(&mut self, selection: SelectionStrategy) {
+        self.selection = selection;
+    }
+
+    fn clear_delta(&mut self) {
+        self.delta_spans.clear();
+        self.delta_snap.clear();
+        self.delta_cons.clear();
+        self.delta_nets.clear();
+    }
+
+    /// Records an imminent density mutation over `[x1, x2]` of `channel`:
+    /// snapshots the channel's aggregates on first touch (so the
+    /// scoreboard loop can tell whether they actually moved) and logs the
+    /// span. Must be called *before* the mutation.
+    fn note_touch(&mut self, channel: ChannelId, x1: i32, x2: i32) {
+        if !self.delta_snap.iter().any(|(c, _)| *c == channel) {
+            self.delta_snap
+                .push((channel, self.channel_aggregates(channel)));
+        }
+        self.delta_spans.push((channel, x1, x2));
+    }
+
+    fn channel_aggregates(&self, channel: ChannelId) -> [i32; 4] {
+        [
+            self.density.c_max(channel),
+            self.density.nc_max(channel),
+            self.density.c_min(channel),
+            self.density.nc_min(channel),
+        ]
+    }
+
     fn refresh_length(&mut self, net: NetId) {
         let len = tentative_length_um(&self.graphs[net.index()], None)
             .expect("net graphs stay connected");
-        self.sta.set_net_length(net, len);
+        if self.sta.set_net_length(net, len) {
+            self.delta_cons
+                .extend_from_slice(self.sta.constraints_of_net(net));
+        }
     }
 
-    /// Hypothetical wire state if `e` of `net` were deleted (cached).
+    /// Hypothetical wire state if `e` of `net` were deleted (cached until
+    /// the graph's generation moves).
     fn hyp_for(&mut self, net: NetId, e: u32) -> HypWire {
-        if let Some(h) = self.hyp[net.index()][e as usize] {
+        let ni = net.index();
+        let gen = self.graphs[ni].generation();
+        let cache = &mut self.hyp[ni];
+        if cache.stamp != gen {
+            cache.slots.iter_mut().for_each(|h| *h = None);
+            cache.stamp = gen;
+        }
+        if let Some(h) = cache.slots[e as usize] {
             return h;
         }
-        let len = tentative_length_um(&self.graphs[net.index()], Some(e))
+        let len = tentative_length_um(&self.graphs[ni], Some(e))
             .expect("deleting a non-bridge keeps the net connected");
         let (cl_ff, rc_ps) = self.sta.lengths().wire_terms_at(net, len);
         let h = HypWire {
@@ -123,7 +266,7 @@ impl Engine {
             cl_ff,
             rc_ps,
         };
-        self.hyp[net.index()][e as usize] = Some(h);
+        self.hyp[ni].slots[e as usize] = Some(h);
         h
     }
 
@@ -174,15 +317,20 @@ impl Engine {
         let g = &self.graphs[net.index()];
         let edge = g.edges()[e as usize];
         if let REdgeKind::Trunk { channel } = edge.kind {
+            let (w, bridge) = (g.width() as i32, g.is_bridge(e));
+            self.note_touch(channel, edge.x1, edge.x2);
             self.density
-                .remove_span(channel, edge.x1, edge.x2, g.width() as i32, g.is_bridge(e));
+                .remove_span(channel, edge.x1, edge.x2, w, bridge);
         }
     }
 
     /// Deletes one edge of one net and restores every invariant: density
     /// spans, pruned dangling chains, bridge flags (with `d_m`
-    /// promotions), the net's tentative length / margins, and the net's
-    /// hypothesis cache.
+    /// promotions), and the net's tentative length / margins. The
+    /// hypothesis cache invalidates itself through the graph generation.
+    ///
+    /// Touched channels, refreshed constraints and the changed net are
+    /// recorded in the engine's delta scratch for scoreboard re-keying.
     ///
     /// # Panics
     ///
@@ -194,6 +342,7 @@ impl Engine {
         self.remove_density(net, e);
         self.graphs[ni].delete_edge(e);
         self.deletions += 1;
+        self.delta_nets.push(net);
         let pruned = self.graphs[ni].prune_dangling();
         self.deletions += pruned.len();
         for pe in pruned {
@@ -202,13 +351,10 @@ impl Engine {
             let g = &self.graphs[ni];
             let edge = g.edges()[pe as usize];
             if let REdgeKind::Trunk { channel } = edge.kind {
-                self.density.remove_span(
-                    channel,
-                    edge.x1,
-                    edge.x2,
-                    g.width() as i32,
-                    g.is_bridge(pe),
-                );
+                let (w, bridge) = (g.width() as i32, g.is_bridge(pe));
+                self.note_touch(channel, edge.x1, edge.x2);
+                self.density
+                    .remove_span(channel, edge.x1, edge.x2, w, bridge);
             }
         }
         let old_bridge: Vec<bool> = (0..self.graphs[ni].edges().len() as u32)
@@ -220,13 +366,13 @@ impl Engine {
             if g.is_alive(i) && !old_bridge[i as usize] && g.is_bridge(i) {
                 let edge = g.edges()[i as usize];
                 if let REdgeKind::Trunk { channel } = edge.kind {
-                    self.density
-                        .promote_span(channel, edge.x1, edge.x2, g.width() as i32);
+                    let w = g.width() as i32;
+                    self.note_touch(channel, edge.x1, edge.x2);
+                    self.density.promote_span(channel, edge.x1, edge.x2, w);
                 }
             }
         }
         self.refresh_length(net);
-        self.hyp[ni].iter_mut().for_each(|h| *h = None);
     }
 
     /// Deletes an edge and cascades to the differential partner (§4.1):
@@ -245,6 +391,15 @@ impl Engine {
     /// Runs the deletion loop over `scope` (all nets when `None`) until no
     /// in-scope non-bridge edge remains. Returns the number of selections.
     pub fn run_deletion(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
+        match self.selection {
+            SelectionStrategy::Scoreboard => self.run_deletion_scoreboard(scope, order),
+            SelectionStrategy::FullRescan => self.run_deletion_rescan(scope, order),
+        }
+    }
+
+    /// The naive oracle: recomputes every in-scope candidate key each
+    /// iteration and linearly scans for the minimum.
+    fn run_deletion_rescan(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
         let nets: Vec<NetId> = match scope {
             Some(s) => s.to_vec(),
             None => (0..self.graphs.len()).map(NetId::new).collect(),
@@ -270,8 +425,122 @@ impl Engine {
                 }
             }
             let Some(key) = best else { break };
+            self.clear_delta();
             self.delete_with_partner(key.net, key.edge);
+            self.selection_log.push((key.net, key.edge));
             selections += 1;
+        }
+        selections
+    }
+
+    /// Pushes `net`'s *champion* — the minimum key over its deletable
+    /// edges, found with the same strict-less linear scan the full
+    /// rescan uses — so the heap holds at most one live entry per net.
+    fn push_keys(&mut self, sb: &mut Scoreboard, net: NetId) {
+        let order = sb.order();
+        let mut best: Option<EdgeKey> = None;
+        let ecount = self.graphs[net.index()].edges().len() as u32;
+        for e in 0..ecount {
+            let g = &self.graphs[net.index()];
+            if !g.is_alive(e) || g.is_bridge(e) {
+                continue;
+            }
+            let key = self.edge_key(net, e);
+            let better = match &best {
+                None => true,
+                Some(b) => compare(&key, b, order) == std::cmp::Ordering::Less,
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        if let Some(key) = best {
+            sb.push(key);
+        }
+    }
+
+    /// The incremental path: scoreboard selection with dirty-set
+    /// re-keying (see the [module docs](self) for the invalidation
+    /// derivation).
+    fn run_deletion_scoreboard(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
+        let nets: Vec<NetId> = match scope {
+            Some(s) => s.to_vec(),
+            None => (0..self.graphs.len()).map(NetId::new).collect(),
+        };
+        let mut in_scope = vec![false; self.graphs.len()];
+        for &n in &nets {
+            in_scope[n.index()] = true;
+        }
+        let mut sb = Scoreboard::new(self.graphs.len(), order);
+        for &net in &nets {
+            self.push_keys(&mut sb, net);
+        }
+        let mut selections = 0;
+        while let Some(key) = sb.pop_valid() {
+            debug_assert!(
+                self.graphs[key.net.index()].is_alive(key.edge)
+                    && !self.graphs[key.net.index()].is_bridge(key.edge),
+                "scoreboard returned a non-deletable edge"
+            );
+            self.clear_delta();
+            self.delete_with_partner(key.net, key.edge);
+            self.selection_log.push((key.net, key.edge));
+            selections += 1;
+
+            // Dirty set: changed nets ∪ density-affected nets ∪ nets of
+            // refreshed constraints, restricted to the scope. BTreeSet
+            // gives a deterministic re-key order.
+            let d_nets = std::mem::take(&mut self.delta_nets);
+            let d_spans = std::mem::take(&mut self.delta_spans);
+            let d_snap = std::mem::take(&mut self.delta_snap);
+            let d_cons = std::mem::take(&mut self.delta_cons);
+            let mut dirty: BTreeSet<NetId> = BTreeSet::new();
+            for n in d_nets.iter().copied().filter(|n| in_scope[n.index()]) {
+                if dirty.insert(n) {
+                    self.rekey_causes[0] += 1;
+                }
+            }
+            for &(c, before) in &d_snap {
+                if before != self.channel_aggregates(c) {
+                    // Aggregates moved: every key referencing this channel
+                    // (trunk or branch) changed.
+                    for &(n, _, _) in &self.channel_nets[c.index()] {
+                        if in_scope[n.index()] && dirty.insert(n) {
+                            self.rekey_causes[1] += 1;
+                        }
+                    }
+                } else {
+                    // Aggregates held: only trunk keys whose interval
+                    // overlaps a touched span can have moved (their
+                    // edge-density window query reads the profile there).
+                    for &(n, lo, hi) in &self.channel_nets[c.index()] {
+                        if in_scope[n.index()]
+                            && d_spans
+                                .iter()
+                                .any(|&(sc, x1, x2)| sc == c && lo <= x2 && x1 <= hi)
+                            && dirty.insert(n)
+                        {
+                            self.rekey_causes[2] += 1;
+                        }
+                    }
+                }
+            }
+            for &cid in &d_cons {
+                for &n in self.sta.nets_of_constraint(cid as usize) {
+                    if in_scope[n.index()] && dirty.insert(n) {
+                        self.rekey_causes[3] += 1;
+                    }
+                }
+            }
+            // Hand the scratch buffers back for reuse.
+            self.delta_nets = d_nets;
+            self.delta_spans = d_spans;
+            self.delta_snap = d_snap;
+            self.delta_cons = d_cons;
+            for net in dirty {
+                sb.invalidate_net(net);
+                self.push_keys(&mut sb, net);
+            }
         }
         selections
     }
@@ -309,12 +578,16 @@ impl Engine {
                 if g.is_alive(e) {
                     let edge = g.edges()[e as usize];
                     if let REdgeKind::Trunk { channel } = edge.kind {
-                        self.density
-                            .add_span(channel, edge.x1, edge.x2, g.width() as i32, g.is_bridge(e));
+                        self.density.add_span(
+                            channel,
+                            edge.x1,
+                            edge.x2,
+                            g.width() as i32,
+                            g.is_bridge(e),
+                        );
                     }
                 }
             }
-            self.hyp[ni].iter_mut().for_each(|h| *h = None);
             self.refresh_length(n);
             self.reroutes += 1;
         }
@@ -332,7 +605,7 @@ impl Engine {
     }
 
     /// Restores a snapshot taken with [`Engine::snapshot`], rebuilding
-    /// density spans, lengths, margins and caches.
+    /// density spans, lengths and margins.
     pub fn restore(&mut self, snapshot: &[(NetId, Vec<bool>)]) {
         for (net, mask) in snapshot {
             let ni = net.index();
@@ -368,7 +641,6 @@ impl Engine {
                     }
                 }
             }
-            self.hyp[ni].iter_mut().for_each(|h| *h = None);
             self.refresh_length(*net);
         }
     }
@@ -397,8 +669,13 @@ mod tests {
             .net_ids()
             .map(|n| RoutingGraph::build(&circuit, &placement, n, &[], 30.0))
             .collect();
-        let sta = Sta::new(&circuit, vec![], DelayModel::Capacitance, WireParams::default())
-            .unwrap();
+        let sta = Sta::new(
+            &circuit,
+            vec![],
+            DelayModel::Capacitance,
+            WireParams::default(),
+        )
+        .unwrap();
         let partner = vec![None; circuit.nets().len()];
         let width = placement.width_pitches() as usize;
         Engine::new(graphs, sta, partner, placement.num_channels(), width)
@@ -406,11 +683,11 @@ mod tests {
 
     #[test]
     fn initial_state_has_density_and_lengths() {
-        let mut engine = engine_for_same_row();
+        let engine = engine_for_same_row();
         // Channel 0 and 1 both have trunk spans from net n1 plus branches
         // don't count; some density must exist.
-        let total: i32 = (0..engine.density_mut().num_channels())
-            .map(|c| engine.density_mut().c_max(bgr_layout::ChannelId::new(c)))
+        let total: i32 = (0..engine.density().num_channels())
+            .map(|c| engine.density().c_max(bgr_layout::ChannelId::new(c)))
             .sum();
         assert!(total > 0);
         assert!(engine.sta().lengths().total_length_um() > 0.0);
@@ -434,12 +711,12 @@ mod tests {
     #[test]
     fn deletion_reduces_density_upper_bound() {
         let mut engine = engine_for_same_row();
-        let before: i32 = (0..engine.density_mut().num_channels())
-            .map(|c| engine.density_mut().c_max(bgr_layout::ChannelId::new(c)))
+        let before: i32 = (0..engine.density().num_channels())
+            .map(|c| engine.density().c_max(bgr_layout::ChannelId::new(c)))
             .sum();
         engine.run_deletion(None, CriteriaOrder::DelayFirst);
-        let after: i32 = (0..engine.density_mut().num_channels())
-            .map(|c| engine.density_mut().c_max(bgr_layout::ChannelId::new(c)))
+        let after: i32 = (0..engine.density().num_channels())
+            .map(|c| engine.density().c_max(bgr_layout::ChannelId::new(c)))
             .sum();
         assert!(after <= before);
     }
@@ -461,5 +738,33 @@ mod tests {
         let mut engine = engine_for_same_row();
         engine.run_deletion(None, CriteriaOrder::DelayFirst);
         assert!(engine.deletions > 0);
+    }
+
+    #[test]
+    fn scoreboard_matches_full_rescan_sequence() {
+        let mut fast = engine_for_same_row();
+        let mut oracle = engine_for_same_row();
+        oracle.set_selection(SelectionStrategy::FullRescan);
+        let s1 = fast.run_deletion(None, CriteriaOrder::DelayFirst);
+        let s2 = oracle.run_deletion(None, CriteriaOrder::DelayFirst);
+        assert_eq!(s1, s2);
+        assert_eq!(fast.selection_log, oracle.selection_log);
+        for (gf, go) in fast.graphs().iter().zip(oracle.graphs()) {
+            assert_eq!(gf.alive_mask(), go.alive_mask());
+        }
+    }
+
+    #[test]
+    fn scoreboard_matches_oracle_through_reroutes() {
+        let mut fast = engine_for_same_row();
+        let mut oracle = engine_for_same_row();
+        oracle.set_selection(SelectionStrategy::FullRescan);
+        for engine in [&mut fast, &mut oracle] {
+            engine.run_deletion(None, CriteriaOrder::DelayFirst);
+            engine.reroute_net(bgr_netlist::NetId::new(1), CriteriaOrder::AreaFirst);
+            engine.reroute_net(bgr_netlist::NetId::new(0), CriteriaOrder::DelayFirst);
+        }
+        assert_eq!(fast.selection_log, oracle.selection_log);
+        assert_eq!(fast.deletions, oracle.deletions);
     }
 }

@@ -133,7 +133,11 @@ pub fn assign_with_insertion(
         for (ni, ranges) in outcome.ranges.iter().enumerate() {
             let net = NetId::new(ni);
             let width = circuit.net(net).width_pitches()
-                * if pairs.partner_of(net).is_some() { 2 } else { 1 };
+                * if pairs.partner_of(net).is_some() {
+                    2
+                } else {
+                    1
+                };
             if width <= 1 {
                 continue;
             }
@@ -293,8 +297,7 @@ mod tests {
         let order: Vec<NetId> = circuit.net_ids().collect();
         let cells_before = circuit.cells().len();
         let width_before = placement.width_pitches();
-        let plan =
-            assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 5).unwrap();
+        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 5).unwrap();
         // Both crossing nets got a feed in row 1.
         for &n in &nets {
             assert_eq!(plan.feeds[n.index()].len(), 1, "net {n} crossed row 1");
@@ -314,8 +317,7 @@ mod tests {
         // Only route one of the crossing nets: the single slot suffices.
         let pairs = PairMap::build(&circuit);
         let order = vec![NetId::new(0)];
-        let plan =
-            assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 5).unwrap();
+        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 5).unwrap();
         assert_eq!(plan.inserted_cells, 0);
         assert_eq!(plan.widened, 0);
         assert_eq!(plan.feeds[0], vec![(1, 4)]);

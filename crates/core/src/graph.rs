@@ -119,6 +119,11 @@ pub struct RoutingGraph {
     terminal_verts: Vec<u32>,
     driver_vert: u32,
     alive_count: usize,
+    /// Invalidation stamp: bumped by every call that can change the alive
+    /// set or bridge flags. Equal stamps guarantee an identical graph
+    /// state, so derived caches (tentative lengths, hypothetical wires,
+    /// selection keys) keyed on it can never go stale.
+    generation: u64,
 }
 
 impl RoutingGraph {
@@ -251,6 +256,7 @@ impl RoutingGraph {
             terminal_verts,
             driver_vert,
             alive_count,
+            generation: 0,
         };
         graph.recompute_bridges();
         graph
@@ -299,6 +305,17 @@ impl RoutingGraph {
         self.alive_count
     }
 
+    /// Invalidation stamp: bumped by [`RoutingGraph::delete_edge`],
+    /// [`RoutingGraph::restore_all`], [`RoutingGraph::set_alive_mask`],
+    /// [`RoutingGraph::prune_dangling`] and
+    /// [`RoutingGraph::recompute_bridges`]. Caches derived from the alive
+    /// subgraph or its bridge flags stay valid exactly while this value is
+    /// unchanged.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Vertex indices of the net's terminals.
     pub fn terminal_verts(&self) -> &[u32] {
         &self.terminal_verts
@@ -344,6 +361,7 @@ impl RoutingGraph {
         assert!(self.alive[e as usize], "edge {e} deleted twice");
         self.alive[e as usize] = false;
         self.alive_count -= 1;
+        self.generation += 1;
     }
 
     /// Restores every edge to alive (rip-up for rerouting) and recomputes
@@ -351,6 +369,7 @@ impl RoutingGraph {
     pub fn restore_all(&mut self) {
         self.alive.iter_mut().for_each(|a| *a = true);
         self.alive_count = self.edges.len();
+        self.generation += 1;
         self.recompute_bridges();
     }
 
@@ -368,6 +387,7 @@ impl RoutingGraph {
         assert_eq!(mask.len(), self.edges.len(), "mask length mismatch");
         self.alive.copy_from_slice(mask);
         self.alive_count = mask.iter().filter(|&&a| a).count();
+        self.generation += 1;
         self.recompute_bridges();
     }
 
@@ -399,12 +419,16 @@ impl RoutingGraph {
                 queue.push(w);
             }
         }
+        if !pruned.is_empty() {
+            self.generation += 1;
+        }
         pruned
     }
 
     /// Recomputes bridge flags over the alive subgraph (iterative DFS
     /// low-link; parallel edges handled via edge ids).
     pub fn recompute_bridges(&mut self) {
+        self.generation += 1;
         let nv = self.verts.len();
         self.bridge.iter_mut().for_each(|b| *b = false);
         let mut disc = vec![0u32; nv];
@@ -592,6 +616,27 @@ pub(crate) mod tests {
         assert!(g.is_tree());
         assert!(g.terminals_connected());
         assert_eq!(g.alive_count(), 3);
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation() {
+        let (circuit, placement, net) = same_row_net();
+        let mut g = RoutingGraph::build(&circuit, &placement, net, &[], 30.0);
+        let g0 = g.generation();
+        let e = g.non_bridge_edges().next().unwrap();
+        g.delete_edge(e);
+        let g1 = g.generation();
+        assert!(g1 > g0, "delete_edge bumps");
+        g.prune_dangling();
+        g.recompute_bridges();
+        let g2 = g.generation();
+        assert!(g2 > g1, "prune/recompute bump");
+        let mask = g.alive_mask();
+        g.restore_all();
+        assert!(g.generation() > g2, "restore_all bumps");
+        let g3 = g.generation();
+        g.set_alive_mask(&mask);
+        assert!(g.generation() > g3, "set_alive_mask bumps");
     }
 
     #[test]

@@ -31,8 +31,7 @@ fn reroute_guarded(engine: &mut Engine, net: NetId, order: CriteriaOrder) {
     let before = timing_score(engine);
     engine.reroute_net(net, order);
     let after = timing_score(engine);
-    let worse = after.0 > before.0 + EPS
-        || (after.0 > before.0 - EPS && after.1 > before.1 + EPS);
+    let worse = after.0 > before.0 + EPS || (after.0 > before.0 - EPS && after.1 > before.1 + EPS);
     if worse {
         engine.restore(&snap);
     }
@@ -109,9 +108,9 @@ pub fn improve_delay(engine: &mut Engine, passes: usize, order: CriteriaOrder) -
 pub fn improve_area(engine: &mut Engine, passes: usize) -> usize {
     let mut reroutes = 0;
     for _ in 0..passes {
-        let tracks_before: i32 = engine.density_mut().channel_maxima().iter().sum();
+        let tracks_before: i32 = engine.density().channel_maxima().iter().sum();
         let hottest = engine
-            .density_mut()
+            .density()
             .channel_maxima()
             .into_iter()
             .max()
@@ -142,7 +141,7 @@ pub fn improve_area(engine: &mut Engine, passes: usize) -> usize {
             let net = NetId::new(i);
             let mut score = 0;
             for (c, x1, x2) in spans {
-                score = score.max(engine.density_mut().edge_density(c, x1, x2).d_max);
+                score = score.max(engine.density().edge_density(c, x1, x2).d_max);
             }
             if score >= hottest - 1 && score > 0 {
                 scored.push((score, net));
@@ -151,17 +150,17 @@ pub fn improve_area(engine: &mut Engine, passes: usize) -> usize {
         scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for (_, net) in scored {
             let snap = engine.snapshot(net);
-            let tracks_b: i32 = engine.density_mut().channel_maxima().iter().sum();
+            let tracks_b: i32 = engine.density().channel_maxima().iter().sum();
             let timing_b = timing_score(engine);
             engine.reroute_net(net, CriteriaOrder::AreaFirst);
-            let tracks_a: i32 = engine.density_mut().channel_maxima().iter().sum();
+            let tracks_a: i32 = engine.density().channel_maxima().iter().sum();
             let timing_a = timing_score(engine);
             if tracks_a > tracks_b || timing_a.0 > timing_b.0 + EPS {
                 engine.restore(&snap);
             }
             reroutes += 1;
         }
-        let tracks_after: i32 = engine.density_mut().channel_maxima().iter().sum();
+        let tracks_after: i32 = engine.density().channel_maxima().iter().sum();
         if tracks_after >= tracks_before {
             break;
         }
@@ -213,8 +212,13 @@ mod tests {
             .net_ids()
             .map(|n| RoutingGraph::build(&circuit, &placement, n, &[], 30.0))
             .collect();
-        let sta = Sta::new(&circuit, cons, DelayModel::Capacitance, WireParams::default())
-            .unwrap();
+        let sta = Sta::new(
+            &circuit,
+            cons,
+            DelayModel::Capacitance,
+            WireParams::default(),
+        )
+        .unwrap();
         let partner = vec![None; circuit.nets().len()];
         let width = placement.width_pitches() as usize;
         Engine::new(graphs, sta, partner, placement.num_channels(), width)

@@ -68,13 +68,14 @@ pub mod improve;
 pub mod report;
 pub mod result;
 pub mod router;
+pub mod scoreboard;
 pub mod select;
 pub mod tentative;
 
-pub use config::{CriteriaOrder, RouterConfig};
+pub use baseline::{SequentialConfig, SequentialRouter};
+pub use config::{CriteriaOrder, RouterConfig, SelectionStrategy};
 pub use error::RouteError;
 pub use graph::{REdge, REdgeKind, RVert, RVertKind, RoutingGraph};
 pub use report::{ChannelCongestion, CongestionReport};
 pub use result::{NetTree, RouteStats, RoutingResult, Segment, TimingReport};
-pub use baseline::{SequentialConfig, SequentialRouter};
 pub use router::{GlobalRouter, Routed};

@@ -116,11 +116,9 @@ impl NetTree {
         self.segments
             .iter()
             .filter_map(|s| match *s {
-                Segment::Trunk {
-                    channel: c,
-                    x1,
-                    x2,
-                } if c == channel => Some((x1, x2, self.width_pitches)),
+                Segment::Trunk { channel: c, x1, x2 } if c == channel => {
+                    Some((x1, x2, self.width_pitches))
+                }
                 _ => None,
             })
             .collect()
@@ -218,6 +216,15 @@ pub struct RouteStats {
     /// Differential pairs whose graphs were not homogeneous (routed
     /// independently).
     pub diff_pairs_independent: usize,
+    /// Every `(net, edge)` selection made by the deletion loop, in
+    /// order, across initial routing and every improvement reroute —
+    /// the determinism audit trail compared between
+    /// [`crate::SelectionStrategy`] variants by the oracle tests.
+    pub selection_log: Vec<(bgr_netlist::NetId, u32)>,
+    /// Scoreboard diagnostic: nets re-keyed per invalidation cause
+    /// (graph-dirty, aggregate-moved channel, span-overlap, constraint).
+    /// All zero under the full-rescan strategy.
+    pub rekey_causes: [usize; 4],
     /// Wall-clock of initial routing.
     pub initial_routing: std::time::Duration,
     /// Wall-clock of the three improvement phases.

@@ -121,9 +121,7 @@ impl GlobalRouter {
         let branch_lens: Vec<f64> = est
             .channel_maxima()
             .iter()
-            .map(|&tracks| {
-                (tracks as f64 / 2.0 * tp).max(self.config.branch_length_um)
-            })
+            .map(|&tracks| (tracks as f64 / 2.0 * tp).max(self.config.branch_length_um))
             .collect();
         drop(probe);
         let graphs: Vec<RoutingGraph> = circuit
@@ -185,6 +183,7 @@ impl GlobalRouter {
             placement.num_channels(),
             placement.width_pitches().max(1) as usize,
         );
+        engine.set_selection(self.config.selection);
 
         // Fig. 2 lines 04-07: initial routing.
         let t0 = Instant::now();
@@ -195,8 +194,16 @@ impl GlobalRouter {
         // Fig. 2 lines 08-10: improvement loops.
         let t1 = Instant::now();
         if self.config.use_constraints {
-            recover_violate(&mut engine, self.config.recover_passes, self.config.criteria_order);
-            improve_delay(&mut engine, self.config.delay_passes, self.config.criteria_order);
+            recover_violate(
+                &mut engine,
+                self.config.recover_passes,
+                self.config.criteria_order,
+            );
+            improve_delay(
+                &mut engine,
+                self.config.delay_passes,
+                self.config.criteria_order,
+            );
         }
         improve_area(&mut engine, self.config.area_passes);
         stats.improvement = t1.elapsed();
@@ -204,7 +211,9 @@ impl GlobalRouter {
 
         stats.deletions = engine.deletions;
         stats.reroutes = engine.reroutes;
-        let (graphs, mut density, _sta) = engine.into_parts();
+        stats.selection_log = std::mem::take(&mut engine.selection_log);
+        stats.rekey_causes = engine.rekey_causes;
+        let (graphs, density, _sta) = engine.into_parts();
 
         let trees: Vec<NetTree> = graphs.iter().map(NetTree::from_graph).collect();
         let net_lengths_um: Vec<f64> = graphs.iter().map(|g| g.alive_length_um()).collect();
@@ -335,8 +344,7 @@ mod tests {
             .route(circuit, placement, cons)
             .unwrap();
         assert!(
-            with.result.timing.max_arrival_ps()
-                <= without.result.timing.max_arrival_ps() + 1e-6
+            with.result.timing.max_arrival_ps() <= without.result.timing.max_arrival_ps() + 1e-6
         );
     }
 

@@ -1,0 +1,197 @@
+//! The candidate scoreboard: an ordered pool of [`EdgeKey`]s with
+//! generation-stamped lazy invalidation.
+//!
+//! The deletion loop (Fig. 2 lines 04–07) needs the minimum-ranked
+//! deletable edge across every in-scope net on every iteration. The
+//! naive formulation recomputes every key per iteration —
+//! `O(nets × edges)` key evaluations per selection, each one a Dijkstra
+//! over the net's routing graph. The scoreboard instead keeps all
+//! current keys in a binary heap and re-keys only *dirty* nets after a
+//! deletion.
+//!
+//! # Invalidation contract
+//!
+//! The scoreboard holds one generation counter per net. Re-keying a net
+//! (or invalidating it) bumps the counter; heap entries carry the
+//! counter value at push time and are discarded on pop when they no
+//! longer match. Consequently:
+//!
+//! * callers must invalidate-and-re-key every net whose key set may
+//!   have changed (the *dirty set* — see `Engine::run_deletion` for the
+//!   derivation from graph generations, touched channels and refreshed
+//!   timing constraints);
+//! * nets outside the dirty set keep their entries, which remain
+//!   *exactly* the keys a full rescan would compute, because every
+//!   input of [`EdgeKey`] is covered by the dirty-set definition.
+//!
+//! Stale entries are never purged eagerly; the heap is drained lazily,
+//! so a push is `O(log n)` and a pop amortizes over the entries it
+//! discards.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bgr_netlist::NetId;
+
+use crate::config::CriteriaOrder;
+use crate::select::{compare, EdgeKey};
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: EdgeKey,
+    /// Owning net's scoreboard generation at push time.
+    stamp: u64,
+    /// Criteria order of the run (uniform across one scoreboard).
+    order: CriteriaOrder,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse the selection order so the
+        // best (smallest) candidate surfaces at the top.
+        compare(&other.key, &self.key, self.order)
+    }
+}
+
+/// Ordered candidate pool over every deletable edge of the in-scope
+/// nets. See the [module docs](self) for the invalidation contract.
+#[derive(Debug)]
+pub struct Scoreboard {
+    heap: BinaryHeap<Entry>,
+    net_gen: Vec<u64>,
+    order: CriteriaOrder,
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard for `num_nets` nets, comparing keys
+    /// with `order`.
+    pub fn new(num_nets: usize, order: CriteriaOrder) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            net_gen: vec![0; num_nets],
+            order,
+        }
+    }
+
+    /// Number of live (non-stale) entries is at most this; stale entries
+    /// inflate it until they are popped.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries at all (stale or live).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The criteria order this scoreboard compares keys with.
+    pub fn order(&self) -> CriteriaOrder {
+        self.order
+    }
+
+    /// Invalidates every entry of `net`: bumps its generation so existing
+    /// heap entries die lazily. Call before re-pushing the net's current
+    /// keys.
+    pub fn invalidate_net(&mut self, net: NetId) {
+        self.net_gen[net.index()] += 1;
+    }
+
+    /// Pushes a candidate key, stamped with its net's current generation.
+    pub fn push(&mut self, key: EdgeKey) {
+        let stamp = self.net_gen[key.net.index()];
+        self.heap.push(Entry {
+            key,
+            stamp,
+            order: self.order,
+        });
+    }
+
+    /// Pops the best *valid* candidate, discarding stale entries, or
+    /// `None` when no valid candidate remains.
+    pub fn pop_valid(&mut self) -> Option<EdgeKey> {
+        while let Some(e) = self.heap.pop() {
+            if e.stamp == self.net_gen[e.key.net.index()] {
+                return Some(e.key);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::DelayCriteria;
+
+    fn key(net: usize, edge: u32, f_max: i32) -> EdgeKey {
+        EdgeKey {
+            delay: DelayCriteria::default(),
+            is_trunk: true,
+            f_min: 0,
+            n_min: 0,
+            f_max,
+            n_max: 0,
+            len_um: 10.0,
+            net: NetId::new(net),
+            edge,
+        }
+    }
+
+    #[test]
+    fn pops_in_selection_order() {
+        let mut sb = Scoreboard::new(3, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 5));
+        sb.push(key(1, 0, -2));
+        sb.push(key(2, 0, 1));
+        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(1)));
+        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(2)));
+        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(0)));
+        assert_eq!(sb.pop_valid(), None);
+    }
+
+    #[test]
+    fn invalidation_kills_stale_entries_lazily() {
+        let mut sb = Scoreboard::new(2, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, -10)); // would win…
+        sb.push(key(1, 0, 3));
+        sb.invalidate_net(NetId::new(0)); // …but is now stale
+        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(1)));
+        assert_eq!(sb.pop_valid(), None);
+    }
+
+    #[test]
+    fn rekeying_after_invalidation_revives_a_net() {
+        let mut sb = Scoreboard::new(2, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 0));
+        sb.invalidate_net(NetId::new(0));
+        sb.push(key(0, 1, 7)); // fresh key under the new generation
+        let k = sb.pop_valid().unwrap();
+        assert_eq!((k.net, k.edge), (NetId::new(0), 1));
+        assert_eq!(sb.pop_valid(), None);
+    }
+
+    #[test]
+    fn id_tiebreaks_keep_pops_deterministic() {
+        let mut sb = Scoreboard::new(1, CriteriaOrder::DelayFirst);
+        // Identical criteria: net/edge ids decide.
+        sb.push(key(0, 2, 0));
+        sb.push(key(0, 0, 0));
+        sb.push(key(0, 1, 0));
+        let order: Vec<u32> = std::iter::from_fn(|| sb.pop_valid().map(|k| k.edge)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

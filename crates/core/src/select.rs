@@ -133,7 +133,10 @@ mod tests {
         a.delay.gl = 0.1;
         b.delay.gl = 0.5;
         assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Less);
-        assert_eq!(compare(&b, &a, CriteriaOrder::DelayFirst), Ordering::Greater);
+        assert_eq!(
+            compare(&b, &a, CriteriaOrder::DelayFirst),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -187,7 +190,10 @@ mod tests {
         b.delay.gl = 0.0;
         b.f_max = 3;
         assert_eq!(compare(&a, &b, CriteriaOrder::AreaFirst), Ordering::Less);
-        assert_eq!(compare(&a, &b, CriteriaOrder::DelayFirst), Ordering::Greater);
+        assert_eq!(
+            compare(&a, &b, CriteriaOrder::DelayFirst),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -165,7 +165,12 @@ mod tests {
         let g = RoutingGraph::build(&circuit, &placement, net, &[(1, 4)], 30.0);
         // The feed-half edges are bridges; skipping one disconnects.
         let feed_half = (0..g.edges().len() as u32)
-            .find(|&e| matches!(g.edges()[e as usize].kind, crate::graph::REdgeKind::FeedHalf { .. }))
+            .find(|&e| {
+                matches!(
+                    g.edges()[e as usize].kind,
+                    crate::graph::REdgeKind::FeedHalf { .. }
+                )
+            })
             .unwrap();
         assert!(tentative_tree(&g, Some(feed_half)).is_none());
         assert!(tentative_tree(&g, None).is_some());

@@ -1,101 +1,174 @@
-//! Property tests: the incremental density map must agree with a naive
-//! recomputation oracle under any sequence of add/remove/promote ops.
+//! Randomized differential tests: the incremental (segment-tree) density
+//! map must agree with a naive per-column recomputation oracle under any
+//! sequence of add/remove/promote operations — on every aggregate
+//! (`C_M`, `NC_M`, `C_m`, `NC_m`), every interval query (`edge_density`),
+//! and the hottest-column scan.
 
 use bgr_core::density::DensityMap;
 use bgr_layout::ChannelId;
-use proptest::prelude::*;
+use bgr_netlist::SplitMix64;
 
-#[derive(Debug, Clone)]
-enum Op {
-    Add { c: usize, x1: i32, x2: i32, w: i32, bridge: bool },
-    Promote(usize),
-    Remove(usize),
+const CHANNELS: usize = 3;
+const W: usize = 30;
+
+/// Naive oracle: a flat span list, recomputed per column on demand.
+#[derive(Default)]
+struct Oracle {
+    /// `(channel, x1, x2, w, bridge)` for every live span.
+    spans: Vec<(usize, i32, i32, i32, bool)>,
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<(usize, i32, i32, i32, bool, u8)>> {
-    proptest::collection::vec(
-        (0usize..3, 0i32..30, 0i32..30, 1i32..3, any::<bool>(), 0u8..3),
-        1..40,
-    )
+impl Oracle {
+    fn columns(&self, c: usize) -> ([i32; W], [i32; W]) {
+        let mut d_max = [0i32; W];
+        let mut d_min = [0i32; W];
+        for &(oc, x1, x2, w, bridge) in &self.spans {
+            if oc != c {
+                continue;
+            }
+            for x in x1.max(0)..x2.min(W as i32) {
+                d_max[x as usize] += w;
+                if bridge {
+                    d_min[x as usize] += w;
+                }
+            }
+        }
+        (d_max, d_min)
+    }
 }
 
-proptest! {
-    #[test]
-    fn matches_naive_oracle(raw in arb_ops()) {
-        const W: usize = 30;
-        let mut map = DensityMap::new(3, W);
-        // Track live spans so removals are valid.
-        let mut live: Vec<(usize, i32, i32, i32, bool)> = Vec::new();
-        let mut ops: Vec<Op> = Vec::new();
-        for (c, a, b, w, bridge, kind) in raw {
+/// `(max, count-of-max)` with the 0-density convention: an all-zero
+/// region reports count 0.
+fn agg(cols: &[i32]) -> (i32, i32) {
+    let m = cols.iter().copied().max().unwrap_or(0);
+    if m == 0 {
+        (0, 0)
+    } else {
+        (m, cols.iter().filter(|&&d| d == m).count() as i32)
+    }
+}
+
+fn check_all(map: &DensityMap, oracle: &Oracle, rng: &mut SplitMix64) {
+    for c in 0..CHANNELS {
+        let ch = ChannelId::new(c);
+        let (d_max, d_min) = oracle.columns(c);
+        let (cm, ncm) = agg(&d_max);
+        let (cn, ncn) = agg(&d_min);
+        assert_eq!(map.c_max(ch), cm, "C_M channel {c}");
+        assert_eq!(map.nc_max(ch), ncm, "NC_M channel {c}");
+        assert_eq!(map.c_min(ch), cn, "C_m channel {c}");
+        assert_eq!(map.nc_min(ch), ncn, "NC_m channel {c}");
+        // A few random interval queries per channel, including clamps.
+        for _ in 0..4 {
+            let a = rng.range_i32(-5, W as i32 + 5);
+            let b = rng.range_i32(-5, W as i32 + 5);
             let (x1, x2) = (a.min(b), a.max(b));
-            match kind {
+            let ed = map.edge_density(ch, x1, x2);
+            let lo = x1.clamp(0, W as i32) as usize;
+            let hi = x2.clamp(0, W as i32) as usize;
+            if lo >= hi {
+                assert_eq!((ed.d_max, ed.nd_max, ed.d_min, ed.nd_min), (0, 0, 0, 0));
+                continue;
+            }
+            // `edge_density` counts columns attaining the window max even
+            // when that max is 0 (the window genuinely has that many
+            // zero-density columns); only the *channel* aggregates use
+            // the count-0 convention.
+            let wmax = *d_max[lo..hi].iter().max().unwrap();
+            let wcnt = d_max[lo..hi].iter().filter(|&&d| d == wmax).count() as i32;
+            assert_eq!((ed.d_max, ed.nd_max), (wmax, wcnt), "D_M over [{x1},{x2})");
+            let nmax = *d_min[lo..hi].iter().max().unwrap();
+            let ncnt = d_min[lo..hi].iter().filter(|&&d| d == nmax).count() as i32;
+            assert_eq!((ed.d_min, ed.nd_min), (nmax, ncnt), "D_m over [{x1},{x2})");
+        }
+    }
+    // Hottest column agrees with a full scan of the oracle.
+    let mut best: Option<(usize, usize, i32)> = None;
+    for c in 0..CHANNELS {
+        let (d_max, _) = oracle.columns(c);
+        let (cm, _) = agg(&d_max);
+        if cm == 0 {
+            continue;
+        }
+        if best.map(|(_, _, d)| cm > d).unwrap_or(true) {
+            let x = d_max.iter().position(|&d| d == cm).unwrap();
+            best = Some((c, x, cm));
+        }
+    }
+    let got = map.hottest_column();
+    assert_eq!(
+        got.map(|(c, x, d)| (c.index(), x, d)),
+        best,
+        "hottest column"
+    );
+    // snapshot_max reproduces the exact column vectors.
+    let snap = map.snapshot_max();
+    for (c, cols) in snap.iter().enumerate() {
+        let (d_max, _) = oracle.columns(c);
+        assert_eq!(*cols, d_max.to_vec(), "snapshot channel {c}");
+    }
+}
+
+#[test]
+fn matches_naive_oracle_on_random_op_sequences() {
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(0xD1FF ^ seed);
+        let mut map = DensityMap::new(CHANNELS, W);
+        let mut oracle = Oracle::default();
+        let ops = rng.range_usize(1, 60);
+        for _ in 0..ops {
+            match rng.range_usize(0, 3) {
                 0 => {
-                    live.push((c, x1, x2, w, bridge));
-                    ops.push(Op::Add { c, x1, x2, w, bridge });
+                    let c = rng.range_usize(0, CHANNELS);
+                    let a = rng.range_i32(0, W as i32);
+                    let b = rng.range_i32(0, W as i32);
+                    let (x1, x2) = (a.min(b), a.max(b));
+                    let w = rng.range_i32(1, 3);
+                    let bridge = rng.next_bool(0.5);
+                    map.add_span(ChannelId::new(c), x1, x2, w, bridge);
+                    oracle.spans.push((c, x1, x2, w, bridge));
                 }
                 1 => {
                     // Promote a random live non-bridge span.
-                    if let Some(i) = live.iter().position(|s| !s.4) {
-                        live[i].4 = true;
-                        ops.push(Op::Promote(i));
+                    let nb: Vec<usize> = (0..oracle.spans.len())
+                        .filter(|&i| !oracle.spans[i].4)
+                        .collect();
+                    if nb.is_empty() {
+                        continue;
                     }
+                    let i = nb[rng.range_usize(0, nb.len())];
+                    let (c, x1, x2, w, _) = oracle.spans[i];
+                    map.promote_span(ChannelId::new(c), x1, x2, w);
+                    oracle.spans[i].4 = true;
                 }
                 _ => {
-                    if !live.is_empty() {
-                        ops.push(Op::Remove(live.len() - 1));
-                        live.pop();
+                    if oracle.spans.is_empty() {
+                        continue;
                     }
-                }
-            }
-        }
-        // Replay ops on the map; keep an oracle span list.
-        let mut oracle: Vec<(usize, i32, i32, i32, bool)> = Vec::new();
-        for op in &ops {
-            match *op {
-                Op::Add { c, x1, x2, w, bridge } => {
-                    map.add_span(ChannelId::new(c), x1, x2, w, bridge);
-                    oracle.push((c, x1, x2, w, bridge));
-                }
-                Op::Promote(i) => {
-                    let (c, x1, x2, w, _) = oracle[i];
-                    map.promote_span(ChannelId::new(c), x1, x2, w);
-                    oracle[i].4 = true;
-                }
-                Op::Remove(i) => {
-                    let (c, x1, x2, w, bridge) = oracle[i];
+                    let i = rng.range_usize(0, oracle.spans.len());
+                    let (c, x1, x2, w, bridge) = oracle.spans.remove(i);
                     map.remove_span(ChannelId::new(c), x1, x2, w, bridge);
-                    oracle.remove(i);
                 }
             }
-        }
-        // Compare aggregates per channel against the oracle.
-        for c in 0..3 {
-            let mut d_max = [0i32; W];
-            let mut d_min = [0i32; W];
-            for &(oc, x1, x2, w, bridge) in &oracle {
-                if oc != c { continue; }
-                for x in x1.max(0)..x2.min(W as i32) {
-                    d_max[x as usize] += w;
-                    if bridge { d_min[x as usize] += w; }
-                }
-            }
-            let cm = *d_max.iter().max().unwrap();
-            let ncm = if cm == 0 { 0 } else { d_max.iter().filter(|&&d| d == cm).count() as i32 };
-            let cn = *d_min.iter().max().unwrap();
-            let ncn = if cn == 0 { 0 } else { d_min.iter().filter(|&&d| d == cn).count() as i32 };
-            prop_assert_eq!(map.c_max(ChannelId::new(c)), cm);
-            prop_assert_eq!(map.nc_max(ChannelId::new(c)), ncm);
-            prop_assert_eq!(map.c_min(ChannelId::new(c)), cn);
-            prop_assert_eq!(map.nc_min(ChannelId::new(c)), ncn);
-            // Edge density over a window agrees with the oracle too.
-            let ed = map.edge_density(ChannelId::new(c), 5, 15);
-            let window = &d_max[5..15];
-            let wmax = *window.iter().max().unwrap();
-            if wmax > 0 {
-                prop_assert_eq!(ed.d_max, wmax);
-                prop_assert_eq!(ed.nd_max, window.iter().filter(|&&d| d == wmax).count() as i32);
-            }
+            check_all(&map, &oracle, &mut rng);
         }
     }
+}
+
+#[test]
+fn spans_clamped_outside_chip_match_oracle() {
+    let mut map = DensityMap::new(1, W);
+    let mut oracle = Oracle::default();
+    map.add_span(ChannelId::new(0), -10, W as i32 + 10, 2, true);
+    oracle.spans.push((0, -10, W as i32 + 10, 2, true));
+    map.add_span(ChannelId::new(0), 5, 9, 1, false);
+    oracle.spans.push((0, 5, 9, 1, false));
+    let ch = ChannelId::new(0);
+    let (d_max, d_min) = oracle.columns(0);
+    assert_eq!(map.c_max(ch), *d_max.iter().max().unwrap());
+    assert_eq!(map.c_min(ch), *d_min.iter().max().unwrap());
+    map.remove_span(ChannelId::new(0), -10, W as i32 + 10, 2, true);
+    map.remove_span(ChannelId::new(0), 5, 9, 1, false);
+    assert_eq!(map.c_max(ch), 0);
+    assert_eq!(map.nc_max(ch), 0, "empty channel reports count 0");
 }

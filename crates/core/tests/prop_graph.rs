@@ -1,14 +1,13 @@
-//! Property tests: any sequence of non-bridge deletions keeps the
+//! Randomized tests: any sequence of non-bridge deletions keeps the
 //! routing graph's terminals connected, and the process always ends in a
 //! spanning tree.
 
 use bgr_core::RoutingGraph;
 use bgr_layout::{Geometry, PlacementBuilder};
-use bgr_netlist::{CellId, CellLibrary, CircuitBuilder, NetId};
-use proptest::prelude::*;
+use bgr_netlist::{CellId, CellLibrary, CircuitBuilder, NetId, SplitMix64};
 
 /// Builds a multi-fanout net across `rows` rows with `sinks` sinks.
-fn build_graph(rows: usize, sinks: usize, xs: Vec<i32>) -> RoutingGraph {
+fn build_graph(rows: usize, sinks: usize, xs: &[i32]) -> RoutingGraph {
     let lib = CellLibrary::ecl();
     let inv = lib.kind_by_name("INV").unwrap();
     let mut cb = CircuitBuilder::new(lib);
@@ -44,41 +43,38 @@ fn build_graph(rows: usize, sinks: usize, xs: Vec<i32>) -> RoutingGraph {
     RoutingGraph::build(&circuit, &placement, NetId::new(0), &feeds, 30.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_deletion_order_always_yields_a_tree(
-        rows in 1usize..4,
-        sinks in 1usize..5,
-        xs in proptest::collection::vec(0i32..8, 6),
-        picks in proptest::collection::vec(any::<u32>(), 0..64),
-    ) {
-        let mut g = build_graph(rows, sinks, xs);
-        prop_assume!(g.terminals_connected());
+#[test]
+fn random_deletion_order_always_yields_a_tree() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(0x6A7 ^ (seed << 8));
+        let rows = rng.range_usize(1, 4);
+        let sinks = rng.range_usize(1, 5);
+        let xs: Vec<i32> = (0..6).map(|_| rng.range_i32(0, 8)).collect();
+        let mut g = build_graph(rows, sinks, &xs);
+        if !g.terminals_connected() {
+            continue;
+        }
         g.prune_dangling();
         g.recompute_bridges();
-        let mut pi = 0;
         loop {
             let candidates: Vec<u32> = g.non_bridge_edges().collect();
             if candidates.is_empty() {
                 break;
             }
-            let pick = picks.get(pi).copied().unwrap_or(0) as usize % candidates.len();
-            pi += 1;
+            let pick = rng.range_usize(0, candidates.len());
             g.delete_edge(candidates[pick]);
             g.prune_dangling();
             g.recompute_bridges();
-            prop_assert!(g.terminals_connected(), "terminals stay connected");
+            assert!(g.terminals_connected(), "terminals stay connected");
         }
-        prop_assert!(g.is_tree());
+        assert!(g.is_tree());
         // A tree over k alive vertices has exactly k-1 alive edges.
         let alive_verts: std::collections::HashSet<u32> = g
             .alive_edges()
             .flat_map(|e| [g.edges()[e as usize].a, g.edges()[e as usize].b])
             .collect();
         if !alive_verts.is_empty() {
-            prop_assert_eq!(g.alive_count(), alive_verts.len() - 1);
+            assert_eq!(g.alive_count(), alive_verts.len() - 1);
         }
     }
 }

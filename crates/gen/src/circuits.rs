@@ -55,11 +55,8 @@ impl DataSet {
         .expect("reference detail route succeeds");
         // Lower bound in the *reference layout* geometry (channel heights
         // included): limits anchored to it are genuinely achievable.
-        let lb = hpwl_net_lengths_in_layout_um(
-            &reference.circuit,
-            &reference.placement,
-            &detail.tracks,
-        );
+        let lb =
+            hpwl_net_lengths_in_layout_um(&reference.circuit, &reference.placement, &detail.tracks);
         // Feed cells added by the reference route have no nets, so the
         // net-length tables match the original circuit's net count.
         design.constraints = harvest_between(
@@ -219,6 +216,9 @@ mod tests {
             p1.design.circuit.cells().len(),
             p2.design.circuit.cells().len()
         );
-        assert_eq!(p1.design.circuit.nets().len(), p2.design.circuit.nets().len());
+        assert_eq!(
+            p1.design.circuit.nets().len(),
+            p2.design.circuit.nets().len()
+        );
     }
 }

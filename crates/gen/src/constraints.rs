@@ -8,11 +8,7 @@
 //! gate delay — tight enough that unconstrained routing violates some of
 //! them, loose enough that the timing-driven router can close them.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use bgr_netlist::{Circuit, TermDir, TermId};
+use bgr_netlist::{Circuit, SplitMix64, TermDir, TermId};
 use bgr_timing::{ConstraintGraph, DelayGraph, PathConstraint};
 
 /// Harvests up to `count` satisfiable path constraints.
@@ -50,12 +46,12 @@ pub fn harvest_constraints(
             }
         }
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut pairs: Vec<(TermId, TermId)> = sources
         .iter()
         .flat_map(|&s| sinks.iter().map(move |&t| (s, t)))
         .collect();
-    pairs.shuffle(&mut rng);
+    rng.shuffle(&mut pairs);
 
     let mut out = Vec::new();
     for (s, t) in pairs {
@@ -154,10 +150,8 @@ mod tests {
         let cons = harvest_between(&design.circuit, 3, 0.5, 11, &lb, &rf);
         assert!(!cons.is_empty());
         for c in &cons {
-            let at_lb =
-                arrival_with_lengths(&design.circuit, c.source, c.sink, &lb).unwrap();
-            let at_rf =
-                arrival_with_lengths(&design.circuit, c.source, c.sink, &rf).unwrap();
+            let at_lb = arrival_with_lengths(&design.circuit, c.source, c.sink, &lb).unwrap();
+            let at_rf = arrival_with_lengths(&design.circuit, c.source, c.sink, &rf).unwrap();
             assert!(c.limit_ps >= at_lb - 1e-9, "lower bound satisfies");
             assert!(c.limit_ps <= at_rf + 1e-9, "reference violates");
         }

@@ -55,7 +55,11 @@ pub fn hpwl_net_lengths_in_layout_um(
 ) -> Vec<f64> {
     let g = placement.geometry();
     let num_rows = placement.num_rows();
-    assert_eq!(channel_tracks.len(), num_rows + 1, "one track count per channel");
+    assert_eq!(
+        channel_tracks.len(),
+        num_rows + 1,
+        "one track count per channel"
+    );
     // y of the center of each row, bottom-up, accumulating channel
     // heights below it.
     let mut row_y = Vec::with_capacity(num_rows);

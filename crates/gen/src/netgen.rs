@@ -1,9 +1,6 @@
 //! Synthetic ECL circuit generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use bgr_netlist::{CellId, CellLibrary, Circuit, CircuitBuilder, NetId, TermId};
+use bgr_netlist::{CellId, CellLibrary, Circuit, CircuitBuilder, NetId, SplitMix64, TermId};
 use bgr_timing::PathConstraint;
 
 /// Generation parameters.
@@ -77,7 +74,7 @@ pub struct GeneratedDesign {
 /// 2-pitch clock net from a `CLKDRV` to every DFF, and `diff_pairs`
 /// DBUF→DBUF differential links spliced between levels.
 pub fn generate(params: &GenParams) -> GeneratedDesign {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SplitMix64::new(params.seed);
     let lib = CellLibrary::ecl();
     let kind = |name: &str| lib.kind_by_name(name).expect("ecl kind");
     let gates = [
@@ -138,18 +135,18 @@ pub fn generate(params: &GenParams) -> GeneratedDesign {
         for c in 0..per_level {
             // Choose a producer for each input from recent levels.
             let global_fanin = params.global_fanin;
-            let pick = |rng: &mut StdRng| -> usize {
+            let pick = |rng: &mut SplitMix64| -> usize {
                 let n = producers.len();
-                if rng.random_bool(global_fanin) {
+                if rng.next_bool(global_fanin) {
                     // Global signal: any earlier producer.
-                    rng.random_range(0..n)
+                    rng.range_usize(0, n)
                 } else {
                     // Bias toward late producers for locality.
                     let lo = n.saturating_sub(3 * per_level.max(params.pads));
-                    rng.random_range(lo..n)
+                    rng.range_usize(lo, n)
                 }
             };
-            let is_ff = rng.random_bool(params.ff_fraction);
+            let is_ff = rng.next_bool(params.ff_fraction);
             let want_diff = diff_budget > 0 && level > 1 && c == 0;
             if want_diff {
                 // Differential link: DBUF driver feeding a DBUF receiver.
@@ -182,7 +179,7 @@ pub fn generate(params: &GenParams) -> GeneratedDesign {
             let kind_id = if is_ff {
                 dff
             } else {
-                gates[rng.random_range(0..gates.len())]
+                gates[rng.range_usize(0, gates.len())]
             };
             let cell = cb.add_cell(format!("u{}_{}", level, c), kind_id);
             cell_order.push(cell);

@@ -134,9 +134,7 @@ fn place_rows(
     let span: i32 = row_logic
         .iter()
         .zip(row_feeds)
-        .map(|(l, f)| {
-            l.iter().chain(f).map(|&c| width_of(c) as i32).sum::<i32>()
-        })
+        .map(|(l, f)| l.iter().chain(f).map(|&c| width_of(c) as i32).sum::<i32>())
         .max()
         .unwrap_or(1)
         .max(1);
@@ -195,9 +193,7 @@ mod tests {
         let interleaved = p1.rows().iter().any(|row| {
             let cells = row.cells();
             (1..cells.len().saturating_sub(1)).any(|i| {
-                is_feed(cells[i].cell)
-                    && !is_feed(cells[i - 1].cell)
-                    && !is_feed(cells[i + 1].cell)
+                is_feed(cells[i].cell) && !is_feed(cells[i - 1].cell) && !is_feed(cells[i + 1].cell)
             })
         });
         assert!(interleaved);

@@ -15,7 +15,9 @@ fn routes(p: &GenParams) {
     design.circuit.validate().expect("valid circuit");
     for style in [PlacementStyle::EvenFeed, PlacementStyle::FeedAside] {
         let placement = place_design(&design, p, style);
-        placement.validate(&design.circuit).expect("valid placement");
+        placement
+            .validate(&design.circuit)
+            .expect("valid placement");
         GlobalRouter::new(RouterConfig::unconstrained())
             .route(design.circuit.clone(), placement, vec![])
             .expect("routes");

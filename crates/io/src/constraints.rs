@@ -136,12 +136,7 @@ mod tests {
             .unwrap();
         let cons = vec![
             PathConstraint::new("p0", cb.pad_term(a), cb.pad_term(y), 700.0),
-            PathConstraint::new(
-                "p1",
-                cb.pad_term(a),
-                cb.cell_term(u, "A").unwrap(),
-                123.5,
-            ),
+            PathConstraint::new("p1", cb.pad_term(a), cb.cell_term(u, "A").unwrap(), 123.5),
         ];
         (cb.finish().unwrap(), cons)
     }
@@ -164,9 +159,8 @@ mod tests {
     #[test]
     fn malformed_lines_are_rejected() {
         let (circuit, _) = demo();
-        let err =
-            parse_constraints(&circuit, "bgr-constraints v1\nconstraint p0 from pad:a\n")
-                .unwrap_err();
+        let err = parse_constraints(&circuit, "bgr-constraints v1\nconstraint p0 from pad:a\n")
+            .unwrap_err();
         assert_eq!(err.line, 2);
     }
 

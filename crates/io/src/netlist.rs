@@ -249,7 +249,10 @@ pub fn parse_netlist(text: &str) -> Result<Circuit, ParseError> {
                 // Body lines until `end`.
                 loop {
                     let Some((bln, bt)) = lines.next_tokens() else {
-                        return Err(ParseError::new(0, format!("kind {name} not closed by `end`")));
+                        return Err(ParseError::new(
+                            0,
+                            format!("kind {name} not closed by `end`"),
+                        ));
                     };
                     match bt[0] {
                         "end" => break,
@@ -300,9 +303,7 @@ pub fn parse_netlist(text: &str) -> Result<Circuit, ParseError> {
                 let id = match t[1] {
                     "in" => cb.add_input_pad(t[2]),
                     "out" => cb.add_output_pad(t[2]),
-                    other => {
-                        return Err(ParseError::new(ln, format!("unknown pad dir `{other}`")))
-                    }
+                    other => return Err(ParseError::new(ln, format!("unknown pad dir `{other}`"))),
                 };
                 if pads.insert(t[2].to_owned(), id).is_some() {
                     return Err(ParseError::new(ln, format!("duplicate pad `{}`", t[2])));
@@ -333,26 +334,27 @@ pub fn parse_netlist(text: &str) -> Result<Circuit, ParseError> {
                     ));
                 }
                 let width = parse_u32(ln, t[3])?;
-                let resolve = |ln: usize,
-                               s: &str,
-                               cb: &CircuitBuilder|
-                 -> Result<TermId, ParseError> {
-                    if let Some(p) = s.strip_prefix("pad:") {
-                        let id = pads
-                            .get(p)
-                            .ok_or_else(|| ParseError::new(ln, format!("unknown pad `{p}`")))?;
-                        Ok(cb.pad_term(*id))
-                    } else {
-                        let (cell, pin) = s.split_once('.').ok_or_else(|| {
-                            ParseError::new(ln, format!("terminal `{s}` is not CELL.PIN or pad:NAME"))
-                        })?;
-                        let id = cells
-                            .get(cell)
-                            .ok_or_else(|| ParseError::new(ln, format!("unknown cell `{cell}`")))?;
-                        cb.cell_term(*id, pin)
-                            .map_err(|e| ParseError::new(ln, e.to_string()))
-                    }
-                };
+                let resolve =
+                    |ln: usize, s: &str, cb: &CircuitBuilder| -> Result<TermId, ParseError> {
+                        if let Some(p) = s.strip_prefix("pad:") {
+                            let id = pads
+                                .get(p)
+                                .ok_or_else(|| ParseError::new(ln, format!("unknown pad `{p}`")))?;
+                            Ok(cb.pad_term(*id))
+                        } else {
+                            let (cell, pin) = s.split_once('.').ok_or_else(|| {
+                                ParseError::new(
+                                    ln,
+                                    format!("terminal `{s}` is not CELL.PIN or pad:NAME"),
+                                )
+                            })?;
+                            let id = cells.get(cell).ok_or_else(|| {
+                                ParseError::new(ln, format!("unknown cell `{cell}`"))
+                            })?;
+                            cb.cell_term(*id, pin)
+                                .map_err(|e| ParseError::new(ln, e.to_string()))
+                        }
+                    };
                 let driver = resolve(ln, t[4], cb)?;
                 let mut sinks = Vec::new();
                 for s in &t[5..] {

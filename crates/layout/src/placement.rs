@@ -210,12 +210,11 @@ impl Placement {
         };
         for moved in &mut cells[gap..] {
             moved.x += width as i32;
-            self.locs[moved.cell.index()] = Some(CellLoc {
-                row,
-                x: moved.x,
-            });
+            self.locs[moved.cell.index()] = Some(CellLoc { row, x: moved.x });
         }
-        self.rows[row].cells.insert(gap, PlacedCell { cell, x, width });
+        self.rows[row]
+            .cells
+            .insert(gap, PlacedCell { cell, x, width });
         self.locs[cell.index()] = Some(CellLoc { row, x });
         self.recompute_width();
     }
@@ -247,7 +246,9 @@ impl Placement {
             moved.x += width as i32;
             self.locs[moved.cell.index()] = Some(CellLoc { row, x: moved.x });
         }
-        self.rows[row].cells.insert(gap, PlacedCell { cell, x, width });
+        self.rows[row]
+            .cells
+            .insert(gap, PlacedCell { cell, x, width });
         self.locs[cell.index()] = Some(CellLoc { row, x });
         self.recompute_width();
     }
@@ -611,8 +612,7 @@ mod tests {
         let g = *placement.geometry();
         let area = placement.area_mm2(&[2, 3, 1]);
         let width_um = g.pitches_to_um(placement.width_pitches() as f64);
-        let expect =
-            width_um * (2.0 * g.row_height_um + g.channel_height_um(6)) / 1.0e6;
+        let expect = width_um * (2.0 * g.row_height_um + g.channel_height_um(6)) / 1.0e6;
         assert!((area - expect).abs() < 1e-12);
     }
 

@@ -123,7 +123,13 @@ impl SlotStore {
     /// Finds the slot provided by `cell` at relative offset `offset`
     /// within that cell (used to re-locate assignments after feed-cell
     /// insertion shifts x positions).
-    pub fn slot_of_cell(&self, row: usize, cell: CellId, offset: i32, cell_x: i32) -> Option<SlotId> {
+    pub fn slot_of_cell(
+        &self,
+        row: usize,
+        cell: CellId,
+        offset: i32,
+        cell_x: i32,
+    ) -> Option<SlotId> {
         let r = &self.rows[row];
         (0..r.xs.len())
             .find(|&i| r.owner[i] == Some(cell) && r.xs[i] == cell_x + offset)
@@ -231,7 +237,13 @@ impl SlotStore {
     /// Like [`SlotStore::find_adjacent_free`], but requires the window to
     /// start exactly at `x` (used to align multi-row assignments on one
     /// column).
-    pub fn find_at_x(&self, row: usize, width: u32, x: i32, policy: FlagPolicy) -> Option<SlotRange> {
+    pub fn find_at_x(
+        &self,
+        row: usize,
+        width: u32,
+        x: i32,
+        policy: FlagPolicy,
+    ) -> Option<SlotRange> {
         let r = &self.rows[row];
         let start = r.xs.partition_point(|&v| v < x);
         if start < r.xs.len()
@@ -301,7 +313,13 @@ mod tests {
     fn finds_nearest_window() {
         let s = store_with(&[0, 1, 2, 10, 11]);
         let r = s.find_adjacent_free(0, 1, 9, FlagPolicy::Ignore).unwrap();
-        assert_eq!(s.x_of(SlotId { row: 0, idx: r.start }), 10);
+        assert_eq!(
+            s.x_of(SlotId {
+                row: 0,
+                idx: r.start
+            }),
+            10
+        );
         let r = s.find_adjacent_free(0, 2, 0, FlagPolicy::Ignore).unwrap();
         assert_eq!(r.start, 0);
         assert_eq!(r.len, 2);
@@ -312,7 +330,13 @@ mod tests {
         let s = store_with(&[0, 2, 3]);
         // Window [0,2] is not adjacent; [2,3] is.
         let r = s.find_adjacent_free(0, 2, 0, FlagPolicy::Ignore).unwrap();
-        assert_eq!(s.x_of(SlotId { row: 0, idx: r.start }), 2);
+        assert_eq!(
+            s.x_of(SlotId {
+                row: 0,
+                idx: r.start
+            }),
+            2
+        );
         // No 3-wide adjacent run exists.
         assert!(s.find_adjacent_free(0, 3, 0, FlagPolicy::Ignore).is_none());
     }
@@ -341,7 +365,13 @@ mod tests {
         );
         // Under Respect, a 1-pitch net must avoid the 2-flagged slots.
         let r = s.find_adjacent_free(0, 1, 0, FlagPolicy::Respect).unwrap();
-        assert_eq!(s.x_of(SlotId { row: 0, idx: r.start }), 2);
+        assert_eq!(
+            s.x_of(SlotId {
+                row: 0,
+                idx: r.start
+            }),
+            2
+        );
         // A 2-pitch net must use exactly the 2-flagged window.
         let r = s.find_adjacent_free(0, 2, 3, FlagPolicy::Respect).unwrap();
         assert_eq!(r.start, 0);

@@ -1,40 +1,48 @@
-//! Property tests for the feedthrough slot store: found windows are
+//! Randomized tests for the feedthrough slot store: found windows are
 //! always free, adjacent and flag-compatible, and occupancy round-trips.
 
 use bgr_layout::{FlagPolicy, SlotId, SlotRange, SlotStore};
-use bgr_netlist::NetId;
-use proptest::prelude::*;
+use bgr_netlist::{NetId, SplitMix64};
+use std::collections::BTreeSet;
 
-proptest! {
-    #[test]
-    fn found_windows_are_free_adjacent_and_nearest(
-        xs in proptest::collection::btree_set(0i32..60, 1..25),
-        occupied_sel in proptest::collection::vec(any::<bool>(), 25),
-        width in 1u32..4,
-        target in 0i32..60,
-    ) {
+#[test]
+fn found_windows_are_free_adjacent_and_nearest() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(0x510 ^ (seed << 5));
+        let mut set = BTreeSet::new();
+        let n = rng.range_usize(1, 25);
+        while set.len() < n {
+            set.insert(rng.range_i32(0, 60));
+        }
+        let xs: Vec<i32> = set.into_iter().collect();
+        let width = rng.range_i32(1, 4) as u32;
+        let target = rng.range_i32(0, 60);
+
         let mut store = SlotStore::new(1);
-        let xs: Vec<i32> = xs.into_iter().collect();
         for &x in &xs {
             store.add_slot(0, x, None);
         }
         // Occupy a random subset.
-        for (i, &occ) in occupied_sel.iter().take(xs.len()).enumerate() {
-            if occ {
+        for i in 0..xs.len() {
+            if rng.next_bool(0.5) {
                 store.occupy(
-                    SlotRange { row: 0, start: i as u32, len: 1 },
+                    SlotRange {
+                        row: 0,
+                        start: i as u32,
+                        len: 1,
+                    },
                     NetId::new(99),
                 );
             }
         }
         if let Some(r) = store.find_adjacent_free(0, width, target, FlagPolicy::Ignore) {
-            prop_assert_eq!(r.len, width);
+            assert_eq!(r.len, width);
             let slots: Vec<SlotId> = r.iter().collect();
             for pair in slots.windows(2) {
-                prop_assert_eq!(store.x_of(pair[1]), store.x_of(pair[0]) + 1, "adjacent");
+                assert_eq!(store.x_of(pair[1]), store.x_of(pair[0]) + 1, "adjacent");
             }
             for s in &slots {
-                prop_assert!(store.occupant(*s).is_none(), "free");
+                assert!(store.occupant(*s).is_none(), "free");
             }
             // No strictly nearer eligible window exists (oracle scan).
             let found_center2 =
@@ -42,16 +50,21 @@ proptest! {
             let found_dist = (found_center2 - 2 * target as i64).abs();
             for start in 0..xs.len() {
                 let end = start + width as usize;
-                if end > xs.len() { break; }
+                if end > xs.len() {
+                    break;
+                }
                 let adjacent = (start..end - 1).all(|k| xs[k + 1] == xs[k] + 1);
                 let free = (start..end).all(|k| {
                     store
-                        .occupant(SlotId { row: 0, idx: k as u32 })
+                        .occupant(SlotId {
+                            row: 0,
+                            idx: k as u32,
+                        })
                         .is_none()
                 });
                 if adjacent && free {
                     let c2 = xs[start] as i64 + xs[end - 1] as i64;
-                    prop_assert!(
+                    assert!(
                         (c2 - 2 * target as i64).abs() >= found_dist,
                         "nearest window returned"
                     );
@@ -61,34 +74,45 @@ proptest! {
             // Oracle: no eligible window may exist.
             for start in 0..xs.len() {
                 let end = start + width as usize;
-                if end > xs.len() { break; }
+                if end > xs.len() {
+                    break;
+                }
                 let adjacent = (start..end - 1).all(|k| xs[k + 1] == xs[k] + 1);
                 let free = (start..end).all(|k| {
                     store
-                        .occupant(SlotId { row: 0, idx: k as u32 })
+                        .occupant(SlotId {
+                            row: 0,
+                            idx: k as u32,
+                        })
                         .is_none()
                 });
-                prop_assert!(!(adjacent && free), "window missed by find");
+                assert!(!(adjacent && free), "window missed by find");
             }
         }
     }
+}
 
-    #[test]
-    fn release_net_frees_exactly_its_slots(
-        count in 2usize..20,
-        picks in proptest::collection::vec(0usize..20, 1..10),
-    ) {
+#[test]
+fn release_net_frees_exactly_its_slots() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(0xF4EE ^ (seed << 3));
+        let count = rng.range_usize(2, 20);
         let mut store = SlotStore::new(1);
         for x in 0..count as i32 {
             store.add_slot(0, x, None);
         }
         let mut owned = vec![None::<NetId>; count];
-        for (turn, &p) in picks.iter().enumerate() {
-            let idx = p % count;
+        let picks = rng.range_usize(1, 10);
+        for turn in 0..picks {
+            let idx = rng.range_usize(0, count);
             if owned[idx].is_none() {
                 let net = NetId::new(turn % 3);
                 store.occupy(
-                    SlotRange { row: 0, start: idx as u32, len: 1 },
+                    SlotRange {
+                        row: 0,
+                        start: idx as u32,
+                        len: 1,
+                    },
                     net,
                 );
                 owned[idx] = Some(net);
@@ -96,12 +120,15 @@ proptest! {
         }
         store.release_net(NetId::new(0));
         for (i, o) in owned.iter().enumerate() {
-            let slot = SlotId { row: 0, idx: i as u32 };
+            let slot = SlotId {
+                row: 0,
+                idx: i as u32,
+            };
             match o {
                 Some(n) if *n != NetId::new(0) => {
-                    prop_assert_eq!(store.occupant(slot), Some(*n))
+                    assert_eq!(store.occupant(slot), Some(*n))
                 }
-                _ => prop_assert!(store.occupant(slot).is_none()),
+                _ => assert!(store.occupant(slot).is_none()),
             }
         }
     }

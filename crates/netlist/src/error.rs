@@ -50,7 +50,10 @@ impl std::fmt::Display for NetlistError {
             }
             Self::DiffPairSelf(net) => write!(f, "differential pair of {net} with itself"),
             Self::DiffPairMismatch(a, b) => {
-                write!(f, "differential pair {a}/{b} has mismatched sinks or widths")
+                write!(
+                    f,
+                    "differential pair {a}/{b} has mismatched sinks or widths"
+                )
             }
             Self::DiffPairReused(net) => {
                 write!(f, "net {net} appears in more than one differential pair")

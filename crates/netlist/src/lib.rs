@@ -38,10 +38,12 @@ pub mod circuit;
 pub mod error;
 pub mod ids;
 pub mod library;
+pub mod rng;
 pub mod stats;
 
 pub use circuit::{Cell, Circuit, CircuitBuilder, Net, Pad, TermOwner, Terminal};
 pub use error::NetlistError;
 pub use ids::{CellId, KindId, NetId, PadId, TermId};
 pub use library::{AccessSide, ArcSpec, CellKind, CellKindBuilder, CellLibrary, TermDir, TermSpec};
+pub use rng::SplitMix64;
 pub use stats::CircuitStats;

@@ -1,17 +1,14 @@
-//! Property tests on the circuit builder: arbitrary well-formed build
+//! Randomized tests on the circuit builder: arbitrary well-formed build
 //! sequences always validate, and validation catches every planted
 //! defect.
 
-use bgr_netlist::{CellLibrary, CircuitBuilder, NetlistError, TermDir};
-use proptest::prelude::*;
+use bgr_netlist::{CellLibrary, CircuitBuilder, NetlistError, SplitMix64, TermDir};
 
-proptest! {
-    /// Random layered wiring over random gates always validates.
-    #[test]
-    fn random_layered_circuits_validate(
-        seeds in proptest::collection::vec(0usize..8, 3..40),
-        fanouts in proptest::collection::vec(1usize..4, 3..40),
-    ) {
+/// Random layered wiring over random gates always validates.
+#[test]
+fn random_layered_circuits_validate() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(0xB17D ^ (seed << 7));
         let lib = CellLibrary::ecl();
         let gates: Vec<_> = ["INV", "BUF", "NOR2", "OR2", "AND2", "NOR3", "XOR2", "MUX2"]
             .iter()
@@ -22,8 +19,9 @@ proptest! {
         // Producer terms with their sink lists (wired at the end).
         let mut producers = vec![cb.pad_term(pad)];
         let mut sinks: Vec<Vec<bgr_netlist::TermId>> = vec![Vec::new()];
-        for (i, (&k, &f)) in seeds.iter().zip(&fanouts).enumerate() {
-            let kind_id = gates[k % gates.len()];
+        let levels = rng.range_usize(3, 40);
+        for i in 0..levels {
+            let kind_id = gates[rng.range_usize(0, gates.len())];
             let cell = cb.add_cell(format!("u{i}"), kind_id);
             let kind = cb.library().kind(kind_id).clone();
             for pin in kind.input_pins() {
@@ -34,7 +32,6 @@ proptest! {
             let out = kind.output_pins().next().unwrap();
             producers.push(cb.cell_term_at(cell, out));
             sinks.push(Vec::new());
-            let _ = f;
         }
         let mut net_no = 0;
         for (p, s) in producers.iter().zip(&sinks) {
@@ -45,20 +42,24 @@ proptest! {
             net_no += 1;
         }
         let circuit = cb.finish().expect("layered circuits are valid");
-        prop_assert!(circuit.nets().len() <= producers.len());
+        assert!(circuit.nets().len() <= producers.len());
         // Every net's driver really is output-direction.
         for net in circuit.nets() {
-            prop_assert_eq!(circuit.term_dir(net.driver()), TermDir::Output);
+            assert_eq!(circuit.term_dir(net.driver()), TermDir::Output);
         }
     }
+}
 
-    /// Planted combinational cycles of arbitrary length are caught.
-    #[test]
-    fn planted_cycles_are_rejected(len in 2usize..8) {
+/// Planted combinational cycles of arbitrary length are caught.
+#[test]
+fn planted_cycles_are_rejected() {
+    for len in 2usize..8 {
         let lib = CellLibrary::ecl();
         let inv = lib.kind_by_name("INV").unwrap();
         let mut cb = CircuitBuilder::new(lib);
-        let cells: Vec<_> = (0..len).map(|i| cb.add_cell(format!("u{i}"), inv)).collect();
+        let cells: Vec<_> = (0..len)
+            .map(|i| cb.add_cell(format!("u{i}"), inv))
+            .collect();
         for i in 0..len {
             let next = (i + 1) % len;
             cb.add_net(
@@ -69,44 +70,47 @@ proptest! {
             .unwrap();
         }
         let err = cb.finish().unwrap_err();
-        prop_assert!(matches!(err, NetlistError::CombinationalCycle(_)));
+        assert!(matches!(err, NetlistError::CombinationalCycle(_)));
     }
+}
 
-    /// A DFF anywhere in the loop makes it legal.
-    #[test]
-    fn ff_breaks_planted_cycles(len in 2usize..8, ff_pos in 0usize..8) {
-        let lib = CellLibrary::ecl();
-        let inv = lib.kind_by_name("INV").unwrap();
-        let dff = lib.kind_by_name("DFF").unwrap();
-        let ff_pos = ff_pos % len;
-        let mut cb = CircuitBuilder::new(lib);
-        let clk = cb.add_input_pad("clk");
-        let cells: Vec<_> = (0..len)
-            .map(|i| {
-                if i == ff_pos {
-                    cb.add_cell(format!("u{i}"), dff)
-                } else {
-                    cb.add_cell(format!("u{i}"), inv)
-                }
-            })
-            .collect();
-        cb.add_net(
-            "ck",
-            cb.pad_term(clk),
-            [cb.cell_term(cells[ff_pos], "CK").unwrap()],
-        )
-        .unwrap();
-        for i in 0..len {
-            let next = (i + 1) % len;
-            let drv = if i == ff_pos { "Q" } else { "Y" };
-            let snk = if next == ff_pos { "D" } else { "A" };
+/// A DFF anywhere in the loop makes it legal.
+#[test]
+fn ff_breaks_planted_cycles() {
+    for len in 2usize..8 {
+        for ff_pos in 0..len {
+            let lib = CellLibrary::ecl();
+            let inv = lib.kind_by_name("INV").unwrap();
+            let dff = lib.kind_by_name("DFF").unwrap();
+            let mut cb = CircuitBuilder::new(lib);
+            let clk = cb.add_input_pad("clk");
+            let cells: Vec<_> = (0..len)
+                .map(|i| {
+                    if i == ff_pos {
+                        cb.add_cell(format!("u{i}"), dff)
+                    } else {
+                        cb.add_cell(format!("u{i}"), inv)
+                    }
+                })
+                .collect();
             cb.add_net(
-                format!("n{i}"),
-                cb.cell_term(cells[i], drv).unwrap(),
-                [cb.cell_term(cells[next], snk).unwrap()],
+                "ck",
+                cb.pad_term(clk),
+                [cb.cell_term(cells[ff_pos], "CK").unwrap()],
             )
             .unwrap();
+            for i in 0..len {
+                let next = (i + 1) % len;
+                let drv = if i == ff_pos { "Q" } else { "Y" };
+                let snk = if next == ff_pos { "D" } else { "A" };
+                cb.add_net(
+                    format!("n{i}"),
+                    cb.cell_term(cells[i], drv).unwrap(),
+                    [cb.cell_term(cells[next], snk).unwrap()],
+                )
+                .unwrap();
+            }
+            assert!(cb.finish().is_ok());
         }
-        prop_assert!(cb.finish().is_ok());
     }
 }

@@ -104,10 +104,7 @@ impl ConstraintGraph {
 
         // Kahn topological sort of the member subgraph.
         let mut dense = vec![ABSENT; n];
-        let members: Vec<TermId> = (0..n)
-            .map(TermId::new)
-            .filter(|&t| member(t))
-            .collect();
+        let members: Vec<TermId> = (0..n).map(TermId::new).filter(|&t| member(t)).collect();
         let mut indeg = vec![0u32; members.len()];
         for (i, &t) in members.iter().enumerate() {
             dense[t.index()] = i as u32;
@@ -204,10 +201,7 @@ impl ConstraintGraph {
 
     /// Arcs of this graph whose delay depends on `net`'s wire length.
     pub fn arcs_for_net(&self, net: NetId) -> &[u32] {
-        self.arcs_by_net
-            .get(&net)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.arcs_by_net.get(&net).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Nets with at least one loading arc in this graph.
@@ -223,7 +217,9 @@ impl ConstraintGraph {
     /// every member is reachable.
     pub fn longest_paths(&self, dg: &DelayGraph, cl_ff: &[f64], rc_ps: &[f64]) -> Vec<f64> {
         let mut lp = vec![f64::NEG_INFINITY; self.topo.len()];
-        lp[self.dense_index(self.constraint.source).expect("source is a member")] = 0.0;
+        lp[self
+            .dense_index(self.constraint.source)
+            .expect("source is a member")] = 0.0;
         for &e in &self.arcs {
             let arc = &dg.arcs()[e as usize];
             let from = self.dense[arc.from.index()] as usize;
@@ -240,7 +236,9 @@ impl ConstraintGraph {
     /// `T_P`.
     pub fn longest_paths_to_sink(&self, dg: &DelayGraph, cl_ff: &[f64], rc_ps: &[f64]) -> Vec<f64> {
         let mut bp = vec![f64::NEG_INFINITY; self.topo.len()];
-        bp[self.dense_index(self.constraint.sink).expect("sink is a member")] = 0.0;
+        bp[self
+            .dense_index(self.constraint.sink)
+            .expect("sink is a member")] = 0.0;
         for &e in self.arcs.iter().rev() {
             let arc = &dg.arcs()[e as usize];
             let from = self.dense[arc.from.index()] as usize;
@@ -255,7 +253,9 @@ impl ConstraintGraph {
 
     /// Critical path arrival at the sink: `lp(T_P)`.
     pub fn arrival_ps(&self, lp: &[f64]) -> f64 {
-        lp[self.dense_index(self.constraint.sink).expect("sink is a member")]
+        lp[self
+            .dense_index(self.constraint.sink)
+            .expect("sink is a member")]
     }
 
     /// Margin `M(P) = τ_P − lp(T_P)`.
@@ -358,8 +358,7 @@ mod tests {
     fn membership_excludes_side_branches() {
         let (circuit, src, _, snk) = fanout_circuit();
         let dg = DelayGraph::build(&circuit);
-        let cg =
-            ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
+        let cg = ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
         // u2 (the dangling inverter) is not on any a->y path.
         let u2_a = circuit.cell(bgr_netlist::CellId::new(1)).terms()[0];
         assert!(!cg.contains(u2_a));
@@ -371,8 +370,7 @@ mod tests {
     fn longest_path_accumulates_arc_delays() {
         let (circuit, src, _, snk) = fanout_circuit();
         let dg = DelayGraph::build(&circuit);
-        let cg =
-            ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
+        let cg = ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
         let (cl, rc) = zeros(&dg);
         let lp = cg.longest_paths(&dg, &cl, &rc);
         // Path: INV arc (60 + (5+6)*2.5 = 87.5 for fanout u2.A+u3.A)
@@ -386,8 +384,7 @@ mod tests {
     fn wire_length_increases_arrival() {
         let (circuit, src, _, snk) = fanout_circuit();
         let dg = DelayGraph::build(&circuit);
-        let cg =
-            ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
+        let cg = ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
         let (mut cl, rc) = zeros(&dg);
         let lp0 = cg.arrival_ps(&cg.longest_paths(&dg, &cl, &rc));
         cl[1] = 20.0; // n1 loads u1's INV arc (Td = 0.45)
@@ -399,8 +396,7 @@ mod tests {
     fn arcs_for_net_selects_loading_arcs() {
         let (circuit, src, _, snk) = fanout_circuit();
         let dg = DelayGraph::build(&circuit);
-        let cg =
-            ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
+        let cg = ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
         // Net n1 (index 1) loads exactly u1's cell arc inside this graph.
         let arcs = cg.arcs_for_net(bgr_netlist::NetId::new(1));
         assert_eq!(arcs.len(), 1);
@@ -416,8 +412,8 @@ mod tests {
         let dg = DelayGraph::build(&circuit);
         // b -> a's pad is impossible.
         let a_term = circuit.pads()[0].term();
-        let err = ConstraintGraph::build(&dg, PathConstraint::new("p", src_b, a_term, 1.0))
-            .unwrap_err();
+        let err =
+            ConstraintGraph::build(&dg, PathConstraint::new("p", src_b, a_term, 1.0)).unwrap_err();
         assert!(matches!(err, TimingError::Unreachable { .. }));
     }
 
@@ -425,8 +421,7 @@ mod tests {
     fn critical_nets_walk_the_longest_path() {
         let (circuit, src, _, snk) = fanout_circuit();
         let dg = DelayGraph::build(&circuit);
-        let cg =
-            ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
+        let cg = ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
         let (cl, rc) = zeros(&dg);
         let mut nets = cg.critical_nets(&dg, &cl, &rc);
         nets.sort();
@@ -440,8 +435,7 @@ mod tests {
     fn backward_sweep_mirrors_forward() {
         let (circuit, src, _, snk) = fanout_circuit();
         let dg = DelayGraph::build(&circuit);
-        let cg =
-            ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
+        let cg = ConstraintGraph::build(&dg, PathConstraint::new("p", src, snk, 1000.0)).unwrap();
         let (cl, rc) = zeros(&dg);
         let lp = cg.longest_paths(&dg, &cl, &rc);
         let bp = cg.longest_paths_to_sink(&dg, &cl, &rc);

@@ -73,9 +73,9 @@ impl DelayGraph {
         let mut out = vec![Vec::new(); num_terms];
         let mut rev = vec![Vec::new(); num_terms];
         let push = |arcs: &mut Vec<DelayArc>,
-                        out: &mut Vec<Vec<u32>>,
-                        rev: &mut Vec<Vec<u32>>,
-                        arc: DelayArc| {
+                    out: &mut Vec<Vec<u32>>,
+                    rev: &mut Vec<Vec<u32>>,
+                    arc: DelayArc| {
             let idx = arcs.len() as u32;
             out[arc.from.index()].push(idx);
             rev[arc.to.index()].push(idx);
@@ -161,9 +161,7 @@ impl DelayGraph {
     pub fn arc_delay_ps(&self, idx: u32, cl_ff: &[f64], rc_ps: &[f64]) -> f64 {
         let arc = &self.arcs[idx as usize];
         match arc.loading_net() {
-            Some(net) => {
-                arc.static_ps + cl_ff[net.index()] * arc.td_ps_per_ff + rc_ps[net.index()]
-            }
+            Some(net) => arc.static_ps + cl_ff[net.index()] * arc.td_ps_per_ff + rc_ps[net.index()],
             None => arc.static_ps,
         }
     }

@@ -31,7 +31,10 @@ impl NetLengths {
             cl_ff: vec![0.0; n],
             rc_ps: vec![0.0; n],
             width: circuit.nets().iter().map(|n| n.width_pitches()).collect(),
-            fanout_ff: circuit.net_ids().map(|n| circuit.net_fanout_ff(n)).collect(),
+            fanout_ff: circuit
+                .net_ids()
+                .map(|n| circuit.net_fanout_ff(n))
+                .collect(),
         }
     }
 
@@ -98,6 +101,12 @@ pub struct Sta {
     margin: Vec<f64>,
     /// Per net: constraint indices whose graph contains the net.
     net_to_cons: Vec<Vec<u32>>,
+    /// Per constraint: member nets (inverse of `net_to_cons`).
+    cons_nets: Vec<Vec<NetId>>,
+    /// Bumped whenever any cached `lp` / margin changes.
+    generation: u64,
+    /// Per constraint: bumped whenever its `lp` / margin is refreshed.
+    cons_generation: Vec<u64>,
 }
 
 impl Sta {
@@ -120,11 +129,14 @@ impl Sta {
             cons.push(ConstraintGraph::build(&graph, c)?);
         }
         let mut net_to_cons = vec![Vec::new(); circuit.nets().len()];
+        let mut cons_nets = vec![Vec::new(); cons.len()];
         for (i, cg) in cons.iter().enumerate() {
             for net in cg.nets() {
                 net_to_cons[net.index()].push(i as u32);
+                cons_nets[i].push(net);
             }
         }
+        let num_cons = cons.len();
         let mut sta = Self {
             graph,
             lengths,
@@ -132,6 +144,9 @@ impl Sta {
             lp: Vec::new(),
             margin: Vec::new(),
             net_to_cons,
+            cons_nets,
+            generation: 0,
+            cons_generation: vec![0; num_cons],
         };
         sta.refresh_all();
         Ok(sta)
@@ -149,15 +164,16 @@ impl Sta {
             .zip(&self.lp)
             .map(|(cg, lp)| cg.margin_ps(lp))
             .collect();
+        self.generation += 1;
+        self.cons_generation.iter_mut().for_each(|g| *g += 1);
     }
 
     fn refresh_one(&mut self, cid: usize) {
-        self.lp[cid] = self.cons[cid].longest_paths(
-            &self.graph,
-            self.lengths.cl_ff(),
-            self.lengths.rc_ps(),
-        );
+        self.lp[cid] =
+            self.cons[cid].longest_paths(&self.graph, self.lengths.cl_ff(), self.lengths.rc_ps());
         self.margin[cid] = self.cons[cid].margin_ps(&self.lp[cid]);
+        self.generation += 1;
+        self.cons_generation[cid] += 1;
     }
 
     /// The global delay graph.
@@ -208,23 +224,47 @@ impl Sta {
         &self.net_to_cons[net.index()]
     }
 
+    /// Member nets of constraint `cid` (inverse of
+    /// [`Sta::constraints_of_net`]). A net's length change perturbs the
+    /// longest paths — and hence local margins — of *every* member net of
+    /// each affected constraint; incremental consumers must re-evaluate
+    /// all of them.
+    pub fn nets_of_constraint(&self, cid: usize) -> &[NetId] {
+        &self.cons_nets[cid]
+    }
+
+    /// Global invalidation stamp: changes whenever any cached longest
+    /// path or margin changes. Equal stamps guarantee identical
+    /// `margin_ps` / `lp` / `lm_excess_ps` answers.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Per-constraint invalidation stamp (see [`Sta::generation`]).
+    pub fn constraint_generation(&self, cid: usize) -> u64 {
+        self.cons_generation[cid]
+    }
+
     /// Sets a net's estimated length and refreshes affected constraints.
-    pub fn set_net_length(&mut self, net: NetId, length_um: f64) {
+    ///
+    /// Returns `true` when the length actually changed (and margins were
+    /// refreshed); an unchanged length leaves every cache and generation
+    /// stamp untouched.
+    pub fn set_net_length(&mut self, net: NetId, length_um: f64) -> bool {
         if (self.lengths.length_um(net) - length_um).abs() < 1e-12 {
-            return;
+            return false;
         }
         self.lengths.set_length_um(net, length_um);
         let affected: Vec<u32> = self.net_to_cons[net.index()].clone();
         for cid in affected {
             self.refresh_one(cid as usize);
         }
+        true
     }
 
     /// `lp(v)` of a member terminal of constraint `cid`.
     pub fn lp(&self, cid: usize, term: bgr_netlist::TermId) -> Option<f64> {
-        self.cons[cid]
-            .dense_index(term)
-            .map(|d| self.lp[cid][d])
+        self.cons[cid].dense_index(term).map(|d| self.lp[cid][d])
     }
 
     /// The paper's local-margin core: the worst `lp(v) + d' − lp(w)`
@@ -256,9 +296,9 @@ impl Sta {
         for &e in cg.arcs_for_net(net) {
             let arc = &self.graph.arcs()[e as usize];
             let d_new = arc.static_ps + cl_ff * arc.td_ps_per_ff + rc_ps;
-            let d_old =
-                self.graph
-                    .arc_delay_ps(e, self.lengths.cl_ff(), self.lengths.rc_ps());
+            let d_old = self
+                .graph
+                .arc_delay_ps(e, self.lengths.cl_ff(), self.lengths.rc_ps());
             sum += (d_new - d_old).max(0.0);
         }
         sum
@@ -284,12 +324,8 @@ mod tests {
         let cells: Vec<_> = (0..3).map(|i| cb.add_cell(format!("u{i}"), inv)).collect();
         let mut prev = cb.pad_term(a);
         for &c in &cells {
-            cb.add_net(
-                format!("n{c:?}"),
-                prev,
-                [cb.cell_term(c, "A").unwrap()],
-            )
-            .unwrap();
+            cb.add_net(format!("n{c:?}"), prev, [cb.cell_term(c, "A").unwrap()])
+                .unwrap();
             prev = cb.cell_term(c, "Y").unwrap();
         }
         cb.add_net("ny", prev, [cb.pad_term(y)]).unwrap();
@@ -361,9 +397,43 @@ mod tests {
         let (sta, _, _) = sta_for(1000.0);
         // The pad-driven first net loads no cell arc, so it is not a
         // member; the three cell-driven nets are.
-        assert!(sta.constraints_of_net(bgr_netlist::NetId::new(0)).is_empty());
+        assert!(sta
+            .constraints_of_net(bgr_netlist::NetId::new(0))
+            .is_empty());
         for n in 1..4 {
             assert_eq!(sta.constraints_of_net(bgr_netlist::NetId::new(n)), &[0]);
+        }
+    }
+
+    #[test]
+    fn generations_stamp_every_margin_change() {
+        let (mut sta, _, _) = sta_for(1000.0);
+        let g0 = sta.generation();
+        let c0 = sta.constraint_generation(0);
+        // A no-op length update must not bump anything.
+        assert!(!sta.set_net_length(bgr_netlist::NetId::new(1), 0.0));
+        assert_eq!(sta.generation(), g0);
+        assert_eq!(sta.constraint_generation(0), c0);
+        // A real update bumps both the global and the constraint stamp.
+        assert!(sta.set_net_length(bgr_netlist::NetId::new(1), 250.0));
+        assert!(sta.generation() > g0);
+        assert!(sta.constraint_generation(0) > c0);
+        // Net 0 is not a member, so its update touches no constraint.
+        let g1 = sta.generation();
+        assert!(sta.set_net_length(bgr_netlist::NetId::new(0), 100.0));
+        assert_eq!(sta.generation(), g1);
+    }
+
+    #[test]
+    fn nets_of_constraint_inverts_membership() {
+        let (sta, _, _) = sta_for(1000.0);
+        let members = sta.nets_of_constraint(0);
+        for n in 0..4 {
+            let net = bgr_netlist::NetId::new(n);
+            assert_eq!(
+                members.contains(&net),
+                sta.constraints_of_net(net).contains(&0)
+            );
         }
     }
 

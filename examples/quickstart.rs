@@ -63,11 +63,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== routed trees ==");
     for (i, tree) in routed.result.trees.iter().enumerate() {
-        let name = routed.circuit.net(bgr::netlist::NetId::new(i)).name().to_owned();
+        let name = routed
+            .circuit
+            .net(bgr::netlist::NetId::new(i))
+            .name()
+            .to_owned();
         print!("{name:>3}: {:6.1} µm |", tree.length_um);
         for seg in &tree.segments {
             match seg {
-                Segment::Trunk { channel, x1, x2 } => print!(" trunk[ch{}:{}..{}]", channel.index(), x1, x2),
+                Segment::Trunk { channel, x1, x2 } => {
+                    print!(" trunk[ch{}:{}..{}]", channel.index(), x1, x2)
+                }
                 Segment::Branch { channel, x, .. } => print!(" tap[ch{}@{}]", channel.index(), x),
                 Segment::Feed { row, x } => print!(" feed[row{row}@{x}]"),
             }

@@ -94,7 +94,8 @@ fn cmd_route(args: &[String]) -> CliResult {
         ..RouterConfig::default()
     };
     let t = std::time::Instant::now();
-    let routed = GlobalRouter::new(config.clone()).route(circuit, placement, constraints.clone())?;
+    let routed =
+        GlobalRouter::new(config.clone()).route(circuit, placement, constraints.clone())?;
     let cpu = t.elapsed().as_secs_f64();
     let detail = route_channels(
         &routed.circuit,

@@ -1,0 +1,101 @@
+//! Scoreboard vs full-rescan oracle equivalence.
+//!
+//! The incremental candidate scoreboard
+//! (`bgr_core::SelectionStrategy::Scoreboard`) is defined to reproduce
+//! the naive full-rescan selection **exactly** — same deletion sequence,
+//! same trees, same track counts. These tests route generated circuits
+//! of several shapes under both strategies and compare every observable.
+
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::router::{GlobalRouter, Routed, RouterConfig, SelectionStrategy};
+
+fn route_with(params: &GenParams, selection: SelectionStrategy, base: RouterConfig) -> Routed {
+    let design = generate(params);
+    let placement = place_design(&design, params, PlacementStyle::EvenFeed);
+    let config = RouterConfig { selection, ..base };
+    GlobalRouter::new(config)
+        .route(
+            design.circuit.clone(),
+            placement,
+            design.constraints.clone(),
+        )
+        .expect("generated designs route")
+}
+
+fn assert_equivalent(params: &GenParams, base: RouterConfig) {
+    let fast = route_with(params, SelectionStrategy::Scoreboard, base.clone());
+    let oracle = route_with(params, SelectionStrategy::FullRescan, base);
+    assert_eq!(
+        fast.result.stats.selection_log, oracle.result.stats.selection_log,
+        "seed {}: deletion sequences diverge",
+        params.seed
+    );
+    assert_eq!(
+        fast.result.stats.deletions, oracle.result.stats.deletions,
+        "seed {}: deletion totals diverge",
+        params.seed
+    );
+    assert_eq!(
+        fast.result.stats.reroutes, oracle.result.stats.reroutes,
+        "seed {}: reroute totals diverge",
+        params.seed
+    );
+    assert_eq!(
+        fast.result.trees, oracle.result.trees,
+        "seed {}: routed trees diverge",
+        params.seed
+    );
+    assert_eq!(
+        fast.result.channel_tracks, oracle.result.channel_tracks,
+        "seed {}: channel track counts diverge",
+        params.seed
+    );
+    assert_eq!(
+        fast.result.total_length_um, oracle.result.total_length_um,
+        "seed {}: total lengths diverge",
+        params.seed
+    );
+}
+
+#[test]
+fn small_constrained_circuit_matches_oracle() {
+    assert_equivalent(&GenParams::small(21), RouterConfig::default());
+}
+
+#[test]
+fn wider_constrained_circuit_matches_oracle() {
+    let params = GenParams {
+        logic_cells: 90,
+        depth: 6,
+        rows: 4,
+        diff_pairs: 3,
+        feeds_per_row: 4,
+        num_constraints: 5,
+        ..GenParams::small(22)
+    };
+    assert_equivalent(&params, RouterConfig::default());
+}
+
+#[test]
+fn deep_tightly_constrained_circuit_matches_oracle() {
+    let params = GenParams {
+        logic_cells: 70,
+        depth: 9,
+        rows: 3,
+        global_fanin: 0.3,
+        num_constraints: 6,
+        wire_budget: 0.25,
+        ..GenParams::small(23)
+    };
+    assert_equivalent(&params, RouterConfig::default());
+}
+
+#[test]
+fn unconstrained_area_routing_matches_oracle() {
+    let params = GenParams {
+        logic_cells: 60,
+        rows: 3,
+        ..GenParams::small(24)
+    };
+    assert_equivalent(&params, RouterConfig::unconstrained());
+}

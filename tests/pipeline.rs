@@ -4,7 +4,7 @@
 use bgr::channel::route_channels;
 use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
 use bgr::netlist::NetId;
-use bgr::router::{GlobalRouter, RouterConfig, Routed, Segment};
+use bgr::router::{GlobalRouter, Routed, RouterConfig, Segment};
 use bgr::timing::{DelayModel, WireParams};
 
 fn route_small(seed: u64, config: RouterConfig) -> (bgr::gen::GeneratedDesign, Routed) {
@@ -12,7 +12,11 @@ fn route_small(seed: u64, config: RouterConfig) -> (bgr::gen::GeneratedDesign, R
     let design = generate(&params);
     let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
     let routed = GlobalRouter::new(config)
-        .route(design.circuit.clone(), placement, design.constraints.clone())
+        .route(
+            design.circuit.clone(),
+            placement,
+            design.constraints.clone(),
+        )
         .expect("small designs route");
     (design, routed)
 }
@@ -73,7 +77,10 @@ fn detail_tracks_cover_global_density_everywhere() {
                 _ => 0.0,
             })
             .sum();
-        assert!(len + 1e-9 >= trunk_um, "net {i} detail length covers trunks");
+        assert!(
+            len + 1e-9 >= trunk_um,
+            "net {i} detail length covers trunks"
+        );
     }
 }
 
@@ -113,8 +120,7 @@ fn diff_pairs_route_in_lockstep_when_possible() {
     let (_, routed) = route_small(15, RouterConfig::default());
     let stats = &routed.result.stats;
     assert!(
-        stats.diff_pairs_locked + stats.diff_pairs_independent
-            == routed.circuit.diff_pairs().len()
+        stats.diff_pairs_locked + stats.diff_pairs_independent == routed.circuit.diff_pairs().len()
     );
     for &(a, b) in routed.circuit.diff_pairs() {
         let ta = &routed.result.trees[a.index()];

@@ -1,72 +1,65 @@
-//! Property-based tests over randomly generated designs: the router's
-//! guarantees must hold for *every* valid input, not just the benchmark
-//! seeds.
+//! Randomized tests over generated designs: the router's guarantees must
+//! hold for *every* valid input, not just the benchmark seeds.
 
 use bgr::channel::route_channels;
 use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
-use bgr::netlist::NetId;
+use bgr::netlist::{NetId, SplitMix64};
 use bgr::router::{GlobalRouter, RouterConfig, Segment};
 use bgr::timing::{DelayModel, WireParams};
-use proptest::prelude::*;
 
-fn arb_params() -> impl Strategy<Value = GenParams> {
-    (
-        any::<u64>(),
-        20usize..120,
-        3usize..10,
-        2usize..6,
-        0usize..4,
-        0usize..12,
-        0usize..6,
-    )
-        .prop_map(
-            |(seed, logic_cells, depth, rows, diff_pairs, feeds_per_row, num_constraints)| {
-                GenParams {
-                    seed,
-                    logic_cells,
-                    depth,
-                    rows,
-                    ff_fraction: 0.12,
-                    diff_pairs,
-                    pads: 4,
-                    feeds_per_row,
-                    global_fanin: 0.15,
-                    num_constraints,
-                    wire_budget: 0.35,
-                    geometry: bgr::layout::Geometry::default(),
-                }
-            },
-        )
+fn random_params(rng: &mut SplitMix64) -> GenParams {
+    GenParams {
+        seed: rng.next_u64(),
+        logic_cells: rng.range_usize(20, 120),
+        depth: rng.range_usize(3, 10),
+        rows: rng.range_usize(2, 6),
+        ff_fraction: 0.12,
+        diff_pairs: rng.range_usize(0, 4),
+        pads: 4,
+        feeds_per_row: rng.range_usize(0, 12),
+        global_fanin: 0.15,
+        num_constraints: rng.range_usize(0, 6),
+        wire_budget: 0.35,
+        geometry: bgr::layout::Geometry::default(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn any_generated_design_routes_to_valid_trees(params in arb_params()) {
+#[test]
+fn any_generated_design_routes_to_valid_trees() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x7031E ^ (case << 9));
+        let params = random_params(&mut rng);
         let design = generate(&params);
         let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
         let routed = GlobalRouter::new(RouterConfig::default())
-            .route(design.circuit.clone(), placement, design.constraints.clone())
+            .route(
+                design.circuit.clone(),
+                placement,
+                design.constraints.clone(),
+            )
             .expect("every generated design routes");
         // Every net tree taps all of its terminals exactly once.
         for (i, tree) in routed.result.trees.iter().enumerate() {
             let net = routed.circuit.net(NetId::new(i));
-            let mut tapped: Vec<_> = tree.segments.iter().filter_map(|s| match s {
-                Segment::Branch { term, .. } => Some(*term),
-                _ => None,
-            }).collect();
+            let mut tapped: Vec<_> = tree
+                .segments
+                .iter()
+                .filter_map(|s| match s {
+                    Segment::Branch { term, .. } => Some(*term),
+                    _ => None,
+                })
+                .collect();
             tapped.sort();
             tapped.dedup();
             let mut wanted: Vec<_> = net.terms().collect();
             wanted.sort();
-            prop_assert_eq!(tapped, wanted);
+            assert_eq!(tapped, wanted);
         }
         // The widened placement stays valid.
-        routed.placement.validate(&routed.circuit).expect("placement valid");
+        routed
+            .placement
+            .validate(&routed.circuit)
+            .expect("placement valid");
         // Channel routing succeeds and realizes at least the density.
         let detail = route_channels(
             &routed.circuit,
@@ -75,23 +68,28 @@ proptest! {
             &design.constraints,
             DelayModel::Capacitance,
             WireParams::default(),
-        ).expect("channel routing succeeds");
+        )
+        .expect("channel routing succeeds");
         for (c, &t) in detail.tracks.iter().enumerate() {
-            prop_assert!(t as i32 >= routed.result.channel_tracks[c]);
+            assert!(t as i32 >= routed.result.channel_tracks[c]);
         }
         // Lengths are finite and positive where wiring exists.
         for &len in &detail.net_lengths_um {
-            prop_assert!(len.is_finite() && len >= 0.0);
+            assert!(len.is_finite() && len >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn unconstrained_mode_routes_everything_too(params in arb_params()) {
+#[test]
+fn unconstrained_mode_routes_everything_too() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x0C0DE ^ (case << 9));
+        let params = random_params(&mut rng);
         let design = generate(&params);
         let placement = place_design(&design, &params, PlacementStyle::FeedAside);
         let routed = GlobalRouter::new(RouterConfig::unconstrained())
             .route(design.circuit, placement, design.constraints)
             .expect("unconstrained routing succeeds");
-        prop_assert_eq!(routed.result.trees.len(), routed.circuit.nets().len());
+        assert_eq!(routed.result.trees.len(), routed.circuit.nets().len());
     }
 }
