@@ -1,14 +1,73 @@
 //! Deletions-per-second: incremental scoreboard vs full-rescan oracle.
 //!
-//! Routes one generated instance (≥200 nets) under both
-//! [`SelectionStrategy`] variants and reports the deletion throughput of
-//! each, plus the speedup. The two runs are asserted to make identical
-//! selections, so the comparison is work-for-work.
+//! Routes each instance under both [`SelectionStrategy`] variants and
+//! reports the deletion throughput of each, plus the speedup and the
+//! scoreboard's re-key breakdown by typed cause. The two runs are
+//! asserted to make identical selections, so the comparison is
+//! work-for-work.
+//!
+//! Rows: a ~1400-cell `RATE` instance (where the scoreboard is asserted
+//! to win) plus the paper-scale `C2P1`/`C3P1` reconstructions
+//! (report-only). Data-set construction runs a full reference route, so
+//! the paper rows come from the process-wide caches of `bgr_gen` and
+//! each instance is built exactly once across both strategy runs.
 
 use std::time::Instant;
 
-use bgr_core::{GlobalRouter, RouterConfig, SelectionStrategy};
-use bgr_gen::{custom, GenParams, PlacementStyle};
+use bgr_core::{GlobalRouter, RouteStats, RouterConfig, SelectionStrategy};
+use bgr_gen::{c2_cached, c3_cached, custom, DataSet, GenParams, PlacementStyle};
+
+struct Row {
+    t_fast: f64,
+    t_slow: f64,
+}
+
+fn run(ds: &DataSet, strategy: SelectionStrategy) -> (f64, RouteStats) {
+    let config = RouterConfig {
+        selection: strategy,
+        ..RouterConfig::default()
+    };
+    let t = Instant::now();
+    let routed = GlobalRouter::new(config)
+        .route(
+            ds.design.circuit.clone(),
+            ds.placement.clone(),
+            ds.design.constraints.clone(),
+        )
+        .expect("instance routes");
+    let secs = t.elapsed().as_secs_f64();
+    let stats = routed.result.stats;
+    println!(
+        "  {strategy:?}: {} deletions in {secs:.3}s = {:.0} deletions/s",
+        stats.deletions,
+        stats.deletions as f64 / secs
+    );
+    (secs, stats)
+}
+
+fn bench_row(ds: &DataSet) -> Row {
+    println!("{}: {} nets", ds.name, ds.design.circuit.nets().len());
+    let (t_fast, fast) = run(ds, SelectionStrategy::Scoreboard);
+    let (t_slow, slow) = run(ds, SelectionStrategy::FullRescan);
+    assert_eq!(
+        fast.selection_log, slow.selection_log,
+        "strategies diverged on {}",
+        ds.name
+    );
+    assert_eq!(fast.deletions, slow.deletions);
+    let rekeys: Vec<String> = fast
+        .rekey_causes
+        .iter()
+        .map(|(cause, n)| format!("{} {n}", cause.label()))
+        .collect();
+    println!(
+        "  re-keys: {} ({})",
+        fast.rekey_causes.total(),
+        rekeys.join(", ")
+    );
+    println!("  speedup: {:.2}x", t_slow / t_fast);
+    Row { t_fast, t_slow }
+}
 
 fn main() {
     let params = GenParams {
@@ -23,37 +82,17 @@ fn main() {
     let ds = custom("RATE", params, PlacementStyle::EvenFeed);
     let nets = ds.design.circuit.nets().len();
     assert!(nets >= 200, "instance too small: {nets} nets");
-    println!("{}: {} nets", ds.name, nets);
-
-    let rate = |strategy: SelectionStrategy| {
-        let config = RouterConfig {
-            selection: strategy,
-            ..RouterConfig::default()
-        };
-        let t = Instant::now();
-        let routed = GlobalRouter::new(config)
-            .route(
-                ds.design.circuit.clone(),
-                ds.placement.clone(),
-                ds.design.constraints.clone(),
-            )
-            .expect("instance routes");
-        let secs = t.elapsed().as_secs_f64();
-        let dels = routed.result.stats.deletions;
-        println!(
-            "  {strategy:?}: {dels} deletions in {secs:.3}s = {:.0} deletions/s",
-            dels as f64 / secs
-        );
-        (routed.result.stats.selection_log.clone(), secs, dels)
-    };
-
-    let (log_fast, t_fast, d_fast) = rate(SelectionStrategy::Scoreboard);
-    let (log_slow, t_slow, d_slow) = rate(SelectionStrategy::FullRescan);
-    assert_eq!(log_fast, log_slow, "strategies diverged");
-    assert_eq!(d_fast, d_slow);
-    println!("  speedup: {:.2}x", t_slow / t_fast);
+    let row = bench_row(&ds);
     assert!(
-        t_fast < t_slow,
-        "scoreboard ({t_fast:.3}s) must beat full rescan ({t_slow:.3}s)"
+        row.t_fast < row.t_slow,
+        "scoreboard ({:.3}s) must beat full rescan ({:.3}s)",
+        row.t_fast,
+        row.t_slow
     );
+
+    // Paper-scale rows (Table 1 reconstructions), report-only: on these
+    // the constraint structure and density interactions differ from
+    // RATE, so the speedup is informative rather than asserted.
+    bench_row(c2_cached());
+    bench_row(c3_cached());
 }

@@ -1,0 +1,58 @@
+//! Routes a small generated circuit with the collecting probe and
+//! renders both trace artifacts: the JSONL trace (machine-diffable) and
+//! the human-readable summary (criterion-decision breakdown, per-phase
+//! time/work profile).
+//!
+//! Usage: `trace_summary [out_dir]` — writes `trace.jsonl` and
+//! `trace_summary.txt` under `out_dir` (default `target/trace`). CI
+//! uploads both, so every PR's routing behavior is diffable.
+
+use bgr_core::{GlobalRouter, RouterConfig, TraceSummary};
+use bgr_gen::{custom, GenParams, PlacementStyle};
+use bgr_io::write_trace_jsonl;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/trace".to_owned());
+
+    let params = GenParams {
+        logic_cells: 300,
+        depth: 8,
+        rows: 6,
+        diff_pairs: 2,
+        feeds_per_row: 6,
+        num_constraints: 8,
+        ..GenParams::small(0x7ACE)
+    };
+    let ds = custom("TRACE", params, PlacementStyle::EvenFeed);
+    println!("{}: {} nets", ds.name, ds.design.circuit.nets().len());
+
+    let (routed, trace) = GlobalRouter::new(RouterConfig::default())
+        .route_traced(
+            ds.design.circuit.clone(),
+            ds.placement.clone(),
+            ds.design.constraints.clone(),
+        )
+        .expect("instance routes");
+    assert_eq!(
+        trace.deletions(),
+        routed.result.stats.deletions,
+        "event stream must account for every deletion"
+    );
+
+    let summary = TraceSummary::from_trace(&trace);
+    let text = summary.to_ascii();
+    print!("{text}");
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let jsonl = write_trace_jsonl(&trace);
+    let jsonl_path = format!("{out_dir}/trace.jsonl");
+    let text_path = format!("{out_dir}/trace_summary.txt");
+    std::fs::write(&jsonl_path, &jsonl).expect("write trace.jsonl");
+    std::fs::write(&text_path, &text).expect("write trace_summary.txt");
+    println!(
+        "wrote {jsonl_path} ({} records) and {text_path}",
+        jsonl.lines().count()
+    );
+}

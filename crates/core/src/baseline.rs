@@ -76,7 +76,14 @@ impl SequentialRouter {
             circuit.net_ids().collect()
         };
         let pairs = crate::diffpair::PairMap::build(&circuit);
-        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 8)?;
+        let plan = assign_with_insertion(
+            &mut circuit,
+            &mut placement,
+            &order,
+            &pairs,
+            8,
+            &mut crate::probe::NoopProbe,
+        )?;
 
         let mut graphs: Vec<RoutingGraph> = circuit
             .net_ids()

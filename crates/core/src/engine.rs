@@ -51,8 +51,9 @@ use crate::config::{CriteriaOrder, SelectionStrategy};
 use crate::criteria::{DelayCriteria, HypWire};
 use crate::density::DensityMap;
 use crate::graph::{REdgeKind, RoutingGraph};
+use crate::probe::{Counter, Hist, NoopProbe, Probe, RekeyCause, RekeyCauses, TraceEvent};
 use crate::scoreboard::Scoreboard;
-use crate::select::{compare, EdgeKey};
+use crate::select::{compare, deciding_tier, DecidingTier, EdgeKey};
 use crate::tentative::tentative_length_um;
 
 /// Per-net cache of hypothetical wire states, valid only while the
@@ -65,8 +66,11 @@ struct HypCache {
 
 /// Mutable routing state shared by the initial-routing and improvement
 /// phases.
+///
+/// Generic over the [`Probe`] observing it; the default [`NoopProbe`]
+/// compiles every instrumentation site away (see [`crate::probe`]).
 #[derive(Debug)]
-pub struct Engine {
+pub struct Engine<P: Probe = NoopProbe> {
     graphs: Vec<RoutingGraph>,
     density: DensityMap,
     sta: Sta,
@@ -93,27 +97,44 @@ pub struct Engine {
     /// Every selection made by `run_deletion`, in order — the audit
     /// trail compared across strategies by the oracle tests.
     pub selection_log: Vec<(NetId, u32)>,
-    /// Diagnostic: nets re-keyed by the scoreboard path, by cause
-    /// (graph-dirty, aggregate-moved channel, span-overlap, constraint).
-    pub rekey_causes: [usize; 4],
+    /// Diagnostic: nets re-keyed by the scoreboard path, by typed
+    /// [`RekeyCause`].
+    pub rekey_causes: RekeyCauses,
     /// Total edges deleted (selected + cascaded + pruned).
     pub deletions: usize,
     /// Total nets ripped up and rerouted.
     pub reroutes: usize,
+    /// The instrumentation sink.
+    probe: P,
 }
 
-impl Engine {
-    /// Creates the engine over freshly built routing graphs.
+impl Engine<NoopProbe> {
+    /// Creates an unobserved engine over freshly built routing graphs.
     ///
     /// `partner[net]` marks differential-pair lockstep partners whose
     /// graphs have been verified homogeneous (§4.1); deletions cascade to
     /// them.
     pub fn new(
+        graphs: Vec<RoutingGraph>,
+        sta: Sta,
+        partner: Vec<Option<NetId>>,
+        num_channels: usize,
+        chip_width: usize,
+    ) -> Self {
+        Self::with_probe(graphs, sta, partner, num_channels, chip_width, NoopProbe)
+    }
+}
+
+impl<P: Probe> Engine<P> {
+    /// [`Engine::new`] with an explicit [`Probe`] (moved in; retrieve it
+    /// with [`Engine::into_parts`] or borrow via [`Engine::probe_mut`]).
+    pub fn with_probe(
         mut graphs: Vec<RoutingGraph>,
         sta: Sta,
         partner: Vec<Option<NetId>>,
         num_channels: usize,
         chip_width: usize,
+        probe: P,
     ) -> Self {
         let mut density = DensityMap::new(num_channels, chip_width);
         for g in &mut graphs {
@@ -170,15 +191,26 @@ impl Engine {
             delta_cons: Vec::new(),
             delta_nets: Vec::new(),
             selection_log: Vec::new(),
-            rekey_causes: [0; 4],
+            rekey_causes: RekeyCauses::default(),
             deletions: 0,
             reroutes: 0,
+            probe,
         };
         for i in 0..engine.graphs.len() {
             engine.refresh_length(NetId::new(i));
         }
         engine.clear_delta();
         engine
+    }
+
+    /// The instrumentation sink (e.g. to emit phase markers).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// The instrumentation sink, immutably.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// The routing graphs, indexed by net.
@@ -256,8 +288,10 @@ impl Engine {
             cache.stamp = gen;
         }
         if let Some(h) = cache.slots[e as usize] {
+            self.probe.count(Counter::HypCacheHit, 1);
             return h;
         }
+        self.probe.count(Counter::HypCacheMiss, 1);
         let len = tentative_length_um(&self.graphs[ni], Some(e))
             .expect("deleting a non-bridge keeps the net connected");
         let (cl_ff, rc_ps) = self.sta.lengths().wire_terms_at(net, len);
@@ -272,6 +306,7 @@ impl Engine {
 
     /// Builds the full comparison key for a deletable edge.
     pub fn edge_key(&mut self, net: NetId, e: u32) -> EdgeKey {
+        self.probe.count(Counter::KeyEval, 1);
         let delay = if self.sta.constraints_of_net(net).is_empty() {
             DelayCriteria::default()
         } else {
@@ -282,6 +317,8 @@ impl Engine {
         let edge = g.edges()[e as usize];
         let (is_trunk, f_min, n_min, f_max, n_max) = match edge.kind {
             REdgeKind::Trunk { channel } => {
+                self.probe.count(Counter::DensityWindowQuery, 1);
+                self.probe.count(Counter::DensityAggregateQuery, 1);
                 let ed = self.density.edge_density(channel, edge.x1, edge.x2);
                 (
                     true,
@@ -291,13 +328,16 @@ impl Engine {
                     self.density.nc_max(channel) - ed.nd_max,
                 )
             }
-            REdgeKind::Branch { channel } => (
-                false,
-                self.density.c_min(channel),
-                self.density.nc_min(channel),
-                self.density.c_max(channel),
-                self.density.nc_max(channel),
-            ),
+            REdgeKind::Branch { channel } => {
+                self.probe.count(Counter::DensityAggregateQuery, 1);
+                (
+                    false,
+                    self.density.c_min(channel),
+                    self.density.nc_min(channel),
+                    self.density.c_max(channel),
+                    self.density.nc_max(channel),
+                )
+            }
             REdgeKind::FeedHalf { .. } => (false, 0, 0, 0, 0),
         };
         EdgeKey {
@@ -345,6 +385,12 @@ impl Engine {
         self.delta_nets.push(net);
         let pruned = self.graphs[ni].prune_dangling();
         self.deletions += pruned.len();
+        if !pruned.is_empty() {
+            self.probe.event(TraceEvent::Pruned {
+                net,
+                count: pruned.len() as u32,
+            });
+        }
         for pe in pruned {
             // Density removal uses the stale bridge flag, which is exactly
             // the status the span was added/promoted under.
@@ -373,6 +419,11 @@ impl Engine {
             }
         }
         self.refresh_length(net);
+        // Deletion always starts from a non-tree (a tree has only
+        // bridges), so the transition fires exactly once per completion.
+        if P::ENABLED && self.graphs[ni].is_tree() {
+            self.probe.event(TraceEvent::NetBecameTree { net });
+        }
     }
 
     /// Deletes an edge and cascades to the differential partner (§4.1):
@@ -383,6 +434,8 @@ impl Engine {
         if let Some(p) = self.partner[net.index()] {
             let pg = &self.graphs[p.index()];
             if pg.is_alive(e) && !pg.is_bridge(e) {
+                self.probe
+                    .event(TraceEvent::CascadeDeleted { net: p, edge: e });
                 self.delete_one(p, e);
             }
         }
@@ -398,7 +451,11 @@ impl Engine {
     }
 
     /// The naive oracle: recomputes every in-scope candidate key each
-    /// iteration and linearly scans for the minimum.
+    /// iteration and linearly scans for the minimum. The scan runs
+    /// per-net champion (min over champions == global min under the
+    /// total selection order), which lets it track the *runner-up
+    /// champion* — the same runner-up the scoreboard observes — for
+    /// strategy-independent decision provenance.
     fn run_deletion_rescan(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
         let nets: Vec<NetId> = match scope {
             Some(s) => s.to_vec(),
@@ -407,24 +464,43 @@ impl Engine {
         let mut selections = 0;
         loop {
             let mut best: Option<EdgeKey> = None;
+            // Runner-up tracking exists only to feed the probe.
+            let mut second: Option<EdgeKey> = None;
             for &net in &nets {
-                let ecount = self.graphs[net.index()].edges().len() as u32;
-                for e in 0..ecount {
-                    let g = &self.graphs[net.index()];
-                    if !g.is_alive(e) || g.is_bridge(e) {
-                        continue;
+                let Some(key) = self.champion(net, order) else {
+                    continue;
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => compare(&key, b, order) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    if P::ENABLED {
+                        second = best;
                     }
-                    let key = self.edge_key(net, e);
-                    let better = match &best {
+                    best = Some(key);
+                } else if P::ENABLED {
+                    let closer = match &second {
                         None => true,
-                        Some(b) => compare(&key, b, order) == std::cmp::Ordering::Less,
+                        Some(s) => compare(&key, s, order) == std::cmp::Ordering::Less,
                     };
-                    if better {
-                        best = Some(key);
+                    if closer {
+                        second = Some(key);
                     }
                 }
             }
             let Some(key) = best else { break };
+            if P::ENABLED {
+                let tier = match &second {
+                    Some(s) => deciding_tier(&key, s, order),
+                    None => DecidingTier::OnlyCandidate,
+                };
+                self.probe.event(TraceEvent::DeletionSelected {
+                    net: key.net,
+                    edge: key.edge,
+                    tier,
+                });
+            }
             self.clear_delta();
             self.delete_with_partner(key.net, key.edge);
             self.selection_log.push((key.net, key.edge));
@@ -433,11 +509,10 @@ impl Engine {
         selections
     }
 
-    /// Pushes `net`'s *champion* — the minimum key over its deletable
-    /// edges, found with the same strict-less linear scan the full
-    /// rescan uses — so the heap holds at most one live entry per net.
-    fn push_keys(&mut self, sb: &mut Scoreboard, net: NetId) {
-        let order = sb.order();
+    /// `net`'s *champion*: the minimum key over its deletable edges,
+    /// found with the strict-less linear scan shared by both selection
+    /// strategies.
+    fn champion(&mut self, net: NetId, order: CriteriaOrder) -> Option<EdgeKey> {
         let mut best: Option<EdgeKey> = None;
         let ecount = self.graphs[net.index()].edges().len() as u32;
         for e in 0..ecount {
@@ -454,7 +529,14 @@ impl Engine {
                 best = Some(key);
             }
         }
-        if let Some(key) = best {
+        best
+    }
+
+    /// Pushes `net`'s champion, so the heap holds at most one live entry
+    /// per net.
+    fn push_keys(&mut self, sb: &mut Scoreboard, net: NetId) {
+        if let Some(key) = self.champion(net, sb.order()) {
+            self.probe.count(Counter::HeapPush, 1);
             sb.push(key);
         }
     }
@@ -476,12 +558,31 @@ impl Engine {
             self.push_keys(&mut sb, net);
         }
         let mut selections = 0;
-        while let Some(key) = sb.pop_valid() {
+        while let Some(key) = sb.pop_valid_probed(&mut self.probe) {
             debug_assert!(
                 self.graphs[key.net.index()].is_alive(key.edge)
                     && !self.graphs[key.net.index()].is_bridge(key.edge),
                 "scoreboard returned a non-deletable edge"
             );
+            if P::ENABLED {
+                // Runner-up champion peek: pop the next valid entry and
+                // push it straight back (re-stamped under its unchanged
+                // generation). Unprobed on purpose — provenance peeking
+                // must not perturb the heap-pop diagnostics.
+                let tier = match sb.pop_valid() {
+                    Some(second) => {
+                        let t = deciding_tier(&key, &second, order);
+                        sb.push(second);
+                        t
+                    }
+                    None => DecidingTier::OnlyCandidate,
+                };
+                self.probe.event(TraceEvent::DeletionSelected {
+                    net: key.net,
+                    edge: key.edge,
+                    tier,
+                });
+            }
             self.clear_delta();
             self.delete_with_partner(key.net, key.edge);
             self.selection_log.push((key.net, key.edge));
@@ -497,7 +598,8 @@ impl Engine {
             let mut dirty: BTreeSet<NetId> = BTreeSet::new();
             for n in d_nets.iter().copied().filter(|n| in_scope[n.index()]) {
                 if dirty.insert(n) {
-                    self.rekey_causes[0] += 1;
+                    self.rekey_causes.record(RekeyCause::Graph);
+                    self.probe.rekey(n, RekeyCause::Graph);
                 }
             }
             for &(c, before) in &d_snap {
@@ -506,7 +608,8 @@ impl Engine {
                     // (trunk or branch) changed.
                     for &(n, _, _) in &self.channel_nets[c.index()] {
                         if in_scope[n.index()] && dirty.insert(n) {
-                            self.rekey_causes[1] += 1;
+                            self.rekey_causes.record(RekeyCause::AggregateMoved);
+                            self.probe.rekey(n, RekeyCause::AggregateMoved);
                         }
                     }
                 } else {
@@ -520,7 +623,8 @@ impl Engine {
                                 .any(|&(sc, x1, x2)| sc == c && lo <= x2 && x1 <= hi)
                             && dirty.insert(n)
                         {
-                            self.rekey_causes[2] += 1;
+                            self.rekey_causes.record(RekeyCause::SpanOverlap);
+                            self.probe.rekey(n, RekeyCause::SpanOverlap);
                         }
                     }
                 }
@@ -528,7 +632,8 @@ impl Engine {
             for &cid in &d_cons {
                 for &n in self.sta.nets_of_constraint(cid as usize) {
                     if in_scope[n.index()] && dirty.insert(n) {
-                        self.rekey_causes[3] += 1;
+                        self.rekey_causes.record(RekeyCause::Constraint);
+                        self.probe.rekey(n, RekeyCause::Constraint);
                     }
                 }
             }
@@ -537,6 +642,7 @@ impl Engine {
             self.delta_spans = d_spans;
             self.delta_snap = d_snap;
             self.delta_cons = d_cons;
+            self.probe.sample(Hist::DirtySetSize, dirty.len() as u64);
             for net in dirty {
                 sb.invalidate_net(net);
                 self.push_keys(&mut sb, net);
@@ -650,9 +756,10 @@ impl Engine {
         self.graphs.iter().all(|g| g.is_tree())
     }
 
-    /// Consumes the engine, returning graphs, density and analyzer.
-    pub fn into_parts(self) -> (Vec<RoutingGraph>, DensityMap, Sta) {
-        (self.graphs, self.density, self.sta)
+    /// Consumes the engine, returning graphs, density, analyzer and the
+    /// probe (with everything it collected).
+    pub fn into_parts(self) -> (Vec<RoutingGraph>, DensityMap, Sta, P) {
+        (self.graphs, self.density, self.sta, self.probe)
     }
 }
 

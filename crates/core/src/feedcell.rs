@@ -17,6 +17,7 @@ use bgr_netlist::{Circuit, NetId};
 use crate::assign::{assign_feedthroughs, AssignOutcome};
 use crate::diffpair::PairMap;
 use crate::error::RouteError;
+use crate::probe::{Probe, TraceEvent};
 
 /// Result of assignment-with-insertion.
 #[derive(Debug, Clone)]
@@ -55,13 +56,14 @@ fn eligible_gaps(circuit: &Circuit, placement: &Placement, row: usize) -> Vec<us
 
 /// Inserts a group of `w` adjacent 1-pitch feed cells at gap `gap` of
 /// `row`; returns the inserted cell ids.
-fn insert_group(
+fn insert_group<P: Probe>(
     circuit: &mut Circuit,
     placement: &mut Placement,
     row: usize,
     gap: usize,
     w: u32,
     counter: &mut usize,
+    probe: &mut P,
 ) -> Vec<bgr_netlist::CellId> {
     let feed_kind = circuit
         .library()
@@ -91,6 +93,11 @@ fn insert_group(
         placement.insert_cell_at_x(row, id, x + k as i32, 1);
         ids.push(id);
     }
+    probe.event(TraceEvent::FeedCellsInserted {
+        row: row as u32,
+        x,
+        width: w,
+    });
     ids
 }
 
@@ -102,12 +109,13 @@ fn insert_group(
 ///
 /// [`RouteError::ReassignFailed`] if assignment still fails after
 /// `max_iters` insertion rounds (an internal invariant violation).
-pub fn assign_with_insertion(
+pub fn assign_with_insertion<P: Probe>(
     circuit: &mut Circuit,
     placement: &mut Placement,
     order: &[NetId],
     pairs: &PairMap,
     max_iters: usize,
+    probe: &mut P,
 ) -> Result<FeedPlan, RouteError> {
     let initial_width = placement.width_pitches();
     let mut inserted_cells = 0usize;
@@ -186,7 +194,7 @@ pub fn assign_with_insertion(
                 let gaps = eligible_gaps(circuit, placement, row);
                 let gi = ((k + 1) * gaps.len()) / (total + 1);
                 let gap = gaps[gi.min(gaps.len() - 1)];
-                let ids = insert_group(circuit, placement, row, gap, w, &mut name_counter);
+                let ids = insert_group(circuit, placement, row, gap, w, &mut name_counter, probe);
                 inserted_cells += ids.len();
                 if w > 1 {
                     for id in ids {
@@ -297,7 +305,15 @@ mod tests {
         let order: Vec<NetId> = circuit.net_ids().collect();
         let cells_before = circuit.cells().len();
         let width_before = placement.width_pitches();
-        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 5).unwrap();
+        let plan = assign_with_insertion(
+            &mut circuit,
+            &mut placement,
+            &order,
+            &pairs,
+            5,
+            &mut crate::probe::NoopProbe,
+        )
+        .unwrap();
         // Both crossing nets got a feed in row 1.
         for &n in &nets {
             assert_eq!(plan.feeds[n.index()].len(), 1, "net {n} crossed row 1");
@@ -317,7 +333,15 @@ mod tests {
         // Only route one of the crossing nets: the single slot suffices.
         let pairs = PairMap::build(&circuit);
         let order = vec![NetId::new(0)];
-        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 5).unwrap();
+        let plan = assign_with_insertion(
+            &mut circuit,
+            &mut placement,
+            &order,
+            &pairs,
+            5,
+            &mut crate::probe::NoopProbe,
+        )
+        .unwrap();
         assert_eq!(plan.inserted_cells, 0);
         assert_eq!(plan.widened, 0);
         assert_eq!(plan.feeds[0], vec![(1, 4)]);

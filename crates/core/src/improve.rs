@@ -6,6 +6,7 @@ use bgr_netlist::NetId;
 
 use crate::config::CriteriaOrder;
 use crate::engine::Engine;
+use crate::probe::{Probe, TraceEvent};
 
 const EPS: f64 = 1e-6;
 
@@ -13,7 +14,7 @@ const EPS: f64 = 1e-6;
 /// over all constraints — smaller is better. Summing (rather than taking
 /// the worst) prevents a reroute from trading one constraint's slack for
 /// another's violation.
-fn timing_score(engine: &Engine) -> (f64, f64) {
+fn timing_score<P: Probe>(engine: &Engine<P>) -> (f64, f64) {
     let sta = engine.sta();
     let mut violation = 0.0;
     let mut arrival = 0.0;
@@ -26,7 +27,7 @@ fn timing_score(engine: &Engine) -> (f64, f64) {
 
 /// Reroutes one net, reverting if the timing score regresses (the
 /// improvement phases must never make things worse).
-fn reroute_guarded(engine: &mut Engine, net: NetId, order: CriteriaOrder) {
+fn reroute_guarded<P: Probe>(engine: &mut Engine<P>, net: NetId, order: CriteriaOrder) {
     let snap = engine.snapshot(net);
     let before = timing_score(engine);
     engine.reroute_net(net, order);
@@ -34,12 +35,19 @@ fn reroute_guarded(engine: &mut Engine, net: NetId, order: CriteriaOrder) {
     let worse = after.0 > before.0 + EPS || (after.0 > before.0 - EPS && after.1 > before.1 + EPS);
     if worse {
         engine.restore(&snap);
+        engine
+            .probe_mut()
+            .event(TraceEvent::RerouteRejected { net });
+    } else {
+        engine
+            .probe_mut()
+            .event(TraceEvent::RerouteAccepted { net });
     }
 }
 
 /// Nets on the critical paths of the given constraints, in ascending
 /// margin order, deduplicated.
-fn critical_nets_by_margin(engine: &Engine, only_violated: bool) -> Vec<NetId> {
+fn critical_nets_by_margin<P: Probe>(engine: &Engine<P>, only_violated: bool) -> Vec<NetId> {
     let sta = engine.sta();
     let mut cids: Vec<usize> = (0..sta.num_constraints())
         .filter(|&c| !only_violated || sta.margin_ps(c) < 0.0)
@@ -60,7 +68,11 @@ fn critical_nets_by_margin(engine: &Engine, only_violated: bool) -> Vec<NetId> {
 /// Constraint-violation recovery (§3.5 phase 1): reroutes the nets on the
 /// critical paths of violated constraints until the violations are gone,
 /// progress stalls, or `passes` is exhausted. Returns reroute count.
-pub fn recover_violate(engine: &mut Engine, passes: usize, order: CriteriaOrder) -> usize {
+pub fn recover_violate<P: Probe>(
+    engine: &mut Engine<P>,
+    passes: usize,
+    order: CriteriaOrder,
+) -> usize {
     let mut reroutes = 0;
     for _ in 0..passes {
         if engine.sta().worst_margin_ps() >= 0.0 {
@@ -81,7 +93,11 @@ pub fn recover_violate(engine: &mut Engine, passes: usize, order: CriteriaOrder)
 /// Delay improvement (§3.5 phase 2): reroutes critical-path nets of *all*
 /// constraints, tightest first, until no margin progress. Returns reroute
 /// count.
-pub fn improve_delay(engine: &mut Engine, passes: usize, order: CriteriaOrder) -> usize {
+pub fn improve_delay<P: Probe>(
+    engine: &mut Engine<P>,
+    passes: usize,
+    order: CriteriaOrder,
+) -> usize {
     let mut reroutes = 0;
     for _ in 0..passes {
         if engine.sta().num_constraints() == 0 {
@@ -105,7 +121,7 @@ pub fn improve_delay(engine: &mut Engine, passes: usize, order: CriteriaOrder) -
 /// Area improvement (§3.5 phase 3): reroutes nets running through the
 /// most congested columns first, with the reordered (area) criteria.
 /// Returns reroute count.
-pub fn improve_area(engine: &mut Engine, passes: usize) -> usize {
+pub fn improve_area<P: Probe>(engine: &mut Engine<P>, passes: usize) -> usize {
     let mut reroutes = 0;
     for _ in 0..passes {
         let tracks_before: i32 = engine.density().channel_maxima().iter().sum();
@@ -157,6 +173,13 @@ pub fn improve_area(engine: &mut Engine, passes: usize) -> usize {
             let timing_a = timing_score(engine);
             if tracks_a > tracks_b || timing_a.0 > timing_b.0 + EPS {
                 engine.restore(&snap);
+                engine
+                    .probe_mut()
+                    .event(TraceEvent::RerouteRejected { net });
+            } else {
+                engine
+                    .probe_mut()
+                    .event(TraceEvent::RerouteAccepted { net });
             }
             reroutes += 1;
         }

@@ -65,6 +65,7 @@ pub mod error;
 pub mod feedcell;
 pub mod graph;
 pub mod improve;
+pub mod probe;
 pub mod report;
 pub mod result;
 pub mod router;
@@ -76,6 +77,11 @@ pub use baseline::{SequentialConfig, SequentialRouter};
 pub use config::{CriteriaOrder, RouterConfig, SelectionStrategy};
 pub use error::RouteError;
 pub use graph::{REdge, REdgeKind, RVert, RVertKind, RoutingGraph};
-pub use report::{ChannelCongestion, CongestionReport};
+pub use probe::{
+    CollectingProbe, Counter, Hist, NoopProbe, Phase, PhaseSpan, Probe, RekeyCause, RekeyCauses,
+    RouteTrace, TraceEvent, HIST_BUCKETS,
+};
+pub use report::{ChannelCongestion, CongestionReport, TraceSummary};
 pub use result::{NetTree, RouteStats, RoutingResult, Segment, TimingReport};
 pub use router::{GlobalRouter, Routed};
+pub use select::{deciding_tier, DecidingTier};

@@ -1,0 +1,692 @@
+//! Structured observability for the deletion engine.
+//!
+//! The router is a long sequence of heuristic decisions — ranked
+//! criterion comparisons (§3.3–§3.4), three rip-up phases (§4.2),
+//! feed-cell insertion (§4.3) — and every performance hypothesis about
+//! it (parallel re-keying, sharded scoreboards, tighter density
+//! invalidation) is an argument about *which* of those decisions
+//! dominate. This module defines the instrumentation contract that
+//! makes them measurable without giving up the engine's two core
+//! properties:
+//!
+//! * **Zero cost when off.** [`Probe`] is statically dispatched and the
+//!   default [`NoopProbe`] has empty inline bodies plus
+//!   [`Probe::ENABLED`]` == false`, so instrumented call sites (and any
+//!   extra work done *only* to feed the probe, like runner-up tracking
+//!   for decision provenance) compile away entirely.
+//! * **Determinism.** The [`TraceEvent`] stream is a pure function of
+//!   the inputs and the configuration: it contains no wall-clock, no
+//!   allocation addresses, and nothing strategy-dependent — the
+//!   [`crate::SelectionStrategy::FullRescan`] oracle and the default
+//!   scoreboard emit **identical** event streams (proven by
+//!   `tests/trace_determinism.rs`). Wall-clock lives only in
+//!   [`PhaseSpan`]s, and strategy-dependent diagnostics (re-keys, heap
+//!   pops, cache hits) live only in [`Counter`]s / [`Hist`]ograms.
+//!
+//! [`CollectingProbe`] records everything into a [`RouteTrace`];
+//! `bgr_io::write_trace_jsonl` serializes it and
+//! [`crate::report::TraceSummary`] renders it for humans.
+
+use std::time::{Duration, Instant};
+
+use bgr_netlist::NetId;
+
+use crate::select::DecidingTier;
+
+/// The router's instrumented phases (Fig. 2 lines 01, 02, 04–07, 08,
+/// 09, 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Feedthrough assignment with §4.3 feed-cell insertion (line 01).
+    FeedAssign,
+    /// Routing-graph construction, density probe pass and STA build
+    /// (lines 02–03).
+    GraphBuild,
+    /// The main deletion loop (lines 04–07).
+    InitialRouting,
+    /// Constraint-violation recovery (§3.5 phase 1, line 08).
+    RecoverViolate,
+    /// Delay improvement (§3.5 phase 2, line 09).
+    ImproveDelay,
+    /// Area improvement (§3.5 phase 3, line 10).
+    ImproveArea,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::FeedAssign,
+        Phase::GraphBuild,
+        Phase::InitialRouting,
+        Phase::RecoverViolate,
+        Phase::ImproveDelay,
+        Phase::ImproveArea,
+    ];
+
+    /// Stable snake_case label (used by the JSONL schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::FeedAssign => "feed_assign",
+            Phase::GraphBuild => "graph_build",
+            Phase::InitialRouting => "initial_routing",
+            Phase::RecoverViolate => "recover_violate",
+            Phase::ImproveDelay => "improve_delay",
+            Phase::ImproveArea => "improve_area",
+        }
+    }
+}
+
+/// Why the scoreboard re-keyed a net after a deletion (the dirty-set
+/// clauses of the invalidation contract — see `Engine::run_deletion`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RekeyCause {
+    /// The net's own graph changed (deleted net or cascaded partner).
+    Graph,
+    /// A touched channel's aggregates (`C_M/NC_M/C_m/NC_m`) moved, so
+    /// every key referencing the channel changed.
+    AggregateMoved,
+    /// Aggregates held but the net's trunk interval overlaps a touched
+    /// span (its window query reads the mutated profile).
+    SpanOverlap,
+    /// The net belongs to a constraint whose margins were refreshed.
+    Constraint,
+}
+
+impl RekeyCause {
+    /// Every cause, in dirty-set derivation order.
+    pub const ALL: [RekeyCause; 4] = [
+        RekeyCause::Graph,
+        RekeyCause::AggregateMoved,
+        RekeyCause::SpanOverlap,
+        RekeyCause::Constraint,
+    ];
+
+    /// Stable snake_case label (used by the JSONL schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            RekeyCause::Graph => "graph",
+            RekeyCause::AggregateMoved => "aggregate_moved",
+            RekeyCause::SpanOverlap => "span_overlap",
+            RekeyCause::Constraint => "constraint",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RekeyCause::Graph => 0,
+            RekeyCause::AggregateMoved => 1,
+            RekeyCause::SpanOverlap => 2,
+            RekeyCause::Constraint => 3,
+        }
+    }
+
+    /// The aggregated counter this cause feeds.
+    pub fn counter(self) -> Counter {
+        match self {
+            RekeyCause::Graph => Counter::RekeyGraph,
+            RekeyCause::AggregateMoved => Counter::RekeyAggregate,
+            RekeyCause::SpanOverlap => Counter::RekeySpan,
+            RekeyCause::Constraint => Counter::RekeyConstraint,
+        }
+    }
+}
+
+/// Per-cause re-key totals, indexed by [`RekeyCause`] (replaces the
+/// former magic-index `[usize; 4]` of `RouteStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RekeyCauses {
+    counts: [usize; 4],
+}
+
+impl RekeyCauses {
+    /// Records one re-key attributed to `cause`.
+    pub fn record(&mut self, cause: RekeyCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Re-keys attributed to `cause`.
+    pub fn of(&self, cause: RekeyCause) -> usize {
+        self.counts[cause.index()]
+    }
+
+    /// Total re-keys across all causes.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// `(cause, count)` pairs in [`RekeyCause::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (RekeyCause, usize)> + '_ {
+        RekeyCause::ALL.iter().map(|&c| (c, self.of(c)))
+    }
+}
+
+/// One deterministic, strategy-independent decision of the router.
+///
+/// Net/edge ids, counts and [`DecidingTier`]s only — never wall-clock,
+/// never anything the selection strategy is free to vary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A phase began (marker; the clock reading stays in the probe).
+    PhaseEnter {
+        /// The phase.
+        phase: Phase,
+    },
+    /// A phase ended.
+    PhaseExit {
+        /// The phase.
+        phase: Phase,
+    },
+    /// The deletion loop selected `(net, edge)`; `tier` is the decision
+    /// provenance — the criterion that separated the winner from the
+    /// runner-up champion (see [`crate::select::deciding_tier`]).
+    DeletionSelected {
+        /// Winning net.
+        net: NetId,
+        /// Winning edge index within the net.
+        edge: u32,
+        /// Which comparison tier decided the selection.
+        tier: DecidingTier,
+    },
+    /// A selection cascaded to the differential partner (§4.1).
+    CascadeDeleted {
+        /// Partner net.
+        net: NetId,
+        /// Mirrored edge index.
+        edge: u32,
+    },
+    /// Dangling-chain pruning removed `count` further edges of `net`.
+    Pruned {
+        /// Pruned net.
+        net: NetId,
+        /// Edges removed by the prune.
+        count: u32,
+    },
+    /// A deletion left `net`'s routing graph a spanning tree.
+    NetBecameTree {
+        /// The finished net.
+        net: NetId,
+    },
+    /// An improvement-phase reroute of `net` was kept.
+    RerouteAccepted {
+        /// Rerouted net.
+        net: NetId,
+    },
+    /// An improvement-phase reroute of `net` regressed and was reverted.
+    RerouteRejected {
+        /// Reverted net.
+        net: NetId,
+    },
+    /// Feed-cell insertion (§4.3) placed a group of `width` single-pitch
+    /// feed cells at column `x` of `row`.
+    FeedCellsInserted {
+        /// Target row.
+        row: u32,
+        /// Insertion column in pitches.
+        x: i32,
+        /// Cells in the group (the flagged width).
+        width: u32,
+    },
+}
+
+/// Monotonic work counters. Unlike [`TraceEvent`]s these are
+/// *diagnostics*: they may legitimately differ between selection
+/// strategies (the full rescan pushes no heap entries at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Candidate keys evaluated (`Engine::edge_key` calls).
+    KeyEval,
+    /// Scoreboard heap pushes.
+    HeapPush,
+    /// Scoreboard heap pops, valid and stale.
+    HeapPop,
+    /// Of the pops, generation-stale entries discarded.
+    StaleHeapPop,
+    /// Re-keys caused by a changed graph (deleted net / partner).
+    RekeyGraph,
+    /// Re-keys caused by moved channel aggregates.
+    RekeyAggregate,
+    /// Re-keys caused by span overlap with held aggregates.
+    RekeySpan,
+    /// Re-keys caused by refreshed timing constraints.
+    RekeyConstraint,
+    /// Density window queries (`edge_density` over a trunk interval).
+    DensityWindowQuery,
+    /// Density aggregate reads (`C_M/NC_M/C_m/NC_m` of a channel).
+    DensityAggregateQuery,
+    /// Hypothetical-wire cache hits.
+    HypCacheHit,
+    /// Hypothetical-wire cache misses (tentative-tree recomputations).
+    HypCacheMiss,
+}
+
+impl Counter {
+    /// Number of counters (array dimension).
+    pub const COUNT: usize = 12;
+
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::KeyEval,
+        Counter::HeapPush,
+        Counter::HeapPop,
+        Counter::StaleHeapPop,
+        Counter::RekeyGraph,
+        Counter::RekeyAggregate,
+        Counter::RekeySpan,
+        Counter::RekeyConstraint,
+        Counter::DensityWindowQuery,
+        Counter::DensityAggregateQuery,
+        Counter::HypCacheHit,
+        Counter::HypCacheMiss,
+    ];
+
+    /// Dense index into counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Counter::KeyEval => 0,
+            Counter::HeapPush => 1,
+            Counter::HeapPop => 2,
+            Counter::StaleHeapPop => 3,
+            Counter::RekeyGraph => 4,
+            Counter::RekeyAggregate => 5,
+            Counter::RekeySpan => 6,
+            Counter::RekeyConstraint => 7,
+            Counter::DensityWindowQuery => 8,
+            Counter::DensityAggregateQuery => 9,
+            Counter::HypCacheHit => 10,
+            Counter::HypCacheMiss => 11,
+        }
+    }
+
+    /// Stable snake_case label (used by the JSONL schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::KeyEval => "key_evals",
+            Counter::HeapPush => "heap_pushes",
+            Counter::HeapPop => "heap_pops",
+            Counter::StaleHeapPop => "stale_heap_pops",
+            Counter::RekeyGraph => "rekeys_graph",
+            Counter::RekeyAggregate => "rekeys_aggregate_moved",
+            Counter::RekeySpan => "rekeys_span_overlap",
+            Counter::RekeyConstraint => "rekeys_constraint",
+            Counter::DensityWindowQuery => "density_window_queries",
+            Counter::DensityAggregateQuery => "density_aggregate_queries",
+            Counter::HypCacheHit => "hyp_cache_hits",
+            Counter::HypCacheMiss => "hyp_cache_misses",
+        }
+    }
+}
+
+/// Fixed-bucket histograms (diagnostics, like [`Counter`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Nets re-keyed per deletion (dirty-set size).
+    DirtySetSize,
+    /// Stale entries discarded per scoreboard selection pop.
+    StalePopsPerSelection,
+}
+
+/// Bucket count of every [`Hist`]: powers of two —
+/// `0, 1, 2–3, 4–7, 8–15, 16–31, 32–63, ≥64`.
+pub const HIST_BUCKETS: usize = 8;
+
+impl Hist {
+    /// Number of histograms (array dimension).
+    pub const COUNT: usize = 2;
+
+    /// Every histogram, in declaration order.
+    pub const ALL: [Hist; Hist::COUNT] = [Hist::DirtySetSize, Hist::StalePopsPerSelection];
+
+    /// Dense index into histogram arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Hist::DirtySetSize => 0,
+            Hist::StalePopsPerSelection => 1,
+        }
+    }
+
+    /// Stable snake_case label (used by the JSONL schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            Hist::DirtySetSize => "dirty_set_size",
+            Hist::StalePopsPerSelection => "stale_pops_per_selection",
+        }
+    }
+
+    /// The bucket a value falls into.
+    pub fn bucket(value: u64) -> usize {
+        match value {
+            0 => 0,
+            1 => 1,
+            2..=3 => 2,
+            4..=7 => 3,
+            8..=15 => 4,
+            16..=31 => 5,
+            32..=63 => 6,
+            _ => 7,
+        }
+    }
+
+    /// Human-readable range label of bucket `i`.
+    pub fn bucket_label(i: usize) -> &'static str {
+        ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", ">=64"][i]
+    }
+}
+
+/// The instrumentation sink threaded through the router.
+///
+/// All methods have empty default bodies so implementations opt into
+/// what they care about and future hooks don't break them. Statically
+/// dispatched: routing with [`NoopProbe`] (the default) compiles every
+/// call site away.
+///
+/// # Contract
+///
+/// * [`Probe::event`] receives only deterministic, strategy-independent
+///   facts; implementations must not feed timing back into routing.
+/// * [`Probe::count`] / [`Probe::sample`] / [`Probe::rekey`] receive
+///   diagnostics that may differ between selection strategies.
+/// * [`Probe::phase_enter`] / [`Probe::phase_exit`] are where an
+///   implementation may read the wall clock; the engine itself never
+///   does on the probe's behalf.
+pub trait Probe {
+    /// Whether this probe observes anything. Call sites use this to
+    /// skip work performed *only* to feed the probe (runner-up
+    /// tracking for provenance, tree checks, …); with the default
+    /// `false` of [`NoopProbe`] those branches constant-fold away.
+    const ENABLED: bool = true;
+
+    /// A deterministic decision event.
+    fn event(&mut self, _ev: TraceEvent) {}
+
+    /// Adds `by` to a work counter.
+    fn count(&mut self, _c: Counter, _by: u64) {}
+
+    /// Records one histogram observation.
+    fn sample(&mut self, _h: Hist, _value: u64) {}
+
+    /// A scoreboard re-key of `net`, attributed to `cause`. The default
+    /// forwards to the per-cause counter.
+    fn rekey(&mut self, _net: NetId, cause: RekeyCause) {
+        self.count(cause.counter(), 1);
+    }
+
+    /// A router phase began (the one place a probe should read a clock).
+    fn phase_enter(&mut self, _phase: Phase) {}
+
+    /// A router phase ended.
+    fn phase_exit(&mut self, _phase: Phase) {}
+}
+
+/// The zero-cost default probe: observes nothing, enables nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+}
+
+/// Wall-clock and work profile of one completed phase.
+///
+/// The only place wall-clock appears in a trace; never part of the
+/// deterministic event stream.
+#[derive(Debug, Clone)]
+pub struct PhaseSpan {
+    /// The phase.
+    pub phase: Phase,
+    /// Wall-clock duration.
+    pub wall: Duration,
+    /// Index into [`RouteTrace::events`] of the span's first interior
+    /// event (after its `PhaseEnter` marker).
+    pub events_start: usize,
+    /// Interior events emitted during the span (markers excluded).
+    pub events_len: usize,
+    /// Counter deltas accumulated during the span.
+    pub counters: [u64; Counter::COUNT],
+}
+
+/// Everything a [`CollectingProbe`] observed over one route.
+#[derive(Debug, Clone)]
+pub struct RouteTrace {
+    /// The deterministic decision stream, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Final counter totals, indexed by [`Counter::index`].
+    pub counters: [u64; Counter::COUNT],
+    /// Histograms, indexed by [`Hist::index`] then bucket.
+    pub hists: [[u64; HIST_BUCKETS]; Hist::COUNT],
+    /// Completed phase spans, in completion order.
+    pub spans: Vec<PhaseSpan>,
+}
+
+impl RouteTrace {
+    /// Final value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Buckets of one histogram.
+    pub fn hist(&self, h: Hist) -> &[u64; HIST_BUCKETS] {
+        &self.hists[h.index()]
+    }
+
+    /// Number of `DeletionSelected` events (loop selections).
+    pub fn selections(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DeletionSelected { .. }))
+            .count()
+    }
+
+    /// Total edges deleted according to the event stream: selections
+    /// plus cascades plus pruned counts. Equals `RouteStats::deletions`.
+    pub fn deletions(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::DeletionSelected { .. } | TraceEvent::CascadeDeleted { .. } => 1,
+                TraceEvent::Pruned { count, .. } => *count as usize,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Selections attributed to each deciding tier, in
+    /// [`DecidingTier::ALL`] order. Sums to [`RouteTrace::selections`].
+    pub fn tier_breakdown(&self) -> Vec<(DecidingTier, usize)> {
+        DecidingTier::ALL
+            .iter()
+            .map(|&t| {
+                let n = self
+                    .events
+                    .iter()
+                    .filter(
+                        |e| matches!(e, TraceEvent::DeletionSelected { tier, .. } if *tier == t),
+                    )
+                    .count();
+                (t, n)
+            })
+            .collect()
+    }
+}
+
+struct OpenSpan {
+    phase: Phase,
+    started: Instant,
+    counters_at_enter: [u64; Counter::COUNT],
+    events_at_enter: usize,
+}
+
+/// A [`Probe`] that records everything into a [`RouteTrace`].
+pub struct CollectingProbe {
+    events: Vec<TraceEvent>,
+    counters: [u64; Counter::COUNT],
+    hists: [[u64; HIST_BUCKETS]; Hist::COUNT],
+    spans: Vec<PhaseSpan>,
+    open: Vec<OpenSpan>,
+}
+
+impl CollectingProbe {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            counters: [0; Counter::COUNT],
+            hists: [[0; HIST_BUCKETS]; Hist::COUNT],
+            spans: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Consumes the collector into its trace. Unbalanced `phase_enter`s
+    /// (a route that errored mid-phase) are dropped.
+    pub fn finish(self) -> RouteTrace {
+        RouteTrace {
+            events: self.events,
+            counters: self.counters,
+            hists: self.hists,
+            spans: self.spans,
+        }
+    }
+}
+
+impl Default for CollectingProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CollectingProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectingProbe")
+            .field("events", &self.events.len())
+            .field("spans", &self.spans.len())
+            .field("open", &self.open.len())
+            .finish()
+    }
+}
+
+impl Probe for CollectingProbe {
+    fn event(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    fn count(&mut self, c: Counter, by: u64) {
+        self.counters[c.index()] += by;
+    }
+
+    fn sample(&mut self, h: Hist, value: u64) {
+        self.hists[h.index()][Hist::bucket(value)] += 1;
+    }
+
+    fn phase_enter(&mut self, phase: Phase) {
+        self.events.push(TraceEvent::PhaseEnter { phase });
+        self.open.push(OpenSpan {
+            phase,
+            started: Instant::now(),
+            counters_at_enter: self.counters,
+            events_at_enter: self.events.len(),
+        });
+    }
+
+    fn phase_exit(&mut self, phase: Phase) {
+        if let Some(open) = self.open.pop() {
+            debug_assert_eq!(open.phase, phase, "unbalanced phase markers");
+            let mut counters = [0u64; Counter::COUNT];
+            for (i, d) in counters.iter_mut().enumerate() {
+                *d = self.counters[i] - open.counters_at_enter[i];
+            }
+            self.spans.push(PhaseSpan {
+                phase: open.phase,
+                wall: open.started.elapsed(),
+                events_start: open.events_at_enter,
+                events_len: self.events.len() - open.events_at_enter,
+                counters,
+            });
+        }
+        self.events.push(TraceEvent::PhaseExit { phase });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_tables_are_consistent() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+        for (i, r) in RekeyCause::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        // Labels are unique (the JSONL schema depends on it).
+        let mut labels: Vec<&str> = Counter::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn hist_buckets_cover_the_line() {
+        assert_eq!(Hist::bucket(0), 0);
+        assert_eq!(Hist::bucket(1), 1);
+        assert_eq!(Hist::bucket(3), 2);
+        assert_eq!(Hist::bucket(4), 3);
+        assert_eq!(Hist::bucket(15), 4);
+        assert_eq!(Hist::bucket(31), 5);
+        assert_eq!(Hist::bucket(63), 6);
+        assert_eq!(Hist::bucket(64), 7);
+        assert_eq!(Hist::bucket(u64::MAX), 7);
+    }
+
+    #[test]
+    fn rekey_causes_replace_magic_indices() {
+        let mut rc = RekeyCauses::default();
+        rc.record(RekeyCause::Graph);
+        rc.record(RekeyCause::AggregateMoved);
+        rc.record(RekeyCause::AggregateMoved);
+        assert_eq!(rc.of(RekeyCause::Graph), 1);
+        assert_eq!(rc.of(RekeyCause::AggregateMoved), 2);
+        assert_eq!(rc.of(RekeyCause::SpanOverlap), 0);
+        assert_eq!(rc.total(), 3);
+        let pairs: Vec<_> = rc.iter().collect();
+        assert_eq!(pairs[1], (RekeyCause::AggregateMoved, 2));
+    }
+
+    #[test]
+    fn collecting_probe_separates_events_counters_and_spans() {
+        let mut p = CollectingProbe::new();
+        p.phase_enter(Phase::InitialRouting);
+        p.event(TraceEvent::NetBecameTree { net: NetId::new(3) });
+        p.count(Counter::HeapPop, 2);
+        p.sample(Hist::DirtySetSize, 5);
+        p.rekey(NetId::new(1), RekeyCause::SpanOverlap);
+        p.phase_exit(Phase::InitialRouting);
+        let trace = p.finish();
+        // Stream: enter, net-tree, exit.
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.counter(Counter::HeapPop), 2);
+        assert_eq!(trace.counter(Counter::RekeySpan), 1);
+        assert_eq!(trace.hist(Hist::DirtySetSize)[Hist::bucket(5)], 1);
+        assert_eq!(trace.spans.len(), 1);
+        let span = &trace.spans[0];
+        assert_eq!(span.phase, Phase::InitialRouting);
+        assert_eq!(span.events_len, 1); // markers excluded
+        assert_eq!(span.counters[Counter::HeapPop.index()], 2);
+    }
+
+    #[test]
+    fn noop_probe_is_disabled() {
+        const { assert!(!NoopProbe::ENABLED) };
+        const { assert!(CollectingProbe::ENABLED) };
+        // All hooks are callable and inert.
+        let mut p = NoopProbe;
+        p.event(TraceEvent::PhaseEnter {
+            phase: Phase::GraphBuild,
+        });
+        p.count(Counter::KeyEval, 1);
+        p.rekey(NetId::new(0), RekeyCause::Graph);
+    }
+}

@@ -221,10 +221,10 @@ pub struct RouteStats {
     /// the determinism audit trail compared between
     /// [`crate::SelectionStrategy`] variants by the oracle tests.
     pub selection_log: Vec<(bgr_netlist::NetId, u32)>,
-    /// Scoreboard diagnostic: nets re-keyed per invalidation cause
-    /// (graph-dirty, aggregate-moved channel, span-overlap, constraint).
-    /// All zero under the full-rescan strategy.
-    pub rekey_causes: [usize; 4],
+    /// Scoreboard diagnostic: nets re-keyed per typed
+    /// [`RekeyCause`](crate::probe::RekeyCause). All zero under the
+    /// full-rescan strategy.
+    pub rekey_causes: crate::probe::RekeyCauses,
     /// Wall-clock of initial routing.
     pub initial_routing: std::time::Duration,
     /// Wall-clock of the three improvement phases.

@@ -13,6 +13,7 @@ use crate::error::RouteError;
 use crate::feedcell::assign_with_insertion;
 use crate::graph::RoutingGraph;
 use crate::improve::{improve_area, improve_delay, recover_violate};
+use crate::probe::{CollectingProbe, NoopProbe, Phase, Probe, RouteTrace};
 use crate::result::{NetTree, RouteStats, RoutingResult, TimingReport};
 
 /// The global router.
@@ -59,10 +60,44 @@ impl GlobalRouter {
     /// insertion.
     pub fn route(
         &self,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+    ) -> Result<Routed, RouteError> {
+        self.route_with_probe(circuit, placement, constraints, NoopProbe)
+            .map(|(routed, _)| routed)
+    }
+
+    /// [`GlobalRouter::route`] observed by a [`CollectingProbe`]; returns
+    /// the route alongside its [`RouteTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GlobalRouter::route`].
+    pub fn route_traced(
+        &self,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+    ) -> Result<(Routed, RouteTrace), RouteError> {
+        self.route_with_probe(circuit, placement, constraints, CollectingProbe::new())
+            .map(|(routed, probe)| (routed, probe.finish()))
+    }
+
+    /// [`GlobalRouter::route`] with an explicit [`Probe`] observing every
+    /// phase; returns the probe (moved through the engine) alongside the
+    /// route.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GlobalRouter::route`].
+    pub fn route_with_probe<P: Probe>(
+        &self,
         mut circuit: Circuit,
         mut placement: Placement,
         constraints: Vec<PathConstraint>,
-    ) -> Result<Routed, RouteError> {
+        mut probe: P,
+    ) -> Result<(Routed, P), RouteError> {
         let t_start = Instant::now();
         circuit.validate()?;
         placement.validate(&circuit)?;
@@ -76,8 +111,12 @@ impl GlobalRouter {
         };
 
         // Fig. 2 line 01: feedthrough assignment with §4.3 insertion.
+        probe.phase_enter(Phase::FeedAssign);
         let pairs = PairMap::build(&circuit);
-        let plan = assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 8)?;
+        let plan =
+            assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 8, &mut probe)?;
+        probe.phase_exit(Phase::FeedAssign);
+        probe.phase_enter(Phase::GraphBuild);
 
         // Fig. 2 line 02: routing graphs — two passes. The first pass uses
         // the nominal branch length and only serves to estimate each
@@ -86,7 +125,7 @@ impl GlobalRouter {
         // each pin tap half the *expected* channel height so delay
         // estimates track what the channel router will realize.
         let nominal = vec![self.config.branch_length_um; placement.num_channels()];
-        let probe: Vec<RoutingGraph> = circuit
+        let est_graphs: Vec<RoutingGraph> = circuit
             .net_ids()
             .map(|n| {
                 RoutingGraph::build_with_channel_branches(
@@ -102,7 +141,7 @@ impl GlobalRouter {
             placement.num_channels(),
             placement.width_pitches().max(1) as usize,
         );
-        for g in &probe {
+        for g in &est_graphs {
             if !g.terminals_connected() {
                 continue; // reported as an error after the real build
             }
@@ -123,7 +162,7 @@ impl GlobalRouter {
             .iter()
             .map(|&tracks| (tracks as f64 / 2.0 * tp).max(self.config.branch_length_um))
             .collect();
-        drop(probe);
+        drop(est_graphs);
         let graphs: Vec<RoutingGraph> = circuit
             .net_ids()
             .map(|n| {
@@ -176,36 +215,46 @@ impl GlobalRouter {
             stats.diff_pairs_independent = circuit.diff_pairs().len();
         }
 
-        let mut engine = Engine::new(
+        probe.phase_exit(Phase::GraphBuild);
+        let mut engine = Engine::with_probe(
             graphs,
             sta,
             partner,
             placement.num_channels(),
             placement.width_pitches().max(1) as usize,
+            probe,
         );
         engine.set_selection(self.config.selection);
 
         // Fig. 2 lines 04-07: initial routing.
         let t0 = Instant::now();
+        engine.probe_mut().phase_enter(Phase::InitialRouting);
         engine.run_deletion(None, self.config.criteria_order);
+        engine.probe_mut().phase_exit(Phase::InitialRouting);
         stats.initial_routing = t0.elapsed();
         debug_assert!(engine.all_trees(), "initial routing must reach trees");
 
         // Fig. 2 lines 08-10: improvement loops.
         let t1 = Instant::now();
         if self.config.use_constraints {
+            engine.probe_mut().phase_enter(Phase::RecoverViolate);
             recover_violate(
                 &mut engine,
                 self.config.recover_passes,
                 self.config.criteria_order,
             );
+            engine.probe_mut().phase_exit(Phase::RecoverViolate);
+            engine.probe_mut().phase_enter(Phase::ImproveDelay);
             improve_delay(
                 &mut engine,
                 self.config.delay_passes,
                 self.config.criteria_order,
             );
+            engine.probe_mut().phase_exit(Phase::ImproveDelay);
         }
+        engine.probe_mut().phase_enter(Phase::ImproveArea);
         improve_area(&mut engine, self.config.area_passes);
+        engine.probe_mut().phase_exit(Phase::ImproveArea);
         stats.improvement = t1.elapsed();
         debug_assert!(engine.all_trees(), "improvement must preserve trees");
 
@@ -213,7 +262,7 @@ impl GlobalRouter {
         stats.reroutes = engine.reroutes;
         stats.selection_log = std::mem::take(&mut engine.selection_log);
         stats.rekey_causes = engine.rekey_causes;
-        let (graphs, density, _sta) = engine.into_parts();
+        let (graphs, density, _sta, probe) = engine.into_parts();
 
         let trees: Vec<NetTree> = graphs.iter().map(NetTree::from_graph).collect();
         let net_lengths_um: Vec<f64> = graphs.iter().map(|g| g.alive_length_um()).collect();
@@ -235,11 +284,14 @@ impl GlobalRouter {
             timing,
             stats,
         };
-        Ok(Routed {
-            circuit,
-            placement,
-            result,
-        })
+        Ok((
+            Routed {
+                circuit,
+                placement,
+                result,
+            },
+            probe,
+        ))
     }
 }
 

@@ -34,6 +34,7 @@ use std::collections::BinaryHeap;
 use bgr_netlist::NetId;
 
 use crate::config::CriteriaOrder;
+use crate::probe::{Counter, Hist, NoopProbe, Probe};
 use crate::select::{compare, EdgeKey};
 
 #[derive(Debug, Clone)]
@@ -123,12 +124,28 @@ impl Scoreboard {
     /// Pops the best *valid* candidate, discarding stale entries, or
     /// `None` when no valid candidate remains.
     pub fn pop_valid(&mut self) -> Option<EdgeKey> {
-        while let Some(e) = self.heap.pop() {
+        self.pop_valid_probed(&mut NoopProbe)
+    }
+
+    /// [`Scoreboard::pop_valid`] with instrumentation: every pop is
+    /// counted ([`Counter::HeapPop`]), stale discards additionally as
+    /// [`Counter::StaleHeapPop`], and the number of discards preceding
+    /// the answer is one [`Hist::StalePopsPerSelection`] observation.
+    pub fn pop_valid_probed<P: Probe>(&mut self, probe: &mut P) -> Option<EdgeKey> {
+        let mut stale = 0u64;
+        let out = loop {
+            let Some(e) = self.heap.pop() else { break None };
             if e.stamp == self.net_gen[e.key.net.index()] {
-                return Some(e.key);
+                break Some(e.key);
             }
+            stale += 1;
+        };
+        if P::ENABLED {
+            probe.count(Counter::HeapPop, stale + u64::from(out.is_some()));
+            probe.count(Counter::StaleHeapPop, stale);
+            probe.sample(Hist::StalePopsPerSelection, stale);
         }
-        None
+        out
     }
 }
 

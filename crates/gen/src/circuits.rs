@@ -173,6 +173,27 @@ pub fn custom(name: &str, params: GenParams, style: PlacementStyle) -> DataSet {
     DataSet::build(name, params, style)
 }
 
+/// `C1P1`, built once per process. [`DataSet::build`] runs a full
+/// reference route to anchor the constraints, which dwarfs everything a
+/// bench does with the result — harnesses comparing strategies or
+/// configurations on the same data set must share one construction.
+pub fn c1_cached() -> &'static DataSet {
+    static DS: std::sync::OnceLock<DataSet> = std::sync::OnceLock::new();
+    DS.get_or_init(|| c1(PlacementStyle::EvenFeed))
+}
+
+/// `C2P1`, built once per process (see [`c1_cached`]).
+pub fn c2_cached() -> &'static DataSet {
+    static DS: std::sync::OnceLock<DataSet> = std::sync::OnceLock::new();
+    DS.get_or_init(|| c2(PlacementStyle::EvenFeed))
+}
+
+/// `C3P1`, built once per process (see [`c1_cached`]).
+pub fn c3_cached() -> &'static DataSet {
+    static DS: std::sync::OnceLock<DataSet> = std::sync::OnceLock::new();
+    DS.get_or_init(|| c3(PlacementStyle::EvenFeed))
+}
+
 /// The paper's five Table 2 rows: C1P1, C1P2, C2P1, C2P2, C3P1.
 pub fn table_data_sets() -> Vec<DataSet> {
     vec![

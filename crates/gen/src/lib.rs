@@ -30,7 +30,7 @@ pub mod hpwl;
 pub mod netgen;
 pub mod placegen;
 
-pub use circuits::{c1, c2, c3, custom, table_data_sets, DataSet};
+pub use circuits::{c1, c1_cached, c2, c2_cached, c3, c3_cached, custom, table_data_sets, DataSet};
 pub use constraints::{arrival_with_lengths, harvest_between, harvest_constraints};
 pub use hpwl::{hpwl_net_lengths_in_layout_um, hpwl_net_lengths_um};
 pub use netgen::{generate, GenParams, GeneratedDesign};

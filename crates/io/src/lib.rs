@@ -11,7 +11,9 @@
 //! * **constraints** (`.bgrt`): path constraints `(S, T, τ)` —
 //!   [`write_constraints`] / [`parse_constraints`];
 //! * **SVG**: [`render_svg`] draws rows, cells, feedthroughs and every
-//!   routed trunk/branch of a [`bgr_core::RoutingResult`].
+//!   routed trunk/branch of a [`bgr_core::RoutingResult`];
+//! * **trace** (`.jsonl`): [`write_trace_jsonl`] serializes a
+//!   [`bgr_core::RouteTrace`] one JSON record per line.
 //!
 //! All writers round-trip: `parse(write(x))` reconstructs an equivalent
 //! object (see the crate's property tests).
@@ -44,9 +46,11 @@ pub mod error;
 pub mod netlist;
 pub mod placement;
 pub mod svg;
+pub mod trace;
 
 pub use constraints::{parse_constraints, write_constraints};
 pub use error::ParseError;
 pub use netlist::{parse_netlist, write_netlist};
 pub use placement::{parse_placement, write_placement};
 pub use svg::render_svg;
+pub use trace::write_trace_jsonl;

@@ -1,0 +1,200 @@
+//! JSONL serialization of [`RouteTrace`]s.
+//!
+//! One JSON object per line, hand-rolled (the workspace is hermetic —
+//! no serde). Every value is a number or one of the fixed snake_case
+//! labels from `bgr_core::probe`, so no string escaping is needed. The
+//! line order is: one `meta` record, the deterministic `event` records
+//! in emission order, the `counter` and `hist` diagnostics, then the
+//! wall-clock `span` records. Because events carry no wall-clock, the
+//! event prefix of two traces of the same input diffs clean even across
+//! machines; only `span.wall_us` varies.
+//!
+//! Schema (`format` is bumped on breaking changes):
+//!
+//! ```text
+//! {"type":"meta","format":"bgr-trace","version":1,"events":N}
+//! {"type":"event","seq":0,"kind":"phase_enter","phase":"feed_assign"}
+//! {"type":"event","seq":7,"kind":"deletion_selected","net":3,"edge":9,"tier":"d_max"}
+//! {"type":"counter","name":"key_evals","value":1234}
+//! {"type":"hist","name":"dirty_set_size","buckets":[0,5,3,0,0,0,0,0]}
+//! {"type":"span","phase":"initial_routing","wall_us":8123,"events":152,"counters":{...}}
+//! ```
+
+use std::fmt::Write as _;
+
+use bgr_core::probe::{Counter, Hist, RouteTrace, TraceEvent};
+
+fn write_event(out: &mut String, seq: usize, ev: &TraceEvent) {
+    let _ = write!(out, "{{\"type\":\"event\",\"seq\":{seq},");
+    match *ev {
+        TraceEvent::PhaseEnter { phase } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"phase_enter\",\"phase\":\"{}\"",
+                phase.label()
+            );
+        }
+        TraceEvent::PhaseExit { phase } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"phase_exit\",\"phase\":\"{}\"",
+                phase.label()
+            );
+        }
+        TraceEvent::DeletionSelected { net, edge, tier } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"deletion_selected\",\"net\":{},\"edge\":{},\"tier\":\"{}\"",
+                net.index(),
+                edge,
+                tier.label()
+            );
+        }
+        TraceEvent::CascadeDeleted { net, edge } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"cascade_deleted\",\"net\":{},\"edge\":{}",
+                net.index(),
+                edge
+            );
+        }
+        TraceEvent::Pruned { net, count } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"pruned\",\"net\":{},\"count\":{}",
+                net.index(),
+                count
+            );
+        }
+        TraceEvent::NetBecameTree { net } => {
+            let _ = write!(out, "\"kind\":\"net_became_tree\",\"net\":{}", net.index());
+        }
+        TraceEvent::RerouteAccepted { net } => {
+            let _ = write!(out, "\"kind\":\"reroute_accepted\",\"net\":{}", net.index());
+        }
+        TraceEvent::RerouteRejected { net } => {
+            let _ = write!(out, "\"kind\":\"reroute_rejected\",\"net\":{}", net.index());
+        }
+        TraceEvent::FeedCellsInserted { row, x, width } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"feed_cells_inserted\",\"row\":{row},\"x\":{x},\"width\":{width}"
+            );
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// Serializes a trace as JSON lines (see the [module docs](self) for the
+/// schema).
+pub fn write_trace_jsonl(trace: &RouteTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"format\":\"bgr-trace\",\"version\":1,\"events\":{}}}",
+        trace.events.len()
+    );
+    for (seq, ev) in trace.events.iter().enumerate() {
+        write_event(&mut out, seq, ev);
+    }
+    for c in Counter::ALL {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            c.label(),
+            trace.counter(c)
+        );
+    }
+    for h in Hist::ALL {
+        let buckets = trace
+            .hist(h)
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"buckets\":[{buckets}]}}",
+            h.label()
+        );
+    }
+    for span in &trace.spans {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| format!("\"{}\":{}", c.label(), span.counters[c.index()]))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"phase\":\"{}\",\"wall_us\":{},\"events\":{},\"counters\":{{{counters}}}}}",
+            span.phase.label(),
+            span.wall.as_micros(),
+            span.events_len
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_core::probe::{CollectingProbe, Phase, Probe};
+    use bgr_core::DecidingTier;
+    use bgr_netlist::NetId;
+
+    fn sample_trace() -> RouteTrace {
+        let mut p = CollectingProbe::new();
+        p.phase_enter(Phase::InitialRouting);
+        p.event(TraceEvent::DeletionSelected {
+            net: NetId::new(2),
+            edge: 5,
+            tier: DecidingTier::DMax,
+        });
+        p.event(TraceEvent::Pruned {
+            net: NetId::new(2),
+            count: 3,
+        });
+        p.count(Counter::KeyEval, 42);
+        p.sample(Hist::DirtySetSize, 6);
+        p.phase_exit(Phase::InitialRouting);
+        p.finish()
+    }
+
+    #[test]
+    fn jsonl_has_one_record_per_line() {
+        let text = write_trace_jsonl(&sample_trace());
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 4 events + 12 counters + 2 hists + 1 span.
+        assert_eq!(
+            lines.len(),
+            1 + 4 + Counter::ALL.len() + Hist::ALL.len() + 1
+        );
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"format\":\"bgr-trace\""));
+    }
+
+    #[test]
+    fn jsonl_carries_provenance_and_diagnostics() {
+        let text = write_trace_jsonl(&sample_trace());
+        assert!(text.contains(
+            "{\"type\":\"event\",\"seq\":1,\"kind\":\"deletion_selected\",\"net\":2,\"edge\":5,\"tier\":\"d_max\"}"
+        ));
+        assert!(text.contains("\"kind\":\"pruned\",\"net\":2,\"count\":3"));
+        assert!(text.contains("{\"type\":\"counter\",\"name\":\"key_evals\",\"value\":42}"));
+        // 6 lands in the 4-7 bucket (index 3).
+        assert!(text.contains(
+            "{\"type\":\"hist\",\"name\":\"dirty_set_size\",\"buckets\":[0,0,0,1,0,0,0,0]}"
+        ));
+        assert!(text.contains("\"type\":\"span\",\"phase\":\"initial_routing\""));
+    }
+
+    #[test]
+    fn event_lines_are_wall_clock_free() {
+        let text = write_trace_jsonl(&sample_trace());
+        for line in text.lines().filter(|l| l.contains("\"type\":\"event\"")) {
+            assert!(!line.contains("wall"), "{line}");
+        }
+    }
+}
