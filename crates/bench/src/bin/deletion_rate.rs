@@ -1,32 +1,61 @@
-//! Deletions-per-second: incremental scoreboard vs full-rescan oracle.
+//! Deletions-per-second: incremental scoreboard vs full-rescan oracle,
+//! single-thread vs multi-thread.
 //!
 //! Routes each instance under both [`SelectionStrategy`] variants and
-//! reports the deletion throughput of each, plus the speedup and the
-//! scoreboard's re-key breakdown by typed cause. The two runs are
-//! asserted to make identical selections, so the comparison is
-//! work-for-work.
+//! under threads ∈ {1, N} for the scoreboard, reports the deletion
+//! throughput of each, the strategy and thread speedups, and the
+//! scoreboard's re-key breakdown by typed cause. All runs of an
+//! instance are asserted to make identical selections, so every
+//! comparison is work-for-work.
 //!
 //! Rows: a ~1400-cell `RATE` instance (where the scoreboard is asserted
-//! to win) plus the paper-scale `C2P1`/`C3P1` reconstructions
-//! (report-only). Data-set construction runs a full reference route, so
-//! the paper rows come from the process-wide caches of `bgr_gen` and
-//! each instance is built exactly once across both strategy runs.
+//! to win, and — on multi-core hosts — the multi-thread scoreboard is
+//! asserted ≥ 1.5× the single-thread one) plus the paper-scale
+//! `C2P1`/`C3P1` reconstructions (report-only). Every row is also
+//! appended to a machine-readable `BENCH_deletion.json` (default
+//! `target/bench/BENCH_deletion.json`) so the bench trajectory is
+//! tracked across PRs.
+//!
+//! Usage: `deletion_rate [--smoke] [out.json]` — `--smoke` routes only
+//! the `RATE` scoreboard rows (the CI matrix runs one smoke per
+//! `BGR_THREADS` configuration).
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use bgr_core::{GlobalRouter, RouteStats, RouterConfig, SelectionStrategy};
 use bgr_gen::{c2_cached, c3_cached, custom, DataSet, GenParams, PlacementStyle};
 
-struct Row {
-    t_fast: f64,
-    t_slow: f64,
+/// One benchmark run, as serialized into `BENCH_deletion.json`.
+struct Record {
+    instance: String,
+    strategy: &'static str,
+    threads: usize,
+    shards: usize,
+    wall_ms: f64,
+    selections: usize,
+    deletions: usize,
 }
 
-fn run(ds: &DataSet, strategy: SelectionStrategy) -> (f64, RouteStats) {
+fn strategy_label(s: SelectionStrategy) -> &'static str {
+    match s {
+        SelectionStrategy::Scoreboard => "scoreboard",
+        SelectionStrategy::FullRescan => "full_rescan",
+    }
+}
+
+fn run(
+    ds: &DataSet,
+    strategy: SelectionStrategy,
+    threads: usize,
+    records: &mut Vec<Record>,
+) -> (f64, RouteStats) {
     let config = RouterConfig {
         selection: strategy,
+        threads,
         ..RouterConfig::default()
     };
+    let shards = config.shards;
     let t = Instant::now();
     let routed = GlobalRouter::new(config)
         .route(
@@ -38,38 +67,90 @@ fn run(ds: &DataSet, strategy: SelectionStrategy) -> (f64, RouteStats) {
     let secs = t.elapsed().as_secs_f64();
     let stats = routed.result.stats;
     println!(
-        "  {strategy:?}: {} deletions in {secs:.3}s = {:.0} deletions/s",
+        "  {strategy:?} threads={threads}: {} deletions in {secs:.3}s = {:.0} deletions/s",
         stats.deletions,
         stats.deletions as f64 / secs
     );
+    records.push(Record {
+        instance: ds.name.clone(),
+        strategy: strategy_label(strategy),
+        threads,
+        shards,
+        wall_ms: secs * 1e3,
+        selections: stats.selection_log.len(),
+        deletions: stats.deletions,
+    });
     (secs, stats)
 }
 
-fn bench_row(ds: &DataSet) -> Row {
+struct Row {
+    /// Scoreboard, single worker thread.
+    t_seq: f64,
+    /// Scoreboard, `multi` worker threads.
+    t_par: f64,
+    /// Full-rescan oracle.
+    t_slow: f64,
+}
+
+fn bench_row(ds: &DataSet, multi: usize, records: &mut Vec<Record>) -> Row {
     println!("{}: {} nets", ds.name, ds.design.circuit.nets().len());
-    let (t_fast, fast) = run(ds, SelectionStrategy::Scoreboard);
-    let (t_slow, slow) = run(ds, SelectionStrategy::FullRescan);
+    let (t_seq, seq) = run(ds, SelectionStrategy::Scoreboard, 1, records);
+    let (t_par, par) = run(ds, SelectionStrategy::Scoreboard, multi, records);
+    let (t_slow, slow) = run(ds, SelectionStrategy::FullRescan, 1, records);
     assert_eq!(
-        fast.selection_log, slow.selection_log,
+        seq.selection_log, slow.selection_log,
         "strategies diverged on {}",
         ds.name
     );
-    assert_eq!(fast.deletions, slow.deletions);
-    let rekeys: Vec<String> = fast
+    assert_eq!(
+        seq.selection_log, par.selection_log,
+        "thread counts diverged on {}",
+        ds.name
+    );
+    assert_eq!(seq.deletions, slow.deletions);
+    let rekeys: Vec<String> = seq
         .rekey_causes
         .iter()
         .map(|(cause, n)| format!("{} {n}", cause.label()))
         .collect();
     println!(
         "  re-keys: {} ({})",
-        fast.rekey_causes.total(),
+        seq.rekey_causes.total(),
         rekeys.join(", ")
     );
-    println!("  speedup: {:.2}x", t_slow / t_fast);
-    Row { t_fast, t_slow }
+    println!(
+        "  speedup: {:.2}x vs rescan, {:.2}x from {multi} threads",
+        t_slow / t_seq,
+        t_seq / t_par
+    );
+    Row {
+        t_seq,
+        t_par,
+        t_slow,
+    }
 }
 
-fn main() {
+fn write_json(records: &[Record], path: &str) {
+    let mut out = String::from("{\"schema\":1,\"bench\":\"deletion_rate\",\"rows\":[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        writeln!(
+            out,
+            "{{\"instance\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"shards\":{},\
+             \"wall_ms\":{:.3},\"selections\":{},\"deletions\":{}}}{sep}",
+            r.instance, r.strategy, r.threads, r.shards, r.wall_ms, r.selections, r.deletions
+        )
+        .expect("write to string");
+    }
+    out.push_str("]}\n");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).expect("create bench dir");
+    }
+    std::fs::write(path, &out).expect("write BENCH_deletion.json");
+    println!("wrote {path} ({} rows)", records.len());
+}
+
+fn rate_dataset() -> DataSet {
     let params = GenParams {
         logic_cells: 1400,
         depth: 8,
@@ -79,20 +160,62 @@ fn main() {
         num_constraints: 10,
         ..GenParams::small(0xDE1)
     };
-    let ds = custom("RATE", params, PlacementStyle::EvenFeed);
+    custom("RATE", params, PlacementStyle::EvenFeed)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "target/bench/BENCH_deletion.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The multi-thread configuration under test: BGR_THREADS when set
+    // (the CI matrix pins it), else every core the host offers.
+    let multi = RouterConfig::default().threads.max(cores).max(2);
+    let mut records = Vec::new();
+
+    let ds = rate_dataset();
     let nets = ds.design.circuit.nets().len();
     assert!(nets >= 200, "instance too small: {nets} nets");
-    let row = bench_row(&ds);
+
+    if smoke {
+        // One smoke row per CI configuration: the scoreboard at the
+        // environment's thread count (BGR_THREADS or 1).
+        let threads = RouterConfig::default().threads;
+        println!("{} (smoke): {} nets", ds.name, nets);
+        run(&ds, SelectionStrategy::Scoreboard, threads, &mut records);
+        write_json(&records, &out_path);
+        return;
+    }
+
+    let row = bench_row(&ds, multi, &mut records);
     assert!(
-        row.t_fast < row.t_slow,
+        row.t_seq < row.t_slow,
         "scoreboard ({:.3}s) must beat full rescan ({:.3}s)",
-        row.t_fast,
+        row.t_seq,
         row.t_slow
     );
+    if cores >= 2 {
+        assert!(
+            row.t_seq / row.t_par >= 1.5,
+            "multi-thread scoreboard ({:.3}s at {multi} threads) must be >= 1.5x \
+             the single-thread one ({:.3}s) on a {cores}-core host",
+            row.t_par,
+            row.t_seq
+        );
+    } else {
+        println!("  (single-core host: skipping the 1.5x multi-thread assertion)");
+    }
 
     // Paper-scale rows (Table 1 reconstructions), report-only: on these
     // the constraint structure and density interactions differ from
-    // RATE, so the speedup is informative rather than asserted.
-    bench_row(c2_cached());
-    bench_row(c3_cached());
+    // RATE, so the speedups are informative rather than asserted.
+    bench_row(c2_cached(), multi, &mut records);
+    bench_row(c3_cached(), multi, &mut records);
+    write_json(&records, &out_path);
 }

@@ -7,7 +7,7 @@
 //! `trace_summary.txt` under `out_dir` (default `target/trace`). CI
 //! uploads both, so every PR's routing behavior is diffable.
 
-use bgr_core::{GlobalRouter, RouterConfig, TraceSummary};
+use bgr_core::{Counter, GlobalRouter, RouterConfig, TraceSummary};
 use bgr_gen::{custom, GenParams, PlacementStyle};
 use bgr_io::write_trace_jsonl;
 
@@ -40,6 +40,28 @@ fn main() {
         routed.result.stats.deletions,
         "event stream must account for every deletion"
     );
+
+    // The per-net delay memo fronts the hypotenuse cache: a full
+    // hypotenuse lookup happens only on a memo miss, so the two layers
+    // must tie out exactly, the memo must actually absorb traffic, and
+    // delay work must stay a strict subset of key evaluations.
+    let hyp_lookups = trace.counter(Counter::HypCacheHit) + trace.counter(Counter::HypCacheMiss);
+    let memo_hits = trace.counter(Counter::DelayMemoHit);
+    let memo_misses = trace.counter(Counter::DelayMemoMiss);
+    let key_evals = trace.counter(Counter::KeyEval);
+    assert_eq!(
+        hyp_lookups, memo_misses,
+        "every hypotenuse lookup must come from exactly one delay-memo miss"
+    );
+    assert!(
+        memo_hits > 0,
+        "the delay memo never hit on a constrained instance"
+    );
+    assert!(
+        hyp_lookups < key_evals,
+        "memoization must keep hypotenuse lookups ({hyp_lookups}) below key evaluations ({key_evals})"
+    );
+    println!("delay memo: {memo_hits} hits / {memo_misses} misses over {key_evals} key evals");
 
     let summary = TraceSummary::from_trace(&trace);
     let text = summary.to_ascii();

@@ -73,6 +73,27 @@ pub struct RouterConfig {
     /// Candidate-selection implementation; the result is identical
     /// either way (see [`SelectionStrategy`]).
     pub selection: SelectionStrategy,
+    /// Worker threads for the scoreboard's champion re-keying (1 =
+    /// fully sequential; the `BGR_THREADS` environment variable
+    /// overrides the default). Every deterministic observable —
+    /// selection log, trees, track counts, trace-event stream — is
+    /// byte-identical across thread counts (`tests/parallel_determinism.rs`).
+    pub threads: usize,
+    /// Channel-region shards of the scoreboard's candidate pool (1 =
+    /// one global heap; `BGR_SHARDS` overrides the default; clamped to
+    /// the channel count at run time). Like `threads`, shard count
+    /// never changes the routing result.
+    pub shards: usize,
+}
+
+/// Reads a positive integer from environment variable `name`, falling
+/// back to `default` when unset, unparsable or zero.
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
 }
 
 impl Default for RouterConfig {
@@ -89,6 +110,8 @@ impl Default for RouterConfig {
             pair_differential: true,
             slack_ordering: true,
             selection: SelectionStrategy::default(),
+            threads: env_usize("BGR_THREADS", 1),
+            shards: env_usize("BGR_SHARDS", 4),
         }
     }
 }
@@ -125,6 +148,21 @@ mod tests {
             RouterConfig::default().selection,
             SelectionStrategy::Scoreboard
         );
+    }
+
+    #[test]
+    fn env_usize_rejects_garbage_and_zero() {
+        assert_eq!(env_usize("BGR_TEST_UNSET_VARIABLE", 3), 3);
+        // Set/garbage/zero cases go through the same parse pipeline.
+        std::env::set_var("BGR_TEST_THREADS_OK", " 8 ");
+        std::env::set_var("BGR_TEST_THREADS_BAD", "lots");
+        std::env::set_var("BGR_TEST_THREADS_ZERO", "0");
+        assert_eq!(env_usize("BGR_TEST_THREADS_OK", 1), 8);
+        assert_eq!(env_usize("BGR_TEST_THREADS_BAD", 2), 2);
+        assert_eq!(env_usize("BGR_TEST_THREADS_ZERO", 5), 5);
+        std::env::remove_var("BGR_TEST_THREADS_OK");
+        std::env::remove_var("BGR_TEST_THREADS_BAD");
+        std::env::remove_var("BGR_TEST_THREADS_ZERO");
     }
 
     #[test]

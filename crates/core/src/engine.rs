@@ -30,18 +30,37 @@
 //!   change moves that constraint's longest paths and margins, which
 //!   feed the delay criteria of all member nets.
 //!
+//! A net dirty for several reasons at once is *counted* once, under a
+//! deterministic precedence (graph > aggregate-moved > span-overlap >
+//! constraint — see [`derive_dirty`] and DESIGN.md §9); the dirty *set*
+//! is independent of the attribution.
+//!
 //! Nets outside the dirty set provably keep their keys, so the
 //! scoreboard's pool always equals what a full rescan would compute.
 //! The rescan itself remains available as
 //! [`SelectionStrategy::FullRescan`] — an executable oracle used by the
 //! differential tests to prove byte-identical deletion sequences.
 //!
-//! Per-edge *hypothetical wire states* (tentative-tree length assuming
-//! the edge's deletion) are cached per net and keyed on the owning
-//! graph's generation, so they invalidate themselves the moment the
-//! graph changes.
+//! # Per-net scan state and parallel re-keying
+//!
+//! Each net carries a private [`NetScanState`]: the cache of *hypothetical
+//! wire states* (tentative-tree length assuming an edge's deletion,
+//! keyed on the owning graph's generation) and the *delay-prefix memo*
+//! (the `C_d/Gl/LD` triple of an edge, keyed on the graph generation
+//! **and** the summed generations of the net's timing constraints — so
+//! density-only invalidations reuse it and skip the delay recomputation
+//! entirely).
+//!
+//! Because a champion scan touches only that per-net state plus the
+//! shared density map and timing analyzer immutably, re-keying a dirty
+//! batch fans out over [`crate::par::scoped_map`] when
+//! [`Engine::set_parallelism`] granted threads: the per-net states are
+//! taken out of the engine, scanned on scoped worker threads, and
+//! merged back — results and probe counters alike — in ascending net-id
+//! order, keeping every observable byte-identical to the sequential
+//! run (DESIGN.md §10).
 
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
 use bgr_layout::ChannelId;
 use bgr_netlist::NetId;
@@ -51,18 +70,302 @@ use crate::config::{CriteriaOrder, SelectionStrategy};
 use crate::criteria::{DelayCriteria, HypWire};
 use crate::density::DensityMap;
 use crate::graph::{REdgeKind, RoutingGraph};
+use crate::par;
 use crate::probe::{Counter, Hist, NoopProbe, Probe, RekeyCause, RekeyCauses, TraceEvent};
 use crate::scoreboard::Scoreboard;
 use crate::select::{compare, deciding_tier, DecidingTier, EdgeKey};
+use crate::shard::ShardMap;
 use crate::tentative::tentative_length_um;
 
 /// Per-net cache of hypothetical wire states, valid only while the
 /// owning graph's generation matches `stamp`.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct HypCache {
     stamp: u64,
     slots: Vec<Option<HypWire>>,
 }
+
+/// Per-net memo of the delay prefix (`C_d`, `Gl`, `LD`) of an edge's
+/// key, valid while the owning graph's generation **and** the summed
+/// generations of the net's constraints both match. Density-only
+/// invalidations (`aggregate_moved` / `span_overlap`) move neither, so
+/// their re-keys skip the hypothetical-wire path entirely.
+///
+/// The constraint stamp is the *sum* of
+/// [`Sta::constraint_generation`] over the net's constraints: each
+/// refresh strictly increases one term, so the sum is strictly
+/// monotonic and can never alias a previous state.
+#[derive(Debug, Default)]
+struct DelayMemo {
+    graph_stamp: u64,
+    sta_stamp: u64,
+    slots: Vec<Option<DelayCriteria>>,
+}
+
+/// The mutable state one champion scan needs: everything per-net, so
+/// scans of distinct nets are data-disjoint and may run on worker
+/// threads (see the [module docs](self)).
+#[derive(Debug, Default)]
+struct NetScanState {
+    hyp: HypCache,
+    memo: DelayMemo,
+}
+
+/// Probe counters accumulated by one scan, flushed to the engine's
+/// probe after the (possibly parallel) batch — always in ascending
+/// net-id order, so totals are independent of the thread count.
+#[derive(Debug, Default, Clone, Copy)]
+struct ScanCounters {
+    key_evals: u64,
+    hyp_hits: u64,
+    hyp_misses: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    window_queries: u64,
+    aggregate_queries: u64,
+}
+
+impl ScanCounters {
+    fn flush<P: Probe>(&self, probe: &mut P) {
+        if !P::ENABLED {
+            return;
+        }
+        probe.count(Counter::KeyEval, self.key_evals);
+        probe.count(Counter::HypCacheHit, self.hyp_hits);
+        probe.count(Counter::HypCacheMiss, self.hyp_misses);
+        probe.count(Counter::DelayMemoHit, self.memo_hits);
+        probe.count(Counter::DelayMemoMiss, self.memo_misses);
+        probe.count(Counter::DensityWindowQuery, self.window_queries);
+        probe.count(Counter::DensityAggregateQuery, self.aggregate_queries);
+    }
+}
+
+/// Hypothetical wire state if `e` of `net` were deleted (cached until
+/// the graph's generation moves).
+fn hyp_for(
+    g: &RoutingGraph,
+    sta: &Sta,
+    net: NetId,
+    e: u32,
+    cache: &mut HypCache,
+    c: &mut ScanCounters,
+) -> HypWire {
+    let gen = g.generation();
+    if cache.stamp != gen || cache.slots.len() != g.edges().len() {
+        cache.slots.clear();
+        cache.slots.resize(g.edges().len(), None);
+        cache.stamp = gen;
+    }
+    if let Some(h) = cache.slots[e as usize] {
+        c.hyp_hits += 1;
+        return h;
+    }
+    c.hyp_misses += 1;
+    let len =
+        tentative_length_um(g, Some(e)).expect("deleting a non-bridge keeps the net connected");
+    let (cl_ff, rc_ps) = sta.lengths().wire_terms_at(net, len);
+    let h = HypWire {
+        length_um: len,
+        cl_ff,
+        rc_ps,
+    };
+    cache.slots[e as usize] = Some(h);
+    h
+}
+
+/// The summed constraint-generation stamp of `net` (see [`DelayMemo`]).
+fn net_timing_stamp(sta: &Sta, net: NetId) -> u64 {
+    sta.constraints_of_net(net)
+        .iter()
+        .map(|&cid| sta.constraint_generation(cid as usize))
+        .sum()
+}
+
+/// The delay prefix of `(net, e)`'s key, through the memo. Only called
+/// for constrained nets.
+fn delay_for(
+    g: &RoutingGraph,
+    sta: &Sta,
+    net: NetId,
+    e: u32,
+    state: &mut NetScanState,
+    c: &mut ScanCounters,
+) -> DelayCriteria {
+    let graph_stamp = g.generation();
+    let sta_stamp = net_timing_stamp(sta, net);
+    let memo = &mut state.memo;
+    if memo.graph_stamp != graph_stamp
+        || memo.sta_stamp != sta_stamp
+        || memo.slots.len() != g.edges().len()
+    {
+        memo.slots.clear();
+        memo.slots.resize(g.edges().len(), None);
+        memo.graph_stamp = graph_stamp;
+        memo.sta_stamp = sta_stamp;
+    }
+    if let Some(d) = state.memo.slots[e as usize] {
+        c.memo_hits += 1;
+        return d;
+    }
+    c.memo_misses += 1;
+    let hyp = hyp_for(g, sta, net, e, &mut state.hyp, c);
+    let d = DelayCriteria::evaluate(sta, net, &hyp);
+    state.memo.slots[e as usize] = Some(d);
+    d
+}
+
+/// Builds the full comparison key for a deletable edge of `net`. The
+/// free-function twin of [`Engine::edge_key`], callable from worker
+/// threads: everything mutable it needs is in `state` and `c`.
+fn scan_edge_key(
+    g: &RoutingGraph,
+    density: &DensityMap,
+    sta: &Sta,
+    net: NetId,
+    e: u32,
+    state: &mut NetScanState,
+    c: &mut ScanCounters,
+) -> EdgeKey {
+    c.key_evals += 1;
+    let delay = if sta.constraints_of_net(net).is_empty() {
+        DelayCriteria::default()
+    } else {
+        delay_for(g, sta, net, e, state, c)
+    };
+    let edge = g.edges()[e as usize];
+    let (is_trunk, f_min, n_min, f_max, n_max) = match edge.kind {
+        REdgeKind::Trunk { channel } => {
+            c.window_queries += 1;
+            c.aggregate_queries += 1;
+            let ed = density.edge_density(channel, edge.x1, edge.x2);
+            (
+                true,
+                density.c_min(channel) - ed.d_min,
+                density.nc_min(channel) - ed.nd_min,
+                density.c_max(channel) - ed.d_max,
+                density.nc_max(channel) - ed.nd_max,
+            )
+        }
+        REdgeKind::Branch { channel } => {
+            c.aggregate_queries += 1;
+            (
+                false,
+                density.c_min(channel),
+                density.nc_min(channel),
+                density.c_max(channel),
+                density.nc_max(channel),
+            )
+        }
+        REdgeKind::FeedHalf { .. } => (false, 0, 0, 0, 0),
+    };
+    EdgeKey {
+        delay,
+        is_trunk,
+        f_min,
+        n_min,
+        f_max,
+        n_max,
+        len_um: edge.len_um,
+        net,
+        edge: e,
+    }
+}
+
+/// `net`'s *champion*: the minimum key over its deletable edges, found
+/// with the strict-less linear scan shared by both selection
+/// strategies (and by every worker thread of a parallel batch).
+fn scan_champion(
+    g: &RoutingGraph,
+    density: &DensityMap,
+    sta: &Sta,
+    net: NetId,
+    order: CriteriaOrder,
+    state: &mut NetScanState,
+    c: &mut ScanCounters,
+) -> Option<EdgeKey> {
+    let mut best: Option<EdgeKey> = None;
+    for e in 0..g.edges().len() as u32 {
+        if !g.is_alive(e) || g.is_bridge(e) {
+            continue;
+        }
+        let key = scan_edge_key(g, density, sta, net, e, state, c);
+        let better = match &best {
+            None => true,
+            Some(b) => compare(&key, b, order) == std::cmp::Ordering::Less,
+        };
+        if better {
+            best = Some(key);
+        }
+    }
+    best
+}
+
+/// Derives the dirty set of one deletion with a **deterministic
+/// per-net cause attribution**: a net dirty for several reasons is
+/// returned once, attributed to the highest-precedence cause —
+/// [`RekeyCause::Graph`] > [`RekeyCause::AggregateMoved`] >
+/// [`RekeyCause::SpanOverlap`] > [`RekeyCause::Constraint`] —
+/// independent of the order channels were touched in (DESIGN.md §9).
+/// Returns `(net, cause)` pairs in ascending net-id order.
+///
+/// Each argument is one clause of the dirty-set derivation (§8); they
+/// stay separate so the signature reads as the specification.
+#[allow(clippy::too_many_arguments)]
+fn derive_dirty<'a>(
+    in_scope: &[bool],
+    graph_nets: &[NetId],
+    moved: &[ChannelId],
+    held: &[ChannelId],
+    spans: &[(ChannelId, i32, i32)],
+    channel_nets: &[Vec<(NetId, i32, i32)>],
+    refreshed_constraints: &[u32],
+    nets_of_constraint: impl Fn(usize) -> &'a [NetId],
+) -> Vec<(NetId, RekeyCause)> {
+    let mut dirty: BTreeMap<NetId, RekeyCause> = BTreeMap::new();
+    // Insertion passes run in precedence order; `or_insert` keeps the
+    // first (highest-precedence) attribution.
+    for &n in graph_nets {
+        if in_scope[n.index()] {
+            dirty.entry(n).or_insert(RekeyCause::Graph);
+        }
+    }
+    for &c in moved {
+        // Aggregates moved: every key referencing this channel (trunk
+        // or branch) changed.
+        for &(n, _, _) in &channel_nets[c.index()] {
+            if in_scope[n.index()] {
+                dirty.entry(n).or_insert(RekeyCause::AggregateMoved);
+            }
+        }
+    }
+    for &c in held {
+        // Aggregates held: only trunk keys whose interval overlaps a
+        // touched span can have moved (their edge-density window query
+        // reads the profile there).
+        for &(n, lo, hi) in &channel_nets[c.index()] {
+            if in_scope[n.index()]
+                && spans
+                    .iter()
+                    .any(|&(sc, x1, x2)| sc == c && lo <= x2 && x1 <= hi)
+            {
+                dirty.entry(n).or_insert(RekeyCause::SpanOverlap);
+            }
+        }
+    }
+    for &cid in refreshed_constraints {
+        for &n in nets_of_constraint(cid as usize) {
+            if in_scope[n.index()] {
+                dirty.entry(n).or_insert(RekeyCause::Constraint);
+            }
+        }
+    }
+    dirty.into_iter().collect()
+}
+
+/// Below this many champion scans per worker, a batch runs on the
+/// calling thread: a scoped spawn costs tens of microseconds, and a
+/// typical post-deletion dirty set is a handful of cheap scans.
+const MIN_TASKS_PER_THREAD: usize = 8;
 
 /// Mutable routing state shared by the initial-routing and improvement
 /// phases.
@@ -74,7 +377,9 @@ pub struct Engine<P: Probe = NoopProbe> {
     graphs: Vec<RoutingGraph>,
     density: DensityMap,
     sta: Sta,
-    hyp: Vec<HypCache>,
+    /// Per-net scan state (hyp cache + delay memo); taken out and
+    /// restored around parallel batches.
+    scan: Vec<NetScanState>,
     partner: Vec<Option<NetId>>,
     /// Static reverse index: per channel, every net owning at least one
     /// trunk or branch edge there, with the bounding interval of its
@@ -83,7 +388,14 @@ pub struct Engine<P: Probe = NoopProbe> {
     /// grow, so this needs no maintenance; dead edges only make it
     /// conservative.
     channel_nets: Vec<Vec<(NetId, i32, i32)>>,
+    /// Each net's home channel (channel of its first edge), the basis
+    /// of the scoreboard's [`ShardMap`].
+    home_channel: Vec<u32>,
     selection: SelectionStrategy,
+    /// Worker threads for champion re-keying (1 = fully sequential).
+    threads: usize,
+    /// Scoreboard shards (1 = the single global heap).
+    shards: usize,
     /// Density spans touched during the current deletion (scratch,
     /// drained by the scoreboard loop).
     delta_spans: Vec<(ChannelId, i32, i32)>,
@@ -150,11 +462,14 @@ impl<P: Probe> Engine<P> {
                 }
             }
         }
-        let hyp = graphs
+        let scan = graphs.iter().map(|_| NetScanState::default()).collect();
+        let home_channel = graphs
             .iter()
-            .map(|g| HypCache {
-                stamp: g.generation(),
-                slots: vec![None; g.edges().len()],
+            .map(|g| {
+                g.edges()
+                    .iter()
+                    .find_map(|e| e.kind.channel())
+                    .map_or(0, |c| c.index() as u32)
             })
             .collect();
         let mut channel_nets: Vec<Vec<(NetId, i32, i32)>> = vec![Vec::new(); num_channels];
@@ -182,10 +497,13 @@ impl<P: Probe> Engine<P> {
             graphs,
             density,
             sta,
-            hyp,
+            scan,
             partner,
             channel_nets,
+            home_channel,
             selection: SelectionStrategy::default(),
+            threads: 1,
+            shards: 1,
             delta_spans: Vec::new(),
             delta_snap: Vec::new(),
             delta_cons: Vec::new(),
@@ -240,6 +558,18 @@ impl<P: Probe> Engine<P> {
         self.selection = selection;
     }
 
+    /// Grants the scoreboard path `threads` worker threads for champion
+    /// re-keying and splits its candidate pool into `shards`
+    /// channel-region shards. Both default to 1 (fully sequential,
+    /// single global heap) and both leave every deterministic
+    /// observable — selection log, trees, trace-event stream —
+    /// byte-identical (see the [module docs](self) and DESIGN.md §10);
+    /// only wall-clock and the parallelism diagnostics counters move.
+    pub fn set_parallelism(&mut self, threads: usize, shards: usize) {
+        self.threads = threads.max(1);
+        self.shards = shards.max(1);
+    }
+
     fn clear_delta(&mut self) {
         self.delta_spans.clear();
         self.delta_snap.clear();
@@ -277,80 +607,20 @@ impl<P: Probe> Engine<P> {
         }
     }
 
-    /// Hypothetical wire state if `e` of `net` were deleted (cached until
-    /// the graph's generation moves).
-    fn hyp_for(&mut self, net: NetId, e: u32) -> HypWire {
-        let ni = net.index();
-        let gen = self.graphs[ni].generation();
-        let cache = &mut self.hyp[ni];
-        if cache.stamp != gen {
-            cache.slots.iter_mut().for_each(|h| *h = None);
-            cache.stamp = gen;
-        }
-        if let Some(h) = cache.slots[e as usize] {
-            self.probe.count(Counter::HypCacheHit, 1);
-            return h;
-        }
-        self.probe.count(Counter::HypCacheMiss, 1);
-        let len = tentative_length_um(&self.graphs[ni], Some(e))
-            .expect("deleting a non-bridge keeps the net connected");
-        let (cl_ff, rc_ps) = self.sta.lengths().wire_terms_at(net, len);
-        let h = HypWire {
-            length_um: len,
-            cl_ff,
-            rc_ps,
-        };
-        self.hyp[ni].slots[e as usize] = Some(h);
-        h
-    }
-
     /// Builds the full comparison key for a deletable edge.
     pub fn edge_key(&mut self, net: NetId, e: u32) -> EdgeKey {
-        self.probe.count(Counter::KeyEval, 1);
-        let delay = if self.sta.constraints_of_net(net).is_empty() {
-            DelayCriteria::default()
-        } else {
-            let hyp = self.hyp_for(net, e);
-            DelayCriteria::evaluate(&self.sta, net, &hyp)
-        };
-        let g = &self.graphs[net.index()];
-        let edge = g.edges()[e as usize];
-        let (is_trunk, f_min, n_min, f_max, n_max) = match edge.kind {
-            REdgeKind::Trunk { channel } => {
-                self.probe.count(Counter::DensityWindowQuery, 1);
-                self.probe.count(Counter::DensityAggregateQuery, 1);
-                let ed = self.density.edge_density(channel, edge.x1, edge.x2);
-                (
-                    true,
-                    self.density.c_min(channel) - ed.d_min,
-                    self.density.nc_min(channel) - ed.nd_min,
-                    self.density.c_max(channel) - ed.d_max,
-                    self.density.nc_max(channel) - ed.nd_max,
-                )
-            }
-            REdgeKind::Branch { channel } => {
-                self.probe.count(Counter::DensityAggregateQuery, 1);
-                (
-                    false,
-                    self.density.c_min(channel),
-                    self.density.nc_min(channel),
-                    self.density.c_max(channel),
-                    self.density.nc_max(channel),
-                )
-            }
-            REdgeKind::FeedHalf { .. } => (false, 0, 0, 0, 0),
-        };
-        EdgeKey {
-            delay,
-            is_trunk,
-            f_min,
-            n_min,
-            f_max,
-            n_max,
-            len_um: edge.len_um,
+        let mut c = ScanCounters::default();
+        let key = scan_edge_key(
+            &self.graphs[net.index()],
+            &self.density,
+            &self.sta,
             net,
-            edge: e,
-        }
+            e,
+            &mut self.scan[net.index()],
+            &mut c,
+        );
+        c.flush(&mut self.probe);
+        key
     }
 
     fn remove_density(&mut self, net: NetId, e: u32) {
@@ -509,35 +779,97 @@ impl<P: Probe> Engine<P> {
         selections
     }
 
-    /// `net`'s *champion*: the minimum key over its deletable edges,
-    /// found with the strict-less linear scan shared by both selection
-    /// strategies.
+    /// `net`'s *champion*: the minimum key over its deletable edges
+    /// (see [`scan_champion`]).
     fn champion(&mut self, net: NetId, order: CriteriaOrder) -> Option<EdgeKey> {
-        let mut best: Option<EdgeKey> = None;
-        let ecount = self.graphs[net.index()].edges().len() as u32;
-        for e in 0..ecount {
-            let g = &self.graphs[net.index()];
-            if !g.is_alive(e) || g.is_bridge(e) {
-                continue;
-            }
-            let key = self.edge_key(net, e);
-            let better = match &best {
-                None => true,
-                Some(b) => compare(&key, b, order) == std::cmp::Ordering::Less,
-            };
-            if better {
-                best = Some(key);
-            }
-        }
+        let mut c = ScanCounters::default();
+        let best = scan_champion(
+            &self.graphs[net.index()],
+            &self.density,
+            &self.sta,
+            net,
+            order,
+            &mut self.scan[net.index()],
+            &mut c,
+        );
+        c.flush(&mut self.probe);
         best
     }
 
-    /// Pushes `net`'s champion, so the heap holds at most one live entry
-    /// per net.
-    fn push_keys(&mut self, sb: &mut Scoreboard, net: NetId) {
-        if let Some(key) = self.champion(net, sb.order()) {
-            self.probe.count(Counter::HeapPush, 1);
-            sb.push(key);
+    /// Champions of `nets` (ascending net ids, no duplicates), in input
+    /// order — the batch twin of [`Engine::champion`], fanned out over
+    /// [`par::scoped_map`] when the batch is big enough for the granted
+    /// thread count to pay for its spawns.
+    ///
+    /// Every observable is independent of the fan-out: each scan reads
+    /// the shared density map / analyzer immutably and owns its net's
+    /// [`NetScanState`] (taken out of the engine, restored after the
+    /// join), results come back in input order, and per-scan probe
+    /// counters are flushed in that same order.
+    fn champions_for(&mut self, nets: &[NetId], order: CriteriaOrder) -> Vec<Option<EdgeKey>> {
+        let threads = self.threads.min(nets.len() / MIN_TASKS_PER_THREAD).max(1);
+        if threads <= 1 {
+            return nets.iter().map(|&n| self.champion(n, order)).collect();
+        }
+        let mut tasks: Vec<(NetId, NetScanState)> = nets
+            .iter()
+            .map(|&n| (n, std::mem::take(&mut self.scan[n.index()])))
+            .collect();
+        let (graphs, density, sta) = (&self.graphs, &self.density, &self.sta);
+        let results = par::scoped_map(threads, &mut tasks, |(net, state)| {
+            let mut c = ScanCounters::default();
+            let key = scan_champion(
+                &graphs[net.index()],
+                density,
+                sta,
+                *net,
+                order,
+                state,
+                &mut c,
+            );
+            (key, c)
+        });
+        for (net, state) in tasks {
+            self.scan[net.index()] = state;
+        }
+        if P::ENABLED {
+            self.probe.count(Counter::ParBatch, 1);
+            self.probe.count(Counter::ParTask, nets.len() as u64);
+        }
+        results
+            .into_iter()
+            .map(|(key, c)| {
+                c.flush(&mut self.probe);
+                key
+            })
+            .collect()
+    }
+
+    /// Computes and pushes the champions of `nets` (ascending, deduped)
+    /// after bumping their generations, so each shard holds at most one
+    /// live entry per net.
+    fn push_champions(&mut self, sb: &mut Scoreboard, nets: &[NetId], invalidate: bool) {
+        let champs = self.champions_for(nets, sb.order());
+        if P::ENABLED && invalidate {
+            let fresh = champs.iter().flatten().count() as u64;
+            let mut touched = vec![false; sb.num_shards()];
+            for key in champs.iter().flatten() {
+                touched[sb.shard_of(key.net)] = true;
+            }
+            self.probe.sample(Hist::MergeBatchSize, fresh);
+            self.probe.count(
+                Counter::ShardRebuild,
+                touched.iter().filter(|&&t| t).count() as u64,
+            );
+        }
+        for (&net, key) in nets.iter().zip(champs) {
+            if invalidate {
+                sb.invalidate_net(net);
+            }
+            if let Some(key) = key {
+                self.probe.count(Counter::HeapPush, 1);
+                sb.push(key);
+            }
         }
     }
 
@@ -553,10 +885,13 @@ impl<P: Probe> Engine<P> {
         for &n in &nets {
             in_scope[n.index()] = true;
         }
-        let mut sb = Scoreboard::new(self.graphs.len(), order);
-        for &net in &nets {
-            self.push_keys(&mut sb, net);
-        }
+        let map = if self.shards <= 1 {
+            ShardMap::single(self.graphs.len())
+        } else {
+            ShardMap::by_home_channel(self.shards, self.channel_nets.len(), &self.home_channel)
+        };
+        let mut sb = Scoreboard::with_shards(map, order);
+        self.push_champions(&mut sb, &nets, false);
         let mut selections = 0;
         while let Some(key) = sb.pop_valid_probed(&mut self.probe) {
             debug_assert!(
@@ -589,64 +924,44 @@ impl<P: Probe> Engine<P> {
             selections += 1;
 
             // Dirty set: changed nets ∪ density-affected nets ∪ nets of
-            // refreshed constraints, restricted to the scope. BTreeSet
-            // gives a deterministic re-key order.
+            // refreshed constraints, restricted to the scope, each net
+            // attributed to one cause under the deterministic precedence
+            // of `derive_dirty`.
             let d_nets = std::mem::take(&mut self.delta_nets);
             let d_spans = std::mem::take(&mut self.delta_spans);
             let d_snap = std::mem::take(&mut self.delta_snap);
             let d_cons = std::mem::take(&mut self.delta_cons);
-            let mut dirty: BTreeSet<NetId> = BTreeSet::new();
-            for n in d_nets.iter().copied().filter(|n| in_scope[n.index()]) {
-                if dirty.insert(n) {
-                    self.rekey_causes.record(RekeyCause::Graph);
-                    self.probe.rekey(n, RekeyCause::Graph);
-                }
-            }
+            let (mut moved, mut held) = (Vec::new(), Vec::new());
             for &(c, before) in &d_snap {
                 if before != self.channel_aggregates(c) {
-                    // Aggregates moved: every key referencing this channel
-                    // (trunk or branch) changed.
-                    for &(n, _, _) in &self.channel_nets[c.index()] {
-                        if in_scope[n.index()] && dirty.insert(n) {
-                            self.rekey_causes.record(RekeyCause::AggregateMoved);
-                            self.probe.rekey(n, RekeyCause::AggregateMoved);
-                        }
-                    }
+                    moved.push(c);
                 } else {
-                    // Aggregates held: only trunk keys whose interval
-                    // overlaps a touched span can have moved (their
-                    // edge-density window query reads the profile there).
-                    for &(n, lo, hi) in &self.channel_nets[c.index()] {
-                        if in_scope[n.index()]
-                            && d_spans
-                                .iter()
-                                .any(|&(sc, x1, x2)| sc == c && lo <= x2 && x1 <= hi)
-                            && dirty.insert(n)
-                        {
-                            self.rekey_causes.record(RekeyCause::SpanOverlap);
-                            self.probe.rekey(n, RekeyCause::SpanOverlap);
-                        }
-                    }
+                    held.push(c);
                 }
             }
-            for &cid in &d_cons {
-                for &n in self.sta.nets_of_constraint(cid as usize) {
-                    if in_scope[n.index()] && dirty.insert(n) {
-                        self.rekey_causes.record(RekeyCause::Constraint);
-                        self.probe.rekey(n, RekeyCause::Constraint);
-                    }
-                }
-            }
+            let dirty = derive_dirty(
+                &in_scope,
+                &d_nets,
+                &moved,
+                &held,
+                &d_spans,
+                &self.channel_nets,
+                &d_cons,
+                |cid| self.sta.nets_of_constraint(cid),
+            );
             // Hand the scratch buffers back for reuse.
             self.delta_nets = d_nets;
             self.delta_spans = d_spans;
             self.delta_snap = d_snap;
             self.delta_cons = d_cons;
             self.probe.sample(Hist::DirtySetSize, dirty.len() as u64);
-            for net in dirty {
-                sb.invalidate_net(net);
-                self.push_keys(&mut sb, net);
+            let mut dirty_nets = Vec::with_capacity(dirty.len());
+            for &(net, cause) in &dirty {
+                self.rekey_causes.record(cause);
+                self.probe.rekey(net, cause);
+                dirty_nets.push(net);
             }
+            self.push_champions(&mut sb, &dirty_nets, true);
         }
         selections
     }
@@ -859,6 +1174,150 @@ mod tests {
         for (gf, go) in fast.graphs().iter().zip(oracle.graphs()) {
             assert_eq!(gf.alive_mask(), go.alive_mask());
         }
+    }
+
+    #[test]
+    fn empty_scope_run_deletion_is_a_no_op() {
+        for strategy in [SelectionStrategy::Scoreboard, SelectionStrategy::FullRescan] {
+            let mut engine = engine_for_same_row();
+            engine.set_selection(strategy);
+            let masks: Vec<_> = engine.graphs().iter().map(|g| g.alive_mask()).collect();
+            assert_eq!(engine.run_deletion(Some(&[]), CriteriaOrder::DelayFirst), 0);
+            assert!(engine.selection_log.is_empty());
+            let after: Vec<_> = engine.graphs().iter().map(|g| g.alive_mask()).collect();
+            assert_eq!(masks, after, "{strategy:?} touched a graph");
+        }
+    }
+
+    #[test]
+    fn parallel_rekeying_matches_sequential_engine_byte_for_byte() {
+        let mut seq = engine_for_same_row();
+        let mut par = engine_for_same_row();
+        par.set_parallelism(8, 4);
+        let s1 = seq.run_deletion(None, CriteriaOrder::DelayFirst);
+        let s2 = par.run_deletion(None, CriteriaOrder::DelayFirst);
+        assert_eq!(s1, s2);
+        assert_eq!(seq.selection_log, par.selection_log);
+        assert_eq!(seq.rekey_causes, par.rekey_causes);
+        for (gs, gp) in seq.graphs().iter().zip(par.graphs()) {
+            assert_eq!(gs.alive_mask(), gp.alive_mask());
+        }
+    }
+
+    /// The satellite-2 regression: a net dirty through *both* a moved
+    /// channel and a held-but-overlapping channel must be attributed
+    /// `AggregateMoved` (the higher precedence), however the channels
+    /// were touched; the former accounting followed touch order.
+    #[test]
+    fn derive_dirty_attributes_one_cause_with_fixed_precedence() {
+        use bgr_layout::ChannelId;
+        let in_scope = vec![true; 4];
+        let c0 = ChannelId::new(0);
+        let c1 = ChannelId::new(1);
+        // Channel 0: nets 0, 1 (net 1 trunk over [0, 10]).
+        // Channel 1: nets 1, 2 (trunks over [0, 10] and [20, 30]), net 3
+        // branch-only (empty interval sentinel).
+        let channel_nets = vec![
+            vec![(NetId::new(0), 2, 6), (NetId::new(1), 0, 10)],
+            vec![
+                (NetId::new(1), 0, 10),
+                (NetId::new(2), 20, 30),
+                (NetId::new(3), i32::MAX, i32::MIN),
+            ],
+        ];
+        let cons_nets = [NetId::new(0), NetId::new(2)];
+        let nets_of = |_cid: usize| &cons_nets[..];
+        // Net 1 sits in moved c0 *and* overlaps the touched span of held
+        // c1; net 0 also changed its graph and belongs to a refreshed
+        // constraint. Regardless of `moved`/`held` contents' order:
+        let dirty = super::derive_dirty(
+            &in_scope,
+            &[NetId::new(0)],
+            &[c0],
+            &[c1],
+            &[(c1, 5, 8)],
+            &channel_nets,
+            &[0],
+            nets_of,
+        );
+        assert_eq!(
+            dirty,
+            vec![
+                (NetId::new(0), RekeyCause::Graph),
+                (NetId::new(1), RekeyCause::AggregateMoved),
+                (NetId::new(2), RekeyCause::Constraint),
+            ]
+        );
+        // Span [25, 28] overlaps net 2's trunk instead: net 2 gets
+        // SpanOverlap (> Constraint); without the graph clause, net 0
+        // falls back to its moved channel, and net 1 keeps
+        // AggregateMoved (> SpanOverlap).
+        let dirty = super::derive_dirty(
+            &in_scope,
+            &[],
+            &[c0],
+            &[c1],
+            &[(c1, 25, 28)],
+            &channel_nets,
+            &[0],
+            nets_of,
+        );
+        assert_eq!(
+            dirty,
+            vec![
+                (NetId::new(0), RekeyCause::AggregateMoved),
+                (NetId::new(1), RekeyCause::AggregateMoved),
+                (NetId::new(2), RekeyCause::SpanOverlap),
+            ]
+        );
+        // Branch-only nets (empty sentinel) never match a span overlap,
+        // and out-of-scope nets are dropped entirely.
+        let scoped = vec![false, true, true, true];
+        let dirty = super::derive_dirty(
+            &scoped,
+            &[NetId::new(0)],
+            &[],
+            &[c1],
+            &[(c1, 0, 40)],
+            &channel_nets,
+            &[],
+            nets_of,
+        );
+        assert_eq!(
+            dirty,
+            vec![
+                (NetId::new(1), RekeyCause::SpanOverlap),
+                (NetId::new(2), RekeyCause::SpanOverlap),
+            ]
+        );
+    }
+
+    #[test]
+    fn derive_dirty_graph_beats_aggregate_for_the_deleted_net() {
+        use bgr_layout::ChannelId;
+        let in_scope = vec![true; 2];
+        let c0 = ChannelId::new(0);
+        let channel_nets = vec![vec![(NetId::new(0), 0, 4), (NetId::new(1), 2, 9)]];
+        let empty: [NetId; 0] = [];
+        // The deleted net's own channel moved: the net is both
+        // graph-dirty and aggregate-dirty; Graph wins.
+        let dirty = super::derive_dirty(
+            &in_scope,
+            &[NetId::new(0)],
+            &[c0],
+            &[],
+            &[(c0, 0, 4)],
+            &channel_nets,
+            &[],
+            |_| &empty[..],
+        );
+        assert_eq!(
+            dirty,
+            vec![
+                (NetId::new(0), RekeyCause::Graph),
+                (NetId::new(1), RekeyCause::AggregateMoved),
+            ]
+        );
     }
 
     #[test]

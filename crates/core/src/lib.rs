@@ -65,12 +65,14 @@ pub mod error;
 pub mod feedcell;
 pub mod graph;
 pub mod improve;
+pub mod par;
 pub mod probe;
 pub mod report;
 pub mod result;
 pub mod router;
 pub mod scoreboard;
 pub mod select;
+pub mod shard;
 pub mod tentative;
 
 pub use baseline::{SequentialConfig, SequentialRouter};
@@ -85,3 +87,4 @@ pub use report::{ChannelCongestion, CongestionReport, TraceSummary};
 pub use result::{NetTree, RouteStats, RoutingResult, Segment, TimingReport};
 pub use router::{GlobalRouter, Routed};
 pub use select::{deciding_tier, DecidingTier};
+pub use shard::ShardMap;

@@ -257,11 +257,27 @@ pub enum Counter {
     HypCacheHit,
     /// Hypothetical-wire cache misses (tentative-tree recomputations).
     HypCacheMiss,
+    /// Delay-prefix memo hits: key evaluations that reused a memoized
+    /// `C_d/Gl/LD` prefix and skipped the hypothetical-wire path
+    /// entirely.
+    DelayMemoHit,
+    /// Delay-prefix memo misses (full delay-criteria evaluations). Every
+    /// miss performs exactly one hypothetical-wire lookup, so
+    /// `delay_memo_misses == hyp_cache_hits + hyp_cache_misses`.
+    DelayMemoMiss,
+    /// Champion-scan tasks handed to the parallel executor (one per net
+    /// in a fanned-out batch).
+    ParTask,
+    /// Fan-out batches dispatched by the parallel executor.
+    ParBatch,
+    /// Scoreboard shards that received at least one fresh champion
+    /// during a re-key batch (the shards a deletion actually rebuilt).
+    ShardRebuild,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 17;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -277,6 +293,11 @@ impl Counter {
         Counter::DensityAggregateQuery,
         Counter::HypCacheHit,
         Counter::HypCacheMiss,
+        Counter::DelayMemoHit,
+        Counter::DelayMemoMiss,
+        Counter::ParTask,
+        Counter::ParBatch,
+        Counter::ShardRebuild,
     ];
 
     /// Dense index into counter arrays.
@@ -294,6 +315,11 @@ impl Counter {
             Counter::DensityAggregateQuery => 9,
             Counter::HypCacheHit => 10,
             Counter::HypCacheMiss => 11,
+            Counter::DelayMemoHit => 12,
+            Counter::DelayMemoMiss => 13,
+            Counter::ParTask => 14,
+            Counter::ParBatch => 15,
+            Counter::ShardRebuild => 16,
         }
     }
 
@@ -312,6 +338,11 @@ impl Counter {
             Counter::DensityAggregateQuery => "density_aggregate_queries",
             Counter::HypCacheHit => "hyp_cache_hits",
             Counter::HypCacheMiss => "hyp_cache_misses",
+            Counter::DelayMemoHit => "delay_memo_hits",
+            Counter::DelayMemoMiss => "delay_memo_misses",
+            Counter::ParTask => "par_tasks",
+            Counter::ParBatch => "par_batches",
+            Counter::ShardRebuild => "shard_rebuilds",
         }
     }
 }
@@ -323,6 +354,9 @@ pub enum Hist {
     DirtySetSize,
     /// Stale entries discarded per scoreboard selection pop.
     StalePopsPerSelection,
+    /// Fresh champions merged back into the scoreboard per re-key batch
+    /// (the fan-in width of one deletion's parallel scan).
+    MergeBatchSize,
 }
 
 /// Bucket count of every [`Hist`]: powers of two —
@@ -331,16 +365,21 @@ pub const HIST_BUCKETS: usize = 8;
 
 impl Hist {
     /// Number of histograms (array dimension).
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// Every histogram, in declaration order.
-    pub const ALL: [Hist; Hist::COUNT] = [Hist::DirtySetSize, Hist::StalePopsPerSelection];
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::DirtySetSize,
+        Hist::StalePopsPerSelection,
+        Hist::MergeBatchSize,
+    ];
 
     /// Dense index into histogram arrays.
     pub fn index(self) -> usize {
         match self {
             Hist::DirtySetSize => 0,
             Hist::StalePopsPerSelection => 1,
+            Hist::MergeBatchSize => 2,
         }
     }
 
@@ -349,6 +388,7 @@ impl Hist {
         match self {
             Hist::DirtySetSize => "dirty_set_size",
             Hist::StalePopsPerSelection => "stale_pops_per_selection",
+            Hist::MergeBatchSize => "merge_batch_size",
         }
     }
 

@@ -225,6 +225,7 @@ impl GlobalRouter {
             probe,
         );
         engine.set_selection(self.config.selection);
+        engine.set_parallelism(self.config.threads, self.config.shards);
 
         // Fig. 2 lines 04-07: initial routing.
         let t0 = Instant::now();

@@ -1,12 +1,12 @@
 //! The candidate scoreboard: an ordered pool of [`EdgeKey`]s with
-//! generation-stamped lazy invalidation.
+//! generation-stamped lazy invalidation, sharded by channel region.
 //!
 //! The deletion loop (Fig. 2 lines 04–07) needs the minimum-ranked
 //! deletable edge across every in-scope net on every iteration. The
 //! naive formulation recomputes every key per iteration —
 //! `O(nets × edges)` key evaluations per selection, each one a Dijkstra
 //! over the net's routing graph. The scoreboard instead keeps all
-//! current keys in a binary heap and re-keys only *dirty* nets after a
+//! current keys in binary heaps and re-keys only *dirty* nets after a
 //! deletion.
 //!
 //! # Invalidation contract
@@ -24,9 +24,26 @@
 //!   *exactly* the keys a full rescan would compute, because every
 //!   input of [`EdgeKey`] is covered by the dirty-set definition.
 //!
-//! Stale entries are never purged eagerly; the heap is drained lazily,
-//! so a push is `O(log n)` and a pop amortizes over the entries it
-//! discards.
+//! Stale entries are never purged eagerly; the heaps are drained
+//! lazily, so a push is `O(log shard)` and a pop amortizes over the
+//! entries it discards.
+//!
+//! # Sharding and the tournament
+//!
+//! The pool is split into one heap per [`ShardMap`] shard (a band of
+//! channels; every net is statically pinned to the shard of its home
+//! channel). A re-key batch then only disturbs the heaps of the
+//! channels it touched, and each push pays `O(log shard)` instead of
+//! `O(log total)`. Selection becomes a **tournament**: drain stale
+//! entries off every shard's top, then take the minimum of the shard
+//! minima, scanning shards in ascending index with a strict-less
+//! comparison — so ties (under the EPS-fuzzy [`compare`]) resolve to
+//! the lowest shard index holding the minimum. Because every live
+//! entry's key carries its `(net, edge)` identity and [`compare`] ends
+//! in that total tiebreak, equal keys cannot belong to different
+//! candidates: the tournament winner is the same candidate a single
+//! global heap would pop. DESIGN.md §10 gives the full determinism
+//! argument, including why EPS-fuzziness does not perturb it.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -36,6 +53,7 @@ use bgr_netlist::NetId;
 use crate::config::CriteriaOrder;
 use crate::probe::{Counter, Hist, NoopProbe, Probe};
 use crate::select::{compare, EdgeKey};
+use crate::shard::ShardMap;
 
 #[derive(Debug, Clone)]
 struct Entry {
@@ -69,21 +87,30 @@ impl Ord for Entry {
 }
 
 /// Ordered candidate pool over every deletable edge of the in-scope
-/// nets. See the [module docs](self) for the invalidation contract.
+/// nets. See the [module docs](self) for the invalidation contract and
+/// the sharded tournament.
 #[derive(Debug)]
 pub struct Scoreboard {
-    heap: BinaryHeap<Entry>,
+    heaps: Vec<BinaryHeap<Entry>>,
+    map: ShardMap,
     net_gen: Vec<u64>,
     order: CriteriaOrder,
 }
 
 impl Scoreboard {
-    /// Creates an empty scoreboard for `num_nets` nets, comparing keys
-    /// with `order`.
+    /// Creates an empty single-shard scoreboard for `num_nets` nets,
+    /// comparing keys with `order`.
     pub fn new(num_nets: usize, order: CriteriaOrder) -> Self {
+        Self::with_shards(ShardMap::single(num_nets), order)
+    }
+
+    /// Creates an empty scoreboard sharded by `map`, comparing keys
+    /// with `order`.
+    pub fn with_shards(map: ShardMap, order: CriteriaOrder) -> Self {
         Self {
-            heap: BinaryHeap::new(),
-            net_gen: vec![0; num_nets],
+            heaps: (0..map.count()).map(|_| BinaryHeap::new()).collect(),
+            net_gen: vec![0; map.num_nets()],
+            map,
             order,
         }
     }
@@ -91,12 +118,12 @@ impl Scoreboard {
     /// Number of live (non-stale) entries is at most this; stale entries
     /// inflate it until they are popped.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heaps.iter().map(BinaryHeap::len).sum()
     }
 
-    /// Whether the heap holds no entries at all (stale or live).
+    /// Whether the heaps hold no entries at all (stale or live).
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heaps.iter().all(BinaryHeap::is_empty)
     }
 
     /// The criteria order this scoreboard compares keys with.
@@ -104,21 +131,58 @@ impl Scoreboard {
         self.order
     }
 
+    /// Number of shards the pool is split into.
+    pub fn num_shards(&self) -> usize {
+        self.heaps.len()
+    }
+
+    /// The shard holding `net`'s candidates.
+    pub fn shard_of(&self, net: NetId) -> usize {
+        self.map.shard_of(net)
+    }
+
     /// Invalidates every entry of `net`: bumps its generation so existing
     /// heap entries die lazily. Call before re-pushing the net's current
     /// keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net's generation counter would wrap. A `u64` bump
+    /// per re-key cannot overflow in any real route (half a million
+    /// re-keys per second for a million years), so wraparound could only
+    /// mean memory corruption — and silently wrapping would resurrect
+    /// every stale entry pushed under generation zero.
     pub fn invalidate_net(&mut self, net: NetId) {
-        self.net_gen[net.index()] += 1;
+        let g = &mut self.net_gen[net.index()];
+        *g = g
+            .checked_add(1)
+            .expect("scoreboard generation counter overflowed");
     }
 
-    /// Pushes a candidate key, stamped with its net's current generation.
+    /// Pushes a candidate key into its net's shard, stamped with the
+    /// net's current generation.
     pub fn push(&mut self, key: EdgeKey) {
         let stamp = self.net_gen[key.net.index()];
-        self.heap.push(Entry {
+        let shard = self.map.shard_of(key.net);
+        self.heaps[shard].push(Entry {
             key,
             stamp,
             order: self.order,
         });
+    }
+
+    /// Drains stale entries off the top of shard `s`, returning how many
+    /// were discarded. Afterwards the shard's top (if any) is live.
+    fn drain_stale_top(&mut self, s: usize) -> u64 {
+        let mut stale = 0u64;
+        while let Some(e) = self.heaps[s].peek() {
+            if e.stamp == self.net_gen[e.key.net.index()] {
+                break;
+            }
+            self.heaps[s].pop();
+            stale += 1;
+        }
+        stale
     }
 
     /// Pops the best *valid* candidate, discarding stale entries, or
@@ -131,15 +195,34 @@ impl Scoreboard {
     /// counted ([`Counter::HeapPop`]), stale discards additionally as
     /// [`Counter::StaleHeapPop`], and the number of discards preceding
     /// the answer is one [`Hist::StalePopsPerSelection`] observation.
+    ///
+    /// The tournament scans shards in ascending index and takes a
+    /// candidate only when strictly less than the best so far, so the
+    /// result is a pure function of the live entries (see the
+    /// [module docs](self)).
     pub fn pop_valid_probed<P: Probe>(&mut self, probe: &mut P) -> Option<EdgeKey> {
         let mut stale = 0u64;
-        let out = loop {
-            let Some(e) = self.heap.pop() else { break None };
-            if e.stamp == self.net_gen[e.key.net.index()] {
-                break Some(e.key);
+        for s in 0..self.heaps.len() {
+            stale += self.drain_stale_top(s);
+        }
+        let mut best: Option<(usize, &EdgeKey)> = None;
+        for (s, heap) in self.heaps.iter().enumerate() {
+            let Some(e) = heap.peek() else { continue };
+            let better = match best {
+                None => true,
+                Some((_, b)) => compare(&e.key, b, self.order) == Ordering::Less,
+            };
+            if better {
+                best = Some((s, &e.key));
             }
-            stale += 1;
-        };
+        }
+        let winner = best.map(|(s, _)| s);
+        let out = winner.map(|s| {
+            self.heaps[s]
+                .pop()
+                .expect("tournament winner shard has a top entry")
+                .key
+        });
         if P::ENABLED {
             probe.count(Counter::HeapPop, stale + u64::from(out.is_some()));
             probe.count(Counter::StaleHeapPop, stale);
@@ -166,6 +249,11 @@ mod tests {
             net: NetId::new(net),
             edge,
         }
+    }
+
+    /// Four nets in two shards: nets 0-1 in shard 0, nets 2-3 in shard 1.
+    fn two_shard_map() -> ShardMap {
+        ShardMap::by_home_channel(2, 4, &[0, 1, 2, 3])
     }
 
     #[test]
@@ -210,5 +298,70 @@ mod tests {
         sb.push(key(0, 1, 0));
         let order: Vec<u32> = std::iter::from_fn(|| sb.pop_valid().map(|k| k.edge)).collect();
         assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tournament_pops_the_global_minimum_across_shards() {
+        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
+        assert_eq!(sb.num_shards(), 2);
+        sb.push(key(0, 0, 4)); // shard 0
+        sb.push(key(2, 0, -1)); // shard 1: global minimum
+        sb.push(key(3, 0, 2)); // shard 1
+        sb.push(key(1, 0, 0)); // shard 0
+        let pops: Vec<usize> =
+            std::iter::from_fn(|| sb.pop_valid().map(|k| k.net.index())).collect();
+        assert_eq!(pops, vec![2, 1, 3, 0]);
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn tournament_ties_resolve_by_total_key_order_not_shard_order() {
+        // Identical criteria in both shards: the (net, edge) tiebreak of
+        // `compare` decides, exactly as a single global heap would.
+        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
+        sb.push(key(2, 0, 0)); // shard 1, lower net id than…
+        sb.push(key(3, 0, 0)); // …shard 1 sibling
+        sb.push(key(0, 1, 0)); // shard 0, lowest net id of all
+        let pops: Vec<usize> =
+            std::iter::from_fn(|| sb.pop_valid().map(|k| k.net.index())).collect();
+        assert_eq!(pops, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn stale_champion_of_fully_bridged_net_is_skipped_in_every_shard() {
+        // A net whose last deletable edge became a bridge re-keys to *no*
+        // champion: its generation bumps and nothing is re-pushed. The
+        // tournament must see through the stale top of its shard.
+        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, -5)); // shard 0: would win the tournament…
+        sb.push(key(2, 0, 3)); // shard 1
+        sb.invalidate_net(NetId::new(0)); // …but its net is now fully bridged
+        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(2)));
+        assert_eq!(sb.pop_valid(), None);
+        assert!(sb.is_empty(), "stale entries were drained, not leaked");
+    }
+
+    #[test]
+    #[should_panic(expected = "scoreboard generation counter overflowed")]
+    fn generation_wraparound_is_a_loud_failure() {
+        let mut sb = Scoreboard::new(1, CriteriaOrder::DelayFirst);
+        sb.net_gen[0] = u64::MAX;
+        sb.invalidate_net(NetId::new(0));
+    }
+
+    #[test]
+    fn probed_pop_counts_stale_discards_across_shards() {
+        use crate::probe::CollectingProbe;
+        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 1));
+        sb.push(key(0, 1, 2));
+        sb.push(key(2, 0, 5));
+        sb.invalidate_net(NetId::new(0)); // both shard-0 entries go stale
+        let mut probe = CollectingProbe::new();
+        let got = sb.pop_valid_probed(&mut probe);
+        assert_eq!(got.map(|k| k.net), Some(NetId::new(2)));
+        let trace = probe.finish();
+        assert_eq!(trace.counter(Counter::StaleHeapPop), 2);
+        assert_eq!(trace.counter(Counter::HeapPop), 3);
     }
 }

@@ -1,0 +1,123 @@
+//! Channel-region sharding of the candidate pool.
+//!
+//! The scoreboard's re-key traffic is spatially local: a deletion
+//! touches one or two channels, and the dirty nets it produces are the
+//! nets *of those channels* (the `aggregate_moved` / `span_overlap`
+//! clauses of the invalidation contract). A single global heap makes
+//! every such batch pay `O(log total)` per push against the whole pool;
+//! splitting the pool into **channel-region shards** — contiguous bands
+//! of channels, each with its own heap — confines a batch to the shards
+//! its channels map to, while selection runs a tournament over the
+//! per-shard minima (see [`crate::scoreboard::Scoreboard`]).
+//!
+//! A [`ShardMap`] is the static net → shard assignment. Each net is
+//! pinned to the shard of its **home channel** (the channel of its
+//! first edge — where its trunk alternatives concentrate, since a
+//! routing graph spans a handful of adjacent channels). The assignment
+//! must be static: a net's champion entry has to land in the shard its
+//! `invalidate_net` generation bump will be checked against, so a net
+//! that moved between shards would leave immortal stale entries behind.
+//! Any static assignment is *correct* — the tournament compares every
+//! shard's minimum — sharding by home channel merely makes invalidation
+//! traffic local.
+
+use bgr_netlist::NetId;
+
+/// Static net → shard assignment over `shards` channel-region shards.
+///
+/// Built once per `run_deletion`; see the [module docs](self) for why
+/// the assignment must not change while a scoreboard is live.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    count: usize,
+    net_shard: Vec<u32>,
+}
+
+impl ShardMap {
+    /// The trivial single-shard map: every net in shard 0 (exactly the
+    /// pre-sharding scoreboard).
+    pub fn single(num_nets: usize) -> Self {
+        Self {
+            count: 1,
+            net_shard: vec![0; num_nets],
+        }
+    }
+
+    /// Maps each net to the shard of its home channel, splitting
+    /// `num_channels` channels into at most `shards` contiguous bands
+    /// of near-equal size. `shards` is clamped to `[1, num_channels]`;
+    /// `home_channel[net]` is the net's home channel index.
+    pub fn by_home_channel(shards: usize, num_channels: usize, home_channel: &[u32]) -> Self {
+        let count = shards.clamp(1, num_channels.max(1));
+        let net_shard = home_channel
+            .iter()
+            .map(|&c| {
+                let band = (c as usize * count) / num_channels.max(1);
+                band.min(count - 1) as u32
+            })
+            .collect();
+        Self { count, net_shard }
+    }
+
+    /// Number of shards (at least 1).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of nets the map covers.
+    pub fn num_nets(&self) -> usize {
+        self.net_shard.len()
+    }
+
+    /// The shard holding `net`'s candidates.
+    pub fn shard_of(&self, net: NetId) -> usize {
+        self.net_shard[net.index()] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_maps_everything_to_shard_zero() {
+        let m = ShardMap::single(5);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.num_nets(), 5);
+        for i in 0..5 {
+            assert_eq!(m.shard_of(NetId::new(i)), 0);
+        }
+    }
+
+    #[test]
+    fn home_channel_bands_are_contiguous_and_cover_all_shards() {
+        // 8 channels, 4 shards: channels 0-1 -> 0, 2-3 -> 1, 4-5 -> 2, 6-7 -> 3.
+        let homes: Vec<u32> = (0..8).collect();
+        let m = ShardMap::by_home_channel(4, 8, &homes);
+        assert_eq!(m.count(), 4);
+        let got: Vec<usize> = (0..8).map(|i| m.shard_of(NetId::new(i))).collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_channel_count() {
+        let homes = vec![0, 1, 2];
+        let m = ShardMap::by_home_channel(16, 3, &homes);
+        assert_eq!(m.count(), 3);
+        // Monotone in the home channel, never out of range.
+        let got: Vec<usize> = (0..3).map(|i| m.shard_of(NetId::new(i))).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(ShardMap::by_home_channel(0, 3, &homes).count(), 1);
+    }
+
+    #[test]
+    fn degenerate_channel_counts_stay_in_bounds() {
+        // A pathological zero-channel chip still produces one shard.
+        let m = ShardMap::by_home_channel(4, 0, &[]);
+        assert_eq!(m.count(), 1);
+        let homes = vec![0, 0];
+        let m = ShardMap::by_home_channel(4, 1, &homes);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.shard_of(NetId::new(1)), 0);
+    }
+}
