@@ -1,31 +1,30 @@
 //! Routes a small generated circuit with the collecting probe and
 //! renders both trace artifacts: the JSONL trace (machine-diffable) and
 //! the human-readable summary (criterion-decision breakdown, per-phase
-//! time/work profile).
+//! time/work profile). When a golden trace is present it also checks
+//! the deterministic event prefix against it and reports the first
+//! divergence.
 //!
 //! Usage: `trace_summary [out_dir]` — writes `trace.jsonl` and
 //! `trace_summary.txt` under `out_dir` (default `target/trace`). CI
 //! uploads both, so every PR's routing behavior is diffable.
+//!
+//! Golden check: the deterministic prefix (meta + event lines) is
+//! compared against `tests/golden/trace.jsonl` (override the path with
+//! `BGR_GOLDEN`); on divergence the first differing line is printed and
+//! the process exits non-zero. Run with `BGR_BLESS=1` to rewrite the
+//! golden after an intentional behavior change.
 
 use bgr_core::{Counter, GlobalRouter, RouterConfig, TraceSummary};
-use bgr_gen::{custom, GenParams, PlacementStyle};
-use bgr_io::write_trace_jsonl;
+use bgr_gen::golden_instance;
+use bgr_io::{deterministic_lines, trace_divergence, write_trace_jsonl};
 
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "target/trace".to_owned());
 
-    let params = GenParams {
-        logic_cells: 300,
-        depth: 8,
-        rows: 6,
-        diff_pairs: 2,
-        feeds_per_row: 6,
-        num_constraints: 8,
-        ..GenParams::small(0x7ACE)
-    };
-    let ds = custom("TRACE", params, PlacementStyle::EvenFeed);
+    let ds = golden_instance();
     println!("{}: {} nets", ds.name, ds.design.circuit.nets().len());
 
     let (routed, trace) = GlobalRouter::new(RouterConfig::default())
@@ -77,4 +76,30 @@ fn main() {
         "wrote {jsonl_path} ({} records) and {text_path}",
         jsonl.lines().count()
     );
+
+    let golden_path =
+        std::env::var("BGR_GOLDEN").unwrap_or_else(|_| "tests/golden/trace.jsonl".to_owned());
+    if std::env::var("BGR_BLESS").is_ok_and(|v| v == "1") {
+        let det = deterministic_lines(&jsonl);
+        std::fs::write(&golden_path, &det).expect("write golden trace");
+        println!(
+            "blessed {golden_path} ({} deterministic lines)",
+            det.lines().count()
+        );
+        return;
+    }
+    match std::fs::read_to_string(&golden_path) {
+        Ok(golden) => match trace_divergence(&golden, &jsonl) {
+            None => println!(
+                "golden: {golden_path} matches ({} deterministic lines)",
+                deterministic_lines(&jsonl).lines().count()
+            ),
+            Some(diff) => {
+                eprintln!("golden trace drift against {golden_path}:\n{diff}");
+                eprintln!("if the change is intentional, re-bless with BGR_BLESS=1");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => println!("golden: {golden_path} not found, comparison skipped"),
+    }
 }

@@ -52,8 +52,18 @@ pub fn rows_to_cross(circuit: &Circuit, placement: &Placement, net: NetId) -> Ve
     for term in circuit.net(net).terms() {
         let pos = placement.term_pos(circuit, term);
         let channels = pos.channels(num_rows);
-        let lo = channels.iter().map(|c| c.index()).min().expect("nonempty");
-        let hi = channels.iter().map(|c| c.index()).max().expect("nonempty");
+        // TermPos::channels returns 1 channel for single-side pins and
+        // boundary pads, 2 for both-side pins — never 0.
+        let lo = channels
+            .iter()
+            .map(|c| c.index())
+            .min()
+            .expect("every terminal site reaches at least one channel");
+        let hi = channels
+            .iter()
+            .map(|c| c.index())
+            .max()
+            .expect("every terminal site reaches at least one channel");
         min_hi = min_hi.min(hi);
         max_lo = max_lo.max(lo);
         if let TermSite::Cell { row, access } = pos.site {

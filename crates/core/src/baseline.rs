@@ -160,6 +160,7 @@ impl SequentialRouter {
             net_lengths_um,
             total_length_um,
             timing,
+            violations: None,
             stats,
         };
         Ok(Routed {

@@ -35,6 +35,59 @@ pub enum SelectionStrategy {
     FullRescan,
 }
 
+/// What `route()` does when §3.5 phase-1 recovery exhausts its passes
+/// with constraints still violated.
+///
+/// The paper's router never aborts — it always produces a routing and
+/// reports whatever timing it achieved — so [`OnViolation::BestEffort`]
+/// is the default: the route completes and carries a structured
+/// [`crate::result::ViolationReport`]. [`OnViolation::Fail`] is the
+/// strict opt-in for callers that treat residual violations as fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnViolation {
+    /// Return [`crate::RouteError::ConstraintsUnsatisfied`] carrying the
+    /// violation report.
+    Fail,
+    /// Finish the route and attach the report to the result
+    /// (`RoutingResult::violations`).
+    #[default]
+    BestEffort,
+}
+
+/// Deterministic per-phase work ceilings.
+///
+/// Budgets are *step* counts — deletion-loop selections and
+/// improvement-phase reroutes — never wall-clock, so exhaustion is a
+/// pure function of the input and fires at the same point in every run:
+/// the `BudgetExhausted` trace event stays in the deterministic
+/// [`crate::TraceEvent`] stream without breaking the byte-identical
+/// guarantee across threads, shards and selection strategies (DESIGN.md
+/// §9–§11). `None` means unlimited (the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budgets {
+    /// Ceiling on deletion-loop selections during initial routing. On
+    /// exhaustion the engine switches to the deterministic fallback
+    /// completion path (first-deletable-edge deletion per net), which
+    /// still ends in a forest of spanning trees.
+    pub deletion_steps: Option<u64>,
+    /// Ceiling on reroutes per improvement phase (each of recovery,
+    /// delay and area improvement gets this many). On exhaustion the
+    /// phase stops at a consistent state and the route continues.
+    pub phase_reroutes: Option<u64>,
+}
+
+impl Budgets {
+    /// No ceilings anywhere (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether any ceiling is set.
+    pub fn any(&self) -> bool {
+        self.deletion_steps.is_some() || self.phase_reroutes.is_some()
+    }
+}
+
 /// Configuration for [`crate::GlobalRouter`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterConfig {
@@ -84,6 +137,18 @@ pub struct RouterConfig {
     /// the channel count at run time). Like `threads`, shard count
     /// never changes the routing result.
     pub shards: usize,
+    /// Degradation policy when recovery leaves residual violations.
+    pub on_violation: OnViolation,
+    /// Deterministic per-phase step ceilings (see [`Budgets`]).
+    pub budgets: Budgets,
+    /// Optional wall-clock deadline for the whole route, measured from
+    /// `route()` entry. Unlike [`Budgets`] this is inherently
+    /// machine-dependent: firings are checked only between improvement
+    /// reroutes, reported through the *diagnostics* side
+    /// (`Counter::DeadlineStop`) and never through the deterministic
+    /// event stream — a route where the deadline fires is explicitly
+    /// outside the byte-identical-trace guarantee (DESIGN.md §11).
+    pub deadline: Option<std::time::Duration>,
 }
 
 /// Reads a positive integer from environment variable `name`, falling
@@ -112,6 +177,9 @@ impl Default for RouterConfig {
             selection: SelectionStrategy::default(),
             threads: env_usize("BGR_THREADS", 1),
             shards: env_usize("BGR_SHARDS", 4),
+            on_violation: OnViolation::default(),
+            budgets: Budgets::default(),
+            deadline: None,
         }
     }
 }
@@ -163,6 +231,19 @@ mod tests {
         std::env::remove_var("BGR_TEST_THREADS_OK");
         std::env::remove_var("BGR_TEST_THREADS_BAD");
         std::env::remove_var("BGR_TEST_THREADS_ZERO");
+    }
+
+    #[test]
+    fn default_is_best_effort_with_unlimited_budgets() {
+        let c = RouterConfig::default();
+        assert_eq!(c.on_violation, OnViolation::BestEffort);
+        assert!(!c.budgets.any());
+        assert!(c.deadline.is_none());
+        let b = Budgets {
+            deletion_steps: Some(10),
+            ..Budgets::unlimited()
+        };
+        assert!(b.any());
     }
 
     #[test]

@@ -161,8 +161,8 @@ fn hyp_for(
         return h;
     }
     c.hyp_misses += 1;
-    let len =
-        tentative_length_um(g, Some(e)).expect("deleting a non-bridge keeps the net connected");
+    let len = tentative_length_um(g, Some(e))
+        .expect("§3.2 invariant: deleting a non-bridge edge keeps the net connected");
     let (cl_ff, rc_ps) = sta.lengths().wire_terms_at(net, len);
     let h = HypWire {
         length_um: len,
@@ -600,7 +600,7 @@ impl<P: Probe> Engine<P> {
 
     fn refresh_length(&mut self, net: NetId) {
         let len = tentative_length_um(&self.graphs[net.index()], None)
-            .expect("net graphs stay connected");
+            .expect("§3.2 invariant: only non-bridge deletions run, so net graphs stay connected");
         if self.sta.set_net_length(net, len) {
             self.delta_cons
                 .extend_from_slice(self.sta.constraints_of_net(net));
@@ -714,10 +714,69 @@ impl<P: Probe> Engine<P> {
     /// Runs the deletion loop over `scope` (all nets when `None`) until no
     /// in-scope non-bridge edge remains. Returns the number of selections.
     pub fn run_deletion(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
-        match self.selection {
-            SelectionStrategy::Scoreboard => self.run_deletion_scoreboard(scope, order),
-            SelectionStrategy::FullRescan => self.run_deletion_rescan(scope, order),
+        self.run_deletion_budgeted(scope, order, None)
+    }
+
+    /// [`Engine::run_deletion`] with a deterministic selection ceiling.
+    ///
+    /// When `budget` runs out before every in-scope graph is a tree, the
+    /// engine emits [`TraceEvent::BudgetExhausted`] (attributed to
+    /// [`Phase::InitialRouting`] — the only phase the router budgets
+    /// through this path) and switches to the fallback completion path:
+    /// per net in ascending id order, repeatedly delete the first alive
+    /// non-bridge edge until only bridges remain. The fallback skips all
+    /// key evaluation, so it is cheap, and it is a pure function of the
+    /// graph state at the stop point — which both selection strategies
+    /// reach identically — so the trace stream stays byte-identical
+    /// across strategies, threads and shards. Every graph still ends a
+    /// spanning tree (the loop only terminates on all-bridges).
+    pub fn run_deletion_budgeted(
+        &mut self,
+        scope: Option<&[NetId]>,
+        order: CriteriaOrder,
+        budget: Option<u64>,
+    ) -> usize {
+        let selections = match self.selection {
+            SelectionStrategy::Scoreboard => self.run_deletion_scoreboard(scope, order, budget),
+            SelectionStrategy::FullRescan => self.run_deletion_rescan(scope, order, budget),
+        };
+        match budget {
+            Some(b) if (selections as u64) >= b => selections + self.fallback_complete(scope, b),
+            _ => selections,
         }
+    }
+
+    /// Post-budget completion: deletes first-deletable edges until every
+    /// in-scope graph is a tree. Returns the number of fallback
+    /// deletions; emits nothing when there was nothing left to do.
+    fn fallback_complete(&mut self, scope: Option<&[NetId]>, steps_used: u64) -> usize {
+        let nets: Vec<NetId> = match scope {
+            Some(s) => s.to_vec(),
+            None => (0..self.graphs.len()).map(NetId::new).collect(),
+        };
+        let deletable = |g: &RoutingGraph| g.alive_edges().find(|&e| !g.is_bridge(e));
+        if !nets
+            .iter()
+            .any(|&n| deletable(&self.graphs[n.index()]).is_some())
+        {
+            return 0;
+        }
+        self.probe.event(TraceEvent::BudgetExhausted {
+            phase: crate::probe::Phase::InitialRouting,
+            steps: steps_used,
+        });
+        let mut extra = 0;
+        for &net in &nets {
+            while let Some(e) = deletable(&self.graphs[net.index()]) {
+                self.probe
+                    .event(TraceEvent::FallbackDeleted { net, edge: e });
+                self.clear_delta();
+                self.delete_with_partner(net, e);
+                self.selection_log.push((net, e));
+                extra += 1;
+            }
+        }
+        extra
     }
 
     /// The naive oracle: recomputes every in-scope candidate key each
@@ -726,13 +785,21 @@ impl<P: Probe> Engine<P> {
     /// total selection order), which lets it track the *runner-up
     /// champion* — the same runner-up the scoreboard observes — for
     /// strategy-independent decision provenance.
-    fn run_deletion_rescan(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
+    fn run_deletion_rescan(
+        &mut self,
+        scope: Option<&[NetId]>,
+        order: CriteriaOrder,
+        budget: Option<u64>,
+    ) -> usize {
         let nets: Vec<NetId> = match scope {
             Some(s) => s.to_vec(),
             None => (0..self.graphs.len()).map(NetId::new).collect(),
         };
         let mut selections = 0;
         loop {
+            if budget.is_some_and(|b| selections as u64 >= b) {
+                break;
+            }
             let mut best: Option<EdgeKey> = None;
             // Runner-up tracking exists only to feed the probe.
             let mut second: Option<EdgeKey> = None;
@@ -876,7 +943,12 @@ impl<P: Probe> Engine<P> {
     /// The incremental path: scoreboard selection with dirty-set
     /// re-keying (see the [module docs](self) for the invalidation
     /// derivation).
-    fn run_deletion_scoreboard(&mut self, scope: Option<&[NetId]>, order: CriteriaOrder) -> usize {
+    fn run_deletion_scoreboard(
+        &mut self,
+        scope: Option<&[NetId]>,
+        order: CriteriaOrder,
+        budget: Option<u64>,
+    ) -> usize {
         let nets: Vec<NetId> = match scope {
             Some(s) => s.to_vec(),
             None => (0..self.graphs.len()).map(NetId::new).collect(),
@@ -893,7 +965,16 @@ impl<P: Probe> Engine<P> {
         let mut sb = Scoreboard::with_shards(map, order);
         self.push_champions(&mut sb, &nets, false);
         let mut selections = 0;
-        while let Some(key) = sb.pop_valid_probed(&mut self.probe) {
+        loop {
+            // The budget check precedes the pop, so the stop point (and
+            // the heap-pop diagnostics under a fixed shard count) is the
+            // same in every run.
+            if budget.is_some_and(|b| selections as u64 >= b) {
+                break;
+            }
+            let Some(key) = sb.pop_valid_probed(&mut self.probe) else {
+                break;
+            };
             debug_assert!(
                 self.graphs[key.net.index()].is_alive(key.edge)
                     && !self.graphs[key.net.index()].is_bridge(key.edge),

@@ -3,6 +3,8 @@
 use bgr_netlist::{NetId, NetlistError};
 use bgr_timing::TimingError;
 
+use crate::result::ViolationReport;
+
 /// Errors produced by [`crate::GlobalRouter::route`].
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -20,6 +22,27 @@ pub enum RouteError {
     /// indicates an internal invariant violation (§4.3 guarantees
     /// success).
     ReassignFailed(NetId),
+    /// Feed-cell insertion (§4.3) was needed but the circuit's cell
+    /// library has no `FEED1` kind to insert. Reachable with a custom
+    /// [`bgr_netlist::CellLibrary`]; the stock ECL library always
+    /// provides it.
+    MissingFeedKind,
+    /// §3.5 phase-1 recovery exhausted its passes with constraints still
+    /// violated and [`crate::config::OnViolation::Fail`] was requested.
+    /// The report carries the full residual state; switching to
+    /// [`crate::config::OnViolation::BestEffort`] returns the same
+    /// report attached to a completed [`crate::Routed`] instead.
+    ConstraintsUnsatisfied(ViolationReport),
+    /// An internal invariant panicked inside
+    /// [`crate::GlobalRouter::route_checked`]'s isolation boundary.
+    /// `phase` names the pipeline phase that was active (or `"setup"`
+    /// before the first phase marker); `message` is the panic payload.
+    Internal {
+        /// Stable label of the active phase (see `Phase::label`).
+        phase: &'static str,
+        /// The original panic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for RouteError {
@@ -31,6 +54,18 @@ impl std::fmt::Display for RouteError {
             Self::Layout(e) => write!(f, "layout error: {e}"),
             Self::ReassignFailed(n) => {
                 write!(f, "feedthrough re-assignment failed for net {n}")
+            }
+            Self::MissingFeedKind => {
+                write!(
+                    f,
+                    "feed-cell insertion required but the library has no FEED1 kind"
+                )
+            }
+            Self::ConstraintsUnsatisfied(report) => {
+                write!(f, "recovery exhausted: {report}")
+            }
+            Self::Internal { phase, message } => {
+                write!(f, "internal error during {phase}: {message}")
             }
         }
     }
@@ -76,5 +111,18 @@ mod tests {
         let e = RouteError::from(NetlistError::EmptyNet(NetId::new(1)));
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("netlist error"));
+    }
+
+    #[test]
+    fn internal_and_violation_variants_display() {
+        let e = RouteError::Internal {
+            phase: "initial_routing",
+            message: "edge already dead".into(),
+        };
+        assert!(e.to_string().contains("initial_routing"));
+        assert!(e.to_string().contains("edge already dead"));
+        let e = RouteError::ConstraintsUnsatisfied(ViolationReport::default());
+        assert!(e.to_string().contains("recovery exhausted"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -68,7 +68,7 @@ fn insert_group<P: Probe>(
     let feed_kind = circuit
         .library()
         .kind_by_name("FEED1")
-        .expect("library provides FEED1");
+        .expect("assign_with_insertion checked FEED1 exists before any §4.3 insertion");
     let cells = placement.rows()[row].cells();
     let x = if gap == 0 {
         0
@@ -129,6 +129,11 @@ pub fn assign_with_insertion<P: Probe>(
         pairs,
         FlagPolicy::Ignore,
     );
+    // Insertion is the only consumer of FEED1; a custom library without
+    // it must fail structurally, not panic mid-insertion.
+    if !outcome.failures.is_empty() && circuit.library().kind_by_name("FEED1").is_none() {
+        return Err(RouteError::MissingFeedKind);
+    }
     let mut iters = 0;
     while !outcome.failures.is_empty() {
         if iters >= max_iters {
@@ -345,6 +350,61 @@ mod tests {
         assert_eq!(plan.inserted_cells, 0);
         assert_eq!(plan.widened, 0);
         assert_eq!(plan.feeds[0], vec![(1, 4)]);
+    }
+
+    #[test]
+    fn missing_feed_kind_is_a_structured_error() {
+        // The scarce topology again, but with a custom library that has
+        // no FEED1 (and no pre-placed feed cell): insertion is needed
+        // and must fail with MissingFeedKind rather than panic.
+        let mut lib = CellLibrary::new();
+        let inv = lib.add(
+            bgr_netlist::CellKind::builder("INV", 3)
+                .input("A", 5.0, 0)
+                .output("Y", 2)
+                .arc("A", "Y", 60.0)
+                .fanin_delay(2.5)
+                .load_delay(0.45)
+                .build(),
+        );
+        let mut cb = CircuitBuilder::new(lib);
+        let u_bot: Vec<_> = (0..2).map(|i| cb.add_cell(format!("b{i}"), inv)).collect();
+        let u_mid = cb.add_cell("m0", inv);
+        let u_top: Vec<_> = (0..2).map(|i| cb.add_cell(format!("t{i}"), inv)).collect();
+        for i in 0..2 {
+            cb.add_net(
+                format!("n{i}"),
+                cb.cell_term(u_bot[i], "Y").unwrap(),
+                [cb.cell_term(u_top[i], "A").unwrap()],
+            )
+            .unwrap();
+        }
+        cb.add_net(
+            "nm",
+            cb.cell_term(u_mid, "Y").unwrap(),
+            [cb.cell_term(u_bot[0], "A").unwrap()],
+        )
+        .unwrap();
+        let mut circuit = cb.finish().unwrap();
+        let mut pb = PlacementBuilder::new(Geometry::default(), 3);
+        pb.place_at(0, u_bot[0], 0, 3).unwrap();
+        pb.place_at(0, u_bot[1], 4, 3).unwrap();
+        pb.place_at(1, u_mid, 0, 3).unwrap();
+        pb.place_at(2, u_top[0], 0, 3).unwrap();
+        pb.place_at(2, u_top[1], 4, 3).unwrap();
+        let mut placement = pb.finish(&circuit).unwrap();
+        let pairs = PairMap::build(&circuit);
+        let order: Vec<NetId> = circuit.net_ids().collect();
+        let err = assign_with_insertion(
+            &mut circuit,
+            &mut placement,
+            &order,
+            &pairs,
+            5,
+            &mut crate::probe::NoopProbe,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RouteError::MissingFeedKind), "{err:?}");
     }
 
     use bgr_layout::Placement;

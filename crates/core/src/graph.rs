@@ -411,7 +411,7 @@ impl RoutingGraph {
             let &(w, e) = self.adj[v as usize]
                 .iter()
                 .find(|&&(_, e)| self.alive[e as usize])
-                .expect("degree-1 vertex has an alive edge");
+                .expect("§3.2 prune invariant: a degree-1 vertex has exactly one alive edge");
             self.alive[e as usize] = false;
             self.alive_count -= 1;
             pruned.push(e);

@@ -1,14 +1,80 @@
 //! The three rip-up-and-reroute improvement phases (§3.5).
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use bgr_netlist::NetId;
 
 use crate::config::CriteriaOrder;
 use crate::engine::Engine;
-use crate::probe::{Probe, TraceEvent};
+use crate::probe::{Counter, Phase, Probe, TraceEvent};
 
 const EPS: f64 = 1e-6;
+
+/// Work ceilings one improvement phase runs under.
+///
+/// `max_reroutes` is deterministic (a pure step count — exhaustion emits
+/// [`TraceEvent::BudgetExhausted`] at the same stream position in every
+/// run); `deadline` is wall-clock and therefore reported only through
+/// [`Counter::DeadlineStop`] on the diagnostics side (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseLimits {
+    /// Ceiling on reroutes in this phase (`None` = unlimited).
+    pub max_reroutes: Option<u64>,
+    /// Absolute wall-clock deadline (`None` = none).
+    pub deadline: Option<Instant>,
+}
+
+impl PhaseLimits {
+    /// No limits (the pre-budget behaviour).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// What one improvement phase did and why it stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseOutcome {
+    /// Nets ripped up and rerouted.
+    pub reroutes: usize,
+    /// Passes actually run (≤ the configured pass count).
+    pub passes: usize,
+    /// The deterministic reroute budget ran out mid-phase.
+    pub budget_exhausted: bool,
+    /// The wall-clock deadline stopped the phase.
+    pub deadline_fired: bool,
+}
+
+/// Whether the phase may spend one more reroute; on the first refusal,
+/// reports the reason (deterministic event for the step budget, the
+/// diagnostics counter for the deadline) and latches it in `out`.
+fn step_allowed<P: Probe>(
+    engine: &mut Engine<P>,
+    phase: Phase,
+    limits: &PhaseLimits,
+    out: &mut PhaseOutcome,
+) -> bool {
+    if out.budget_exhausted || out.deadline_fired {
+        return false;
+    }
+    if limits
+        .max_reroutes
+        .is_some_and(|b| out.reroutes as u64 >= b)
+    {
+        engine.probe_mut().event(TraceEvent::BudgetExhausted {
+            phase,
+            steps: out.reroutes as u64,
+        });
+        out.budget_exhausted = true;
+        return false;
+    }
+    if limits.deadline.is_some_and(|d| Instant::now() >= d) {
+        engine.probe_mut().count(Counter::DeadlineStop, 1);
+        out.deadline_fired = true;
+        return false;
+    }
+    true
+}
 
 /// Timing score of the current state: `(total violation, total arrival)`
 /// over all constraints — smaller is better. Summing (rather than taking
@@ -67,47 +133,57 @@ fn critical_nets_by_margin<P: Probe>(engine: &Engine<P>, only_violated: bool) ->
 
 /// Constraint-violation recovery (§3.5 phase 1): reroutes the nets on the
 /// critical paths of violated constraints until the violations are gone,
-/// progress stalls, or `passes` is exhausted. Returns reroute count.
+/// progress stalls, `passes` is exhausted, or `limits` stop the phase.
 pub fn recover_violate<P: Probe>(
     engine: &mut Engine<P>,
     passes: usize,
     order: CriteriaOrder,
-) -> usize {
-    let mut reroutes = 0;
+    limits: &PhaseLimits,
+) -> PhaseOutcome {
+    let mut out = PhaseOutcome::default();
     for _ in 0..passes {
         if engine.sta().worst_margin_ps() >= 0.0 {
             break;
         }
+        out.passes += 1;
         let before = engine.sta().worst_margin_ps();
         for net in critical_nets_by_margin(engine, true) {
+            if !step_allowed(engine, Phase::RecoverViolate, limits, &mut out) {
+                return out;
+            }
             reroute_guarded(engine, net, order);
-            reroutes += 1;
+            out.reroutes += 1;
         }
         if engine.sta().worst_margin_ps() <= before + EPS {
             break;
         }
     }
-    reroutes
+    out
 }
 
 /// Delay improvement (§3.5 phase 2): reroutes critical-path nets of *all*
-/// constraints, tightest first, until no margin progress. Returns reroute
-/// count.
+/// constraints, tightest first, until no margin progress or `limits`
+/// stop the phase.
 pub fn improve_delay<P: Probe>(
     engine: &mut Engine<P>,
     passes: usize,
     order: CriteriaOrder,
-) -> usize {
-    let mut reroutes = 0;
+    limits: &PhaseLimits,
+) -> PhaseOutcome {
+    let mut out = PhaseOutcome::default();
     for _ in 0..passes {
         if engine.sta().num_constraints() == 0 {
             break;
         }
+        out.passes += 1;
         let worst_before = engine.sta().worst_margin_ps();
         let arrival_before = engine.sta().max_arrival_ps();
         for net in critical_nets_by_margin(engine, false) {
+            if !step_allowed(engine, Phase::ImproveDelay, limits, &mut out) {
+                return out;
+            }
             reroute_guarded(engine, net, order);
-            reroutes += 1;
+            out.reroutes += 1;
         }
         let improved = engine.sta().worst_margin_ps() > worst_before + EPS
             || engine.sta().max_arrival_ps() < arrival_before - EPS;
@@ -115,15 +191,19 @@ pub fn improve_delay<P: Probe>(
             break;
         }
     }
-    reroutes
+    out
 }
 
 /// Area improvement (§3.5 phase 3): reroutes nets running through the
 /// most congested columns first, with the reordered (area) criteria.
-/// Returns reroute count.
-pub fn improve_area<P: Probe>(engine: &mut Engine<P>, passes: usize) -> usize {
-    let mut reroutes = 0;
+pub fn improve_area<P: Probe>(
+    engine: &mut Engine<P>,
+    passes: usize,
+    limits: &PhaseLimits,
+) -> PhaseOutcome {
+    let mut out = PhaseOutcome::default();
     for _ in 0..passes {
+        out.passes += 1;
         let tracks_before: i32 = engine.density().channel_maxima().iter().sum();
         let hottest = engine
             .density()
@@ -165,6 +245,9 @@ pub fn improve_area<P: Probe>(engine: &mut Engine<P>, passes: usize) -> usize {
         }
         scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for (_, net) in scored {
+            if !step_allowed(engine, Phase::ImproveArea, limits, &mut out) {
+                return out;
+            }
             let snap = engine.snapshot(net);
             let tracks_b: i32 = engine.density().channel_maxima().iter().sum();
             let timing_b = timing_score(engine);
@@ -181,14 +264,14 @@ pub fn improve_area<P: Probe>(engine: &mut Engine<P>, passes: usize) -> usize {
                     .probe_mut()
                     .event(TraceEvent::RerouteAccepted { net });
             }
-            reroutes += 1;
+            out.reroutes += 1;
         }
         let tracks_after: i32 = engine.density().channel_maxima().iter().sum();
         if tracks_after >= tracks_before {
             break;
         }
     }
-    reroutes
+    out
 }
 
 #[cfg(test)]
@@ -252,9 +335,10 @@ mod tests {
         let mut engine = engine_with_constraint(500.0);
         engine.run_deletion(None, CriteriaOrder::DelayFirst);
         assert!(engine.all_trees());
-        recover_violate(&mut engine, 3, CriteriaOrder::DelayFirst);
-        improve_delay(&mut engine, 2, CriteriaOrder::DelayFirst);
-        improve_area(&mut engine, 1);
+        let lim = PhaseLimits::none();
+        recover_violate(&mut engine, 3, CriteriaOrder::DelayFirst, &lim);
+        improve_delay(&mut engine, 2, CriteriaOrder::DelayFirst, &lim);
+        improve_area(&mut engine, 1, &lim);
         assert!(engine.all_trees());
     }
 
@@ -262,8 +346,15 @@ mod tests {
     fn recover_is_noop_without_violation() {
         let mut engine = engine_with_constraint(10_000.0);
         engine.run_deletion(None, CriteriaOrder::DelayFirst);
-        let r = recover_violate(&mut engine, 3, CriteriaOrder::DelayFirst);
-        assert_eq!(r, 0);
+        let out = recover_violate(
+            &mut engine,
+            3,
+            CriteriaOrder::DelayFirst,
+            &PhaseLimits::none(),
+        );
+        assert_eq!(out.reroutes, 0);
+        assert_eq!(out.passes, 0);
+        assert!(!out.budget_exhausted && !out.deadline_fired);
     }
 
     #[test]
@@ -271,7 +362,46 @@ mod tests {
         let mut engine = engine_with_constraint(500.0);
         engine.run_deletion(None, CriteriaOrder::DelayFirst);
         let arrival_before = engine.sta().max_arrival_ps();
-        improve_delay(&mut engine, 2, CriteriaOrder::DelayFirst);
+        improve_delay(
+            &mut engine,
+            2,
+            CriteriaOrder::DelayFirst,
+            &PhaseLimits::none(),
+        );
         assert!(engine.sta().max_arrival_ps() <= arrival_before + 1e-6);
+    }
+
+    #[test]
+    fn zero_reroute_budget_stops_recovery_before_any_work() {
+        // An infeasible limit forces violated constraints, so recovery
+        // *wants* to reroute; the zero budget must stop it cold and
+        // leave the trees intact.
+        let mut engine = engine_with_constraint(1.0);
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        assert!(engine.sta().worst_margin_ps() < 0.0);
+        let lim = PhaseLimits {
+            max_reroutes: Some(0),
+            deadline: None,
+        };
+        let out = recover_violate(&mut engine, 3, CriteriaOrder::DelayFirst, &lim);
+        assert_eq!(out.reroutes, 0);
+        assert!(out.budget_exhausted);
+        assert!(!out.deadline_fired);
+        assert!(engine.all_trees());
+    }
+
+    #[test]
+    fn expired_deadline_stops_phase_via_diagnostics_only() {
+        let mut engine = engine_with_constraint(1.0);
+        engine.run_deletion(None, CriteriaOrder::DelayFirst);
+        let lim = PhaseLimits {
+            max_reroutes: None,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        let out = recover_violate(&mut engine, 3, CriteriaOrder::DelayFirst, &lim);
+        assert_eq!(out.reroutes, 0);
+        assert!(out.deadline_fired);
+        assert!(!out.budget_exhausted);
+        assert!(engine.all_trees());
     }
 }

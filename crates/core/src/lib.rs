@@ -76,15 +76,18 @@ pub mod shard;
 pub mod tentative;
 
 pub use baseline::{SequentialConfig, SequentialRouter};
-pub use config::{CriteriaOrder, RouterConfig, SelectionStrategy};
+pub use config::{Budgets, CriteriaOrder, OnViolation, RouterConfig, SelectionStrategy};
 pub use error::RouteError;
 pub use graph::{REdge, REdgeKind, RVert, RVertKind, RoutingGraph};
+pub use improve::{PhaseLimits, PhaseOutcome};
 pub use probe::{
-    CollectingProbe, Counter, Hist, NoopProbe, Phase, PhaseSpan, Probe, RekeyCause, RekeyCauses,
-    RouteTrace, TraceEvent, HIST_BUCKETS,
+    CollectingProbe, Counter, Fault, FaultProbe, Hist, NoopProbe, Phase, PhaseSpan, Probe,
+    RekeyCause, RekeyCauses, RouteTrace, TraceEvent, FAULT_MARKER, HIST_BUCKETS,
 };
 pub use report::{ChannelCongestion, CongestionReport, TraceSummary};
-pub use result::{NetTree, RouteStats, RoutingResult, Segment, TimingReport};
+pub use result::{
+    NetTree, RouteStats, RoutingResult, Segment, TimingReport, ViolationEntry, ViolationReport,
+};
 pub use router::{GlobalRouter, Routed};
 pub use select::{deciding_tier, DecidingTier};
 pub use shard::ShardMap;

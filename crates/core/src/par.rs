@@ -66,7 +66,13 @@ where
         let mut out: Vec<R> = Vec::with_capacity(n);
         out.extend(first.iter_mut().map(fr));
         for h in handles {
-            out.extend(h.join().expect("champion-scan worker panicked"));
+            match h.join() {
+                Ok(chunk) => out.extend(chunk),
+                // Re-raise the worker's own payload so the caller sees
+                // the original message (net id, assertion text) rather
+                // than a generic join failure.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         out
     })
@@ -116,13 +122,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "champion-scan worker panicked")]
+    #[should_panic(expected = "boom in item 15")]
     fn worker_panics_propagate() {
         let mut items: Vec<usize> = (0..16).collect();
-        // Panic on an item that lands in a spawned (non-first) chunk.
+        // Panic on an item that lands in a spawned (non-first) chunk; the
+        // worker's own payload must reach the caller intact.
         scoped_map(4, &mut items, |&mut i| {
-            assert_ne!(i, 15, "boom");
+            assert_ne!(i, 15, "boom in item {i}");
             i
         });
+    }
+
+    #[test]
+    fn calling_thread_panics_propagate_too() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut items: Vec<usize> = (0..16).collect();
+            // Item 0 runs on the calling thread (worker zero).
+            scoped_map(4, &mut items, |&mut i| {
+                assert_ne!(i, 0, "boom in first chunk");
+                i
+            });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom in first chunk"), "{msg}");
     }
 }

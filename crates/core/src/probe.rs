@@ -226,6 +226,26 @@ pub enum TraceEvent {
         /// Cells in the group (the flagged width).
         width: u32,
     },
+    /// A deterministic step budget ([`crate::config::Budgets`]) ran out
+    /// in `phase` after `steps` steps. Step counts are pure functions of
+    /// the input, so this event fires at the same stream position in
+    /// every run — unlike the wall-clock deadline, whose firings stay on
+    /// the diagnostics side ([`Counter::DeadlineStop`]).
+    BudgetExhausted {
+        /// The phase whose budget ran out.
+        phase: Phase,
+        /// Steps spent when the ceiling was hit.
+        steps: u64,
+    },
+    /// The post-budget fallback completion path deleted `(net, edge)` —
+    /// the cheapest deterministic deletion (first alive non-bridge edge
+    /// per net) that still drives every graph to a spanning tree.
+    FallbackDeleted {
+        /// Net being force-completed.
+        net: NetId,
+        /// Deleted edge index within the net.
+        edge: u32,
+    },
 }
 
 /// Monotonic work counters. Unlike [`TraceEvent`]s these are
@@ -273,11 +293,16 @@ pub enum Counter {
     /// Scoreboard shards that received at least one fresh champion
     /// during a re-key batch (the shards a deletion actually rebuilt).
     ShardRebuild,
+    /// Improvement-phase stops forced by the wall-clock deadline
+    /// (`RouterConfig::deadline`). Inherently machine-dependent, which
+    /// is exactly why deadline firings are a counter and not a
+    /// [`TraceEvent`].
+    DeadlineStop,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -298,6 +323,7 @@ impl Counter {
         Counter::ParTask,
         Counter::ParBatch,
         Counter::ShardRebuild,
+        Counter::DeadlineStop,
     ];
 
     /// Dense index into counter arrays.
@@ -320,6 +346,7 @@ impl Counter {
             Counter::ParTask => 14,
             Counter::ParBatch => 15,
             Counter::ShardRebuild => 16,
+            Counter::DeadlineStop => 17,
         }
     }
 
@@ -343,6 +370,7 @@ impl Counter {
             Counter::ParTask => "par_tasks",
             Counter::ParBatch => "par_batches",
             Counter::ShardRebuild => "shard_rebuilds",
+            Counter::DeadlineStop => "deadline_stops",
         }
     }
 }
@@ -517,12 +545,15 @@ impl RouteTrace {
     }
 
     /// Total edges deleted according to the event stream: selections
-    /// plus cascades plus pruned counts. Equals `RouteStats::deletions`.
+    /// plus cascades, fallback deletions and pruned counts. Equals
+    /// `RouteStats::deletions`.
     pub fn deletions(&self) -> usize {
         self.events
             .iter()
             .map(|e| match e {
-                TraceEvent::DeletionSelected { .. } | TraceEvent::CascadeDeleted { .. } => 1,
+                TraceEvent::DeletionSelected { .. }
+                | TraceEvent::CascadeDeleted { .. }
+                | TraceEvent::FallbackDeleted { .. } => 1,
                 TraceEvent::Pruned { count, .. } => *count as usize,
                 _ => 0,
             })
@@ -646,6 +677,183 @@ impl Probe for CollectingProbe {
     }
 }
 
+/// A failure to inject through a [`FaultProbe`] hook point.
+///
+/// Each variant panics at a different layer of the engine, simulating
+/// the internal-invariant failures the
+/// [`crate::GlobalRouter::route_checked`] isolation boundary exists to
+/// contain: a poisoned density read (the shared map returned garbage and
+/// a consistency check tripped), a corrupted decision stream, a
+/// mid-dirty-set scoreboard failure, and a phase that dies on entry.
+/// Recovery *stalls* need no injection hook — the adversarial generator
+/// (`bgr_gen::adversarial`) forces them with infeasible delay limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Panic when the `n`-th deterministic [`TraceEvent`] is observed
+    /// (0-based), anywhere in the pipeline.
+    PanicAtEvent(u64),
+    /// Panic when the `n`-th scoreboard re-key is recorded — lands in
+    /// the middle of a deletion's dirty-set processing, after density
+    /// was mutated but before every champion is re-pushed.
+    PanicAtRekey(u64),
+    /// Panic when the `n`-th density read (window or aggregate query)
+    /// is counted — models a poisoned density access detected by the
+    /// reader.
+    PanicAtDensityRead(u64),
+    /// Panic on entering `phase`.
+    PanicAtPhaseEnter(Phase),
+}
+
+/// Marker every injected panic message carries, so tests can tell an
+/// injected fault from a genuine invariant failure.
+pub const FAULT_MARKER: &str = "injected fault";
+
+/// A [`Probe`] that injects one [`Fault`] at its hook point, for the
+/// fault-injection harness (`tests/fuzz_route.rs`).
+///
+/// `ENABLED` is `true`, so the engine performs all probe-feeding work
+/// (provenance tracking, counter flushes) and every hook point is live.
+#[derive(Debug, Clone)]
+pub struct FaultProbe {
+    fault: Fault,
+    events: u64,
+    rekeys: u64,
+    density_reads: u64,
+}
+
+impl FaultProbe {
+    /// Arms `fault`.
+    pub fn new(fault: Fault) -> Self {
+        Self {
+            fault,
+            events: 0,
+            rekeys: 0,
+            density_reads: 0,
+        }
+    }
+
+    /// The armed fault.
+    pub fn fault(&self) -> Fault {
+        self.fault
+    }
+
+    fn trip(&self, what: &str) -> ! {
+        panic!("{FAULT_MARKER}: {what} ({:?})", self.fault);
+    }
+}
+
+impl Probe for FaultProbe {
+    fn event(&mut self, _ev: TraceEvent) {
+        if let Fault::PanicAtEvent(n) = self.fault {
+            if self.events == n {
+                self.trip("event threshold reached");
+            }
+        }
+        self.events += 1;
+    }
+
+    fn count(&mut self, c: Counter, by: u64) {
+        if let Fault::PanicAtDensityRead(n) = self.fault {
+            if matches!(
+                c,
+                Counter::DensityWindowQuery | Counter::DensityAggregateQuery
+            ) {
+                self.density_reads += by;
+                if self.density_reads > n {
+                    self.trip("poisoned density read");
+                }
+            }
+        }
+    }
+
+    fn rekey(&mut self, _net: NetId, cause: RekeyCause) {
+        if let Fault::PanicAtRekey(n) = self.fault {
+            if self.rekeys == n {
+                self.trip("re-key threshold reached");
+            }
+        }
+        self.rekeys += 1;
+        self.count(cause.counter(), 1);
+    }
+
+    fn phase_enter(&mut self, phase: Phase) {
+        if self.fault == Fault::PanicAtPhaseEnter(phase) {
+            self.trip("phase entered");
+        }
+    }
+}
+
+/// Probe adapter recording the most recently entered [`Phase`] into a
+/// shared cell, so [`crate::GlobalRouter::route_checked`] can attribute
+/// a caught panic to the phase that was active when it unwound. The
+/// cell is read *after* `catch_unwind`, hence the `Arc`/atomic rather
+/// than a plain field.
+pub(crate) struct PhaseTracked<P> {
+    inner: P,
+    current: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl<P: Probe> PhaseTracked<P> {
+    /// Sentinel for "no phase entered yet".
+    const SETUP: usize = usize::MAX;
+
+    pub(crate) fn new(inner: P) -> Self {
+        Self {
+            inner,
+            current: std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(Self::SETUP)),
+        }
+    }
+
+    /// Handle that survives the probe moving into (and unwinding out
+    /// of) the engine.
+    pub(crate) fn handle(&self) -> std::sync::Arc<std::sync::atomic::AtomicUsize> {
+        self.current.clone()
+    }
+
+    /// Label of the phase index stored in a handle.
+    pub(crate) fn label_of(raw: usize) -> &'static str {
+        Phase::ALL.get(raw).map(|p| p.label()).unwrap_or("setup")
+    }
+
+    pub(crate) fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Probe> Probe for PhaseTracked<P> {
+    const ENABLED: bool = P::ENABLED;
+
+    fn event(&mut self, ev: TraceEvent) {
+        self.inner.event(ev);
+    }
+
+    fn count(&mut self, c: Counter, by: u64) {
+        self.inner.count(c, by);
+    }
+
+    fn sample(&mut self, h: Hist, value: u64) {
+        self.inner.sample(h, value);
+    }
+
+    fn rekey(&mut self, net: NetId, cause: RekeyCause) {
+        self.inner.rekey(net, cause);
+    }
+
+    fn phase_enter(&mut self, phase: Phase) {
+        let idx = Phase::ALL
+            .iter()
+            .position(|&p| p == phase)
+            .unwrap_or(Self::SETUP);
+        self.current
+            .store(idx, std::sync::atomic::Ordering::Relaxed);
+        self.inner.phase_enter(phase);
+    }
+
+    fn phase_exit(&mut self, phase: Phase) {
+        self.inner.phase_exit(phase);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +923,53 @@ mod tests {
         assert_eq!(span.phase, Phase::InitialRouting);
         assert_eq!(span.events_len, 1); // markers excluded
         assert_eq!(span.counters[Counter::HeapPop.index()], 2);
+    }
+
+    #[test]
+    fn fault_probe_trips_on_its_threshold_only() {
+        let mut p = FaultProbe::new(Fault::PanicAtEvent(2));
+        p.event(TraceEvent::NetBecameTree { net: NetId::new(0) });
+        p.event(TraceEvent::NetBecameTree { net: NetId::new(1) });
+        // Non-matching hooks never trip.
+        p.count(Counter::DensityWindowQuery, 100);
+        p.rekey(NetId::new(0), RekeyCause::Graph);
+        p.phase_enter(Phase::ImproveArea);
+        let err = std::panic::catch_unwind(move || {
+            p.event(TraceEvent::NetBecameTree { net: NetId::new(2) });
+        })
+        .expect_err("third event must trip");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(FAULT_MARKER), "{msg}");
+    }
+
+    #[test]
+    fn fault_probe_density_fault_counts_by_amount() {
+        let mut p = FaultProbe::new(Fault::PanicAtDensityRead(5));
+        p.count(Counter::DensityWindowQuery, 3);
+        p.count(Counter::KeyEval, 100); // not a density read
+        let r = std::panic::catch_unwind(move || {
+            p.count(Counter::DensityAggregateQuery, 10);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn phase_tracker_records_last_entered_phase() {
+        let tracked = PhaseTracked::new(NoopProbe);
+        let handle = tracked.handle();
+        let mut tracked = tracked;
+        assert_eq!(
+            PhaseTracked::<NoopProbe>::label_of(handle.load(std::sync::atomic::Ordering::Relaxed)),
+            "setup"
+        );
+        tracked.phase_enter(Phase::InitialRouting);
+        tracked.phase_exit(Phase::InitialRouting);
+        assert_eq!(
+            PhaseTracked::<NoopProbe>::label_of(handle.load(std::sync::atomic::Ordering::Relaxed)),
+            "initial_routing"
+        );
+        const { assert!(!PhaseTracked::<NoopProbe>::ENABLED) };
+        let _ = tracked.into_inner();
     }
 
     #[test]

@@ -235,6 +235,7 @@ mod tests {
             net_lengths_um: vec![0.0; trees.len()],
             total_length_um: 0.0,
             timing: Default::default(),
+            violations: None,
             stats: Default::default(),
             trees,
         }

@@ -200,6 +200,88 @@ impl TimingReport {
     }
 }
 
+/// Residual state of one violated constraint after recovery gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationEntry {
+    /// Constraint name.
+    pub name: String,
+    /// Limit `τ_P` in ps.
+    pub limit_ps: f64,
+    /// Critical-path arrival in ps.
+    pub arrival_ps: f64,
+    /// Residual violation in ps (`arrival − limit`, always > 0 here).
+    pub violation_ps: f64,
+    /// Nets on the constraint's residual critical path, the set a later
+    /// pass (or a human) would attack first.
+    pub critical_nets: Vec<NetId>,
+}
+
+/// Structured account of why §3.5 phase-1 recovery stopped short: which
+/// constraints still miss their limits, by how much, and how much work
+/// the recovery phase spent before giving up.
+///
+/// Produced when [`crate::config::OnViolation::BestEffort`] lets a route
+/// finish with residual violations; carried by
+/// [`crate::RouteError::ConstraintsUnsatisfied`] when
+/// [`crate::config::OnViolation::Fail`] turns the same state into an
+/// error — the two modes report the identical facts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViolationReport {
+    /// Per violated constraint, in constraint order.
+    pub entries: Vec<ViolationEntry>,
+    /// Recovery reroutes spent before exhaustion (§3.5 phase 1).
+    pub recovery_reroutes: usize,
+    /// Recovery passes actually run (≤ `RouterConfig::recover_passes`).
+    pub recovery_passes: usize,
+}
+
+impl ViolationReport {
+    /// Total residual violation over all entries, in ps.
+    pub fn total_violation_ps(&self) -> f64 {
+        self.entries.iter().map(|e| e.violation_ps).sum()
+    }
+
+    /// Whether any residual violation remains.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Extracts the report from the analyzer state after the improvement
+    /// phases: one entry per constraint with a negative margin.
+    pub fn from_sta(sta: &Sta, recovery_reroutes: usize, recovery_passes: usize) -> Self {
+        let entries = (0..sta.num_constraints())
+            .filter(|&cid| sta.margin_ps(cid) < 0.0)
+            .map(|cid| {
+                let c = sta.constraint(cid).constraint();
+                ViolationEntry {
+                    name: c.name.clone(),
+                    limit_ps: c.limit_ps,
+                    arrival_ps: sta.arrival_ps(cid),
+                    violation_ps: -sta.margin_ps(cid),
+                    critical_nets: sta.critical_nets(cid),
+                }
+            })
+            .collect();
+        Self {
+            entries,
+            recovery_reroutes,
+            recovery_passes,
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} constraint(s) violated by {:.1} ps total after {} recovery reroutes",
+            self.entries.len(),
+            self.total_violation_ps(),
+            self.recovery_reroutes
+        )
+    }
+}
+
 /// Router work counters and phase durations.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RouteStats {
@@ -248,6 +330,10 @@ pub struct RoutingResult {
     /// Timing vs the *requested* constraints (evaluated even when routing
     /// ran unconstrained).
     pub timing: TimingReport,
+    /// Residual-violation account when best-effort degradation let the
+    /// route finish despite exhausted recovery (`None` when recovery
+    /// converged or routing ran unconstrained).
+    pub violations: Option<ViolationReport>,
     /// Work counters.
     pub stats: RouteStats,
 }
@@ -287,6 +373,35 @@ mod tests {
         assert_eq!(trunks, vec![(2, 3, 1)]);
         assert!(tree.trunks_in_channel(ChannelId::new(1)).is_empty());
         assert!((tree.length_um - 68.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_report_extracts_residuals_from_sta() {
+        use bgr_timing::{DelayModel, PathConstraint, Sta, WireParams};
+        let (circuit, _, _) = same_row_net();
+        let src = circuit.pads()[0].term();
+        let snk = circuit.pads()[1].term();
+        // Two INVs give 132.5 ps of pure gate delay; a 50 ps limit is
+        // unmeetable no matter how the net is routed.
+        let sta = Sta::new(
+            &circuit,
+            vec![PathConstraint::new("tight", src, snk, 50.0)],
+            DelayModel::Capacitance,
+            WireParams::default(),
+        )
+        .unwrap();
+        let report = ViolationReport::from_sta(&sta, 7, 3);
+        assert_eq!(report.entries.len(), 1);
+        assert!(!report.is_empty());
+        let e = &report.entries[0];
+        assert_eq!(e.name, "tight");
+        assert!((e.violation_ps - (e.arrival_ps - e.limit_ps)).abs() < 1e-9);
+        assert!(e.violation_ps > 0.0);
+        assert!(!e.critical_nets.is_empty());
+        assert_eq!(report.recovery_reroutes, 7);
+        assert_eq!(report.recovery_passes, 3);
+        assert!(report.total_violation_ps() > 0.0);
+        assert!(report.to_string().contains("violated"));
     }
 
     #[test]

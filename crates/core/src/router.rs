@@ -6,15 +6,15 @@ use bgr_layout::Placement;
 use bgr_netlist::{Circuit, NetId};
 use bgr_timing::{nets_by_ascending_slack, PathConstraint, Sta};
 
-use crate::config::RouterConfig;
+use crate::config::{OnViolation, RouterConfig};
 use crate::diffpair::{is_homogeneous, PairMap};
 use crate::engine::Engine;
 use crate::error::RouteError;
 use crate::feedcell::assign_with_insertion;
 use crate::graph::RoutingGraph;
-use crate::improve::{improve_area, improve_delay, recover_violate};
-use crate::probe::{CollectingProbe, NoopProbe, Phase, Probe, RouteTrace};
-use crate::result::{NetTree, RouteStats, RoutingResult, TimingReport};
+use crate::improve::{improve_area, improve_delay, recover_violate, PhaseLimits};
+use crate::probe::{CollectingProbe, NoopProbe, Phase, PhaseTracked, Probe, RouteTrace};
+use crate::result::{NetTree, RouteStats, RoutingResult, TimingReport, ViolationReport};
 
 /// The global router.
 ///
@@ -82,6 +82,69 @@ impl GlobalRouter {
     ) -> Result<(Routed, RouteTrace), RouteError> {
         self.route_with_probe(circuit, placement, constraints, CollectingProbe::new())
             .map(|(routed, probe)| (routed, probe.finish()))
+    }
+
+    /// [`GlobalRouter::route`] behind a panic-isolation boundary.
+    ///
+    /// Any panic escaping the routing pipeline — an internal invariant
+    /// failure, or an injected fault from
+    /// [`crate::probe::FaultProbe`]-style instrumentation inside a
+    /// custom probe — is caught and converted into
+    /// [`RouteError::Internal`] carrying the panic message and the
+    /// pipeline phase that was active. No panic crosses this call.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GlobalRouter::route`], plus
+    /// [`RouteError::Internal`] for caught panics.
+    pub fn route_checked(
+        &self,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+    ) -> Result<Routed, RouteError> {
+        self.route_checked_with_probe(circuit, placement, constraints, NoopProbe)
+            .map(|(routed, _)| routed)
+    }
+
+    /// [`GlobalRouter::route_with_probe`] behind the same panic-isolation
+    /// boundary as [`GlobalRouter::route_checked`]. On a caught panic the
+    /// probe is lost (it was moved into the poisoned pipeline), so only
+    /// the structured error comes back.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GlobalRouter::route_checked`].
+    pub fn route_checked_with_probe<P: Probe>(
+        &self,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+        probe: P,
+    ) -> Result<(Routed, P), RouteError> {
+        let tracked = PhaseTracked::new(probe);
+        let phase_cell = tracked.handle();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.route_with_probe(circuit, placement, constraints, tracked)
+        }));
+        match outcome {
+            Ok(result) => result.map(|(routed, tracked)| (routed, tracked.into_inner())),
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(RouteError::Internal {
+                    phase: PhaseTracked::<P>::label_of(
+                        phase_cell.load(std::sync::atomic::Ordering::SeqCst),
+                    ),
+                    message,
+                })
+            }
+        }
     }
 
     /// [`GlobalRouter::route`] with an explicit [`Probe`] observing every
@@ -227,22 +290,34 @@ impl GlobalRouter {
         engine.set_selection(self.config.selection);
         engine.set_parallelism(self.config.threads, self.config.shards);
 
-        // Fig. 2 lines 04-07: initial routing.
+        // Fig. 2 lines 04-07: initial routing, under the deterministic
+        // step budget (exhaustion switches to the fallback completion
+        // path, which still ends in trees).
         let t0 = Instant::now();
         engine.probe_mut().phase_enter(Phase::InitialRouting);
-        engine.run_deletion(None, self.config.criteria_order);
+        engine.run_deletion_budgeted(
+            None,
+            self.config.criteria_order,
+            self.config.budgets.deletion_steps,
+        );
         engine.probe_mut().phase_exit(Phase::InitialRouting);
         stats.initial_routing = t0.elapsed();
         debug_assert!(engine.all_trees(), "initial routing must reach trees");
 
         // Fig. 2 lines 08-10: improvement loops.
+        let limits = PhaseLimits {
+            max_reroutes: self.config.budgets.phase_reroutes,
+            deadline: self.config.deadline.map(|d| t_start + d),
+        };
         let t1 = Instant::now();
+        let mut recovery = crate::improve::PhaseOutcome::default();
         if self.config.use_constraints {
             engine.probe_mut().phase_enter(Phase::RecoverViolate);
-            recover_violate(
+            recovery = recover_violate(
                 &mut engine,
                 self.config.recover_passes,
                 self.config.criteria_order,
+                &limits,
             );
             engine.probe_mut().phase_exit(Phase::RecoverViolate);
             engine.probe_mut().phase_enter(Phase::ImproveDelay);
@@ -250,14 +325,34 @@ impl GlobalRouter {
                 &mut engine,
                 self.config.delay_passes,
                 self.config.criteria_order,
+                &limits,
             );
             engine.probe_mut().phase_exit(Phase::ImproveDelay);
         }
         engine.probe_mut().phase_enter(Phase::ImproveArea);
-        improve_area(&mut engine, self.config.area_passes);
+        improve_area(&mut engine, self.config.area_passes, &limits);
         engine.probe_mut().phase_exit(Phase::ImproveArea);
         stats.improvement = t1.elapsed();
         debug_assert!(engine.all_trees(), "improvement must preserve trees");
+
+        // §3.5 degradation: residual violations after recovery become a
+        // structured report — fatal under `OnViolation::Fail`, attached
+        // to the result under `BestEffort` (DESIGN.md §11). Only checked
+        // when constraints actually drove the routing.
+        let violations = if self.config.use_constraints && engine.sta().worst_margin_ps() < 0.0 {
+            Some(ViolationReport::from_sta(
+                engine.sta(),
+                recovery.reroutes,
+                recovery.passes,
+            ))
+        } else {
+            None
+        };
+        if let Some(report) = &violations {
+            if self.config.on_violation == OnViolation::Fail {
+                return Err(RouteError::ConstraintsUnsatisfied(report.clone()));
+            }
+        }
 
         stats.deletions = engine.deletions;
         stats.reroutes = engine.reroutes;
@@ -283,6 +378,7 @@ impl GlobalRouter {
             net_lengths_um,
             total_length_um,
             timing,
+            violations,
             stats,
         };
         Ok((
@@ -399,6 +495,133 @@ mod tests {
         assert!(
             with.result.timing.max_arrival_ps() <= without.result.timing.max_arrival_ps() + 1e-6
         );
+    }
+
+    /// The testcase with its constraint limits replaced by `limit`.
+    fn testcase_with_limit(limit: f64) -> (Circuit, Placement, Vec<PathConstraint>) {
+        let (circuit, placement, cons) = testcase();
+        let cons = cons
+            .into_iter()
+            .map(|c| PathConstraint::new(c.name, c.source, c.sink, limit))
+            .collect();
+        (circuit, placement, cons)
+    }
+
+    #[test]
+    fn satisfiable_route_carries_no_violation_report() {
+        let (circuit, placement, cons) = testcase();
+        let routed = GlobalRouter::new(RouterConfig::default())
+            .route(circuit, placement, cons)
+            .unwrap();
+        assert_eq!(routed.result.violations, None);
+    }
+
+    #[test]
+    fn best_effort_routes_overconstrained_with_report() {
+        // 1 ps is below pure gate delay: unsatisfiable by construction.
+        let (circuit, placement, cons) = testcase_with_limit(1.0);
+        let routed = GlobalRouter::new(RouterConfig::default())
+            .route(circuit, placement, cons)
+            .unwrap();
+        let report = routed.result.violations.expect("must report violations");
+        assert_eq!(report.entries.len(), 2);
+        assert!(report.total_violation_ps() > 0.0);
+        for entry in &report.entries {
+            assert!(entry.violation_ps > 0.0);
+            assert!(!entry.critical_nets.is_empty());
+        }
+        // The route itself still completed: a tree per net.
+        assert_eq!(routed.result.trees.len(), 6);
+    }
+
+    #[test]
+    fn fail_mode_errors_on_overconstrained_input() {
+        let (circuit, placement, cons) = testcase_with_limit(1.0);
+        let config = RouterConfig {
+            on_violation: crate::config::OnViolation::Fail,
+            ..RouterConfig::default()
+        };
+        let err = GlobalRouter::new(config)
+            .route(circuit, placement, cons)
+            .unwrap_err();
+        match err {
+            RouteError::ConstraintsUnsatisfied(report) => {
+                assert_eq!(report.entries.len(), 2);
+                assert!(report.total_violation_ps() > 0.0);
+            }
+            other => panic!("expected ConstraintsUnsatisfied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_and_best_effort_agree_when_satisfiable() {
+        let (circuit, placement, cons) = testcase();
+        let strict = GlobalRouter::new(RouterConfig {
+            on_violation: crate::config::OnViolation::Fail,
+            ..RouterConfig::default()
+        })
+        .route(circuit.clone(), placement.clone(), cons.clone())
+        .unwrap();
+        let lax = GlobalRouter::new(RouterConfig::default())
+            .route(circuit, placement, cons)
+            .unwrap();
+        assert_eq!(strict.result.trees, lax.result.trees);
+        assert_eq!(strict.result.violations, None);
+        assert_eq!(lax.result.violations, None);
+    }
+
+    #[test]
+    fn budgeted_route_still_yields_trees() {
+        let (circuit, placement, cons) = testcase();
+        let config = RouterConfig {
+            budgets: crate::config::Budgets {
+                deletion_steps: Some(2),
+                phase_reroutes: Some(1),
+            },
+            ..RouterConfig::default()
+        };
+        let routed = GlobalRouter::new(config)
+            .route(circuit, placement, cons)
+            .unwrap();
+        assert_eq!(routed.result.trees.len(), 6);
+        for tree in &routed.result.trees {
+            assert!(!tree.segments.is_empty());
+        }
+    }
+
+    #[test]
+    fn route_checked_matches_route_on_healthy_input() {
+        let (circuit, placement, cons) = testcase();
+        let plain = GlobalRouter::new(RouterConfig::default())
+            .route(circuit.clone(), placement.clone(), cons.clone())
+            .unwrap();
+        let checked = GlobalRouter::new(RouterConfig::default())
+            .route_checked(circuit, placement, cons)
+            .unwrap();
+        assert_eq!(plain.result.trees, checked.result.trees);
+    }
+
+    #[test]
+    fn route_checked_converts_injected_panic_to_internal_error() {
+        use crate::probe::{Fault, FaultProbe, FAULT_MARKER};
+        let (circuit, placement, cons) = testcase();
+        let err = GlobalRouter::new(RouterConfig::default())
+            .route_checked_with_probe(
+                circuit,
+                placement,
+                cons,
+                FaultProbe::new(Fault::PanicAtPhaseEnter(Phase::InitialRouting)),
+            )
+            .unwrap_err();
+        match err {
+            RouteError::Internal { phase, message } => {
+                assert!(message.contains(FAULT_MARKER), "{message}");
+                // The fault fires *on entering* initial routing, so the
+                // tracker has already recorded that phase.
+                assert_eq!(phase, Phase::InitialRouting.label());
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Seeded adversarial instance generation for the fault-tolerance
+//! harness (`tests/fuzz_route.rs`).
+//!
+//! Each seed deterministically produces one [`AdversarialCase`]: a
+//! design/placement pair drawn from a family of pathologies the router
+//! must survive *structurally* — returning either a valid forest of
+//! trees or a structured `RouteError`, never a panic:
+//!
+//! - **Infeasible delay limits** — every harvested constraint limit is
+//!   scaled to a fraction of its *pure gate delay* (the harvester grants
+//!   `gate_delay × (1 + wire_budget)`, so scaling by 0.2 lands well
+//!   below the zero-wire bound). No routing can satisfy such a
+//!   constraint, which forces §3.5 phase-1 recovery to exhaust its
+//!   passes: the over-constrained differential case `OnViolation::Fail`
+//!   vs `BestEffort` is exercised on every such instance.
+//! - **Zero feed capacity** — no pre-inserted feed cells at all
+//!   (`feeds_per_row = 0`), so every cross-row net leans on §4.3
+//!   feed-cell insertion and row widening.
+//! - **Pathological aspect ratios** — the same logic squeezed into a
+//!   single row (every net's terminals in one row, no vertical
+//!   crossings) or smeared over many nearly-empty rows.
+//! - **Combined** — infeasible limits on top of zero feed capacity.
+
+use bgr_layout::Placement;
+use bgr_netlist::SplitMix64;
+use bgr_timing::PathConstraint;
+
+use crate::netgen::{generate, GenParams, GeneratedDesign};
+use crate::placegen::{place_design, PlacementStyle};
+
+/// Fraction of the harvested limit kept by the infeasible variants.
+/// The harvester grants `gate_delay × (1 + wire_budget)` with
+/// `wire_budget ≤ 0.5` here, so `0.2 × limit < gate_delay`: the limit is
+/// unreachable even with zero wire.
+const INFEASIBLE_SCALE: f64 = 0.2;
+
+/// The pathology family a seed mapped to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pathology {
+    /// Constraint limits below pure gate delay.
+    InfeasibleLimits,
+    /// `feeds_per_row = 0`.
+    ZeroFeedCapacity,
+    /// All cells in a single row.
+    SingleRow,
+    /// Many nearly-empty rows.
+    ManyThinRows,
+    /// [`Pathology::InfeasibleLimits`] + [`Pathology::ZeroFeedCapacity`].
+    InfeasibleAndStarved,
+}
+
+impl Pathology {
+    /// All families, in the order seeds cycle through them.
+    pub const ALL: [Pathology; 5] = [
+        Pathology::InfeasibleLimits,
+        Pathology::ZeroFeedCapacity,
+        Pathology::SingleRow,
+        Pathology::ManyThinRows,
+        Pathology::InfeasibleAndStarved,
+    ];
+}
+
+/// One adversarial routing instance.
+#[derive(Debug, Clone)]
+pub struct AdversarialCase {
+    /// The seed this case was derived from.
+    pub seed: u64,
+    /// Which pathology family the seed landed in.
+    pub pathology: Pathology,
+    /// Generation parameters actually used.
+    pub params: GenParams,
+    /// The (possibly constraint-rewritten) design.
+    pub design: GeneratedDesign,
+    /// A placement of the design.
+    pub placement: Placement,
+    /// Whether the constraints are infeasible by construction: routing
+    /// with `OnViolation::Fail` must error and with `BestEffort` must
+    /// return a non-empty violation report.
+    pub expect_overconstrained: bool,
+}
+
+/// Scales every constraint limit by [`INFEASIBLE_SCALE`].
+fn make_infeasible(constraints: &mut [PathConstraint]) {
+    for c in constraints.iter_mut() {
+        *c = PathConstraint::new(
+            c.name.clone(),
+            c.source,
+            c.sink,
+            c.limit_ps * INFEASIBLE_SCALE,
+        );
+    }
+}
+
+/// Deterministically derives the adversarial case for `seed`.
+///
+/// The pathology family cycles with `seed % 5`; the remaining seed bits
+/// vary the circuit shape (cell count, depth, fan-in locality) and the
+/// placement style, so no two seeds in a family are the same instance.
+pub fn adversarial_case(seed: u64) -> AdversarialCase {
+    let mut rng = SplitMix64::new(seed ^ 0xad5e_5a71_a100_cafe);
+    let pathology = Pathology::ALL[(seed % Pathology::ALL.len() as u64) as usize];
+
+    let mut params = GenParams::small(seed);
+    // Vary the shape so seeds within a family differ structurally.
+    params.logic_cells = 40 + rng.range_usize(0, 60);
+    params.depth = 4 + rng.range_usize(0, 6);
+    params.global_fanin = 0.05 + 0.25 * rng.next_f64();
+    params.wire_budget = 0.25 + 0.25 * rng.next_f64();
+    match pathology {
+        Pathology::InfeasibleLimits => {}
+        Pathology::ZeroFeedCapacity | Pathology::InfeasibleAndStarved => {
+            params.feeds_per_row = 0;
+        }
+        Pathology::SingleRow => {
+            params.rows = 1;
+        }
+        Pathology::ManyThinRows => {
+            params.rows = 10 + rng.range_usize(0, 6);
+            params.feeds_per_row = 2;
+        }
+    }
+
+    let mut design = generate(&params);
+    let expect_overconstrained = matches!(
+        pathology,
+        Pathology::InfeasibleLimits | Pathology::InfeasibleAndStarved
+    ) && !design.constraints.is_empty();
+    if expect_overconstrained {
+        make_infeasible(&mut design.constraints);
+    }
+
+    let style = if rng.next_bool(0.5) {
+        PlacementStyle::EvenFeed
+    } else {
+        PlacementStyle::FeedAside
+    };
+    let placement = place_design(&design, &params, style);
+
+    AdversarialCase {
+        seed,
+        pathology,
+        params,
+        design,
+        placement,
+        expect_overconstrained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_timing::{DelayModel, Sta, WireParams};
+
+    #[test]
+    fn cases_are_deterministic_and_validate() {
+        for seed in 0..10 {
+            let a = adversarial_case(seed);
+            let b = adversarial_case(seed);
+            assert_eq!(a.pathology, b.pathology);
+            assert_eq!(a.design.circuit.nets().len(), b.design.circuit.nets().len());
+            a.design.circuit.validate().unwrap();
+            a.placement.validate(&a.design.circuit).unwrap();
+        }
+    }
+
+    #[test]
+    fn seeds_cycle_all_pathologies() {
+        let seen: Vec<Pathology> = (0..5).map(|s| adversarial_case(s).pathology).collect();
+        for p in Pathology::ALL {
+            assert!(seen.contains(&p), "missing {p:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_limits_are_below_pure_gate_delay() {
+        // Zero-wire arrival is the lower bound on any routed arrival, so
+        // a limit below it is unsatisfiable by construction.
+        let case = adversarial_case(0);
+        assert_eq!(case.pathology, Pathology::InfeasibleLimits);
+        assert!(case.expect_overconstrained);
+        let sta = Sta::new(
+            &case.design.circuit,
+            case.design.constraints.clone(),
+            DelayModel::Capacitance,
+            WireParams::default(),
+        )
+        .unwrap();
+        for c in 0..sta.num_constraints() {
+            assert!(
+                sta.margin_ps(c) < 0.0,
+                "constraint {c} satisfiable at zero wire"
+            );
+        }
+    }
+
+    #[test]
+    fn single_row_case_really_is_single_row() {
+        let case = adversarial_case(2);
+        assert_eq!(case.pathology, Pathology::SingleRow);
+        assert_eq!(case.placement.num_rows(), 1);
+    }
+
+    #[test]
+    fn starved_case_has_no_preinserted_feeds() {
+        let case = adversarial_case(1);
+        assert_eq!(case.pathology, Pathology::ZeroFeedCapacity);
+        assert!(case.design.feed_cells.iter().all(|r| r.is_empty()));
+    }
+}

@@ -173,6 +173,23 @@ pub fn custom(name: &str, params: GenParams, style: PlacementStyle) -> DataSet {
     DataSet::build(name, params, style)
 }
 
+/// The fixed instance behind the checked-in golden trace
+/// (`tests/golden/trace.jsonl`). The `trace_summary` bin and the
+/// `golden_trace` integration test must route byte-identical input, so
+/// the definition lives here rather than in either consumer.
+pub fn golden_instance() -> DataSet {
+    let params = GenParams {
+        logic_cells: 300,
+        depth: 8,
+        rows: 6,
+        diff_pairs: 2,
+        feeds_per_row: 6,
+        num_constraints: 8,
+        ..GenParams::small(0x7ACE)
+    };
+    custom("TRACE", params, PlacementStyle::EvenFeed)
+}
+
 /// `C1P1`, built once per process. [`DataSet::build`] runs a full
 /// reference route to anchor the constraints, which dwarfs everything a
 /// bench does with the result — harnesses comparing strategies or

@@ -24,13 +24,17 @@
 //! assert!(!design.constraints.is_empty());
 //! ```
 
+pub mod adversarial;
 pub mod circuits;
 pub mod constraints;
 pub mod hpwl;
 pub mod netgen;
 pub mod placegen;
 
-pub use circuits::{c1, c1_cached, c2, c2_cached, c3, c3_cached, custom, table_data_sets, DataSet};
+pub use adversarial::{adversarial_case, AdversarialCase, Pathology};
+pub use circuits::{
+    c1, c1_cached, c2, c2_cached, c3, c3_cached, custom, golden_instance, table_data_sets, DataSet,
+};
 pub use constraints::{arrival_with_lengths, harvest_between, harvest_constraints};
 pub use hpwl::{hpwl_net_lengths_in_layout_um, hpwl_net_lengths_um};
 pub use netgen::{generate, GenParams, GeneratedDesign};

@@ -53,4 +53,4 @@ pub use error::ParseError;
 pub use netlist::{parse_netlist, write_netlist};
 pub use placement::{parse_placement, write_placement};
 pub use svg::render_svg;
-pub use trace::write_trace_jsonl;
+pub use trace::{deterministic_lines, trace_divergence, write_trace_jsonl};

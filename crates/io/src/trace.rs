@@ -81,8 +81,71 @@ fn write_event(out: &mut String, seq: usize, ev: &TraceEvent) {
                 "\"kind\":\"feed_cells_inserted\",\"row\":{row},\"x\":{x},\"width\":{width}"
             );
         }
+        TraceEvent::BudgetExhausted { phase, steps } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"budget_exhausted\",\"phase\":\"{}\",\"steps\":{steps}",
+                phase.label()
+            );
+        }
+        TraceEvent::FallbackDeleted { net, edge } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"fallback_deleted\",\"net\":{},\"edge\":{}",
+                net.index(),
+                edge
+            );
+        }
     }
     out.push_str("}\n");
+}
+
+fn is_deterministic(line: &str) -> bool {
+    line.contains("\"type\":\"event\"") || line.contains("\"type\":\"meta\"")
+}
+
+/// The deterministic prefix of a trace JSONL document: the `meta` line
+/// plus every `"type":"event"` line, newline-terminated. This is the
+/// content a golden trace file stores and exactly what
+/// [`trace_divergence`] compares — counter, histogram and span lines
+/// are machine- and strategy-dependent diagnostics and are dropped.
+pub fn deterministic_lines(trace_text: &str) -> String {
+    trace_text
+        .lines()
+        .filter(|l| is_deterministic(l))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Compact first-divergence diff of two trace JSONL documents.
+///
+/// Compares only the deterministic prefix — the `meta` line and the
+/// `"type":"event"` lines — because counters, histograms and spans are
+/// diagnostics that legitimately vary across strategies, thread counts
+/// and machines. Returns `None` when the deterministic prefixes are
+/// byte-identical; otherwise a short report quoting the first line
+/// number (1-based within the filtered prefix) where they part ways,
+/// with both sides' lines (or `<end of trace>`).
+pub fn trace_divergence(golden: &str, actual: &str) -> Option<String> {
+    fn filter(text: &str) -> Vec<&str> {
+        text.lines().filter(|l| is_deterministic(l)).collect()
+    }
+    let g = filter(golden);
+    let a = filter(actual);
+    let n = g.len().max(a.len());
+    for i in 0..n {
+        let gl = g.get(i).copied();
+        let al = a.get(i).copied();
+        if gl != al {
+            return Some(format!(
+                "first divergence at deterministic line {}:\n  golden: {}\n  actual: {}",
+                i + 1,
+                gl.unwrap_or("<end of trace>"),
+                al.unwrap_or("<end of trace>"),
+            ));
+        }
+    }
+    None
 }
 
 /// Serializes a trace as JSON lines (see the [module docs](self) for the
@@ -164,7 +227,7 @@ mod tests {
     fn jsonl_has_one_record_per_line() {
         let text = write_trace_jsonl(&sample_trace());
         let lines: Vec<&str> = text.lines().collect();
-        // meta + 4 events + 12 counters + 2 hists + 1 span.
+        // meta + 4 events + one line per counter + per hist + 1 span.
         assert_eq!(
             lines.len(),
             1 + 4 + Counter::ALL.len() + Hist::ALL.len() + 1
@@ -196,5 +259,83 @@ mod tests {
         for line in text.lines().filter(|l| l.contains("\"type\":\"event\"")) {
             assert!(!line.contains("wall"), "{line}");
         }
+    }
+
+    #[test]
+    fn degradation_events_serialize() {
+        let mut p = CollectingProbe::new();
+        p.event(TraceEvent::BudgetExhausted {
+            phase: Phase::InitialRouting,
+            steps: 12,
+        });
+        p.event(TraceEvent::FallbackDeleted {
+            net: NetId::new(4),
+            edge: 7,
+        });
+        let text = write_trace_jsonl(&p.finish());
+        assert!(text
+            .contains("\"kind\":\"budget_exhausted\",\"phase\":\"initial_routing\",\"steps\":12"));
+        assert!(text.contains("\"kind\":\"fallback_deleted\",\"net\":4,\"edge\":7"));
+    }
+
+    #[test]
+    fn deterministic_lines_keep_meta_and_events_only() {
+        let text = write_trace_jsonl(&sample_trace());
+        let det = deterministic_lines(&text);
+        assert_eq!(det.lines().count(), 5); // meta + 4 events
+        assert!(det.lines().all(is_deterministic));
+        // A golden holding only the deterministic prefix compares clean
+        // against the full document.
+        assert_eq!(trace_divergence(&det, &text), None);
+    }
+
+    #[test]
+    fn divergence_ignores_diagnostics_and_finds_first_event_mismatch() {
+        let a = write_trace_jsonl(&sample_trace());
+        assert_eq!(trace_divergence(&a, &a), None);
+
+        // Same events, different counter totals: still no divergence.
+        let mut p = CollectingProbe::new();
+        p.phase_enter(Phase::InitialRouting);
+        p.event(TraceEvent::DeletionSelected {
+            net: NetId::new(2),
+            edge: 5,
+            tier: DecidingTier::DMax,
+        });
+        p.event(TraceEvent::Pruned {
+            net: NetId::new(2),
+            count: 3,
+        });
+        p.count(Counter::KeyEval, 9999);
+        p.sample(Hist::DirtySetSize, 1);
+        p.phase_exit(Phase::InitialRouting);
+        let b = write_trace_jsonl(&p.finish());
+        assert_eq!(trace_divergence(&a, &b), None);
+
+        // A different event diverges, and the report quotes both sides.
+        let mut p = CollectingProbe::new();
+        p.phase_enter(Phase::InitialRouting);
+        p.event(TraceEvent::DeletionSelected {
+            net: NetId::new(3),
+            edge: 5,
+            tier: DecidingTier::DMax,
+        });
+        p.event(TraceEvent::Pruned {
+            net: NetId::new(2),
+            count: 3,
+        });
+        p.phase_exit(Phase::InitialRouting);
+        let c = write_trace_jsonl(&p.finish());
+        let diff = trace_divergence(&a, &c).unwrap();
+        assert!(diff.contains("deterministic line 3"), "{diff}");
+        assert!(
+            diff.contains("\"net\":2") && diff.contains("\"net\":3"),
+            "{diff}"
+        );
+
+        // A truncated trace reports <end of trace>.
+        let truncated: String = a.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let diff = trace_divergence(&a, &truncated).unwrap();
+        assert!(diff.contains("<end of trace>"), "{diff}");
     }
 }

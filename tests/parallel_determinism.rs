@@ -134,6 +134,23 @@ fn unconstrained_area_routing_is_thread_and_shard_invariant() {
     assert_matrix_matches_oracle(&params, RouterConfig::unconstrained());
 }
 
+/// Deterministic budgets (DESIGN.md §11) are step counts, so exhaustion
+/// — the `BudgetExhausted` event and the fallback completion path it
+/// triggers — must land at the same stream position under every
+/// threads × shards combination and match the oracle.
+#[test]
+fn budgeted_route_is_thread_and_shard_invariant() {
+    use bgr::router::Budgets;
+    let base = RouterConfig {
+        budgets: Budgets {
+            deletion_steps: Some(25),
+            phase_reroutes: Some(2),
+        },
+        ..RouterConfig::default()
+    };
+    assert_matrix_matches_oracle(&GenParams::small(21), base);
+}
+
 /// Counters are diagnostics and *may* differ across configurations —
 /// but the deterministic work counters (key evaluations, density
 /// queries, memo traffic) must not: the same scans run in the same

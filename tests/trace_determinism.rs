@@ -95,6 +95,61 @@ fn provenance_breakdown_sums_to_selections() {
     }
 }
 
+/// With budgets enabled the degradation events — `BudgetExhausted` and
+/// the `FallbackDeleted` stream behind it — are part of the
+/// deterministic contract: strategy-independent, repeatable, and still
+/// summing to the stats accounting.
+#[test]
+fn budgeted_event_stream_is_strategy_independent_and_accounted() {
+    use bgr::router::Budgets;
+    let params = instances().remove(0);
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    let route = |selection| {
+        let config = RouterConfig {
+            selection,
+            budgets: Budgets {
+                deletion_steps: Some(30),
+                phase_reroutes: Some(2),
+            },
+            ..RouterConfig::default()
+        };
+        GlobalRouter::new(config)
+            .route_traced(
+                design.circuit.clone(),
+                placement.clone(),
+                design.constraints.clone(),
+            )
+            .expect("budgeted route completes")
+    };
+    let (routed, fast) = route(SelectionStrategy::Scoreboard);
+    let (_, oracle) = route(SelectionStrategy::FullRescan);
+    assert_eq!(
+        fast.events, oracle.events,
+        "budgeted event streams diverge between strategies"
+    );
+    let exhausted = fast
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::BudgetExhausted { .. }))
+        .count();
+    let fallbacks = fast
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::FallbackDeleted { .. }))
+        .count();
+    assert!(
+        exhausted >= 1,
+        "a 30-selection ceiling must exhaust on this instance"
+    );
+    assert!(fallbacks >= 1, "exhaustion must trigger fallback deletions");
+    assert_eq!(
+        fast.deletions(),
+        routed.result.stats.deletions,
+        "fallback deletions must be accounted in the stream"
+    );
+}
+
 #[test]
 fn tracing_does_not_change_the_route() {
     let params = instances().remove(0);
