@@ -212,6 +212,30 @@ fn main() {
         println!("  (single-core host: skipping the 1.5x multi-thread assertion)");
     }
 
+    // Thread-scaling curve (ROADMAP "real-core benchmarking"): the RATE
+    // instance at threads ∈ {1, 2, 4, 8}. Threads 1 and `multi` are
+    // already measured above; the remaining points fill the curve. All
+    // points make identical selections, so the curve is work-for-work,
+    // and every row lands in BENCH_deletion.json for cross-PR tracking.
+    let base_selections = records
+        .iter()
+        .find(|r| r.instance == ds.name && r.strategy == "scoreboard")
+        .map(|r| r.selections)
+        .expect("RATE scoreboard row recorded");
+    println!("{} thread-scaling sweep:", ds.name);
+    for threads in [1usize, 2, 4, 8] {
+        if threads == 1 || threads == multi {
+            continue;
+        }
+        let (_, stats) = run(&ds, SelectionStrategy::Scoreboard, threads, &mut records);
+        assert_eq!(
+            stats.selection_log.len(),
+            base_selections,
+            "thread count changed the selection stream on {}",
+            ds.name
+        );
+    }
+
     // Paper-scale rows (Table 1 reconstructions), report-only: on these
     // the constraint structure and density interactions differ from
     // RATE, so the speedups are informative rather than asserted.

@@ -62,6 +62,23 @@ fn main() {
     );
     println!("delay memo: {memo_hits} hits / {memo_misses} misses over {key_evals} key evals");
 
+    // Independent audit (DESIGN.md §12): recompute every claim of the
+    // result from scratch. Runs *outside* the router, so it can never
+    // perturb the traced decision stream it certifies.
+    let audit = bgr_verify::audit(
+        &routed.circuit,
+        &routed.placement,
+        &ds.design.constraints,
+        &RouterConfig::default(),
+        &routed.result,
+    );
+    println!("independent audit ({} checks):", audit.total_checks());
+    print!("{audit}");
+    if !audit.is_clean() {
+        eprintln!("audit FAILED — the trace below describes a corrupted route");
+        std::process::exit(1);
+    }
+
     let summary = TraceSummary::from_trace(&trace);
     let text = summary.to_ascii();
     print!("{text}");
@@ -82,9 +99,12 @@ fn main() {
     if std::env::var("BGR_BLESS").is_ok_and(|v| v == "1") {
         let det = deterministic_lines(&jsonl);
         std::fs::write(&golden_path, &det).expect("write golden trace");
+        // A bless is only as trustworthy as the route it freezes: record
+        // that the independent audit certified it.
         println!(
-            "blessed {golden_path} ({} deterministic lines)",
-            det.lines().count()
+            "blessed {golden_path} ({} deterministic lines, audit clean over {} checks)",
+            det.lines().count(),
+            audit.total_checks()
         );
         return;
     }
@@ -96,6 +116,14 @@ fn main() {
             ),
             Some(diff) => {
                 eprintln!("golden trace drift against {golden_path}:\n{diff}");
+                eprintln!(
+                    "independent audit of the drifted route: {}",
+                    if audit.is_clean() {
+                        "clean (behavior change, not corruption)"
+                    } else {
+                        "FAILED (see verdicts above)"
+                    }
+                );
                 eprintln!("if the change is intentional, re-bless with BGR_BLESS=1");
                 std::process::exit(1);
             }

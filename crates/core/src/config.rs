@@ -88,6 +88,83 @@ impl Budgets {
     }
 }
 
+/// How much in-flight self-auditing the router performs
+/// (`RouterConfig::verify`).
+///
+/// The engine's self-audit rebuilds the density map and tentative
+/// lengths from scratch and compares them against the incremental
+/// state; divergence panics with a descriptive message (which
+/// `route_checked` converts into a structured
+/// [`crate::RouteError::Internal`]). Audits emit deterministic
+/// [`crate::TraceEvent::AuditPassed`] / [`crate::TraceEvent::AuditStep`]
+/// events, which are a pure function of the configuration and input —
+/// so any fixed level keeps the byte-identical trace guarantee, and
+/// [`VerifyLevel::Off`] (the default) emits nothing, leaving pre-audit
+/// golden traces untouched. The *independent* result auditor
+/// (`bgr_verify::audit`) runs outside the engine on the finished
+/// [`crate::RoutingResult`] and needs no level at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// No in-flight audits (the default; zero overhead, unchanged
+    /// traces).
+    #[default]
+    Off,
+    /// One audit after the last routing phase.
+    Final,
+    /// An audit at every phase boundary.
+    Phases,
+    /// Phase-boundary audits plus one every `N` deletion-loop
+    /// selections (`N` ≥ 1).
+    Steps(u64),
+}
+
+impl VerifyLevel {
+    /// Whether any auditing is enabled.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, Self::Off)
+    }
+
+    /// Whether phase-boundary audits run (`Phases` and `Steps`).
+    pub fn at_phases(&self) -> bool {
+        matches!(self, Self::Phases | Self::Steps(_))
+    }
+
+    /// The deletion-step audit interval, if step audits are on.
+    pub fn step_interval(&self) -> Option<u64> {
+        match self {
+            Self::Steps(n) => Some((*n).max(1)),
+            _ => None,
+        }
+    }
+
+    /// Parses the `BGR_VERIFY` grammar:
+    /// `off` | `final` | `phases` | `steps[:N]` (default `N` = 32).
+    /// Unparsable values fall back to `Off`.
+    pub fn parse(raw: &str) -> Self {
+        let v = raw.trim().to_ascii_lowercase();
+        match v.as_str() {
+            "final" => Self::Final,
+            "phases" => Self::Phases,
+            "steps" => Self::Steps(32),
+            s => match s.strip_prefix("steps:") {
+                Some(n) => match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => Self::Steps(n),
+                    _ => Self::Off,
+                },
+                None => Self::Off,
+            },
+        }
+    }
+
+    /// [`VerifyLevel::parse`] of the `BGR_VERIFY` environment variable
+    /// (`Off` when unset).
+    fn from_env() -> Self {
+        std::env::var("BGR_VERIFY")
+            .map(|v| Self::parse(&v))
+            .unwrap_or(Self::Off)
+    }
+}
+
 /// Configuration for [`crate::GlobalRouter`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterConfig {
@@ -139,6 +216,9 @@ pub struct RouterConfig {
     pub shards: usize,
     /// Degradation policy when recovery leaves residual violations.
     pub on_violation: OnViolation,
+    /// In-flight self-audit level (see [`VerifyLevel`]; the
+    /// `BGR_VERIFY` environment variable overrides the default).
+    pub verify: VerifyLevel,
     /// Deterministic per-phase step ceilings (see [`Budgets`]).
     pub budgets: Budgets,
     /// Optional wall-clock deadline for the whole route, measured from
@@ -178,6 +258,7 @@ impl Default for RouterConfig {
             threads: env_usize("BGR_THREADS", 1),
             shards: env_usize("BGR_SHARDS", 4),
             on_violation: OnViolation::default(),
+            verify: VerifyLevel::from_env(),
             budgets: Budgets::default(),
             deadline: None,
         }
@@ -244,6 +325,28 @@ mod tests {
             ..Budgets::unlimited()
         };
         assert!(b.any());
+    }
+
+    #[test]
+    fn verify_level_parses_the_env_grammar() {
+        assert_eq!(VerifyLevel::default(), VerifyLevel::Off);
+        assert!(!VerifyLevel::Off.enabled());
+        assert!(VerifyLevel::Final.enabled() && !VerifyLevel::Final.at_phases());
+        assert!(VerifyLevel::Phases.at_phases());
+        assert_eq!(VerifyLevel::Phases.step_interval(), None);
+        assert_eq!(VerifyLevel::Steps(8).step_interval(), Some(8));
+        assert_eq!(VerifyLevel::Steps(0).step_interval(), Some(1));
+        for (raw, want) in [
+            ("final", VerifyLevel::Final),
+            (" Phases ", VerifyLevel::Phases),
+            ("steps", VerifyLevel::Steps(32)),
+            ("steps:7", VerifyLevel::Steps(7)),
+            ("steps:0", VerifyLevel::Off),
+            ("garbage", VerifyLevel::Off),
+            ("off", VerifyLevel::Off),
+        ] {
+            assert_eq!(VerifyLevel::parse(raw), want, "input {raw:?}");
+        }
     }
 
     #[test]

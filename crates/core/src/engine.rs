@@ -11,29 +11,35 @@
 //! # Incremental selection
 //!
 //! Selection runs on a [`Scoreboard`](crate::scoreboard::Scoreboard) by
-//! default: every candidate's [`EdgeKey`] sits in a heap with
-//! generation-stamped lazy invalidation, and after a deletion only the
-//! *dirty* nets are re-keyed. The dirty set is derived from explicit
-//! invalidation hooks:
+//! default: every deletable edge's **raw** [`EdgeKey`] — delay prefix
+//! plus the edge's own density window, *without* the channel
+//! aggregates — sits in its channel's heap with generation-stamped
+//! lazy invalidation, and the aggregates are composed in at pop time
+//! (see the scoreboard docs for why in-heap order is invariant under
+//! composition). After a deletion only the *dirty* nets are re-keyed;
+//! since aggregates are not stored, aggregate motion dirties **no**
+//! net — the engine merely calls `Scoreboard::refresh_channel` for
+//! each channel whose aggregates moved, so the shard's cached minimum
+//! is recomposed. The dirty set is derived from explicit invalidation
+//! hooks:
 //!
 //! * **graph** — the deleted net and its cascaded partner (their
 //!   [`RoutingGraph::generation`] advanced: alive set, bridges, pruning);
-//! * **density** — nets reading a *touched channel* (span removed,
-//!   pruned or promoted there), found through a static channel → nets
-//!   reverse index. The channel's four aggregates are snapshotted at
-//!   first touch: if they moved, every net with an edge there is dirty
-//!   (branch keys read the aggregates); if they held, only trunk keys
-//!   whose interval overlaps a touched span can have changed (their
-//!   window query reads the profile there), so only those nets re-key;
+//! * **density window** — nets whose trunk interval overlaps a
+//!   *touched span* (removed, pruned or promoted) of a touched
+//!   channel, found through a static channel → nets reverse index:
+//!   their raw window terms read the density profile there. Branch and
+//!   feed keys carry no window terms and never go stale this way;
 //! * **timing** — every member net of each constraint the analyzer
 //!   refreshed ([`bgr_timing::Sta::nets_of_constraint`]); a length
 //!   change moves that constraint's longest paths and margins, which
 //!   feed the delay criteria of all member nets.
 //!
 //! A net dirty for several reasons at once is *counted* once, under a
-//! deterministic precedence (graph > aggregate-moved > span-overlap >
-//! constraint — see [`derive_dirty`] and DESIGN.md §9); the dirty *set*
-//! is independent of the attribution.
+//! deterministic precedence (graph > span-overlap > constraint — see
+//! [`derive_dirty`] and DESIGN.md §9); the dirty *set* is independent
+//! of the attribution. The historical `aggregate_moved` re-key cause
+//! remains in the probe schema but is structurally zero now.
 //!
 //! Nets outside the dirty set provably keep their keys, so the
 //! scoreboard's pool always equals what a full rescan would compute.
@@ -66,12 +72,14 @@ use bgr_layout::ChannelId;
 use bgr_netlist::NetId;
 use bgr_timing::Sta;
 
-use crate::config::{CriteriaOrder, SelectionStrategy};
+use crate::config::{CriteriaOrder, SelectionStrategy, VerifyLevel};
 use crate::criteria::{DelayCriteria, HypWire};
 use crate::density::DensityMap;
 use crate::graph::{REdgeKind, RoutingGraph};
 use crate::par;
-use crate::probe::{Counter, Hist, NoopProbe, Probe, RekeyCause, RekeyCauses, TraceEvent};
+use crate::probe::{
+    Corruption, Counter, Hist, NoopProbe, Phase, Probe, RekeyCause, RekeyCauses, TraceEvent,
+};
 use crate::scoreboard::Scoreboard;
 use crate::select::{compare, deciding_tier, DecidingTier, EdgeKey};
 use crate::shard::ShardMap;
@@ -300,22 +308,113 @@ fn scan_champion(
     best
 }
 
+/// Builds the **raw** (composition-free) key for a deletable edge of
+/// `net`, plus the channel heap it belongs to (`None` = the
+/// channelless feed heap). Raw trunk keys carry the *negated* own
+/// window terms, so adding the channel aggregates at pop time yields
+/// exactly [`scan_edge_key`]'s composed values; branch and feed keys
+/// carry zero density terms (see the scoreboard docs).
+fn scan_edge_key_raw(
+    g: &RoutingGraph,
+    density: &DensityMap,
+    sta: &Sta,
+    net: NetId,
+    e: u32,
+    state: &mut NetScanState,
+    c: &mut ScanCounters,
+) -> (EdgeKey, Option<ChannelId>) {
+    c.key_evals += 1;
+    let delay = if sta.constraints_of_net(net).is_empty() {
+        DelayCriteria::default()
+    } else {
+        delay_for(g, sta, net, e, state, c)
+    };
+    let edge = g.edges()[e as usize];
+    let (is_trunk, f_min, n_min, f_max, n_max, channel) = match edge.kind {
+        REdgeKind::Trunk { channel } => {
+            c.window_queries += 1;
+            let ed = density.edge_density(channel, edge.x1, edge.x2);
+            (
+                true,
+                -ed.d_min,
+                -ed.nd_min,
+                -ed.d_max,
+                -ed.nd_max,
+                Some(channel),
+            )
+        }
+        REdgeKind::Branch { channel } => (false, 0, 0, 0, 0, Some(channel)),
+        REdgeKind::FeedHalf { .. } => (false, 0, 0, 0, 0, None),
+    };
+    (
+        EdgeKey {
+            delay,
+            is_trunk,
+            f_min,
+            n_min,
+            f_max,
+            n_max,
+            len_um: edge.len_um,
+            net,
+            edge: e,
+        },
+        channel,
+    )
+}
+
+/// The scoreboard re-key payload of `net`: the per-heap **minimum**
+/// raw key over its deletable (alive, non-bridge) edges, in first-seen
+/// heap order. Every deletable edge is still evaluated, but only one
+/// key per heap is kept: composition adds the same aggregates to every
+/// key of a heap, so a net's dominated raw keys there can never become
+/// its champion — pushing them would only bloat the heaps (ties cannot
+/// occur: [`compare`] ends in a net/edge id tie-break).
+fn scan_raw_keys(
+    g: &RoutingGraph,
+    density: &DensityMap,
+    sta: &Sta,
+    net: NetId,
+    order: CriteriaOrder,
+    state: &mut NetScanState,
+    c: &mut ScanCounters,
+) -> Vec<(EdgeKey, Option<ChannelId>)> {
+    let mut out: Vec<(EdgeKey, Option<ChannelId>)> = Vec::new();
+    for e in 0..g.edges().len() as u32 {
+        if !g.is_alive(e) || g.is_bridge(e) {
+            continue;
+        }
+        let (key, channel) = scan_edge_key_raw(g, density, sta, net, e, state, c);
+        match out.iter_mut().find(|(_, ch)| *ch == channel) {
+            None => out.push((key, channel)),
+            Some(slot) => {
+                if compare(&key, &slot.0, order) == std::cmp::Ordering::Less {
+                    slot.0 = key;
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Derives the dirty set of one deletion with a **deterministic
 /// per-net cause attribution**: a net dirty for several reasons is
 /// returned once, attributed to the highest-precedence cause —
-/// [`RekeyCause::Graph`] > [`RekeyCause::AggregateMoved`] >
-/// [`RekeyCause::SpanOverlap`] > [`RekeyCause::Constraint`] —
-/// independent of the order channels were touched in (DESIGN.md §9).
-/// Returns `(net, cause)` pairs in ascending net-id order.
+/// [`RekeyCause::Graph`] > [`RekeyCause::SpanOverlap`] >
+/// [`RekeyCause::Constraint`] — independent of the order channels were
+/// touched in (DESIGN.md §9). Returns `(net, cause)` pairs in
+/// ascending net-id order.
+///
+/// Aggregate motion is *not* a dirty cause: raw keys carry no
+/// aggregates, so a channel whose aggregates moved only needs its
+/// shard's cached minimum recomposed
+/// ([`Scoreboard::refresh_channel`]). The historical
+/// [`RekeyCause::AggregateMoved`] is structurally zero.
 ///
 /// Each argument is one clause of the dirty-set derivation (§8); they
 /// stay separate so the signature reads as the specification.
-#[allow(clippy::too_many_arguments)]
 fn derive_dirty<'a>(
     in_scope: &[bool],
     graph_nets: &[NetId],
-    moved: &[ChannelId],
-    held: &[ChannelId],
     spans: &[(ChannelId, i32, i32)],
     channel_nets: &[Vec<(NetId, i32, i32)>],
     refreshed_constraints: &[u32],
@@ -329,25 +428,13 @@ fn derive_dirty<'a>(
             dirty.entry(n).or_insert(RekeyCause::Graph);
         }
     }
-    for &c in moved {
-        // Aggregates moved: every key referencing this channel (trunk
-        // or branch) changed.
-        for &(n, _, _) in &channel_nets[c.index()] {
-            if in_scope[n.index()] {
-                dirty.entry(n).or_insert(RekeyCause::AggregateMoved);
-            }
-        }
-    }
-    for &c in held {
-        // Aggregates held: only trunk keys whose interval overlaps a
-        // touched span can have moved (their edge-density window query
-        // reads the profile there).
+    for &(c, x1, x2) in spans {
+        // A touched span moves the density profile over `[x1, x2]`;
+        // only trunk keys whose interval overlaps it can have changed
+        // raw window terms. Branch-only nets carry the empty sentinel
+        // `(MAX, MIN)` and never match.
         for &(n, lo, hi) in &channel_nets[c.index()] {
-            if in_scope[n.index()]
-                && spans
-                    .iter()
-                    .any(|&(sc, x1, x2)| sc == c && lo <= x2 && x1 <= hi)
-            {
+            if in_scope[n.index()] && lo <= x2 && x1 <= hi {
                 dirty.entry(n).or_insert(RekeyCause::SpanOverlap);
             }
         }
@@ -388,9 +475,6 @@ pub struct Engine<P: Probe = NoopProbe> {
     /// grow, so this needs no maintenance; dead edges only make it
     /// conservative.
     channel_nets: Vec<Vec<(NetId, i32, i32)>>,
-    /// Each net's home channel (channel of its first edge), the basis
-    /// of the scoreboard's [`ShardMap`].
-    home_channel: Vec<u32>,
     selection: SelectionStrategy,
     /// Worker threads for champion re-keying (1 = fully sequential).
     threads: usize,
@@ -416,6 +500,19 @@ pub struct Engine<P: Probe = NoopProbe> {
     pub deletions: usize,
     /// Total nets ripped up and rerouted.
     pub reroutes: usize,
+    /// Self-audit level ([`Engine::set_verify`]); `Off` emits nothing.
+    verify: VerifyLevel,
+    /// Self-audits passed ([`Engine::audit_state`] runs).
+    pub audits_passed: u64,
+    /// Total comparisons performed across passed self-audits.
+    pub audit_checks: u64,
+    /// Injected [`Corruption::StaleChampion`] net: re-keying silently
+    /// drops its fresh candidates. Always `None` outside fault tests.
+    frozen: Option<NetId>,
+    /// Injected [`Corruption::SkewDelay`] bias: `refresh_length` adds
+    /// the extra to this net's memoized length. Always `None` outside
+    /// fault tests.
+    skew: Option<(NetId, f64)>,
     /// The instrumentation sink.
     probe: P,
 }
@@ -463,15 +560,6 @@ impl<P: Probe> Engine<P> {
             }
         }
         let scan = graphs.iter().map(|_| NetScanState::default()).collect();
-        let home_channel = graphs
-            .iter()
-            .map(|g| {
-                g.edges()
-                    .iter()
-                    .find_map(|e| e.kind.channel())
-                    .map_or(0, |c| c.index() as u32)
-            })
-            .collect();
         let mut channel_nets: Vec<Vec<(NetId, i32, i32)>> = vec![Vec::new(); num_channels];
         for (i, g) in graphs.iter().enumerate() {
             // (channel, trunk bounding interval); the empty sentinel
@@ -500,7 +588,6 @@ impl<P: Probe> Engine<P> {
             scan,
             partner,
             channel_nets,
-            home_channel,
             selection: SelectionStrategy::default(),
             threads: 1,
             shards: 1,
@@ -512,6 +599,11 @@ impl<P: Probe> Engine<P> {
             rekey_causes: RekeyCauses::default(),
             deletions: 0,
             reroutes: 0,
+            verify: VerifyLevel::Off,
+            audits_passed: 0,
+            audit_checks: 0,
+            frozen: None,
+            skew: None,
             probe,
         };
         for i in 0..engine.graphs.len() {
@@ -570,6 +662,14 @@ impl<P: Probe> Engine<P> {
         self.shards = shards.max(1);
     }
 
+    /// Selects the self-audit level. `Steps` audits inside the deletion
+    /// loops; `Phases`/`Final` audits are driven by the router at phase
+    /// boundaries. The default `Off` performs and emits nothing, so
+    /// traces stay byte-identical to an unverified run.
+    pub fn set_verify(&mut self, verify: VerifyLevel) {
+        self.verify = verify;
+    }
+
     fn clear_delta(&mut self) {
         self.delta_spans.clear();
         self.delta_snap.clear();
@@ -599,11 +699,144 @@ impl<P: Probe> Engine<P> {
     }
 
     fn refresh_length(&mut self, net: NetId) {
-        let len = tentative_length_um(&self.graphs[net.index()], None)
+        let mut len = tentative_length_um(&self.graphs[net.index()], None)
             .expect("§3.2 invariant: only non-bridge deletions run, so net graphs stay connected");
+        if P::ENABLED {
+            // SkewDelay injection lives *inside* the refresh so
+            // improvement-phase snapshots/restores (which re-refresh)
+            // cannot wash the corruption out.
+            if let Some((n, extra)) = self.skew {
+                if n == net {
+                    len += extra;
+                }
+            }
+        }
         if self.sta.set_net_length(net, len) {
             self.delta_cons
                 .extend_from_slice(self.sta.constraints_of_net(net));
+        }
+    }
+
+    /// Polls the probe for an injected state corruption and applies it
+    /// to the incremental structures. Compiles away entirely under the
+    /// default disabled probe; only fault-injection tests ever take the
+    /// corruption branch.
+    fn apply_corruption(&mut self) {
+        if !P::ENABLED {
+            return;
+        }
+        let Some(c) = self.probe.corruption() else {
+            return;
+        };
+        match c {
+            Corruption::FlipDensitySpan {
+                channel,
+                x1,
+                x2,
+                width,
+            } => {
+                // A phantom span added without `note_touch`: no snapshot,
+                // no re-keying — the incremental profile silently drifts
+                // from what the alive trees imply.
+                if (channel as usize) < self.density.num_channels() {
+                    self.density
+                        .add_span(ChannelId::new(channel as usize), x1, x2, width, false);
+                }
+            }
+            Corruption::StaleChampion { net } => self.frozen = Some(net),
+            Corruption::SkewDelay { net, extra_um } => {
+                let first = self.skew.is_none();
+                self.skew = Some((net, extra_um));
+                if first {
+                    self.refresh_length(net);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the density profile and every memoized net length
+    /// from scratch and compares them against the incremental state.
+    /// Returns the number of comparisons performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first divergence; under
+    /// [`crate::GlobalRouter::route_checked`] the panic surfaces as
+    /// [`crate::RouteError::Internal`].
+    pub fn audit_state(&self) -> u64 {
+        let mut checks = 0u64;
+        let mut fresh = DensityMap::new(self.density.num_channels(), self.density.width());
+        for g in &self.graphs {
+            let w = g.width() as i32;
+            for e in g.alive_edges() {
+                let edge = &g.edges()[e as usize];
+                if let REdgeKind::Trunk { channel } = edge.kind {
+                    fresh.add_span(channel, edge.x1, edge.x2, w, g.is_bridge(e));
+                }
+            }
+        }
+        for c in 0..self.density.num_channels() {
+            let ch = ChannelId::new(c);
+            let got = self.channel_aggregates(ch);
+            let want = [
+                fresh.c_max(ch),
+                fresh.nc_max(ch),
+                fresh.c_min(ch),
+                fresh.nc_min(ch),
+            ];
+            checks += 4;
+            assert!(
+                got == want,
+                "self-audit: density aggregates [C_M, NC_M, C_m, NC_m] of channel {c} diverged: \
+                 incremental {got:?}, from-scratch {want:?}"
+            );
+        }
+        for (i, g) in self.graphs.iter().enumerate() {
+            let want = tentative_length_um(g, None)
+                .expect("audited graphs stay connected (§3.2 invariant)");
+            let got = self.sta.lengths().length_um(NetId::new(i));
+            checks += 1;
+            assert!(
+                (got - want).abs() <= 1e-6,
+                "self-audit: memoized length of net {i} diverged: \
+                 incremental {got} um, from-scratch {want} um"
+            );
+        }
+        checks
+    }
+
+    /// [`Engine::audit_state`] recorded in the audit totals but emitting
+    /// no trace event — the [`VerifyLevel::Final`] path, which must
+    /// leave the deterministic event stream untouched.
+    pub fn audit_silent(&mut self) -> u64 {
+        let checks = self.audit_state();
+        self.audits_passed += 1;
+        self.audit_checks += checks;
+        checks
+    }
+
+    /// [`Engine::audit_state`] at a phase boundary, emitting
+    /// [`TraceEvent::AuditPassed`] — the [`VerifyLevel::Phases`] /
+    /// [`VerifyLevel::Steps`] path, driven by the router after each
+    /// engine phase.
+    pub fn audit_phase(&mut self, phase: Phase) {
+        let checks = self.audit_silent();
+        self.probe.event(TraceEvent::AuditPassed { phase, checks });
+    }
+
+    /// Mid-loop audit hook: under [`VerifyLevel::Steps`], audits every
+    /// N-th selection and emits [`TraceEvent::AuditStep`]. Called by
+    /// both selection strategies at the same stream positions, so the
+    /// events are strategy-independent.
+    fn maybe_step_audit(&mut self, selections: usize) {
+        if let Some(n) = self.verify.step_interval() {
+            if (selections as u64).is_multiple_of(n) {
+                let checks = self.audit_silent();
+                self.probe.event(TraceEvent::AuditStep {
+                    step: selections as u64,
+                    checks,
+                });
+            }
         }
     }
 
@@ -842,6 +1075,7 @@ impl<P: Probe> Engine<P> {
             self.delete_with_partner(key.net, key.edge);
             self.selection_log.push((key.net, key.edge));
             selections += 1;
+            self.maybe_step_audit(selections);
         }
         selections
     }
@@ -863,8 +1097,25 @@ impl<P: Probe> Engine<P> {
         best
     }
 
-    /// Champions of `nets` (ascending net ids, no duplicates), in input
-    /// order — the batch twin of [`Engine::champion`], fanned out over
+    /// The per-heap minimum raw keys of one net's deletable edges (see
+    /// [`scan_raw_keys`]), counters flushed to the probe.
+    fn raw_keys(&mut self, net: NetId, order: CriteriaOrder) -> Vec<(EdgeKey, Option<ChannelId>)> {
+        let mut c = ScanCounters::default();
+        let keys = scan_raw_keys(
+            &self.graphs[net.index()],
+            &self.density,
+            &self.sta,
+            net,
+            order,
+            &mut self.scan[net.index()],
+            &mut c,
+        );
+        c.flush(&mut self.probe);
+        keys
+    }
+
+    /// Raw keys of `nets` (ascending net ids, no duplicates), in input
+    /// order — the batch twin of [`Engine::raw_keys`], fanned out over
     /// [`par::scoped_map`] when the batch is big enough for the granted
     /// thread count to pay for its spawns.
     ///
@@ -873,10 +1124,14 @@ impl<P: Probe> Engine<P> {
     /// [`NetScanState`] (taken out of the engine, restored after the
     /// join), results come back in input order, and per-scan probe
     /// counters are flushed in that same order.
-    fn champions_for(&mut self, nets: &[NetId], order: CriteriaOrder) -> Vec<Option<EdgeKey>> {
+    fn raw_keys_for(
+        &mut self,
+        nets: &[NetId],
+        order: CriteriaOrder,
+    ) -> Vec<Vec<(EdgeKey, Option<ChannelId>)>> {
         let threads = self.threads.min(nets.len() / MIN_TASKS_PER_THREAD).max(1);
         if threads <= 1 {
-            return nets.iter().map(|&n| self.champion(n, order)).collect();
+            return nets.iter().map(|&n| self.raw_keys(n, order)).collect();
         }
         let mut tasks: Vec<(NetId, NetScanState)> = nets
             .iter()
@@ -885,7 +1140,7 @@ impl<P: Probe> Engine<P> {
         let (graphs, density, sta) = (&self.graphs, &self.density, &self.sta);
         let results = par::scoped_map(threads, &mut tasks, |(net, state)| {
             let mut c = ScanCounters::default();
-            let key = scan_champion(
+            let keys = scan_raw_keys(
                 &graphs[net.index()],
                 density,
                 sta,
@@ -894,7 +1149,7 @@ impl<P: Probe> Engine<P> {
                 state,
                 &mut c,
             );
-            (key, c)
+            (keys, c)
         });
         for (net, state) in tasks {
             self.scan[net.index()] = state;
@@ -905,37 +1160,38 @@ impl<P: Probe> Engine<P> {
         }
         results
             .into_iter()
-            .map(|(key, c)| {
+            .map(|(keys, c)| {
                 c.flush(&mut self.probe);
-                key
+                keys
             })
             .collect()
     }
 
-    /// Computes and pushes the champions of `nets` (ascending, deduped)
-    /// after bumping their generations, so each shard holds at most one
-    /// live entry per net.
-    fn push_champions(&mut self, sb: &mut Scoreboard, nets: &[NetId], invalidate: bool) {
-        let champs = self.champions_for(nets, sb.order());
+    /// Computes and pushes the raw keys of `nets` (ascending, deduped)
+    /// into the scoreboard, bumping their generations first when
+    /// `invalidate` (the re-key path; `false` only for the initial
+    /// build, where generations are already fresh).
+    fn rekey_nets(&mut self, sb: &mut Scoreboard, nets: &[NetId], invalidate: bool) {
+        let raw = self.raw_keys_for(nets, sb.order());
         if P::ENABLED && invalidate {
-            let fresh = champs.iter().flatten().count() as u64;
-            let mut touched = vec![false; sb.num_shards()];
-            for key in champs.iter().flatten() {
-                touched[sb.shard_of(key.net)] = true;
-            }
+            let fresh = raw.iter().map(Vec::len).sum::<usize>() as u64;
             self.probe.sample(Hist::MergeBatchSize, fresh);
-            self.probe.count(
-                Counter::ShardRebuild,
-                touched.iter().filter(|&&t| t).count() as u64,
-            );
         }
-        for (&net, key) in nets.iter().zip(champs) {
+        for (&net, keys) in nets.iter().zip(raw) {
             if invalidate {
                 sb.invalidate_net(net);
             }
-            if let Some(key) = key {
-                self.probe.count(Counter::HeapPush, 1);
-                sb.push(key);
+            if P::ENABLED && self.frozen == Some(net) {
+                // StaleChampion injection: invalidation ran but the
+                // fresh candidates are silently dropped — the loop now
+                // believes the net is finished.
+                continue;
+            }
+            if P::ENABLED && !keys.is_empty() {
+                self.probe.count(Counter::HeapPush, keys.len() as u64);
+            }
+            for (key, channel) in keys {
+                sb.push(key, channel);
             }
         }
     }
@@ -958,12 +1214,13 @@ impl<P: Probe> Engine<P> {
             in_scope[n.index()] = true;
         }
         let map = if self.shards <= 1 {
-            ShardMap::single(self.graphs.len())
+            ShardMap::single(self.channel_nets.len() + 1)
         } else {
-            ShardMap::by_home_channel(self.shards, self.channel_nets.len(), &self.home_channel)
+            ShardMap::by_channel_bands(self.shards, self.channel_nets.len())
         };
-        let mut sb = Scoreboard::with_shards(map, order);
-        self.push_champions(&mut sb, &nets, false);
+        let mut sb = Scoreboard::with_shards(map, self.graphs.len(), order);
+        self.apply_corruption();
+        self.rekey_nets(&mut sb, &nets, false);
         let mut selections = 0;
         loop {
             // The budget check precedes the pop, so the stop point (and
@@ -972,7 +1229,8 @@ impl<P: Probe> Engine<P> {
             if budget.is_some_and(|b| selections as u64 >= b) {
                 break;
             }
-            let Some(key) = sb.pop_valid_probed(&mut self.probe) else {
+            self.apply_corruption();
+            let Some(key) = sb.pop_valid_probed(&self.density, &mut self.probe) else {
                 break;
             };
             debug_assert!(
@@ -981,16 +1239,12 @@ impl<P: Probe> Engine<P> {
                 "scoreboard returned a non-deletable edge"
             );
             if P::ENABLED {
-                // Runner-up champion peek: pop the next valid entry and
-                // push it straight back (re-stamped under its unchanged
-                // generation). Unprobed on purpose — provenance peeking
-                // must not perturb the heap-pop diagnostics.
-                let tier = match sb.pop_valid() {
-                    Some(second) => {
-                        let t = deciding_tier(&key, &second, order);
-                        sb.push(second);
-                        t
-                    }
+                // Runner-up peek: the best composed key over every other
+                // net's live entries — the same runner-up champion the
+                // rescan oracle tracks. Unprobed on purpose — provenance
+                // peeking must not perturb the heap-pop diagnostics.
+                let tier = match sb.runner_up(key.net, &self.density) {
+                    Some(second) => deciding_tier(&key, &second, order),
                     None => DecidingTier::OnlyCandidate,
                 };
                 self.probe.event(TraceEvent::DeletionSelected {
@@ -1004,27 +1258,23 @@ impl<P: Probe> Engine<P> {
             self.selection_log.push((key.net, key.edge));
             selections += 1;
 
-            // Dirty set: changed nets ∪ density-affected nets ∪ nets of
+            // Dirty set: changed nets ∪ window-affected nets ∪ nets of
             // refreshed constraints, restricted to the scope, each net
             // attributed to one cause under the deterministic precedence
-            // of `derive_dirty`.
+            // of `derive_dirty`. Channels whose aggregates moved dirty
+            // no net — their shard minima are merely recomposed.
             let d_nets = std::mem::take(&mut self.delta_nets);
             let d_spans = std::mem::take(&mut self.delta_spans);
             let d_snap = std::mem::take(&mut self.delta_snap);
             let d_cons = std::mem::take(&mut self.delta_cons);
-            let (mut moved, mut held) = (Vec::new(), Vec::new());
             for &(c, before) in &d_snap {
                 if before != self.channel_aggregates(c) {
-                    moved.push(c);
-                } else {
-                    held.push(c);
+                    sb.refresh_channel(c);
                 }
             }
             let dirty = derive_dirty(
                 &in_scope,
                 &d_nets,
-                &moved,
-                &held,
                 &d_spans,
                 &self.channel_nets,
                 &d_cons,
@@ -1042,7 +1292,8 @@ impl<P: Probe> Engine<P> {
                 self.probe.rekey(net, cause);
                 dirty_nets.push(net);
             }
-            self.push_champions(&mut sb, &dirty_nets, true);
+            self.rekey_nets(&mut sb, &dirty_nets, true);
+            self.maybe_step_audit(selections);
         }
         selections
     }
@@ -1285,15 +1536,15 @@ mod tests {
         }
     }
 
-    /// The satellite-2 regression: a net dirty through *both* a moved
-    /// channel and a held-but-overlapping channel must be attributed
-    /// `AggregateMoved` (the higher precedence), however the channels
-    /// were touched; the former accounting followed touch order.
+    /// A net dirty for several reasons at once is attributed exactly
+    /// once, under the fixed precedence Graph > SpanOverlap >
+    /// Constraint, however the channels were touched; and aggregate
+    /// motion is no dirty cause at all — only span overlap re-keys
+    /// density readers now that raw keys carry no aggregates.
     #[test]
     fn derive_dirty_attributes_one_cause_with_fixed_precedence() {
         use bgr_layout::ChannelId;
         let in_scope = vec![true; 4];
-        let c0 = ChannelId::new(0);
         let c1 = ChannelId::new(1);
         // Channel 0: nets 0, 1 (net 1 trunk over [0, 10]).
         // Channel 1: nets 1, 2 (trunks over [0, 10] and [20, 30]), net 3
@@ -1308,14 +1559,12 @@ mod tests {
         ];
         let cons_nets = [NetId::new(0), NetId::new(2)];
         let nets_of = |_cid: usize| &cons_nets[..];
-        // Net 1 sits in moved c0 *and* overlaps the touched span of held
-        // c1; net 0 also changed its graph and belongs to a refreshed
-        // constraint. Regardless of `moved`/`held` contents' order:
+        // Net 0 changed its graph *and* belongs to a refreshed
+        // constraint (Graph wins); net 1 overlaps the touched span of
+        // c1; net 2 is constraint-dirty only.
         let dirty = super::derive_dirty(
             &in_scope,
             &[NetId::new(0)],
-            &[c0],
-            &[c1],
             &[(c1, 5, 8)],
             &channel_nets,
             &[0],
@@ -1325,19 +1574,16 @@ mod tests {
             dirty,
             vec![
                 (NetId::new(0), RekeyCause::Graph),
-                (NetId::new(1), RekeyCause::AggregateMoved),
+                (NetId::new(1), RekeyCause::SpanOverlap),
                 (NetId::new(2), RekeyCause::Constraint),
             ]
         );
         // Span [25, 28] overlaps net 2's trunk instead: net 2 gets
-        // SpanOverlap (> Constraint); without the graph clause, net 0
-        // falls back to its moved channel, and net 1 keeps
-        // AggregateMoved (> SpanOverlap).
+        // SpanOverlap (> Constraint); net 1's interval misses it and
+        // falls out of the density clause entirely.
         let dirty = super::derive_dirty(
             &in_scope,
             &[],
-            &[c0],
-            &[c1],
             &[(c1, 25, 28)],
             &channel_nets,
             &[0],
@@ -1346,8 +1592,7 @@ mod tests {
         assert_eq!(
             dirty,
             vec![
-                (NetId::new(0), RekeyCause::AggregateMoved),
-                (NetId::new(1), RekeyCause::AggregateMoved),
+                (NetId::new(0), RekeyCause::Constraint),
                 (NetId::new(2), RekeyCause::SpanOverlap),
             ]
         );
@@ -1357,8 +1602,6 @@ mod tests {
         let dirty = super::derive_dirty(
             &scoped,
             &[NetId::new(0)],
-            &[],
-            &[c1],
             &[(c1, 0, 40)],
             &channel_nets,
             &[],
@@ -1374,19 +1617,19 @@ mod tests {
     }
 
     #[test]
-    fn derive_dirty_graph_beats_aggregate_for_the_deleted_net() {
+    fn derive_dirty_graph_beats_span_overlap_for_the_deleted_net() {
         use bgr_layout::ChannelId;
         let in_scope = vec![true; 2];
         let c0 = ChannelId::new(0);
         let channel_nets = vec![vec![(NetId::new(0), 0, 4), (NetId::new(1), 2, 9)]];
         let empty: [NetId; 0] = [];
-        // The deleted net's own channel moved: the net is both
-        // graph-dirty and aggregate-dirty; Graph wins.
+        // The deleted net's own span was touched: the net is both
+        // graph-dirty and span-overlap-dirty; Graph wins, and the
+        // neighbor whose trunk overlaps the span re-keys as
+        // SpanOverlap.
         let dirty = super::derive_dirty(
             &in_scope,
             &[NetId::new(0)],
-            &[c0],
-            &[],
             &[(c0, 0, 4)],
             &channel_nets,
             &[],
@@ -1396,7 +1639,7 @@ mod tests {
             dirty,
             vec![
                 (NetId::new(0), RekeyCause::Graph),
-                (NetId::new(1), RekeyCause::AggregateMoved),
+                (NetId::new(1), RekeyCause::SpanOverlap),
             ]
         );
     }

@@ -76,13 +76,15 @@ pub mod shard;
 pub mod tentative;
 
 pub use baseline::{SequentialConfig, SequentialRouter};
-pub use config::{Budgets, CriteriaOrder, OnViolation, RouterConfig, SelectionStrategy};
+pub use config::{
+    Budgets, CriteriaOrder, OnViolation, RouterConfig, SelectionStrategy, VerifyLevel,
+};
 pub use error::RouteError;
 pub use graph::{REdge, REdgeKind, RVert, RVertKind, RoutingGraph};
 pub use improve::{PhaseLimits, PhaseOutcome};
 pub use probe::{
-    CollectingProbe, Counter, Fault, FaultProbe, Hist, NoopProbe, Phase, PhaseSpan, Probe,
-    RekeyCause, RekeyCauses, RouteTrace, TraceEvent, FAULT_MARKER, HIST_BUCKETS,
+    CollectingProbe, Corruption, Counter, Fault, FaultProbe, Hist, NoopProbe, Phase, PhaseSpan,
+    Probe, RekeyCause, RekeyCauses, RouteTrace, TraceEvent, FAULT_MARKER, HIST_BUCKETS,
 };
 pub use report::{ChannelCongestion, CongestionReport, TraceSummary};
 pub use result::{

@@ -246,6 +246,28 @@ pub enum TraceEvent {
         /// Deleted edge index within the net.
         edge: u32,
     },
+    /// An engine self-audit at a phase boundary
+    /// ([`crate::config::VerifyLevel::Phases`] and up) recomputed the
+    /// density profile and net lengths from scratch and found them
+    /// consistent with the incremental state. Emitted only when
+    /// verification is enabled, so [`crate::config::VerifyLevel::Off`]
+    /// traces are byte-identical to pre-verifier ones.
+    AuditPassed {
+        /// The phase that just ended.
+        phase: Phase,
+        /// Individual comparisons performed (channels × aggregates +
+        /// nets).
+        checks: u64,
+    },
+    /// A mid-loop engine self-audit
+    /// ([`crate::config::VerifyLevel::Steps`]) passed after `step`
+    /// deletion selections.
+    AuditStep {
+        /// Deletion selections completed when the audit ran.
+        step: u64,
+        /// Individual comparisons performed.
+        checks: u64,
+    },
 }
 
 /// Monotonic work counters. Unlike [`TraceEvent`]s these are
@@ -483,6 +505,23 @@ pub trait Probe {
 
     /// A router phase ended.
     fn phase_exit(&mut self, _phase: Phase) {}
+
+    /// A silent state corruption the engine should apply *now*, or
+    /// `None`. Polled at deletion-loop hook points; only
+    /// [`FaultProbe`] ever returns `Some`. One-shot corruptions
+    /// ([`Corruption::FlipDensitySpan`]) are returned once; persistent
+    /// ones ([`Corruption::StaleChampion`], [`Corruption::SkewDelay`])
+    /// are returned every poll so restores can't wash them out.
+    fn corruption(&mut self) -> Option<Corruption> {
+        None
+    }
+
+    /// Whether this probe injects state corruption — engine
+    /// self-consistency `debug_assert!`s are relaxed under it, so the
+    /// corruption survives to the verifier it is meant to exercise.
+    fn corrupting(&self) -> bool {
+        false
+    }
 }
 
 /// The zero-cost default probe: observes nothing, enables nothing.
@@ -677,6 +716,54 @@ impl Probe for CollectingProbe {
     }
 }
 
+/// A *silent* state corruption a [`FaultProbe`] can ask the engine to
+/// apply to its incremental structures, for proving the independent
+/// verifier (`bgr_verify`) has teeth.
+///
+/// Unlike a [`Fault`], a corruption does not panic: it leaves the
+/// engine running on subtly wrong state — exactly the failure class no
+/// panic-isolation boundary can catch and the from-scratch oracles
+/// exist to localize. Each variant targets one incremental structure,
+/// so a sensitivity test can assert the audit blames the *right*
+/// invariant (see `tests/verifier_sensitivity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// Silently add a phantom `width`-track span over `[x1, x2]` of
+    /// `channel` to the incremental density map (one-shot, without the
+    /// touch-tracking a real mutation performs). Drifts
+    /// `channel_tracks` away from what the alive trees imply → the
+    /// **density** oracle must flag `channel`.
+    FlipDensitySpan {
+        /// Corrupted channel.
+        channel: u32,
+        /// Span start (pitches).
+        x1: i32,
+        /// Span end (pitches).
+        x2: i32,
+        /// Phantom track count added.
+        width: i32,
+    },
+    /// Freeze `net` in the scoreboard: invalidations drop its
+    /// candidates but re-keying never pushes fresh ones, so the loop
+    /// believes the net is finished while its graph still carries
+    /// deletable edges (a stale champion left behind) → the **forest**
+    /// oracle must flag `net`.
+    StaleChampion {
+        /// Frozen net.
+        net: NetId,
+    },
+    /// Skew the memoized length of `net` by `extra_um` on every
+    /// refresh, so the engine's incremental STA believes the net is
+    /// shorter/longer than its tree → the **timing** oracle (full
+    /// recompute from reported geometry) must flag the divergence.
+    SkewDelay {
+        /// Skewed net.
+        net: NetId,
+        /// Length bias in micrometres.
+        extra_um: f64,
+    },
+}
+
 /// A failure to inject through a [`FaultProbe`] hook point.
 ///
 /// Each variant panics at a different layer of the engine, simulating
@@ -687,6 +774,8 @@ impl Probe for CollectingProbe {
 /// mid-dirty-set scoreboard failure, and a phase that dies on entry.
 /// Recovery *stalls* need no injection hook — the adversarial generator
 /// (`bgr_gen::adversarial`) forces them with infeasible delay limits.
+/// [`Fault::Corrupt`] is the exception: it panics nowhere and instead
+/// silently corrupts engine state (see [`Corruption`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Fault {
     /// Panic when the `n`-th deterministic [`TraceEvent`] is observed
@@ -702,6 +791,8 @@ pub enum Fault {
     PanicAtDensityRead(u64),
     /// Panic on entering `phase`.
     PanicAtPhaseEnter(Phase),
+    /// Silently corrupt incremental engine state instead of panicking.
+    Corrupt(Corruption),
 }
 
 /// Marker every injected panic message carries, so tests can tell an
@@ -719,6 +810,7 @@ pub struct FaultProbe {
     events: u64,
     rekeys: u64,
     density_reads: u64,
+    corrupted: bool,
 }
 
 impl FaultProbe {
@@ -729,6 +821,7 @@ impl FaultProbe {
             events: 0,
             rekeys: 0,
             density_reads: 0,
+            corrupted: false,
         }
     }
 
@@ -780,6 +873,30 @@ impl Probe for FaultProbe {
         if self.fault == Fault::PanicAtPhaseEnter(phase) {
             self.trip("phase entered");
         }
+    }
+
+    fn corruption(&mut self) -> Option<Corruption> {
+        let Fault::Corrupt(c) = self.fault else {
+            return None;
+        };
+        match c {
+            // One-shot: a second phantom span would double the drift
+            // and muddy the "first divergence" the test asserts on.
+            Corruption::FlipDensitySpan { .. } => {
+                if self.corrupted {
+                    return None;
+                }
+                self.corrupted = true;
+                Some(c)
+            }
+            // Persistent: re-applied every poll so snapshots/restores
+            // and re-keys cannot silently heal the corruption.
+            Corruption::StaleChampion { .. } | Corruption::SkewDelay { .. } => Some(c),
+        }
+    }
+
+    fn corrupting(&self) -> bool {
+        matches!(self.fault, Fault::Corrupt(_))
     }
 }
 
@@ -851,6 +968,14 @@ impl<P: Probe> Probe for PhaseTracked<P> {
 
     fn phase_exit(&mut self, phase: Phase) {
         self.inner.phase_exit(phase);
+    }
+
+    fn corruption(&mut self) -> Option<Corruption> {
+        self.inner.corruption()
+    }
+
+    fn corrupting(&self) -> bool {
+        self.inner.corrupting()
     }
 }
 
@@ -970,6 +1095,36 @@ mod tests {
         );
         const { assert!(!PhaseTracked::<NoopProbe>::ENABLED) };
         let _ = tracked.into_inner();
+    }
+
+    #[test]
+    fn corruption_polling_is_one_shot_or_persistent_by_variant() {
+        // Panic faults never corrupt.
+        let mut p = FaultProbe::new(Fault::PanicAtEvent(99));
+        assert!(!p.corrupting());
+        assert_eq!(p.corruption(), None);
+
+        // One-shot: the phantom span is handed out exactly once.
+        let flip = Corruption::FlipDensitySpan {
+            channel: 2,
+            x1: 10,
+            x2: 20,
+            width: 1,
+        };
+        let mut p = FaultProbe::new(Fault::Corrupt(flip));
+        assert!(p.corrupting());
+        assert_eq!(p.corruption(), Some(flip));
+        assert_eq!(p.corruption(), None);
+        assert!(p.corrupting(), "stays corrupting after the injection");
+
+        // Persistent: returned on every poll.
+        let skew = Corruption::SkewDelay {
+            net: NetId::new(1),
+            extra_um: -250.0,
+        };
+        let mut p = FaultProbe::new(Fault::Corrupt(skew));
+        assert_eq!(p.corruption(), Some(skew));
+        assert_eq!(p.corruption(), Some(skew));
     }
 
     #[test]

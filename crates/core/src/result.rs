@@ -307,6 +307,12 @@ pub struct RouteStats {
     /// [`RekeyCause`](crate::probe::RekeyCause). All zero under the
     /// full-rescan strategy.
     pub rekey_causes: crate::probe::RekeyCauses,
+    /// Engine self-audits passed (`RouterConfig::verify` levels above
+    /// `Off`; each rebuilt the density profile and every net length
+    /// from scratch and found the incremental state consistent).
+    pub audits_passed: u64,
+    /// Total comparisons performed across the passed self-audits.
+    pub audit_checks: u64,
     /// Wall-clock of initial routing.
     pub initial_routing: std::time::Duration,
     /// Wall-clock of the three improvement phases.

@@ -6,7 +6,7 @@ use bgr_layout::Placement;
 use bgr_netlist::{Circuit, NetId};
 use bgr_timing::{nets_by_ascending_slack, PathConstraint, Sta};
 
-use crate::config::{OnViolation, RouterConfig};
+use crate::config::{OnViolation, RouterConfig, VerifyLevel};
 use crate::diffpair::{is_homogeneous, PairMap};
 use crate::engine::Engine;
 use crate::error::RouteError;
@@ -289,6 +289,7 @@ impl GlobalRouter {
         );
         engine.set_selection(self.config.selection);
         engine.set_parallelism(self.config.threads, self.config.shards);
+        engine.set_verify(self.config.verify);
 
         // Fig. 2 lines 04-07: initial routing, under the deterministic
         // step budget (exhaustion switches to the fallback completion
@@ -302,7 +303,15 @@ impl GlobalRouter {
         );
         engine.probe_mut().phase_exit(Phase::InitialRouting);
         stats.initial_routing = t0.elapsed();
-        debug_assert!(engine.all_trees(), "initial routing must reach trees");
+        // Corruption injection leaves state deliberately inconsistent;
+        // the relaxed assert lets it survive to the verifier under test.
+        debug_assert!(
+            engine.probe().corrupting() || engine.all_trees(),
+            "initial routing must reach trees"
+        );
+        if self.config.verify.at_phases() {
+            engine.audit_phase(Phase::InitialRouting);
+        }
 
         // Fig. 2 lines 08-10: improvement loops.
         let limits = PhaseLimits {
@@ -320,6 +329,9 @@ impl GlobalRouter {
                 &limits,
             );
             engine.probe_mut().phase_exit(Phase::RecoverViolate);
+            if self.config.verify.at_phases() {
+                engine.audit_phase(Phase::RecoverViolate);
+            }
             engine.probe_mut().phase_enter(Phase::ImproveDelay);
             improve_delay(
                 &mut engine,
@@ -328,12 +340,30 @@ impl GlobalRouter {
                 &limits,
             );
             engine.probe_mut().phase_exit(Phase::ImproveDelay);
+            if self.config.verify.at_phases() {
+                engine.audit_phase(Phase::ImproveDelay);
+            }
         }
         engine.probe_mut().phase_enter(Phase::ImproveArea);
         improve_area(&mut engine, self.config.area_passes, &limits);
         engine.probe_mut().phase_exit(Phase::ImproveArea);
         stats.improvement = t1.elapsed();
-        debug_assert!(engine.all_trees(), "improvement must preserve trees");
+        debug_assert!(
+            engine.probe().corrupting() || engine.all_trees(),
+            "improvement must preserve trees"
+        );
+        // `Final` audits once, silently (no trace event, so the
+        // deterministic stream is identical to an unverified run);
+        // `Phases`/`Steps` emit their last phase-boundary event here.
+        match self.config.verify {
+            VerifyLevel::Off => {}
+            VerifyLevel::Final => {
+                engine.audit_silent();
+            }
+            VerifyLevel::Phases | VerifyLevel::Steps(_) => {
+                engine.audit_phase(Phase::ImproveArea);
+            }
+        }
 
         // §3.5 degradation: residual violations after recovery become a
         // structured report — fatal under `OnViolation::Fail`, attached
@@ -358,6 +388,8 @@ impl GlobalRouter {
         stats.reroutes = engine.reroutes;
         stats.selection_log = std::mem::take(&mut engine.selection_log);
         stats.rekey_causes = engine.rekey_causes;
+        stats.audits_passed = engine.audits_passed;
+        stats.audit_checks = engine.audit_checks;
         let (graphs, density, _sta, probe) = engine.into_parts();
 
         let trees: Vec<NetTree> = graphs.iter().map(NetTree::from_graph).collect();

@@ -1,5 +1,7 @@
-//! The candidate scoreboard: an ordered pool of [`EdgeKey`]s with
-//! generation-stamped lazy invalidation, sharded by channel region.
+//! The candidate scoreboard: an ordered pool of **raw** [`EdgeKey`]s
+//! with generation-stamped lazy invalidation, one heap per channel,
+//! channel aggregates composed in at pop time, and per-shard cached
+//! minima so selection skips shards with no fresh entries.
 //!
 //! The deletion loop (Fig. 2 lines 04–07) needs the minimum-ranked
 //! deletable edge across every in-scope net on every iteration. The
@@ -9,6 +11,36 @@
 //! current keys in binary heaps and re-keys only *dirty* nets after a
 //! deletion.
 //!
+//! # Raw keys and compose-at-pop
+//!
+//! A full [`EdgeKey`] mixes three ingredients with very different
+//! lifetimes: the delay prefix (moves when the net's graph or
+//! constraints move), the edge's **own density window** (moves when a
+//! touched span overlaps the edge), and the channel **aggregates**
+//! `C_M/NC_M/C_m/NC_m` (move on almost every deletion in the channel).
+//! Storing composed keys therefore re-keys whole channels whenever an
+//! aggregate moves. The scoreboard stores the *raw* part only — delay
+//! prefix plus the **negated** window terms — and adds the owning
+//! channel's aggregates at pop time:
+//!
+//! ```text
+//! composed.f_min = C_m(channel) − window.d_min   (raw.f_min = −window.d_min)
+//! composed.f_max = C_M(channel) − window.d_max   … and likewise NC_m/NC_M
+//! ```
+//!
+//! Within one heap all entries share a channel, so composition adds the
+//! *same* offsets to every entry: the heap order on raw keys equals the
+//! order on composed keys (delay tiers and the trunk-preference bit are
+//! compared before the density values and are composition-invariant;
+//! the `i32` density tiers shift by a common addend, which `i32::cmp`
+//! cancels exactly; the trailing `len/net/edge` tiebreaks are
+//! untouched). Branch keys store zero window terms (they read
+//! aggregates only) and feed-half keys — which read no density at all —
+//! live in a trailing **channelless heap** composed with the identity.
+//! Aggregate motion thus never invalidates a stored entry; the engine
+//! only has to [`Scoreboard::refresh_channel`] the affected channel so
+//! the *cached shard minimum* below is recomposed.
+//!
 //! # Invalidation contract
 //!
 //! The scoreboard holds one generation counter per net. Re-keying a net
@@ -16,41 +48,48 @@
 //! counter value at push time and are discarded on pop when they no
 //! longer match. Consequently:
 //!
-//! * callers must invalidate-and-re-key every net whose key set may
-//!   have changed (the *dirty set* — see `Engine::run_deletion` for the
-//!   derivation from graph generations, touched channels and refreshed
-//!   timing constraints);
+//! * callers must invalidate-and-re-key every net whose **raw** key set
+//!   may have changed (the *dirty set* — graph generations, touched
+//!   span overlaps, refreshed timing constraints; see
+//!   `Engine::run_deletion`), and call
+//!   [`Scoreboard::refresh_channel`] for every channel whose aggregates
+//!   moved;
 //! * nets outside the dirty set keep their entries, which remain
-//!   *exactly* the keys a full rescan would compute, because every
-//!   input of [`EdgeKey`] is covered by the dirty-set definition.
+//!   *exactly* the raw keys a full rescan would compute, because every
+//!   raw-key input is covered by the dirty-set definition.
 //!
 //! Stale entries are never purged eagerly; the heaps are drained
-//! lazily, so a push is `O(log shard)` and a pop amortizes over the
+//! lazily, so a push is `O(log heap)` and a pop amortizes over the
 //! entries it discards.
 //!
-//! # Sharding and the tournament
+//! # Sharding, cached minima and the tournament
 //!
-//! The pool is split into one heap per [`ShardMap`] shard (a band of
-//! channels; every net is statically pinned to the shard of its home
-//! channel). A re-key batch then only disturbs the heaps of the
-//! channels it touched, and each push pays `O(log shard)` instead of
-//! `O(log total)`. Selection becomes a **tournament**: drain stale
-//! entries off every shard's top, then take the minimum of the shard
-//! minima, scanning shards in ascending index with a strict-less
-//! comparison — so ties (under the EPS-fuzzy [`compare`]) resolve to
-//! the lowest shard index holding the minimum. Because every live
-//! entry's key carries its `(net, edge)` identity and [`compare`] ends
-//! in that total tiebreak, equal keys cannot belong to different
-//! candidates: the tournament winner is the same candidate a single
-//! global heap would pop. DESIGN.md §10 gives the full determinism
-//! argument, including why EPS-fuzziness does not perturb it.
+//! The heaps are grouped into contiguous channel bands by a
+//! [`ShardMap`], and each shard caches its minimum *composed* key. A
+//! cache stays valid until something that could move it happens: a push
+//! into the shard, a pop out of it, an [`Scoreboard::invalidate_net`]
+//! touching a heap the net has entries in, or a
+//! [`Scoreboard::refresh_channel`] on one of its channels. Selection
+//! rebuilds only the invalid shards (draining stale heap tops,
+//! composing each heap's live top — one aggregate read per heap — and
+//! taking the strict-less minimum in ascending heap index), then runs a
+//! **tournament** over the cached shard minima in ascending shard index
+//! with a strict-less comparison — so ties (under the EPS-fuzzy
+//! [`compare`]) resolve to the lowest heap index holding the minimum,
+//! exactly as a single global heap would resolve them, because every
+//! live entry's key carries its `(net, edge)` identity and [`compare`]
+//! ends in that total tiebreak. DESIGN.md §10 gives the full
+//! determinism argument, including why EPS-fuzziness does not perturb
+//! it.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use bgr_layout::ChannelId;
 use bgr_netlist::NetId;
 
 use crate::config::CriteriaOrder;
+use crate::density::DensityMap;
 use crate::probe::{Counter, Hist, NoopProbe, Probe};
 use crate::select::{compare, EdgeKey};
 use crate::shard::ShardMap;
@@ -81,35 +120,66 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // `BinaryHeap` is a max-heap; reverse the selection order so the
-        // best (smallest) candidate surfaces at the top.
+        // best (smallest) candidate surfaces at the top. Raw-key order
+        // equals composed order within one heap (see the module docs).
         compare(&other.key, &self.key, self.order)
     }
 }
 
+/// Cached minimum of one shard: the best composed key over its heaps,
+/// valid until the shard receives a push / pop / invalidation /
+/// aggregate refresh.
+#[derive(Debug, Clone, Default)]
+struct ShardCache {
+    valid: bool,
+    /// `(heap, composed key)` of the shard's best live entry, `None`
+    /// when the shard is empty of live entries.
+    min: Option<(u32, EdgeKey)>,
+}
+
 /// Ordered candidate pool over every deletable edge of the in-scope
-/// nets. See the [module docs](self) for the invalidation contract and
-/// the sharded tournament.
+/// nets. See the [module docs](self) for raw keys, the invalidation
+/// contract and the sharded tournament.
 #[derive(Debug)]
 pub struct Scoreboard {
+    /// One heap per channel, plus the trailing channelless heap
+    /// (feed-half candidates; composed with the identity).
     heaps: Vec<BinaryHeap<Entry>>,
     map: ShardMap,
     net_gen: Vec<u64>,
+    /// Conservative per-net list of heaps holding its entries, recorded
+    /// at push and cleared at invalidation — the shards to dirty when
+    /// the net's generation bumps.
+    net_heaps: Vec<Vec<u32>>,
+    cache: Vec<ShardCache>,
+    /// Precomputed shard → heaps expansion of `map`.
+    shard_heaps: Vec<Vec<u32>>,
     order: CriteriaOrder,
 }
 
 impl Scoreboard {
-    /// Creates an empty single-shard scoreboard for `num_nets` nets,
+    /// Creates an empty single-shard scoreboard for `num_nets` nets
+    /// over `num_channels` channels (plus the channelless heap),
     /// comparing keys with `order`.
-    pub fn new(num_nets: usize, order: CriteriaOrder) -> Self {
-        Self::with_shards(ShardMap::single(num_nets), order)
+    pub fn new(num_nets: usize, num_channels: usize, order: CriteriaOrder) -> Self {
+        Self::with_shards(ShardMap::single(num_channels + 1), num_nets, order)
     }
 
-    /// Creates an empty scoreboard sharded by `map`, comparing keys
-    /// with `order`.
-    pub fn with_shards(map: ShardMap, order: CriteriaOrder) -> Self {
+    /// Creates an empty scoreboard sharded by `map` (which covers the
+    /// channel heaps plus the trailing channelless heap), comparing
+    /// keys with `order`.
+    pub fn with_shards(map: ShardMap, num_nets: usize, order: CriteriaOrder) -> Self {
+        let shards = map.count();
+        let mut shard_heaps = vec![Vec::new(); shards];
+        for h in 0..map.num_heaps() {
+            shard_heaps[map.shard_of_heap(h)].push(h as u32);
+        }
         Self {
-            heaps: (0..map.count()).map(|_| BinaryHeap::new()).collect(),
-            net_gen: vec![0; map.num_nets()],
+            heaps: (0..map.num_heaps()).map(|_| BinaryHeap::new()).collect(),
+            net_gen: vec![0; num_nets],
+            net_heaps: vec![Vec::new(); num_nets],
+            cache: vec![ShardCache::default(); shards],
+            shard_heaps,
             map,
             order,
         }
@@ -131,19 +201,47 @@ impl Scoreboard {
         self.order
     }
 
-    /// Number of shards the pool is split into.
+    /// Number of shards the heaps are grouped into.
     pub fn num_shards(&self) -> usize {
-        self.heaps.len()
+        self.cache.len()
     }
 
-    /// The shard holding `net`'s candidates.
-    pub fn shard_of(&self, net: NetId) -> usize {
-        self.map.shard_of(net)
+    /// The index of the channelless heap (feed-half candidates).
+    fn channelless(&self) -> usize {
+        self.heaps.len() - 1
+    }
+
+    /// The heap a candidate of `channel` belongs to.
+    fn heap_of(&self, channel: Option<ChannelId>) -> usize {
+        match channel {
+            Some(c) => c.index(),
+            None => self.channelless(),
+        }
+    }
+
+    /// Composes a raw key from `heap` with the current channel
+    /// aggregates (identity for the channelless heap).
+    fn compose(&self, heap: usize, key: EdgeKey, density: &DensityMap) -> EdgeKey {
+        if heap == self.channelless() {
+            return key;
+        }
+        let c = ChannelId::new(heap);
+        let mut k = key;
+        k.f_min += density.c_min(c);
+        k.n_min += density.nc_min(c);
+        k.f_max += density.c_max(c);
+        k.n_max += density.nc_max(c);
+        k
+    }
+
+    fn dirty_shard_of_heap(&mut self, heap: usize) {
+        let s = self.map.shard_of_heap(heap);
+        self.cache[s].valid = false;
     }
 
     /// Invalidates every entry of `net`: bumps its generation so existing
-    /// heap entries die lazily. Call before re-pushing the net's current
-    /// keys.
+    /// heap entries die lazily, and dirties the shards that held them.
+    /// Call before re-pushing the net's current keys.
     ///
     /// # Panics
     ///
@@ -157,71 +255,135 @@ impl Scoreboard {
         *g = g
             .checked_add(1)
             .expect("scoreboard generation counter overflowed");
+        let heaps = std::mem::take(&mut self.net_heaps[net.index()]);
+        for &h in &heaps {
+            self.dirty_shard_of_heap(h as usize);
+        }
     }
 
-    /// Pushes a candidate key into its net's shard, stamped with the
+    /// Declares that `channel`'s aggregates moved: the raw entries of
+    /// its heap are all still valid, but the shard's cached minimum was
+    /// composed under the old aggregates and must be recomposed.
+    pub fn refresh_channel(&mut self, channel: ChannelId) {
+        self.dirty_shard_of_heap(channel.index());
+    }
+
+    /// Pushes a raw candidate key into its channel's heap (the
+    /// channelless heap when `channel` is `None`), stamped with the
     /// net's current generation.
-    pub fn push(&mut self, key: EdgeKey) {
+    pub fn push(&mut self, key: EdgeKey, channel: Option<ChannelId>) {
         let stamp = self.net_gen[key.net.index()];
-        let shard = self.map.shard_of(key.net);
-        self.heaps[shard].push(Entry {
+        let heap = self.heap_of(channel);
+        self.heaps[heap].push(Entry {
             key,
             stamp,
             order: self.order,
         });
+        let list = &mut self.net_heaps[key.net.index()];
+        if !list.contains(&(heap as u32)) {
+            list.push(heap as u32);
+        }
+        self.dirty_shard_of_heap(heap);
     }
 
-    /// Drains stale entries off the top of shard `s`, returning how many
-    /// were discarded. Afterwards the shard's top (if any) is live.
-    fn drain_stale_top(&mut self, s: usize) -> u64 {
+    /// Drains stale entries off the top of heap `h`, returning how many
+    /// were discarded. Afterwards the heap's top (if any) is live.
+    fn drain_stale_top(&mut self, h: usize) -> u64 {
         let mut stale = 0u64;
-        while let Some(e) = self.heaps[s].peek() {
+        while let Some(e) = self.heaps[h].peek() {
             if e.stamp == self.net_gen[e.key.net.index()] {
                 break;
             }
-            self.heaps[s].pop();
+            self.heaps[h].pop();
             stale += 1;
         }
         stale
     }
 
-    /// Pops the best *valid* candidate, discarding stale entries, or
-    /// `None` when no valid candidate remains.
-    pub fn pop_valid(&mut self) -> Option<EdgeKey> {
-        self.pop_valid_probed(&mut NoopProbe)
+    /// Rebuilds the cached minimum of shard `s`: drains stale heap
+    /// tops, composes each live top under the current aggregates (one
+    /// aggregate read per non-empty heap) and takes the strict-less
+    /// minimum in ascending heap index. Returns the stale-drain count.
+    fn rebuild_shard<P: Probe>(&mut self, s: usize, density: &DensityMap, probe: &mut P) -> u64 {
+        if P::ENABLED {
+            probe.count(Counter::ShardRebuild, 1);
+        }
+        let mut stale = 0u64;
+        let mut min: Option<(u32, EdgeKey)> = None;
+        let heaps = std::mem::take(&mut self.shard_heaps[s]);
+        for &h in &heaps {
+            stale += self.drain_stale_top(h as usize);
+            let Some(raw) = self.heaps[h as usize].peek().map(|e| e.key) else {
+                continue;
+            };
+            if P::ENABLED {
+                probe.count(Counter::DensityAggregateQuery, 1);
+            }
+            let composed = self.compose(h as usize, raw, density);
+            let better = match &min {
+                None => true,
+                Some((_, b)) => compare(&composed, b, self.order) == Ordering::Less,
+            };
+            if better {
+                min = Some((h, composed));
+            }
+        }
+        self.shard_heaps[s] = heaps;
+        self.cache[s] = ShardCache { valid: true, min };
+        stale
+    }
+
+    /// Pops the best *valid* candidate — the minimum **composed** key
+    /// over all live entries under the current aggregates — discarding
+    /// stale entries, or `None` when no valid candidate remains.
+    pub fn pop_valid(&mut self, density: &DensityMap) -> Option<EdgeKey> {
+        self.pop_valid_probed(density, &mut NoopProbe)
     }
 
     /// [`Scoreboard::pop_valid`] with instrumentation: every pop is
     /// counted ([`Counter::HeapPop`]), stale discards additionally as
-    /// [`Counter::StaleHeapPop`], and the number of discards preceding
-    /// the answer is one [`Hist::StalePopsPerSelection`] observation.
+    /// [`Counter::StaleHeapPop`], the discards preceding the answer are
+    /// one [`Hist::StalePopsPerSelection`] observation, and every shard
+    /// whose cached minimum had to be rebuilt counts one
+    /// [`Counter::ShardRebuild`] (shards with no fresh entries are
+    /// skipped — their cache is still valid).
     ///
-    /// The tournament scans shards in ascending index and takes a
-    /// candidate only when strictly less than the best so far, so the
-    /// result is a pure function of the live entries (see the
-    /// [module docs](self)).
-    pub fn pop_valid_probed<P: Probe>(&mut self, probe: &mut P) -> Option<EdgeKey> {
+    /// The tournament scans cached shard minima in ascending shard
+    /// index and takes a candidate only when strictly less than the
+    /// best so far, so the result is a pure function of the live
+    /// entries and current aggregates (see the [module docs](self)).
+    pub fn pop_valid_probed<P: Probe>(
+        &mut self,
+        density: &DensityMap,
+        probe: &mut P,
+    ) -> Option<EdgeKey> {
         let mut stale = 0u64;
-        for s in 0..self.heaps.len() {
-            stale += self.drain_stale_top(s);
-        }
-        let mut best: Option<(usize, &EdgeKey)> = None;
-        for (s, heap) in self.heaps.iter().enumerate() {
-            let Some(e) = heap.peek() else { continue };
-            let better = match best {
-                None => true,
-                Some((_, b)) => compare(&e.key, b, self.order) == Ordering::Less,
-            };
-            if better {
-                best = Some((s, &e.key));
+        for s in 0..self.cache.len() {
+            if !self.cache[s].valid {
+                stale += self.rebuild_shard(s, density, probe);
             }
         }
-        let winner = best.map(|(s, _)| s);
-        let out = winner.map(|s| {
-            self.heaps[s]
+        let mut best: Option<(usize, EdgeKey)> = None;
+        for c in &self.cache {
+            let Some((heap, key)) = c.min else { continue };
+            let better = match &best {
+                None => true,
+                Some((_, b)) => compare(&key, b, self.order) == Ordering::Less,
+            };
+            if better {
+                best = Some((heap as usize, key));
+            }
+        }
+        let out = best.map(|(heap, key)| {
+            let popped = self.heaps[heap]
                 .pop()
-                .expect("tournament winner shard has a top entry")
-                .key
+                .expect("tournament winner heap has a top entry");
+            debug_assert!(
+                popped.key.net == key.net && popped.key.edge == key.edge,
+                "cached shard minimum diverged from its heap top"
+            );
+            self.dirty_shard_of_heap(heap);
+            key
         });
         if P::ENABLED {
             probe.count(Counter::HeapPop, stale + u64::from(out.is_some()));
@@ -230,6 +392,48 @@ impl Scoreboard {
         }
         out
     }
+
+    /// The best composed key over the live entries of every net but
+    /// `exclude` — the runner-up the decision-provenance probe compares
+    /// the winner against, equal by construction to the full rescan's
+    /// second-best champion.
+    ///
+    /// Excluded entries are popped and re-pushed verbatim (same stamp),
+    /// so the live set — and with it every shard's cached minimum — is
+    /// unchanged; only stale entries are (harmlessly) drained. Unprobed
+    /// on purpose: provenance peeking must not perturb the heap-pop
+    /// diagnostics.
+    pub fn runner_up(&mut self, exclude: NetId, density: &DensityMap) -> Option<EdgeKey> {
+        let mut best: Option<EdgeKey> = None;
+        let mut stash: Vec<(usize, Entry)> = Vec::new();
+        for h in 0..self.heaps.len() {
+            while let Some(e) = self.heaps[h].peek() {
+                if e.stamp != self.net_gen[e.key.net.index()] {
+                    self.heaps[h].pop();
+                } else if e.key.net == exclude {
+                    let e = self.heaps[h].pop().expect("peeked entry pops");
+                    stash.push((h, e));
+                } else {
+                    break;
+                }
+            }
+            let Some(raw) = self.heaps[h].peek().map(|e| e.key) else {
+                continue;
+            };
+            let composed = self.compose(h, raw, density);
+            let better = match &best {
+                None => true,
+                Some(b) => compare(&composed, b, self.order) == Ordering::Less,
+            };
+            if better {
+                best = Some(composed);
+            }
+        }
+        for (h, e) in stash {
+            self.heaps[h].push(e);
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -237,13 +441,13 @@ mod tests {
     use super::*;
     use crate::criteria::DelayCriteria;
 
-    fn key(net: usize, edge: u32, f_max: i32) -> EdgeKey {
+    fn key(net: usize, edge: u32, f_min: i32) -> EdgeKey {
         EdgeKey {
             delay: DelayCriteria::default(),
             is_trunk: true,
-            f_min: 0,
+            f_min,
             n_min: 0,
-            f_max,
+            f_max: 0,
             n_max: 0,
             len_um: 10.0,
             net: NetId::new(net),
@@ -251,65 +455,81 @@ mod tests {
         }
     }
 
-    /// Four nets in two shards: nets 0-1 in shard 0, nets 2-3 in shard 1.
+    fn ch(c: usize) -> Option<ChannelId> {
+        Some(ChannelId::new(c))
+    }
+
+    /// An empty 4-channel density map: all aggregates are zero, so
+    /// composition is the identity and raw keys compare as-is.
+    fn flat() -> DensityMap {
+        DensityMap::new(4, 100)
+    }
+
+    /// Four channel heaps in two shards: channels 0-1 in shard 0,
+    /// channels 2-3 in shard 1 (the channelless heap rides in shard 0).
     fn two_shard_map() -> ShardMap {
-        ShardMap::by_home_channel(2, 4, &[0, 1, 2, 3])
+        ShardMap::by_channel_bands(2, 4)
     }
 
     #[test]
     fn pops_in_selection_order() {
-        let mut sb = Scoreboard::new(3, CriteriaOrder::DelayFirst);
-        sb.push(key(0, 0, 5));
-        sb.push(key(1, 0, -2));
-        sb.push(key(2, 0, 1));
-        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(1)));
-        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(2)));
-        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(0)));
-        assert_eq!(sb.pop_valid(), None);
+        let d = flat();
+        let mut sb = Scoreboard::new(3, 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 5), ch(0));
+        sb.push(key(1, 0, -2), ch(0));
+        sb.push(key(2, 0, 1), ch(0));
+        assert_eq!(sb.pop_valid(&d).map(|k| k.net), Some(NetId::new(1)));
+        assert_eq!(sb.pop_valid(&d).map(|k| k.net), Some(NetId::new(2)));
+        assert_eq!(sb.pop_valid(&d).map(|k| k.net), Some(NetId::new(0)));
+        assert_eq!(sb.pop_valid(&d), None);
     }
 
     #[test]
     fn invalidation_kills_stale_entries_lazily() {
-        let mut sb = Scoreboard::new(2, CriteriaOrder::DelayFirst);
-        sb.push(key(0, 0, -10)); // would win…
-        sb.push(key(1, 0, 3));
+        let d = flat();
+        let mut sb = Scoreboard::new(2, 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, -10), ch(0)); // would win…
+        sb.push(key(1, 0, 3), ch(0));
         sb.invalidate_net(NetId::new(0)); // …but is now stale
-        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(1)));
-        assert_eq!(sb.pop_valid(), None);
+        assert_eq!(sb.pop_valid(&d).map(|k| k.net), Some(NetId::new(1)));
+        assert_eq!(sb.pop_valid(&d), None);
     }
 
     #[test]
     fn rekeying_after_invalidation_revives_a_net() {
-        let mut sb = Scoreboard::new(2, CriteriaOrder::DelayFirst);
-        sb.push(key(0, 0, 0));
+        let d = flat();
+        let mut sb = Scoreboard::new(2, 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 0), ch(1));
         sb.invalidate_net(NetId::new(0));
-        sb.push(key(0, 1, 7)); // fresh key under the new generation
-        let k = sb.pop_valid().unwrap();
+        sb.push(key(0, 1, 7), ch(1)); // fresh key under the new generation
+        let k = sb.pop_valid(&d).unwrap();
         assert_eq!((k.net, k.edge), (NetId::new(0), 1));
-        assert_eq!(sb.pop_valid(), None);
+        assert_eq!(sb.pop_valid(&d), None);
     }
 
     #[test]
     fn id_tiebreaks_keep_pops_deterministic() {
-        let mut sb = Scoreboard::new(1, CriteriaOrder::DelayFirst);
+        let d = flat();
+        let mut sb = Scoreboard::new(1, 4, CriteriaOrder::DelayFirst);
         // Identical criteria: net/edge ids decide.
-        sb.push(key(0, 2, 0));
-        sb.push(key(0, 0, 0));
-        sb.push(key(0, 1, 0));
-        let order: Vec<u32> = std::iter::from_fn(|| sb.pop_valid().map(|k| k.edge)).collect();
+        sb.push(key(0, 2, 0), ch(2));
+        sb.push(key(0, 0, 0), ch(2));
+        sb.push(key(0, 1, 0), ch(2));
+        let order: Vec<u32> = std::iter::from_fn(|| sb.pop_valid(&d).map(|k| k.edge)).collect();
         assert_eq!(order, vec![0, 1, 2]);
     }
 
     #[test]
     fn tournament_pops_the_global_minimum_across_shards() {
-        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
+        let d = flat();
+        let mut sb = Scoreboard::with_shards(two_shard_map(), 4, CriteriaOrder::DelayFirst);
         assert_eq!(sb.num_shards(), 2);
-        sb.push(key(0, 0, 4)); // shard 0
-        sb.push(key(2, 0, -1)); // shard 1: global minimum
-        sb.push(key(3, 0, 2)); // shard 1
-        sb.push(key(1, 0, 0)); // shard 0
+        sb.push(key(0, 0, 4), ch(0)); // shard 0
+        sb.push(key(2, 0, -1), ch(2)); // shard 1: global minimum
+        sb.push(key(3, 0, 2), ch(3)); // shard 1
+        sb.push(key(1, 0, 0), ch(1)); // shard 0
         let pops: Vec<usize> =
-            std::iter::from_fn(|| sb.pop_valid().map(|k| k.net.index())).collect();
+            std::iter::from_fn(|| sb.pop_valid(&d).map(|k| k.net.index())).collect();
         assert_eq!(pops, vec![2, 1, 3, 0]);
         assert!(sb.is_empty());
     }
@@ -318,50 +538,136 @@ mod tests {
     fn tournament_ties_resolve_by_total_key_order_not_shard_order() {
         // Identical criteria in both shards: the (net, edge) tiebreak of
         // `compare` decides, exactly as a single global heap would.
-        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
-        sb.push(key(2, 0, 0)); // shard 1, lower net id than…
-        sb.push(key(3, 0, 0)); // …shard 1 sibling
-        sb.push(key(0, 1, 0)); // shard 0, lowest net id of all
+        let d = flat();
+        let mut sb = Scoreboard::with_shards(two_shard_map(), 4, CriteriaOrder::DelayFirst);
+        sb.push(key(2, 0, 0), ch(2)); // shard 1, lower net id than…
+        sb.push(key(3, 0, 0), ch(3)); // …its shard 1 sibling
+        sb.push(key(0, 1, 0), ch(0)); // shard 0, lowest net id of all
         let pops: Vec<usize> =
-            std::iter::from_fn(|| sb.pop_valid().map(|k| k.net.index())).collect();
+            std::iter::from_fn(|| sb.pop_valid(&d).map(|k| k.net.index())).collect();
         assert_eq!(pops, vec![0, 2, 3]);
     }
 
     #[test]
     fn stale_champion_of_fully_bridged_net_is_skipped_in_every_shard() {
         // A net whose last deletable edge became a bridge re-keys to *no*
-        // champion: its generation bumps and nothing is re-pushed. The
-        // tournament must see through the stale top of its shard.
-        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
-        sb.push(key(0, 0, -5)); // shard 0: would win the tournament…
-        sb.push(key(2, 0, 3)); // shard 1
+        // entries: its generation bumps and nothing is re-pushed. The
+        // tournament must see through the stale top of its heap.
+        let d = flat();
+        let mut sb = Scoreboard::with_shards(two_shard_map(), 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, -5), ch(0)); // shard 0: would win the tournament…
+        sb.push(key(2, 0, 3), ch(2)); // shard 1
         sb.invalidate_net(NetId::new(0)); // …but its net is now fully bridged
-        assert_eq!(sb.pop_valid().map(|k| k.net), Some(NetId::new(2)));
-        assert_eq!(sb.pop_valid(), None);
+        assert_eq!(sb.pop_valid(&d).map(|k| k.net), Some(NetId::new(2)));
+        assert_eq!(sb.pop_valid(&d), None);
         assert!(sb.is_empty(), "stale entries were drained, not leaked");
     }
 
     #[test]
     #[should_panic(expected = "scoreboard generation counter overflowed")]
     fn generation_wraparound_is_a_loud_failure() {
-        let mut sb = Scoreboard::new(1, CriteriaOrder::DelayFirst);
+        let mut sb = Scoreboard::new(1, 4, CriteriaOrder::DelayFirst);
         sb.net_gen[0] = u64::MAX;
         sb.invalidate_net(NetId::new(0));
     }
 
     #[test]
-    fn probed_pop_counts_stale_discards_across_shards() {
+    fn probed_pop_counts_stale_discards_and_shard_rebuilds() {
         use crate::probe::CollectingProbe;
-        let mut sb = Scoreboard::with_shards(two_shard_map(), CriteriaOrder::DelayFirst);
-        sb.push(key(0, 0, 1));
-        sb.push(key(0, 1, 2));
-        sb.push(key(2, 0, 5));
+        let d = flat();
+        let mut sb = Scoreboard::with_shards(two_shard_map(), 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 1), ch(0));
+        sb.push(key(0, 1, 2), ch(0));
+        sb.push(key(2, 0, 5), ch(2));
         sb.invalidate_net(NetId::new(0)); // both shard-0 entries go stale
         let mut probe = CollectingProbe::new();
-        let got = sb.pop_valid_probed(&mut probe);
+        let got = sb.pop_valid_probed(&d, &mut probe);
         assert_eq!(got.map(|k| k.net), Some(NetId::new(2)));
         let trace = probe.finish();
         assert_eq!(trace.counter(Counter::StaleHeapPop), 2);
         assert_eq!(trace.counter(Counter::HeapPop), 3);
+        // Both shards were fresh-dirty, so both rebuilt.
+        assert_eq!(trace.counter(Counter::ShardRebuild), 2);
+    }
+
+    #[test]
+    fn valid_shards_skip_the_rebuild() {
+        use crate::probe::CollectingProbe;
+        let d = flat();
+        let mut sb = Scoreboard::with_shards(two_shard_map(), 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 1), ch(0)); // shard 0
+        sb.push(key(2, 0, 2), ch(2)); // shard 1
+        sb.push(key(3, 0, 3), ch(3)); // shard 1
+        let mut probe = CollectingProbe::new();
+        // First pop rebuilds both shards and takes net 0 from shard 0.
+        assert_eq!(
+            sb.pop_valid_probed(&d, &mut probe).map(|k| k.net),
+            Some(NetId::new(0))
+        );
+        // Second pop: only shard 0 (the winner's) is dirty; shard 1's
+        // cached minimum is reused untouched.
+        assert_eq!(
+            sb.pop_valid_probed(&d, &mut probe).map(|k| k.net),
+            Some(NetId::new(2))
+        );
+        let trace = probe.finish();
+        assert_eq!(trace.counter(Counter::ShardRebuild), 2 + 1);
+    }
+
+    #[test]
+    fn compose_at_pop_applies_current_channel_aggregates() {
+        // Identical raw keys in channels 1 and 2; channel 2 carries a
+        // bridge span, so its aggregates lift every composed key there.
+        let mut d = flat();
+        d.add_span(ChannelId::new(2), 0, 10, 3, true);
+        let mut sb = Scoreboard::new(2, 4, CriteriaOrder::DelayFirst);
+        sb.push(key(1, 0, 0), ch(2)); // lower net id, but composed f_min = 3
+        sb.push(key(0, 0, 0), ch(1)); // composed f_min = 0: wins
+        let first = sb.pop_valid(&d).unwrap();
+        assert_eq!(first.net, NetId::new(0));
+        assert_eq!(first.f_min, 0);
+        let second = sb.pop_valid(&d).unwrap();
+        assert_eq!(second.net, NetId::new(1));
+        // The returned key is the *composed* one.
+        assert_eq!(second.f_min, 3);
+    }
+
+    #[test]
+    fn refresh_channel_recomposes_a_cached_shard_minimum() {
+        let mut d = flat();
+        let mut sb = Scoreboard::with_shards(two_shard_map(), 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 0), ch(0)); // shard 0
+        sb.push(key(2, 0, 0), ch(2)); // shard 1
+                                      // First pop caches shard 1's minimum under zero aggregates.
+        assert_eq!(sb.pop_valid(&d).map(|k| k.net), Some(NetId::new(0)));
+        // Channel 2's aggregates move (no push into shard 1), and a new
+        // shard-0 entry arrives that beats the *new* composed value.
+        d.add_span(ChannelId::new(2), 0, 10, 5, true);
+        sb.refresh_channel(ChannelId::new(2));
+        sb.push(key(1, 0, 3), ch(1));
+        let k = sb.pop_valid(&d).unwrap();
+        assert_eq!(k.net, NetId::new(1), "stale composed minimum won");
+        assert_eq!(sb.pop_valid(&d).map(|k| k.net), Some(NetId::new(2)));
+    }
+
+    #[test]
+    fn runner_up_excludes_one_net_and_leaves_the_pool_intact() {
+        let d = flat();
+        let mut sb = Scoreboard::with_shards(two_shard_map(), 4, CriteriaOrder::DelayFirst);
+        sb.push(key(0, 0, 1), ch(0));
+        sb.push(key(0, 1, 2), ch(0));
+        sb.push(key(1, 0, 5), ch(1));
+        sb.push(key(2, 0, 3), ch(2));
+        // Best of everything-but-net-0 is net 2, across both of net 0's
+        // entries sitting above it in shard 0.
+        assert_eq!(
+            sb.runner_up(NetId::new(0), &d).map(|k| k.net),
+            Some(NetId::new(2))
+        );
+        // The peek left every entry in place: pops proceed as if it
+        // never happened.
+        let pops: Vec<(usize, u32)> =
+            std::iter::from_fn(|| sb.pop_valid(&d).map(|k| (k.net.index(), k.edge))).collect();
+        assert_eq!(pops, vec![(0, 0), (0, 1), (2, 0), (1, 0)]);
     }
 }

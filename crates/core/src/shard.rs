@@ -1,62 +1,60 @@
 //! Channel-region sharding of the candidate pool.
 //!
-//! The scoreboard's re-key traffic is spatially local: a deletion
-//! touches one or two channels, and the dirty nets it produces are the
-//! nets *of those channels* (the `aggregate_moved` / `span_overlap`
-//! clauses of the invalidation contract). A single global heap makes
-//! every such batch pay `O(log total)` per push against the whole pool;
-//! splitting the pool into **channel-region shards** — contiguous bands
-//! of channels, each with its own heap — confines a batch to the shards
-//! its channels map to, while selection runs a tournament over the
-//! per-shard minima (see [`crate::scoreboard::Scoreboard`]).
+//! The scoreboard keeps **one heap per channel** (plus one channelless
+//! heap for feed-half candidates, which read no density at all), and
+//! heap entries are *raw* keys — delay prefix plus the edge's own
+//! density window, with the channel aggregates (`C_M`, `NC_M`, `C_m`,
+//! `NC_m`) composed in only at pop time. Re-key traffic is spatially
+//! local: a deletion touches one or two channels, so the dirty batch
+//! lands in a handful of heaps. Splitting the heaps into **channel
+//! shards** — contiguous bands of channels, each with a cached minimum —
+//! lets selection skip every shard whose heaps received no fresh
+//! entries since its cache was built, while the tournament compares the
+//! per-shard cached minima (see [`crate::scoreboard::Scoreboard`]).
 //!
-//! A [`ShardMap`] is the static net → shard assignment. Each net is
-//! pinned to the shard of its **home channel** (the channel of its
-//! first edge — where its trunk alternatives concentrate, since a
-//! routing graph spans a handful of adjacent channels). The assignment
-//! must be static: a net's champion entry has to land in the shard its
-//! `invalidate_net` generation bump will be checked against, so a net
-//! that moved between shards would leave immortal stale entries behind.
-//! Any static assignment is *correct* — the tournament compares every
-//! shard's minimum — sharding by home channel merely makes invalidation
-//! traffic local.
+//! A [`ShardMap`] is the static heap → shard assignment. It must be
+//! static: a shard's cached minimum is invalidated through the shard
+//! index its heaps map to, so a heap that moved between shards would
+//! leave a stale cache behind. Any static assignment is *correct* — the
+//! tournament compares every shard's minimum — banding adjacent
+//! channels merely makes invalidation traffic local.
 
-use bgr_netlist::NetId;
-
-/// Static net → shard assignment over `shards` channel-region shards.
+/// Static heap → shard assignment over `shards` channel-band shards.
 ///
 /// Built once per `run_deletion`; see the [module docs](self) for why
 /// the assignment must not change while a scoreboard is live.
 #[derive(Debug, Clone)]
 pub struct ShardMap {
     count: usize,
-    net_shard: Vec<u32>,
+    heap_shard: Vec<u32>,
 }
 
 impl ShardMap {
-    /// The trivial single-shard map: every net in shard 0 (exactly the
+    /// The trivial single-shard map: every heap in shard 0 (exactly the
     /// pre-sharding scoreboard).
-    pub fn single(num_nets: usize) -> Self {
+    pub fn single(num_heaps: usize) -> Self {
         Self {
             count: 1,
-            net_shard: vec![0; num_nets],
+            heap_shard: vec![0; num_heaps],
         }
     }
 
-    /// Maps each net to the shard of its home channel, splitting
+    /// Maps channel heap `c` to its channel band, splitting
     /// `num_channels` channels into at most `shards` contiguous bands
-    /// of near-equal size. `shards` is clamped to `[1, num_channels]`;
-    /// `home_channel[net]` is the net's home channel index.
-    pub fn by_home_channel(shards: usize, num_channels: usize, home_channel: &[u32]) -> Self {
+    /// of near-equal size, and the trailing channelless heap (index
+    /// `num_channels`) to shard 0. `shards` is clamped to
+    /// `[1, num_channels]`.
+    pub fn by_channel_bands(shards: usize, num_channels: usize) -> Self {
         let count = shards.clamp(1, num_channels.max(1));
-        let net_shard = home_channel
-            .iter()
-            .map(|&c| {
-                let band = (c as usize * count) / num_channels.max(1);
+        let mut heap_shard: Vec<u32> = (0..num_channels)
+            .map(|c| {
+                let band = (c * count) / num_channels.max(1);
                 band.min(count - 1) as u32
             })
             .collect();
-        Self { count, net_shard }
+        // The channelless heap rides with the first band.
+        heap_shard.push(0);
+        Self { count, heap_shard }
     }
 
     /// Number of shards (at least 1).
@@ -64,14 +62,14 @@ impl ShardMap {
         self.count
     }
 
-    /// Number of nets the map covers.
-    pub fn num_nets(&self) -> usize {
-        self.net_shard.len()
+    /// Number of heaps the map covers (channels + the channelless heap).
+    pub fn num_heaps(&self) -> usize {
+        self.heap_shard.len()
     }
 
-    /// The shard holding `net`'s candidates.
-    pub fn shard_of(&self, net: NetId) -> usize {
-        self.net_shard[net.index()] as usize
+    /// The shard holding heap `heap`'s candidates.
+    pub fn shard_of_heap(&self, heap: usize) -> usize {
+        self.heap_shard[heap] as usize
     }
 }
 
@@ -83,41 +81,43 @@ mod tests {
     fn single_maps_everything_to_shard_zero() {
         let m = ShardMap::single(5);
         assert_eq!(m.count(), 1);
-        assert_eq!(m.num_nets(), 5);
-        for i in 0..5 {
-            assert_eq!(m.shard_of(NetId::new(i)), 0);
+        assert_eq!(m.num_heaps(), 5);
+        for h in 0..5 {
+            assert_eq!(m.shard_of_heap(h), 0);
         }
     }
 
     #[test]
-    fn home_channel_bands_are_contiguous_and_cover_all_shards() {
-        // 8 channels, 4 shards: channels 0-1 -> 0, 2-3 -> 1, 4-5 -> 2, 6-7 -> 3.
-        let homes: Vec<u32> = (0..8).collect();
-        let m = ShardMap::by_home_channel(4, 8, &homes);
+    fn channel_bands_are_contiguous_and_cover_all_shards() {
+        // 8 channels, 4 shards: channels 0-1 -> 0, 2-3 -> 1, 4-5 -> 2,
+        // 6-7 -> 3; the channelless heap (index 8) lands in shard 0.
+        let m = ShardMap::by_channel_bands(4, 8);
         assert_eq!(m.count(), 4);
-        let got: Vec<usize> = (0..8).map(|i| m.shard_of(NetId::new(i))).collect();
-        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(m.num_heaps(), 9);
+        let got: Vec<usize> = (0..9).map(|h| m.shard_of_heap(h)).collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3, 0]);
     }
 
     #[test]
     fn shard_count_clamps_to_channel_count() {
-        let homes = vec![0, 1, 2];
-        let m = ShardMap::by_home_channel(16, 3, &homes);
+        let m = ShardMap::by_channel_bands(16, 3);
         assert_eq!(m.count(), 3);
-        // Monotone in the home channel, never out of range.
-        let got: Vec<usize> = (0..3).map(|i| m.shard_of(NetId::new(i))).collect();
+        // Monotone in the channel index, never out of range.
+        let got: Vec<usize> = (0..3).map(|h| m.shard_of_heap(h)).collect();
         assert_eq!(got, vec![0, 1, 2]);
-        assert_eq!(ShardMap::by_home_channel(0, 3, &homes).count(), 1);
+        assert_eq!(ShardMap::by_channel_bands(0, 3).count(), 1);
     }
 
     #[test]
     fn degenerate_channel_counts_stay_in_bounds() {
-        // A pathological zero-channel chip still produces one shard.
-        let m = ShardMap::by_home_channel(4, 0, &[]);
+        // A pathological zero-channel chip still produces one shard
+        // holding the channelless heap.
+        let m = ShardMap::by_channel_bands(4, 0);
         assert_eq!(m.count(), 1);
-        let homes = vec![0, 0];
-        let m = ShardMap::by_home_channel(4, 1, &homes);
+        assert_eq!(m.num_heaps(), 1);
+        assert_eq!(m.shard_of_heap(0), 0);
+        let m = ShardMap::by_channel_bands(4, 1);
         assert_eq!(m.count(), 1);
-        assert_eq!(m.shard_of(NetId::new(1)), 0);
+        assert_eq!(m.shard_of_heap(1), 0);
     }
 }

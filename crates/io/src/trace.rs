@@ -96,6 +96,19 @@ fn write_event(out: &mut String, seq: usize, ev: &TraceEvent) {
                 edge
             );
         }
+        TraceEvent::AuditPassed { phase, checks } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"audit_passed\",\"phase\":\"{}\",\"checks\":{checks}",
+                phase.label()
+            );
+        }
+        TraceEvent::AuditStep { step, checks } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"audit_step\",\"step\":{step},\"checks\":{checks}"
+            );
+        }
     }
     out.push_str("}\n");
 }
@@ -276,6 +289,24 @@ mod tests {
         assert!(text
             .contains("\"kind\":\"budget_exhausted\",\"phase\":\"initial_routing\",\"steps\":12"));
         assert!(text.contains("\"kind\":\"fallback_deleted\",\"net\":4,\"edge\":7"));
+    }
+
+    #[test]
+    fn audit_events_serialize() {
+        let mut p = CollectingProbe::new();
+        p.event(TraceEvent::AuditPassed {
+            phase: Phase::ImproveArea,
+            checks: 912,
+        });
+        p.event(TraceEvent::AuditStep {
+            step: 64,
+            checks: 912,
+        });
+        let text = write_trace_jsonl(&p.finish());
+        assert!(
+            text.contains("\"kind\":\"audit_passed\",\"phase\":\"improve_area\",\"checks\":912")
+        );
+        assert!(text.contains("\"kind\":\"audit_step\",\"step\":64,\"checks\":912"));
     }
 
     #[test]

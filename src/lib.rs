@@ -14,6 +14,7 @@
 //! | [`channel`] | `bgr-channel` | left-edge channel routing, final area/length/delay |
 //! | [`gen`] | `bgr-gen` | synthetic ECL benchmarks (C1–C3 reconstruction) |
 //! | [`io`] | `bgr-io` | text interchange formats (.bgrn/.bgrp/.bgrt) + SVG rendering |
+//! | [`verify`] | `bgr-verify` | independent from-scratch audit of routing results |
 //!
 //! # Quickstart
 //!
@@ -62,3 +63,4 @@ pub use bgr_io as io;
 pub use bgr_layout as layout;
 pub use bgr_netlist as netlist;
 pub use bgr_timing as timing;
+pub use bgr_verify as verify;

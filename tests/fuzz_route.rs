@@ -15,6 +15,9 @@
 //! 7. injected probe faults surface as `RouteError::Internal` carrying
 //!    the fault marker.
 //!
+//! 8. every `BestEffort` result passes the full independent audit
+//!    (`bgr::verify`, DESIGN.md §12) — all six from-scratch oracles.
+//!
 //! On any violated expectation the failing seed is written to
 //! `target/fuzz/failing_seed.txt` (the CI `fuzz-smoke` job uploads it as
 //! a repro artifact) before the test panics.
@@ -100,6 +103,18 @@ fn check_seed(case: &AdversarialCase) -> Result<bool, String> {
         }
         Err(e) => return Err(format!("BestEffort failed: {e}")),
     };
+
+    // (8) ... and the result is certified by the independent auditor.
+    let report = bgr::verify::audit(
+        &lax.circuit,
+        &lax.placement,
+        &case.design.constraints,
+        &config(OnViolation::BestEffort),
+        &lax.result,
+    );
+    if let Some(f) = report.first_failure() {
+        return Err(format!("independent audit failed: {f}"));
+    }
 
     // (4) Fail agrees with BestEffort.
     let overconstrained = match strict {

@@ -1,0 +1,245 @@
+//! Sensitivity of the independent verifier: one test per corruption
+//! family, each asserting the [`bgr::verify`] audit not only fails but
+//! *localizes* the damage — right invariant, right net / channel /
+//! constraint (DESIGN.md §12).
+//!
+//! Families:
+//!
+//! * density flip — a phantom span injected into the engine's
+//!   incremental density map (`Corruption::FlipDensitySpan`);
+//! * stale champion — a net whose scoreboard keys are dropped so its
+//!   deletion never finishes (`Corruption::StaleChampion`);
+//! * skewed memo — the memoized analyzer's length for one net inflated
+//!   behind the dirty-tracking's back (`Corruption::SkewDelay`);
+//! * broken tree — a trunk segment dropped from the result post hoc;
+//! * silent constraint miss — a violation entry deleted post hoc.
+//!
+//! The first three go through the engine (fault-probe state-corruption
+//! injection), proving the auditor catches *incremental-state* bugs,
+//! not just mangled outputs.
+
+use bgr::gen::{adversarial_case, AdversarialCase};
+use bgr::layout::ChannelId;
+use bgr::netlist::NetId;
+use bgr::router::{
+    Corruption, Fault, FaultProbe, GlobalRouter, OnViolation, Routed, RouterConfig, Segment,
+    VerifyLevel,
+};
+use bgr::verify::{audit, AuditReport, Invariant};
+
+/// A seed that routes cleanly (no violations) — the fuzz harness
+/// exercises all of `0..256`; any feasible one works here.
+const CLEAN_SEED: u64 = 0;
+
+fn config() -> RouterConfig {
+    RouterConfig {
+        on_violation: OnViolation::BestEffort,
+        // The engine's own self-audit (BGR_VERIFY) would abort the
+        // corrupted routes before they finish; these tests exist to
+        // prove the *external* auditor catches the damage on its own.
+        verify: VerifyLevel::Off,
+        ..RouterConfig::default()
+    }
+}
+
+fn route(case: &AdversarialCase, fault: Option<Fault>) -> Routed {
+    let router = GlobalRouter::new(config());
+    match fault {
+        None => router
+            .route_checked(
+                case.design.circuit.clone(),
+                case.placement.clone(),
+                case.design.constraints.clone(),
+            )
+            .expect("BestEffort route completes"),
+        Some(f) => {
+            router
+                .route_checked_with_probe(
+                    case.design.circuit.clone(),
+                    case.placement.clone(),
+                    case.design.constraints.clone(),
+                    FaultProbe::new(f),
+                )
+                .expect("corrupted BestEffort route still completes")
+                .0
+        }
+    }
+}
+
+fn audit_routed(case: &AdversarialCase, routed: &Routed) -> AuditReport {
+    audit(
+        &routed.circuit,
+        &routed.placement,
+        &case.design.constraints,
+        &config(),
+        &routed.result,
+    )
+}
+
+/// First seed whose constraints are infeasible by construction — the
+/// fuzz contract guarantees its BestEffort route carries a non-empty
+/// violation report.
+fn overconstrained_case() -> AdversarialCase {
+    (0..256)
+        .map(adversarial_case)
+        .find(|c| c.expect_overconstrained)
+        .expect("adversarial seed range contains over-constrained instances")
+}
+
+#[test]
+fn sanity_uncorrupted_route_audits_clean() {
+    let case = adversarial_case(CLEAN_SEED);
+    let routed = route(&case, None);
+    let report = audit_routed(&case, &routed);
+    assert!(
+        report.is_clean(),
+        "healthy route must audit clean:\n{report}"
+    );
+}
+
+#[test]
+fn density_flip_is_localized_to_the_channel() {
+    let case = adversarial_case(CLEAN_SEED);
+    // A phantom 3-pitch span across the whole of channel 2, added to
+    // the incremental map without the scoreboard being told (x2 far
+    // past the chip edge; `add_span` clamps).
+    let routed = route(
+        &case,
+        Some(Fault::Corrupt(Corruption::FlipDensitySpan {
+            channel: 2,
+            x1: 0,
+            x2: 1_000_000,
+            width: 3,
+        })),
+    );
+    let report = audit_routed(&case, &routed);
+    let f = report
+        .verdict(Invariant::Density)
+        .failure
+        .as_ref()
+        .expect("phantom span must break the density invariant");
+    assert_eq!(f.channel, Some(ChannelId::new(2)), "{f}");
+    // The trees themselves are genuine — only the density map lied.
+    assert!(
+        report.verdict(Invariant::Forest).failure.is_none(),
+        "density corruption must not implicate the forest"
+    );
+}
+
+#[test]
+fn stale_champion_is_localized_to_the_frozen_net() {
+    let case = adversarial_case(CLEAN_SEED);
+    // Freeze nets until one that actually had deletable edges shows up:
+    // a frozen net keeps its cyclic initial graph, so the from-scratch
+    // forest oracle must flag exactly it.
+    let mut caught = false;
+    for net in 0..case.design.circuit.nets().len().min(12) {
+        let routed = route(
+            &case,
+            Some(Fault::Corrupt(Corruption::StaleChampion {
+                net: NetId::new(net),
+            })),
+        );
+        let report = audit_routed(&case, &routed);
+        if let Some(f) = &report.verdict(Invariant::Forest).failure {
+            assert_eq!(
+                f.net,
+                Some(NetId::new(net)),
+                "forest failure must localize to the frozen net: {f}"
+            );
+            caught = true;
+            break;
+        }
+    }
+    assert!(caught, "no frozen net ever produced a forest divergence");
+}
+
+#[test]
+fn skewed_delay_memo_is_localized_to_a_constraint() {
+    let case = overconstrained_case();
+    // Pass 1 (healthy): learn which net the violation report blames.
+    let healthy = route(&case, None);
+    let entry = &healthy
+        .result
+        .violations
+        .as_ref()
+        .expect("over-constrained")
+        .entries[0];
+    let victim = entry.critical_nets[0];
+    // Pass 2: skew that net's memoized length by 100 mm. The violation
+    // report quotes the poisoned analyzer; the fresh recompute does not.
+    let routed = route(
+        &case,
+        Some(Fault::Corrupt(Corruption::SkewDelay {
+            net: victim,
+            extra_um: 100_000.0,
+        })),
+    );
+    let report = audit_routed(&case, &routed);
+    let f = report
+        .verdict(Invariant::Timing)
+        .failure
+        .as_ref()
+        .expect("skewed arrivals must break the timing invariant");
+    assert!(
+        f.constraint.is_some(),
+        "timing failure names a constraint: {f}"
+    );
+}
+
+#[test]
+fn dropped_trunk_is_localized_to_the_net() {
+    let case = adversarial_case(CLEAN_SEED);
+    let mut routed = route(&case, None);
+    let (net, pos) = routed
+        .result
+        .trees
+        .iter()
+        .enumerate()
+        .find_map(|(i, t)| {
+            t.segments
+                .iter()
+                .position(|s| matches!(s, Segment::Trunk { .. }))
+                .map(|p| (i, p))
+        })
+        .expect("routed instance has a trunk segment");
+    routed.result.trees[net].segments.remove(pos);
+    let report = audit_routed(&case, &routed);
+    let f = report
+        .verdict(Invariant::Forest)
+        .failure
+        .as_ref()
+        .expect("a dropped trunk must break the forest invariant");
+    assert_eq!(f.net, Some(NetId::new(net)), "{f}");
+}
+
+#[test]
+fn silent_constraint_miss_is_localized_by_name() {
+    let case = overconstrained_case();
+    let mut routed = route(&case, None);
+    let report = routed.result.violations.as_mut().expect("over-constrained");
+    // Suppress the worst entry, as a buggy recovery pass would.
+    let worst = report
+        .entries
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.violation_ps.total_cmp(&b.violation_ps))
+        .map(|(i, _)| i)
+        .expect("non-empty violation report");
+    let suppressed = report.entries.remove(worst);
+    assert!(
+        suppressed.violation_ps > 1e-3,
+        "test instance must violate by a detectable margin"
+    );
+    let report = audit_routed(&case, &routed);
+    let f = report
+        .verdict(Invariant::Constraints)
+        .failure
+        .as_ref()
+        .expect("a silent miss must break the constraints invariant");
+    assert_eq!(
+        f.constraint.as_deref(),
+        Some(suppressed.name.as_str()),
+        "{f}"
+    );
+}
