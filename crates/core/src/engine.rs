@@ -454,6 +454,17 @@ fn derive_dirty<'a>(
 /// typical post-deletion dirty set is a handful of cheap scans.
 const MIN_TASKS_PER_THREAD: usize = 8;
 
+/// Outcome of one [`Engine::continue_deletion`] slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeletionRun {
+    /// Selections performed by this slice (not counting the `start`
+    /// offset).
+    pub selections: u64,
+    /// `true` when the in-scope candidate pool drained — every in-scope
+    /// graph is all-bridges — rather than the slice stopping at `stop`.
+    pub complete: bool,
+}
+
 /// Mutable routing state shared by the initial-routing and improvement
 /// phases.
 ///
@@ -827,15 +838,15 @@ impl<P: Probe> Engine<P> {
     /// Mid-loop audit hook: under [`VerifyLevel::Steps`], audits every
     /// N-th selection and emits [`TraceEvent::AuditStep`]. Called by
     /// both selection strategies at the same stream positions, so the
-    /// events are strategy-independent.
-    fn maybe_step_audit(&mut self, selections: usize) {
+    /// events are strategy-independent. `step` is the *global* selection
+    /// count (the loop's `start` offset plus this slice's selections) so
+    /// a resumed run audits at the same stream positions as an
+    /// uninterrupted one.
+    fn maybe_step_audit(&mut self, step: u64) {
         if let Some(n) = self.verify.step_interval() {
-            if (selections as u64).is_multiple_of(n) {
+            if step.is_multiple_of(n) {
                 let checks = self.audit_silent();
-                self.probe.event(TraceEvent::AuditStep {
-                    step: selections as u64,
-                    checks,
-                });
+                self.probe.event(TraceEvent::AuditStep { step, checks });
             }
         }
     }
@@ -969,20 +980,47 @@ impl<P: Probe> Engine<P> {
         order: CriteriaOrder,
         budget: Option<u64>,
     ) -> usize {
-        let selections = match self.selection {
-            SelectionStrategy::Scoreboard => self.run_deletion_scoreboard(scope, order, budget),
-            SelectionStrategy::FullRescan => self.run_deletion_rescan(scope, order, budget),
-        };
+        let run = self.continue_deletion(scope, order, 0, budget);
+        let selections = run.selections as usize;
         match budget {
-            Some(b) if (selections as u64) >= b => selections + self.fallback_complete(scope, b),
+            Some(b) if run.selections >= b => selections + self.fallback_complete(scope, b),
             _ => selections,
+        }
+    }
+
+    /// One *slice* of the deletion loop: picks up at global selection
+    /// count `start` and runs until the in-scope candidate pool drains
+    /// or the global count reaches `stop`.
+    ///
+    /// This is the resumable core of [`Engine::run_deletion_budgeted`]
+    /// (which is `continue_deletion(scope, order, 0, budget)` plus the
+    /// fallback completion path). Because selection is memoryless — the
+    /// scoreboard is rebuilt from the current graph/density/timing state
+    /// at every entry, and that state is a pure function of the alive
+    /// masks — running the loop in slices produces exactly the
+    /// selections, trace events and step audits of one uninterrupted
+    /// run: `start` only offsets the step counter fed to
+    /// [`TraceEvent::AuditStep`] and the `stop` comparison, both of
+    /// which are global positions (DESIGN.md §13).
+    pub fn continue_deletion(
+        &mut self,
+        scope: Option<&[NetId]>,
+        order: CriteriaOrder,
+        start: u64,
+        stop: Option<u64>,
+    ) -> DeletionRun {
+        match self.selection {
+            SelectionStrategy::Scoreboard => {
+                self.run_deletion_scoreboard(scope, order, start, stop)
+            }
+            SelectionStrategy::FullRescan => self.run_deletion_rescan(scope, order, start, stop),
         }
     }
 
     /// Post-budget completion: deletes first-deletable edges until every
     /// in-scope graph is a tree. Returns the number of fallback
     /// deletions; emits nothing when there was nothing left to do.
-    fn fallback_complete(&mut self, scope: Option<&[NetId]>, steps_used: u64) -> usize {
+    pub(crate) fn fallback_complete(&mut self, scope: Option<&[NetId]>, steps_used: u64) -> usize {
         let nets: Vec<NetId> = match scope {
             Some(s) => s.to_vec(),
             None => (0..self.graphs.len()).map(NetId::new).collect(),
@@ -1022,16 +1060,17 @@ impl<P: Probe> Engine<P> {
         &mut self,
         scope: Option<&[NetId]>,
         order: CriteriaOrder,
-        budget: Option<u64>,
-    ) -> usize {
+        start: u64,
+        stop: Option<u64>,
+    ) -> DeletionRun {
         let nets: Vec<NetId> = match scope {
             Some(s) => s.to_vec(),
             None => (0..self.graphs.len()).map(NetId::new).collect(),
         };
-        let mut selections = 0;
-        loop {
-            if budget.is_some_and(|b| selections as u64 >= b) {
-                break;
+        let mut selections: u64 = 0;
+        let complete = loop {
+            if stop.is_some_and(|b| start + selections >= b) {
+                break false;
             }
             let mut best: Option<EdgeKey> = None;
             // Runner-up tracking exists only to feed the probe.
@@ -1059,7 +1098,7 @@ impl<P: Probe> Engine<P> {
                     }
                 }
             }
-            let Some(key) = best else { break };
+            let Some(key) = best else { break true };
             if P::ENABLED {
                 let tier = match &second {
                     Some(s) => deciding_tier(&key, s, order),
@@ -1075,9 +1114,12 @@ impl<P: Probe> Engine<P> {
             self.delete_with_partner(key.net, key.edge);
             self.selection_log.push((key.net, key.edge));
             selections += 1;
-            self.maybe_step_audit(selections);
+            self.maybe_step_audit(start + selections);
+        };
+        DeletionRun {
+            selections,
+            complete,
         }
-        selections
     }
 
     /// `net`'s *champion*: the minimum key over its deletable edges
@@ -1203,8 +1245,9 @@ impl<P: Probe> Engine<P> {
         &mut self,
         scope: Option<&[NetId]>,
         order: CriteriaOrder,
-        budget: Option<u64>,
-    ) -> usize {
+        start: u64,
+        stop: Option<u64>,
+    ) -> DeletionRun {
         let nets: Vec<NetId> = match scope {
             Some(s) => s.to_vec(),
             None => (0..self.graphs.len()).map(NetId::new).collect(),
@@ -1216,22 +1259,28 @@ impl<P: Probe> Engine<P> {
         let map = if self.shards <= 1 {
             ShardMap::single(self.channel_nets.len() + 1)
         } else {
-            ShardMap::by_channel_bands(self.shards, self.channel_nets.len())
+            // Band channels by live entry population (nets with edges in
+            // the channel == the heap's maximum entry count), not by
+            // channel count alone, so a few hot channels don't
+            // concentrate most rebuild work in one shard. Diagnostics
+            // only: shard layout never changes the selection sequence.
+            let weights: Vec<usize> = self.channel_nets.iter().map(Vec::len).collect();
+            ShardMap::by_channel_bands_weighted(self.shards, &weights)
         };
         let mut sb = Scoreboard::with_shards(map, self.graphs.len(), order);
         self.apply_corruption();
         self.rekey_nets(&mut sb, &nets, false);
-        let mut selections = 0;
-        loop {
+        let mut selections: u64 = 0;
+        let complete = loop {
             // The budget check precedes the pop, so the stop point (and
             // the heap-pop diagnostics under a fixed shard count) is the
             // same in every run.
-            if budget.is_some_and(|b| selections as u64 >= b) {
-                break;
+            if stop.is_some_and(|b| start + selections >= b) {
+                break false;
             }
             self.apply_corruption();
             let Some(key) = sb.pop_valid_probed(&self.density, &mut self.probe) else {
-                break;
+                break true;
             };
             debug_assert!(
                 self.graphs[key.net.index()].is_alive(key.edge)
@@ -1293,9 +1342,12 @@ impl<P: Probe> Engine<P> {
                 dirty_nets.push(net);
             }
             self.rekey_nets(&mut sb, &dirty_nets, true);
-            self.maybe_step_audit(selections);
+            self.maybe_step_audit(start + selections);
+        };
+        DeletionRun {
+            selections,
+            complete,
         }
-        selections
     }
 
     /// Rips up a net (and its lockstep partner) and reroutes it with the

@@ -43,6 +43,15 @@ pub enum RouteError {
         /// The original panic message.
         message: String,
     },
+    /// A checkpoint could not be restored into a live session: version
+    /// skew, a truncated or corrupted file, or serialized state
+    /// inconsistent with the embedded design (wrong mask lengths, a
+    /// disconnected alive set). Restoring never panics on bad input —
+    /// it degrades to this variant (DESIGN.md §13).
+    Checkpoint {
+        /// What was wrong with the checkpoint.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for RouteError {
@@ -66,6 +75,9 @@ impl std::fmt::Display for RouteError {
             }
             Self::Internal { phase, message } => {
                 write!(f, "internal error during {phase}: {message}")
+            }
+            Self::Checkpoint { message } => {
+                write!(f, "checkpoint rejected: {message}")
             }
         }
     }

@@ -72,6 +72,7 @@ pub mod result;
 pub mod router;
 pub mod scoreboard;
 pub mod select;
+pub mod session;
 pub mod shard;
 pub mod tentative;
 
@@ -92,4 +93,7 @@ pub use result::{
 };
 pub use router::{GlobalRouter, Routed};
 pub use select::{deciding_tier, DecidingTier};
+pub use session::{
+    EngineSnapshot, RouteSession, SessionStage, SnapshotStats, StepOutcome, SNAPSHOT_VERSION,
+};
 pub use shard::ShardMap;

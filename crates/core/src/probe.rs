@@ -154,6 +154,28 @@ impl RekeyCauses {
         self.counts.iter().sum()
     }
 
+    /// Raw counts in [`RekeyCause::ALL`] order (the checkpoint codec's
+    /// wire form).
+    pub fn counts(&self) -> [usize; 4] {
+        self.counts
+    }
+
+    /// Rebuilds the table from raw counts in [`RekeyCause::ALL`] order
+    /// (checkpoint restore).
+    pub fn from_counts(counts: [usize; 4]) -> Self {
+        Self { counts }
+    }
+
+    /// Element-wise sum — merges a resumed slice's counts into the
+    /// totals carried by a checkpoint.
+    pub fn merged(&self, other: &Self) -> Self {
+        let mut counts = self.counts;
+        for (c, o) in counts.iter_mut().zip(other.counts) {
+            *c += o;
+        }
+        Self { counts }
+    }
+
     /// `(cause, count)` pairs in [`RekeyCause::ALL`] order.
     pub fn iter(&self) -> impl Iterator<Item = (RekeyCause, usize)> + '_ {
         RekeyCause::ALL.iter().map(|&c| (c, self.of(c)))
@@ -506,6 +528,14 @@ pub trait Probe {
     /// A router phase ended.
     fn phase_exit(&mut self, _phase: Phase) {}
 
+    /// Deterministic events recorded so far (phase markers included).
+    /// Non-recording probes report 0. Checkpointing reads this to carry
+    /// the global event-sequence position across suspensions, so a
+    /// resumed session's trace lines continue at the right `seq`.
+    fn events_len(&self) -> usize {
+        0
+    }
+
     /// A silent state corruption the engine should apply *now*, or
     /// `None`. Polled at deletion-loop hook points; only
     /// [`FaultProbe`] ever returns `Some`. One-shot corruptions
@@ -677,6 +707,10 @@ impl std::fmt::Debug for CollectingProbe {
 impl Probe for CollectingProbe {
     fn event(&mut self, ev: TraceEvent) {
         self.events.push(ev);
+    }
+
+    fn events_len(&self) -> usize {
+        self.events.len()
     }
 
     fn count(&mut self, c: Counter, by: u64) {
@@ -968,6 +1002,10 @@ impl<P: Probe> Probe for PhaseTracked<P> {
 
     fn phase_exit(&mut self, phase: Phase) {
         self.inner.phase_exit(phase);
+    }
+
+    fn events_len(&self) -> usize {
+        self.inner.events_len()
     }
 
     fn corruption(&mut self) -> Option<Corruption> {

@@ -1,20 +1,14 @@
 //! The top-level router driver (Fig. 2).
 
-use std::time::Instant;
-
 use bgr_layout::Placement;
-use bgr_netlist::{Circuit, NetId};
-use bgr_timing::{nets_by_ascending_slack, PathConstraint, Sta};
+use bgr_netlist::Circuit;
+use bgr_timing::PathConstraint;
 
-use crate::config::{OnViolation, RouterConfig, VerifyLevel};
-use crate::diffpair::{is_homogeneous, PairMap};
-use crate::engine::Engine;
+use crate::config::RouterConfig;
 use crate::error::RouteError;
-use crate::feedcell::assign_with_insertion;
-use crate::graph::RoutingGraph;
-use crate::improve::{improve_area, improve_delay, recover_violate, PhaseLimits};
-use crate::probe::{CollectingProbe, NoopProbe, Phase, PhaseTracked, Probe, RouteTrace};
-use crate::result::{NetTree, RouteStats, RoutingResult, TimingReport, ViolationReport};
+use crate::probe::{CollectingProbe, NoopProbe, PhaseTracked, Probe, RouteTrace};
+use crate::result::RoutingResult;
+use crate::session::{RouteSession, StepOutcome};
 
 /// The global router.
 ///
@@ -151,282 +145,32 @@ impl GlobalRouter {
     /// phase; returns the probe (moved through the engine) alongside the
     /// route.
     ///
+    /// This is the [`RouteSession`] pipeline driven start-to-finish in
+    /// one sitting: `start`, `step` until ready, `finish`. Sessionized
+    /// and monolithic routes emit identical event streams by
+    /// construction — they are the same code path (DESIGN.md §13).
+    ///
     /// # Errors
     ///
     /// Same failure modes as [`GlobalRouter::route`].
     pub fn route_with_probe<P: Probe>(
         &self,
-        mut circuit: Circuit,
-        mut placement: Placement,
+        circuit: Circuit,
+        placement: Placement,
         constraints: Vec<PathConstraint>,
-        mut probe: P,
+        probe: P,
     ) -> Result<(Routed, P), RouteError> {
-        let t_start = Instant::now();
-        circuit.validate()?;
-        placement.validate(&circuit)?;
-
-        // §3.1: net ordering by ascending static slack (netlist order
-        // when routing unconstrained or when the A6 ablation disables it).
-        let order: Vec<NetId> = if self.config.use_constraints && self.config.slack_ordering {
-            nets_by_ascending_slack(&circuit, &constraints)?
-        } else {
-            circuit.net_ids().collect()
-        };
-
-        // Fig. 2 line 01: feedthrough assignment with §4.3 insertion.
-        probe.phase_enter(Phase::FeedAssign);
-        let pairs = PairMap::build(&circuit);
-        let plan =
-            assign_with_insertion(&mut circuit, &mut placement, &order, &pairs, 8, &mut probe)?;
-        probe.phase_exit(Phase::FeedAssign);
-        probe.phase_enter(Phase::GraphBuild);
-
-        // Fig. 2 line 02: routing graphs — two passes. The first pass uses
-        // the nominal branch length and only serves to estimate each
-        // channel's final density (full graphs hold both channel options,
-        // roughly double the routed density); the second pass charges
-        // each pin tap half the *expected* channel height so delay
-        // estimates track what the channel router will realize.
-        let nominal = vec![self.config.branch_length_um; placement.num_channels()];
-        let est_graphs: Vec<RoutingGraph> = circuit
-            .net_ids()
-            .map(|n| {
-                RoutingGraph::build_with_channel_branches(
-                    &circuit,
-                    &placement,
-                    n,
-                    &plan.feeds[n.index()],
-                    &nominal,
-                )
-            })
-            .collect();
-        let mut est = crate::density::DensityMap::new(
-            placement.num_channels(),
-            placement.width_pitches().max(1) as usize,
-        );
-        for g in &est_graphs {
-            if !g.terminals_connected() {
-                continue; // reported as an error after the real build
-            }
-            // The tentative tree picks one channel per span, like the
-            // final route will: its density is a realistic track estimate.
-            let tree = crate::tentative::tentative_tree(g, None)
-                .expect("connected probe graph has a tentative tree");
-            for e in tree.edges {
-                let edge = &g.edges()[e as usize];
-                if let crate::graph::REdgeKind::Trunk { channel } = edge.kind {
-                    est.add_span(channel, edge.x1, edge.x2, g.width() as i32, false);
-                }
-            }
-        }
-        let tp = placement.geometry().track_pitch_um;
-        let branch_lens: Vec<f64> = est
-            .channel_maxima()
-            .iter()
-            .map(|&tracks| (tracks as f64 / 2.0 * tp).max(self.config.branch_length_um))
-            .collect();
-        drop(est_graphs);
-        let graphs: Vec<RoutingGraph> = circuit
-            .net_ids()
-            .map(|n| {
-                RoutingGraph::build_with_channel_branches(
-                    &circuit,
-                    &placement,
-                    n,
-                    &plan.feeds[n.index()],
-                    &branch_lens,
-                )
-            })
-            .collect();
-        for (i, g) in graphs.iter().enumerate() {
-            if !g.terminals_connected() {
-                return Err(RouteError::DisconnectedNet(NetId::new(i)));
-            }
-        }
-
-        // Fig. 2 line 03: delay constraint graphs.
-        let routing_constraints = if self.config.use_constraints {
-            constraints.clone()
-        } else {
-            Vec::new()
-        };
-        let sta = Sta::new(
-            &circuit,
-            routing_constraints,
-            self.config.delay_model,
-            self.config.wire,
-        )?;
-
-        // §4.1: lockstep partners for homogeneous pairs.
-        let mut partner = vec![None; circuit.nets().len()];
-        let mut stats = RouteStats {
-            feed_cells_inserted: plan.inserted_cells,
-            widened_pitches: plan.widened,
-            ..RouteStats::default()
-        };
-        if self.config.pair_differential {
-            for &(a, b) in circuit.diff_pairs() {
-                if is_homogeneous(&graphs[a.index()], &graphs[b.index()]) {
-                    partner[a.index()] = Some(b);
-                    partner[b.index()] = Some(a);
-                    stats.diff_pairs_locked += 1;
-                } else {
-                    stats.diff_pairs_independent += 1;
-                }
-            }
-        } else {
-            stats.diff_pairs_independent = circuit.diff_pairs().len();
-        }
-
-        probe.phase_exit(Phase::GraphBuild);
-        let mut engine = Engine::with_probe(
-            graphs,
-            sta,
-            partner,
-            placement.num_channels(),
-            placement.width_pitches().max(1) as usize,
-            probe,
-        );
-        engine.set_selection(self.config.selection);
-        engine.set_parallelism(self.config.threads, self.config.shards);
-        engine.set_verify(self.config.verify);
-
-        // Fig. 2 lines 04-07: initial routing, under the deterministic
-        // step budget (exhaustion switches to the fallback completion
-        // path, which still ends in trees).
-        let t0 = Instant::now();
-        engine.probe_mut().phase_enter(Phase::InitialRouting);
-        engine.run_deletion_budgeted(
-            None,
-            self.config.criteria_order,
-            self.config.budgets.deletion_steps,
-        );
-        engine.probe_mut().phase_exit(Phase::InitialRouting);
-        stats.initial_routing = t0.elapsed();
-        // Corruption injection leaves state deliberately inconsistent;
-        // the relaxed assert lets it survive to the verifier under test.
-        debug_assert!(
-            engine.probe().corrupting() || engine.all_trees(),
-            "initial routing must reach trees"
-        );
-        if self.config.verify.at_phases() {
-            engine.audit_phase(Phase::InitialRouting);
-        }
-
-        // Fig. 2 lines 08-10: improvement loops.
-        let limits = PhaseLimits {
-            max_reroutes: self.config.budgets.phase_reroutes,
-            deadline: self.config.deadline.map(|d| t_start + d),
-        };
-        let t1 = Instant::now();
-        let mut recovery = crate::improve::PhaseOutcome::default();
-        if self.config.use_constraints {
-            engine.probe_mut().phase_enter(Phase::RecoverViolate);
-            recovery = recover_violate(
-                &mut engine,
-                self.config.recover_passes,
-                self.config.criteria_order,
-                &limits,
-            );
-            engine.probe_mut().phase_exit(Phase::RecoverViolate);
-            if self.config.verify.at_phases() {
-                engine.audit_phase(Phase::RecoverViolate);
-            }
-            engine.probe_mut().phase_enter(Phase::ImproveDelay);
-            improve_delay(
-                &mut engine,
-                self.config.delay_passes,
-                self.config.criteria_order,
-                &limits,
-            );
-            engine.probe_mut().phase_exit(Phase::ImproveDelay);
-            if self.config.verify.at_phases() {
-                engine.audit_phase(Phase::ImproveDelay);
-            }
-        }
-        engine.probe_mut().phase_enter(Phase::ImproveArea);
-        improve_area(&mut engine, self.config.area_passes, &limits);
-        engine.probe_mut().phase_exit(Phase::ImproveArea);
-        stats.improvement = t1.elapsed();
-        debug_assert!(
-            engine.probe().corrupting() || engine.all_trees(),
-            "improvement must preserve trees"
-        );
-        // `Final` audits once, silently (no trace event, so the
-        // deterministic stream is identical to an unverified run);
-        // `Phases`/`Steps` emit their last phase-boundary event here.
-        match self.config.verify {
-            VerifyLevel::Off => {}
-            VerifyLevel::Final => {
-                engine.audit_silent();
-            }
-            VerifyLevel::Phases | VerifyLevel::Steps(_) => {
-                engine.audit_phase(Phase::ImproveArea);
-            }
-        }
-
-        // §3.5 degradation: residual violations after recovery become a
-        // structured report — fatal under `OnViolation::Fail`, attached
-        // to the result under `BestEffort` (DESIGN.md §11). Only checked
-        // when constraints actually drove the routing.
-        let violations = if self.config.use_constraints && engine.sta().worst_margin_ps() < 0.0 {
-            Some(ViolationReport::from_sta(
-                engine.sta(),
-                recovery.reroutes,
-                recovery.passes,
-            ))
-        } else {
-            None
-        };
-        if let Some(report) = &violations {
-            if self.config.on_violation == OnViolation::Fail {
-                return Err(RouteError::ConstraintsUnsatisfied(report.clone()));
-            }
-        }
-
-        stats.deletions = engine.deletions;
-        stats.reroutes = engine.reroutes;
-        stats.selection_log = std::mem::take(&mut engine.selection_log);
-        stats.rekey_causes = engine.rekey_causes;
-        stats.audits_passed = engine.audits_passed;
-        stats.audit_checks = engine.audit_checks;
-        let (graphs, density, _sta, probe) = engine.into_parts();
-
-        let trees: Vec<NetTree> = graphs.iter().map(NetTree::from_graph).collect();
-        let net_lengths_um: Vec<f64> = graphs.iter().map(|g| g.alive_length_um()).collect();
-        let total_length_um = net_lengths_um.iter().sum();
-        // The report always evaluates the *requested* constraints.
-        let timing = TimingReport::evaluate(
-            &circuit,
-            &constraints,
-            self.config.delay_model,
-            self.config.wire,
-            &net_lengths_um,
-        )?;
-        stats.total = t_start.elapsed();
-        let result = RoutingResult {
-            trees,
-            channel_tracks: density.channel_maxima(),
-            net_lengths_um,
-            total_length_um,
-            timing,
-            violations,
-            stats,
-        };
-        Ok((
-            Routed {
-                circuit,
-                placement,
-                result,
-            },
-            probe,
-        ))
+        let mut session =
+            RouteSession::start(self.config.clone(), circuit, placement, constraints, probe)?;
+        while session.step(None)? != StepOutcome::Ready {}
+        session.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::Phase;
     use bgr_layout::{Geometry, PlacementBuilder};
     use bgr_netlist::{CellId, CellLibrary, CircuitBuilder};
 

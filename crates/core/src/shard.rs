@@ -57,6 +57,43 @@ impl ShardMap {
         Self { count, heap_shard }
     }
 
+    /// [`ShardMap::by_channel_bands`] balancing by per-channel *weight*
+    /// (the live candidate population of each channel's heap, e.g. the
+    /// number of nets with edges there) instead of by channel count
+    /// alone: contiguous bands are cut so each shard carries a
+    /// near-equal share of the total weight, keeping one hot channel
+    /// from concentrating most re-key and rebuild traffic in a single
+    /// shard.
+    ///
+    /// Deterministic in `weights`; a channel with weight 0 still lands
+    /// in a band (bands stay contiguous and cover every channel). When
+    /// every weight is 0 this degrades to the unweighted banding. The
+    /// channelless heap (index `weights.len()`) rides with shard 0, as
+    /// in the unweighted map.
+    pub fn by_channel_bands_weighted(shards: usize, weights: &[usize]) -> Self {
+        let num_channels = weights.len();
+        let total: usize = weights.iter().sum();
+        if total == 0 {
+            return Self::by_channel_bands(shards, num_channels);
+        }
+        let count = shards.clamp(1, num_channels.max(1));
+        // Band boundary rule: channel c joins band floor(prefix * count /
+        // total) where prefix is the weight strictly before c — the
+        // weighted analogue of (c * count) / num_channels. Monotone in
+        // c, so bands are contiguous; clamped so trailing zero-weight
+        // channels stay in range.
+        let mut prefix = 0usize;
+        let mut heap_shard: Vec<u32> = Vec::with_capacity(num_channels + 1);
+        for &w in weights {
+            let band = (prefix * count) / total;
+            heap_shard.push(band.min(count - 1) as u32);
+            prefix += w;
+        }
+        // The channelless heap rides with the first band.
+        heap_shard.push(0);
+        Self { count, heap_shard }
+    }
+
     /// Number of shards (at least 1).
     pub fn count(&self) -> usize {
         self.count
@@ -106,6 +143,53 @@ mod tests {
         let got: Vec<usize> = (0..3).map(|h| m.shard_of_heap(h)).collect();
         assert_eq!(got, vec![0, 1, 2]);
         assert_eq!(ShardMap::by_channel_bands(0, 3).count(), 1);
+    }
+
+    #[test]
+    fn weighted_bands_balance_population_not_channel_count() {
+        // One hot channel (weight 12) among light ones: unweighted
+        // banding would pair it with a neighbor, weighted banding gives
+        // it a shard of its own and spreads the rest.
+        let m = ShardMap::by_channel_bands_weighted(4, &[12, 1, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.num_heaps(), 9);
+        let got: Vec<usize> = (0..9).map(|h| m.shard_of_heap(h)).collect();
+        // prefix weights: 0,12,13,14,15,16,17,18 of total 19.
+        assert_eq!(got, vec![0, 2, 2, 2, 3, 3, 3, 3, 0]);
+        // Bands are contiguous (monotone shard index over channels).
+        for w in got[..8].windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn weighted_bands_with_uniform_weights_match_unweighted() {
+        let uniform = [3usize; 8];
+        let w = ShardMap::by_channel_bands_weighted(4, &uniform);
+        let u = ShardMap::by_channel_bands(4, 8);
+        let got: Vec<usize> = (0..9).map(|h| w.shard_of_heap(h)).collect();
+        let want: Vec<usize> = (0..9).map(|h| u.shard_of_heap(h)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn weighted_bands_degenerate_inputs_stay_in_bounds() {
+        // All-zero weights fall back to unweighted banding.
+        let m = ShardMap::by_channel_bands_weighted(4, &[0, 0, 0, 0]);
+        assert_eq!(m.count(), 4);
+        let got: Vec<usize> = (0..5).map(|h| m.shard_of_heap(h)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 0]);
+        // Zero channels: one shard holding the channelless heap.
+        let m = ShardMap::by_channel_bands_weighted(4, &[]);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.num_heaps(), 1);
+        assert_eq!(m.shard_of_heap(0), 0);
+        // Trailing zero-weight channels never index out of range.
+        let m = ShardMap::by_channel_bands_weighted(3, &[5, 0, 0]);
+        assert_eq!(m.count(), 3);
+        for h in 0..4 {
+            assert!(m.shard_of_heap(h) < 3);
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod constraints;
 pub mod hpwl;
 pub mod netgen;
 pub mod placegen;
+pub mod shrink;
 
 pub use adversarial::{adversarial_case, AdversarialCase, Pathology};
 pub use circuits::{
@@ -39,3 +40,4 @@ pub use constraints::{arrival_with_lengths, harvest_between, harvest_constraints
 pub use hpwl::{hpwl_net_lengths_in_layout_um, hpwl_net_lengths_um};
 pub use netgen::{generate, GenParams, GeneratedDesign};
 pub use placegen::{place, place_design, PlacementStyle};
+pub use shrink::{drop_nets, shrink_case, ShrinkReport};

@@ -1,0 +1,340 @@
+//! Verifier-guided shrinking of failing adversarial cases (ddmin-lite).
+//!
+//! When the fuzz harness (`tests/fuzz_route.rs`) trips an expectation,
+//! the raw repro is a whole [`AdversarialCase`] — often a hundred nets
+//! and dozens of constraints, nearly all irrelevant to the failure.
+//! [`shrink_case`] delta-debugs the case against a caller-supplied
+//! predicate ("does this still fail?"): it greedily drops constraint
+//! chunks, then net chunks, then constraints again (net removal can
+//! orphan constraints), halving the chunk size until single-element
+//! removals stop making progress. The result is 1-minimal-ish: small
+//! enough to read, while the predicate still holds.
+//!
+//! Nets are removed by **replaying** the circuit through
+//! [`CircuitBuilder`] in the original creation order, skipping the
+//! dropped nets. Cell, pad and terminal ids are preserved exactly
+//! (cells and pads are recreated in their original interleaving, which
+//! the terminal table records), so the placement, the feed-cell /
+//! row-cell tables and every constraint's `TermId`s stay valid without
+//! remapping. Net ids renumber; differential pairs are kept only when
+//! both members survive. A candidate that no longer validates is simply
+//! treated as "does not fail" and skipped.
+
+use bgr_netlist::{Circuit, CircuitBuilder, NetId, TermDir};
+
+use crate::adversarial::AdversarialCase;
+
+/// How a shrink run ended: the minimized case plus bookkeeping.
+#[derive(Debug)]
+pub struct ShrinkReport {
+    /// The minimized case (still failing per the predicate).
+    pub case: AdversarialCase,
+    /// Constraints in the original case.
+    pub constraints_before: usize,
+    /// Nets in the original case.
+    pub nets_before: usize,
+    /// Predicate evaluations spent.
+    pub probes: usize,
+}
+
+impl ShrinkReport {
+    /// Constraints surviving the shrink.
+    pub fn constraints_after(&self) -> usize {
+        self.case.design.constraints.len()
+    }
+
+    /// Nets surviving the shrink.
+    pub fn nets_after(&self) -> usize {
+        self.case.design.circuit.nets().len()
+    }
+
+    /// One-line summary for failure artifacts.
+    pub fn summary(&self) -> String {
+        format!(
+            "shrunk: nets {} -> {}, constraints {} -> {} ({} probes)",
+            self.nets_before,
+            self.nets_after(),
+            self.constraints_before,
+            self.constraints_after(),
+            self.probes
+        )
+    }
+}
+
+/// Rebuilds `circuit` without the nets where `keep[net] == false`.
+///
+/// Returns `None` when the reduced circuit no longer validates (e.g. a
+/// surviving half of a differential pair would be fine — pairs are
+/// dropped with either member — but an acyclicity or width invariant
+/// could still object).
+pub fn drop_nets(circuit: &Circuit, keep: &[bool]) -> Option<Circuit> {
+    assert_eq!(keep.len(), circuit.nets().len(), "keep mask length");
+    let mut cb = CircuitBuilder::new(circuit.library().clone());
+
+    // Replay cells and pads in their original creation order so every
+    // CellId, PadId and TermId is reproduced bit-for-bit. The terminal
+    // table records the interleaving: a cell's pins are contiguous, a
+    // pad owns a single terminal. Feed cells own no terminals, so they
+    // are replayed relative to the other cells by cell index alone.
+    #[derive(Clone, Copy)]
+    enum Event {
+        Cell(usize),
+        Pad(usize),
+    }
+    let mut events: Vec<(usize, Event)> = Vec::new();
+    for (i, cell) in circuit.cells().iter().enumerate() {
+        if let Some(first) = cell.terms().first() {
+            events.push((first.index(), Event::Cell(i)));
+        }
+    }
+    for (p, pad) in circuit.pads().iter().enumerate() {
+        events.push((pad.term().index(), Event::Pad(p)));
+    }
+    events.sort_by_key(|(t, _)| *t);
+
+    fn replay_termless_below(
+        circuit: &Circuit,
+        cb: &mut CircuitBuilder,
+        next_cell: &mut usize,
+        bound: usize,
+    ) {
+        while *next_cell < bound {
+            let cell = &circuit.cells()[*next_cell];
+            if cell.terms().is_empty() {
+                cb.add_cell(cell.name().to_owned(), cell.kind());
+            }
+            *next_cell += 1;
+        }
+    }
+    let mut next_cell = 0usize;
+    for (_, ev) in events {
+        match ev {
+            Event::Cell(i) => {
+                replay_termless_below(circuit, &mut cb, &mut next_cell, i);
+                cb.add_cell(
+                    circuit.cells()[i].name().to_owned(),
+                    circuit.cells()[i].kind(),
+                );
+                next_cell = i + 1;
+            }
+            Event::Pad(p) => {
+                let pad = &circuit.pads()[p];
+                match pad.dir() {
+                    TermDir::Input => cb.add_input_pad(pad.name().to_owned()),
+                    TermDir::Output => cb.add_output_pad(pad.name().to_owned()),
+                };
+            }
+        }
+    }
+    replay_termless_below(circuit, &mut cb, &mut next_cell, circuit.cells().len());
+    debug_assert_eq!(cb.cell_count(), circuit.cells().len());
+
+    // Re-add the surviving nets (NetIds renumber) and remap pairs.
+    let mut new_id: Vec<Option<NetId>> = vec![None; circuit.nets().len()];
+    for (i, net) in circuit.nets().iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let id = cb
+            .add_wide_net(
+                net.name().to_owned(),
+                net.driver(),
+                net.sinks().iter().copied(),
+                net.width_pitches(),
+            )
+            .ok()?;
+        new_id[i] = Some(id);
+    }
+    for &(a, b) in circuit.diff_pairs() {
+        if let (Some(a), Some(b)) = (new_id[a.index()], new_id[b.index()]) {
+            cb.mark_diff_pair(a, b).ok()?;
+        }
+    }
+    cb.finish().ok()
+}
+
+/// One greedy ddmin pass over a keep-mask: tries dropping chunks of
+/// `keep`-ed indices, halving the chunk until singles stall. `test`
+/// receives the candidate mask and answers "does it still fail?".
+fn ddmin(keep: &mut [bool], probes: &mut usize, mut test: impl FnMut(&[bool]) -> bool) {
+    let mut chunk = keep.len().div_ceil(2).max(1);
+    loop {
+        let live: Vec<usize> = (0..keep.len()).filter(|&i| keep[i]).collect();
+        let mut start = 0;
+        while start < live.len() {
+            let end = (start + chunk).min(live.len());
+            let mut cand = keep.to_vec();
+            for &i in &live[start..end] {
+                cand[i] = false;
+            }
+            *probes += 1;
+            if test(&cand) {
+                keep.copy_from_slice(&cand);
+            }
+            start = end;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+}
+
+/// Builds the case variant selected by the two keep-masks, or `None`
+/// when the reduced circuit no longer validates.
+fn select(
+    case: &AdversarialCase,
+    keep_nets: &[bool],
+    keep_cons: &[bool],
+) -> Option<AdversarialCase> {
+    let circuit = if keep_nets.iter().all(|&k| k) {
+        case.design.circuit.clone()
+    } else {
+        drop_nets(&case.design.circuit, keep_nets)?
+    };
+    let mut out = case.clone();
+    out.design.circuit = circuit;
+    out.design.constraints = case
+        .design
+        .constraints
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep_cons[*i])
+        .map(|(_, c)| c.clone())
+        .collect();
+    Some(out)
+}
+
+/// Delta-debugs `case` down to a (near-)minimal variant for which
+/// `still_fails` keeps answering `true`.
+///
+/// The predicate is called on *candidate* cases; it must treat any
+/// outcome other than the original failure (including success, a
+/// different error, or a panic the caller converts) as `false`. The
+/// original case itself is assumed failing and is returned unchanged if
+/// nothing can be dropped. Placement, seed, pathology and params are
+/// carried over verbatim; `expect_overconstrained` keeps its original
+/// value and is only meaningful for the un-shrunk case.
+pub fn shrink_case(
+    case: &AdversarialCase,
+    mut still_fails: impl FnMut(&AdversarialCase) -> bool,
+) -> ShrinkReport {
+    let nets_before = case.design.circuit.nets().len();
+    let constraints_before = case.design.constraints.len();
+    let mut keep_nets = vec![true; nets_before];
+    let mut keep_cons = vec![true; constraints_before];
+    let mut probes = 0usize;
+
+    // Constraints first (cheap, often decisive), then nets, then
+    // constraints again: removing nets can orphan constraints that the
+    // first pass had to keep.
+    for phase in 0..3 {
+        let nets_phase = phase == 1;
+        let mask = if nets_phase {
+            keep_nets.clone()
+        } else {
+            keep_cons.clone()
+        };
+        let mut mask = mask;
+        ddmin(&mut mask, &mut probes, |cand| {
+            let (kn, kc) = if nets_phase {
+                (cand, &keep_cons[..])
+            } else {
+                (&keep_nets[..], cand)
+            };
+            select(case, kn, kc).is_some_and(|c| still_fails(&c))
+        });
+        if nets_phase {
+            keep_nets = mask;
+        } else {
+            keep_cons = mask;
+        }
+    }
+
+    let case = select(case, &keep_nets, &keep_cons)
+        .expect("the accepted masks produced a valid case during the search");
+    ShrinkReport {
+        case,
+        constraints_before,
+        nets_before,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversarial::adversarial_case;
+
+    #[test]
+    fn full_keep_mask_replays_the_circuit_exactly() {
+        let case = adversarial_case(7);
+        let circuit = &case.design.circuit;
+        let replayed = drop_nets(circuit, &vec![true; circuit.nets().len()]).unwrap();
+        assert_eq!(replayed.cells().len(), circuit.cells().len());
+        assert_eq!(replayed.pads().len(), circuit.pads().len());
+        assert_eq!(replayed.terms().len(), circuit.terms().len());
+        assert_eq!(replayed.nets().len(), circuit.nets().len());
+        assert_eq!(replayed.diff_pairs(), circuit.diff_pairs());
+        for (a, b) in replayed.cells().iter().zip(circuit.cells()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.terms(), b.terms());
+        }
+        for (a, b) in replayed.nets().iter().zip(circuit.nets()) {
+            assert_eq!(a.driver(), b.driver());
+            assert_eq!(a.sinks(), b.sinks());
+            assert_eq!(a.width_pitches(), b.width_pitches());
+        }
+        // The placement of the original case must still validate.
+        case.placement.validate(&replayed).unwrap();
+    }
+
+    #[test]
+    fn shrinks_to_a_single_blamed_constraint() {
+        let case = adversarial_case(0); // InfeasibleLimits: many constraints
+        assert!(case.design.constraints.len() > 1);
+        let victim = case.design.constraints[2].name.clone();
+        let report = shrink_case(&case, |c| {
+            c.design.constraints.iter().any(|k| k.name == victim)
+        });
+        assert_eq!(report.constraints_after(), 1);
+        assert_eq!(report.case.design.constraints[0].name, victim);
+        assert!(report.probes > 0);
+        assert!(report.summary().contains("constraints"));
+    }
+
+    #[test]
+    fn shrinks_nets_while_keeping_the_circuit_valid() {
+        let case = adversarial_case(2); // SingleRow
+        let nets = case.design.circuit.nets().len();
+        assert!(nets > 4);
+        let victim = case.design.circuit.nets()[nets / 2].name().to_owned();
+        let report = shrink_case(&case, |c| {
+            c.design.circuit.validate().is_ok()
+                && c.design.circuit.nets().iter().any(|n| n.name() == victim)
+        });
+        assert!(report.nets_after() < nets, "no net was dropped");
+        assert!(report
+            .case
+            .design
+            .circuit
+            .nets()
+            .iter()
+            .any(|n| n.name() == victim));
+        report.case.design.circuit.validate().unwrap();
+        report
+            .case
+            .placement
+            .validate(&report.case.design.circuit)
+            .unwrap();
+    }
+
+    #[test]
+    fn predicate_never_true_returns_the_original_shape() {
+        let case = adversarial_case(4);
+        let report = shrink_case(&case, |_| false);
+        assert_eq!(report.nets_after(), report.nets_before);
+        assert_eq!(report.constraints_after(), report.constraints_before);
+    }
+}

@@ -13,7 +13,10 @@
 //! * **SVG**: [`render_svg`] draws rows, cells, feedthroughs and every
 //!   routed trunk/branch of a [`bgr_core::RoutingResult`];
 //! * **trace** (`.jsonl`): [`write_trace_jsonl`] serializes a
-//!   [`bgr_core::RouteTrace`] one JSON record per line.
+//!   [`bgr_core::RouteTrace`] one JSON record per line;
+//! * **checkpoint** (`.bgrc`): versioned serialization of a suspended
+//!   route session's [`bgr_core::EngineSnapshot`] —
+//!   [`write_checkpoint`] / [`parse_checkpoint`].
 //!
 //! All writers round-trip: `parse(write(x))` reconstructs an equivalent
 //! object (see the crate's property tests).
@@ -41,6 +44,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 pub mod constraints;
 pub mod error;
 pub mod netlist;
@@ -48,9 +52,13 @@ pub mod placement;
 pub mod svg;
 pub mod trace;
 
+pub use checkpoint::{parse_checkpoint, write_checkpoint};
 pub use constraints::{parse_constraints, write_constraints};
 pub use error::ParseError;
 pub use netlist::{parse_netlist, write_netlist};
 pub use placement::{parse_placement, write_placement};
 pub use svg::render_svg;
-pub use trace::{deterministic_lines, trace_divergence, write_trace_jsonl};
+pub use trace::{
+    deterministic_event_lines, deterministic_lines, trace_divergence, write_trace_jsonl,
+    write_trace_jsonl_offset,
+};

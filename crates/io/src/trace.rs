@@ -161,17 +161,40 @@ pub fn trace_divergence(golden: &str, actual: &str) -> Option<String> {
     None
 }
 
+/// The `"type":"event"` lines of a trace JSONL document only — no meta
+/// line — newline-terminated. This is the slice a resumed session
+/// appends to its stream: concatenating the event lines of every slice
+/// (each serialized with [`write_trace_jsonl_offset`] at its
+/// checkpoint's `events_emitted` offset) reproduces the uninterrupted
+/// run's event lines byte-for-byte, `seq` included.
+pub fn deterministic_event_lines(trace_text: &str) -> String {
+    trace_text
+        .lines()
+        .filter(|l| l.contains("\"type\":\"event\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
 /// Serializes a trace as JSON lines (see the [module docs](self) for the
 /// schema).
 pub fn write_trace_jsonl(trace: &RouteTrace) -> String {
+    write_trace_jsonl_offset(trace, 0)
+}
+
+/// [`write_trace_jsonl`] with event `seq` numbers starting at
+/// `seq_offset` — the serialization of one *slice* of a checkpointed
+/// session, whose events continue a stream that already emitted
+/// `seq_offset` events (the snapshot's `events_emitted`). The meta
+/// line's `events` count still covers only this document's events.
+pub fn write_trace_jsonl_offset(trace: &RouteTrace, seq_offset: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{{\"type\":\"meta\",\"format\":\"bgr-trace\",\"version\":1,\"events\":{}}}",
         trace.events.len()
     );
-    for (seq, ev) in trace.events.iter().enumerate() {
-        write_event(&mut out, seq, ev);
+    for (i, ev) in trace.events.iter().enumerate() {
+        write_event(&mut out, seq_offset as usize + i, ev);
     }
     for c in Counter::ALL {
         let _ = writeln!(

@@ -1,0 +1,523 @@
+//! Sessionized job layer over the router: a [`JobQueue`] of routing
+//! [`Job`]s, each advanced one budgeted slice at a time, suspended to a
+//! real serialized checkpoint between slices, and audited by the
+//! independent verifier on completion (DESIGN.md §13).
+//!
+//! # State machine
+//!
+//! ```text
+//! Created ──▶ Running ──▶ Suspended(checkpoint) ──▶ Completed
+//!                ▲             │        │
+//!                └─────────────┘        └──────────▶ Failed
+//! ```
+//!
+//! [`JobQueue::run_round`] advances every runnable job by one slice,
+//! fanning the slices over `bgr_core::par::scoped_map`. A slice is:
+//! restore the session from the job's checkpoint text (or start it),
+//! run one [`RouteSession::step`] under the job's selection quota, then
+//! either write a fresh checkpoint (suspension) or finish and audit.
+//! **Every suspension round-trips through the serialized codec** —
+//! `bgr_io::write_checkpoint` / `bgr_io::parse_checkpoint` — never a
+//! kept-alive in-memory session, so the resume path is exercised on
+//! every boundary, and a queue can in principle be drained by a
+//! different process than the one that filled it.
+//!
+//! # Streams
+//!
+//! Each job accumulates a JSONL stream: the deterministic trace-event
+//! lines of every slice (serialized at the slice's global `seq` offset,
+//! so the concatenation is byte-identical to an uninterrupted run's
+//! event lines) interleaved with `{"type":"progress",...}` /
+//! `{"type":"done",...}` records at slice boundaries.
+//!
+//! # Cancellation
+//!
+//! [`JobQueue::cancel`] is cooperative and lands at the next slice
+//! boundary: the in-flight slice (if any) completes and checkpoints,
+//! after which the job is skipped by subsequent rounds — parked as
+//! `Suspended` with its checkpoint intact. [`JobQueue::reactivate`]
+//! clears the flag and the job continues from exactly where it stopped.
+
+use std::fmt::Write as _;
+
+use bgr_core::probe::CollectingProbe;
+use bgr_core::session::{RouteSession, SessionStage, StepOutcome};
+use bgr_core::{par, RouteError, Routed, RouterConfig};
+use bgr_io::{
+    deterministic_event_lines, parse_checkpoint, write_checkpoint, write_trace_jsonl_offset,
+};
+use bgr_layout::Placement;
+use bgr_netlist::Circuit;
+use bgr_timing::PathConstraint;
+use bgr_verify::{audit, AuditReport};
+
+/// Where a job stands in its lifecycle (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Submitted; no slice has run yet.
+    Created,
+    /// A slice is executing right now (transient — never observed
+    /// between [`JobQueue::run_round`] calls).
+    Running,
+    /// Parked at a checkpoint; the next round resumes it (unless
+    /// cancelled).
+    Suspended,
+    /// Finished with a clean independent audit.
+    Completed,
+    /// A structured error ([`Job::error`]) or a failed audit
+    /// ([`Job::audit`]) stopped the job.
+    Failed,
+}
+
+impl SessionState {
+    /// Stable snake_case label (used in stream records).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Created => "created",
+            Self::Running => "running",
+            Self::Suspended => "suspended",
+            Self::Completed => "completed",
+            Self::Failed => "failed",
+        }
+    }
+
+    /// Whether the job can never advance again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Self::Completed | Self::Failed)
+    }
+}
+
+/// One routing session managed by the queue.
+#[derive(Debug)]
+pub struct Job {
+    name: String,
+    circuit: Circuit,
+    placement: Placement,
+    constraints: Vec<PathConstraint>,
+    config: RouterConfig,
+    /// Max deletion-loop selections per slice (`None` = run each stage
+    /// to its natural end).
+    slice_quota: Option<u64>,
+    state: SessionState,
+    checkpoint: Option<String>,
+    stream: String,
+    cancelled: bool,
+    stage: &'static str,
+    slices: u64,
+    events_emitted: u64,
+    selections_done: u64,
+    error: Option<RouteError>,
+    audit: Option<AuditReport>,
+    routed: Option<Routed>,
+}
+
+impl Job {
+    /// The submitted name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The serialized checkpoint of the last suspension, if any.
+    pub fn checkpoint(&self) -> Option<&str> {
+        self.checkpoint.as_deref()
+    }
+
+    /// The accumulated JSONL stream (trace events + progress records).
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+
+    /// Whether [`JobQueue::cancel`] parked this job.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// Stable label of the pipeline stage the job is parked at.
+    pub fn stage(&self) -> &'static str {
+        self.stage
+    }
+
+    /// Slices executed so far.
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Deterministic trace events emitted across all slices.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Deletion-loop selections performed across all slices.
+    pub fn selections_done(&self) -> u64 {
+        self.selections_done
+    }
+
+    /// The structured error that failed the job, if one did.
+    pub fn error(&self) -> Option<&RouteError> {
+        self.error.as_ref()
+    }
+
+    /// The completion audit (present on `Completed` and on `Failed`
+    /// when the route finished but the audit flagged it).
+    pub fn audit(&self) -> Option<&AuditReport> {
+        self.audit.as_ref()
+    }
+
+    /// The finished route (present once the session completed, even if
+    /// the audit then failed it).
+    pub fn routed(&self) -> Option<&Routed> {
+        self.routed.as_ref()
+    }
+
+    fn runnable(&self) -> bool {
+        !self.state.is_terminal() && !self.cancelled
+    }
+
+    fn fail(&mut self, err: RouteError) {
+        self.stream_record(&format!(
+            "{{\"type\":\"done\",\"slice\":{},\"state\":\"failed\"}}",
+            self.slices
+        ));
+        self.error = Some(err);
+        self.state = SessionState::Failed;
+    }
+
+    fn stream_record(&mut self, line: &str) {
+        self.stream.push_str(line);
+        self.stream.push('\n');
+    }
+
+    fn progress_record(&mut self) {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"type\":\"progress\",\"slice\":{},\"stage\":\"{}\",\"selections\":{},\"events\":{}}}",
+            self.slices, self.stage, self.selections_done, self.events_emitted
+        );
+        self.stream_record(&line);
+    }
+
+    /// Runs one slice: restore (or start) → one `step` → checkpoint or
+    /// finish+audit. The only entry point that mutates routing state.
+    fn advance_slice(&mut self) {
+        self.state = SessionState::Running;
+        let start_events = self.events_emitted;
+        let session = match &self.checkpoint {
+            None => RouteSession::start(
+                self.config.clone(),
+                self.circuit.clone(),
+                self.placement.clone(),
+                self.constraints.clone(),
+                CollectingProbe::new(),
+            ),
+            Some(text) => parse_checkpoint(text)
+                .map_err(|e| RouteError::Checkpoint {
+                    message: e.to_string(),
+                })
+                .and_then(|snap| RouteSession::resume(snap, CollectingProbe::new())),
+        };
+        let mut session = match session {
+            Ok(s) => s,
+            Err(e) => return self.fail(e),
+        };
+        let outcome = match session.step(self.slice_quota) {
+            Ok(o) => o,
+            Err(e) => return self.fail(e),
+        };
+        self.slices += 1;
+        match outcome {
+            StepOutcome::Suspended => {
+                let snap = session.snapshot();
+                self.stage = snap.stage.label();
+                self.events_emitted = snap.events_emitted;
+                self.selections_done = session.selections_done();
+                self.checkpoint = Some(write_checkpoint(&snap));
+                let trace = session.into_probe().finish();
+                let slice_jsonl = write_trace_jsonl_offset(&trace, start_events);
+                let events = deterministic_event_lines(&slice_jsonl);
+                self.stream.push_str(&events);
+                self.progress_record();
+                self.state = SessionState::Suspended;
+            }
+            StepOutcome::Ready => {
+                self.stage = SessionStage::Finished.label();
+                self.events_emitted = session.events_emitted();
+                self.selections_done = session.selections_done();
+                self.checkpoint = None;
+                match session.finish() {
+                    Ok((routed, probe)) => {
+                        let trace = probe.finish();
+                        let slice_jsonl = write_trace_jsonl_offset(&trace, start_events);
+                        self.stream
+                            .push_str(&deterministic_event_lines(&slice_jsonl));
+                        let report = audit(
+                            &routed.circuit,
+                            &routed.placement,
+                            &self.constraints,
+                            &self.config,
+                            &routed.result,
+                        );
+                        let clean = report.is_clean();
+                        self.stream_record(&format!(
+                            "{{\"type\":\"done\",\"slice\":{},\"state\":\"{}\",\"audit_clean\":{clean},\"checks\":{}}}",
+                            self.slices,
+                            if clean { "completed" } else { "failed" },
+                            report.total_checks()
+                        ));
+                        self.audit = Some(report);
+                        self.routed = Some(routed);
+                        self.state = if clean {
+                            SessionState::Completed
+                        } else {
+                            SessionState::Failed
+                        };
+                    }
+                    Err(e) => self.fail(e),
+                }
+            }
+        }
+    }
+}
+
+/// A queue of routing jobs advanced in budgeted, checkpointed slices.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    jobs: Vec<Job>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a job; returns its id (stable index into the queue).
+    /// `slice_quota` bounds the deletion-loop selections a single slice
+    /// may perform (`None` = whole stages per slice).
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+        config: RouterConfig,
+        slice_quota: Option<u64>,
+    ) -> usize {
+        self.jobs.push(Job {
+            name: name.into(),
+            circuit,
+            placement,
+            constraints,
+            config,
+            slice_quota,
+            state: SessionState::Created,
+            checkpoint: None,
+            stream: String::new(),
+            cancelled: false,
+            stage: "setup",
+            slices: 0,
+            events_emitted: 0,
+            selections_done: 0,
+            error: None,
+            audit: None,
+            routed: None,
+        });
+        self.jobs.len() - 1
+    }
+
+    /// The job behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id [`JobQueue::submit`] never returned.
+    pub fn job(&self, id: usize) -> &Job {
+        &self.jobs[id]
+    }
+
+    /// All jobs, in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Requests cooperative cancellation: the job stops at its next
+    /// slice boundary and parks as `Suspended` with its checkpoint
+    /// intact. No-op on terminal jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id [`JobQueue::submit`] never returned.
+    pub fn cancel(&mut self, id: usize) {
+        if !self.jobs[id].state.is_terminal() {
+            self.jobs[id].cancelled = true;
+        }
+    }
+
+    /// Clears a cancellation; the job resumes from its checkpoint on
+    /// the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id [`JobQueue::submit`] never returned.
+    pub fn reactivate(&mut self, id: usize) {
+        self.jobs[id].cancelled = false;
+    }
+
+    /// Whether no job can advance (every job terminal or cancelled).
+    pub fn settled(&self) -> bool {
+        self.jobs.iter().all(|j| !j.runnable())
+    }
+
+    /// Advances every runnable job by one slice, fanning the slices
+    /// over `threads` workers. Returns how many jobs advanced.
+    ///
+    /// Slices are independent (each owns its job's state), and
+    /// `scoped_map` preserves submission order, so round outcomes are
+    /// deterministic for any thread count.
+    pub fn run_round(&mut self, threads: usize) -> usize {
+        let mut active: Vec<&mut Job> = self.jobs.iter_mut().filter(|j| j.runnable()).collect();
+        if active.is_empty() {
+            return 0;
+        }
+        par::scoped_map(threads, &mut active, |job| job.advance_slice());
+        active.len()
+    }
+
+    /// Rounds until the queue settles; returns the number of rounds.
+    pub fn run(&mut self, threads: usize) -> usize {
+        let mut rounds = 0;
+        while self.run_round(threads) > 0 {
+            rounds += 1;
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgr_core::GlobalRouter;
+    use bgr_io::write_trace_jsonl;
+
+    fn small_case(seed: u64) -> (Circuit, Placement, Vec<PathConstraint>) {
+        let params = bgr_gen::GenParams::small(seed);
+        let design = bgr_gen::generate(&params);
+        let placement = bgr_gen::place_design(&design, &params, bgr_gen::PlacementStyle::EvenFeed);
+        (design.circuit, placement, design.constraints)
+    }
+
+    /// Event lines of the uninterrupted route of the same inputs.
+    fn monolithic_events(
+        circuit: &Circuit,
+        placement: &Placement,
+        cons: &[PathConstraint],
+        config: &RouterConfig,
+    ) -> String {
+        let (_, trace) = GlobalRouter::new(config.clone())
+            .route_traced(circuit.clone(), placement.clone(), cons.to_vec())
+            .unwrap();
+        deterministic_event_lines(&write_trace_jsonl(&trace))
+    }
+
+    #[test]
+    fn queue_drains_jobs_to_audited_completion() {
+        let mut q = JobQueue::new();
+        let config = RouterConfig::default();
+        let mut want = Vec::new();
+        for (i, seed) in [3u64, 11, 42].iter().enumerate() {
+            let (c, p, k) = small_case(*seed);
+            want.push(monolithic_events(&c, &p, &k, &config));
+            let quota = if i == 0 { None } else { Some(4 * i as u64) };
+            q.submit(format!("job{i}"), c, p, k, config.clone(), quota);
+        }
+        let rounds = q.run(4);
+        assert!(rounds > 1, "quota'd jobs must take multiple rounds");
+        for (i, job) in q.jobs().iter().enumerate() {
+            assert_eq!(job.state(), SessionState::Completed, "{:?}", job.error());
+            assert!(job.audit().unwrap().is_clean());
+            assert!(job.routed().is_some());
+            assert!(
+                job.checkpoint().is_none(),
+                "completed job keeps no checkpoint"
+            );
+            // The concatenated per-slice event lines are byte-identical
+            // to the uninterrupted run's — seq numbers included.
+            assert_eq!(
+                deterministic_event_lines(job.stream()),
+                want[i],
+                "job {i} stream diverged"
+            );
+            assert!(job.stream().contains("\"type\":\"done\""));
+        }
+        assert!(q.settled());
+    }
+
+    #[test]
+    fn round_outcomes_match_across_thread_counts() {
+        let config = RouterConfig::default();
+        let mut streams: Vec<Vec<String>> = Vec::new();
+        for threads in [1, 4] {
+            let mut q = JobQueue::new();
+            for seed in [5u64, 9] {
+                let (c, p, k) = small_case(seed);
+                q.submit(format!("s{seed}"), c, p, k, config.clone(), Some(3));
+            }
+            q.run(threads);
+            streams.push(q.jobs().iter().map(|j| j.stream().to_string()).collect());
+        }
+        assert_eq!(streams[0], streams[1]);
+    }
+
+    #[test]
+    fn cancellation_parks_and_reactivation_continues_identically() {
+        let config = RouterConfig::default();
+        let (c, p, k) = small_case(17);
+        let want = monolithic_events(&c, &p, &k, &config);
+
+        let mut q = JobQueue::new();
+        let id = q.submit("cancel-me", c, p, k, config, Some(2));
+        assert_eq!(q.job(id).state(), SessionState::Created);
+        q.run_round(2);
+        assert_eq!(q.job(id).state(), SessionState::Suspended);
+        q.cancel(id);
+        assert_eq!(q.run(2), 0, "cancelled job must not advance");
+        assert_eq!(q.job(id).state(), SessionState::Suspended);
+        assert!(q.job(id).is_cancelled());
+        let checkpoint = q.job(id).checkpoint().unwrap().to_string();
+        assert!(checkpoint.starts_with("bgr-checkpoint v1"));
+        assert!(q.settled());
+
+        q.reactivate(id);
+        q.run(2);
+        assert_eq!(q.job(id).state(), SessionState::Completed);
+        assert_eq!(deterministic_event_lines(q.job(id).stream()), want);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_fails_structurally() {
+        let config = RouterConfig::default();
+        let (c, p, k) = small_case(23);
+        let mut q = JobQueue::new();
+        let id = q.submit("corrupt", c, p, k, config, Some(2));
+        q.run_round(1);
+        assert_eq!(q.job(id).state(), SessionState::Suspended);
+        // Sabotage the checkpoint text between rounds.
+        let garbled = q.jobs[id].checkpoint.take().unwrap().replacen(
+            "bgr-checkpoint v1",
+            "bgr-checkpoint v9",
+            1,
+        );
+        q.jobs[id].checkpoint = Some(garbled);
+        q.run(1);
+        assert_eq!(q.job(id).state(), SessionState::Failed);
+        assert!(
+            matches!(q.job(id).error(), Some(RouteError::Checkpoint { .. })),
+            "{:?}",
+            q.job(id).error()
+        );
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`gen`] | `bgr-gen` | synthetic ECL benchmarks (C1–C3 reconstruction) |
 //! | [`io`] | `bgr-io` | text interchange formats (.bgrn/.bgrp/.bgrt) + SVG rendering |
 //! | [`verify`] | `bgr-verify` | independent from-scratch audit of routing results |
+//! | [`serve`] | `bgr-serve` | sessionized job queue: budgeted slices, checkpoints, resume |
 //!
 //! # Quickstart
 //!
@@ -62,5 +63,6 @@ pub use bgr_gen as gen;
 pub use bgr_io as io;
 pub use bgr_layout as layout;
 pub use bgr_netlist as netlist;
+pub use bgr_serve as serve;
 pub use bgr_timing as timing;
 pub use bgr_verify as verify;

@@ -20,11 +20,15 @@
 //!
 //! On any violated expectation the failing seed is written to
 //! `target/fuzz/failing_seed.txt` (the CI `fuzz-smoke` job uploads it as
-//! a repro artifact) before the test panics.
+//! a repro artifact) before the test panics. Differential failures are
+//! first delta-debugged (`bgr::gen::shrink_case`): nets and constraints
+//! are dropped while the check still fails, and the minimized shape —
+//! counts plus the surviving constraint names — is appended to the
+//! artifact so the repro starts small.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use bgr::gen::{adversarial_case, AdversarialCase};
+use bgr::gen::{adversarial_case, shrink_case, AdversarialCase};
 use bgr::netlist::NetId;
 use bgr::router::{
     Budgets, Fault, FaultProbe, GlobalRouter, OnViolation, Phase, RouteError, Routed, RouterConfig,
@@ -40,6 +44,39 @@ fn record_failure(seed: u64, what: &str) {
     let _ = std::fs::write(
         dir.join("failing_seed.txt"),
         format!("seed={seed}\nreason={what}\nrepro: adversarial_case({seed})\n"),
+    );
+}
+
+/// As [`record_failure`], but first delta-debugs the case down to a
+/// minimal repro (`bgr::gen::shrink_case`): nets and constraints are
+/// dropped while the differential check still fails, and the minimized
+/// shape is appended to the artifact. Shrinking re-routes many reduced
+/// candidates, so this only runs on the (fatal) failure path.
+fn record_shrunk_failure(seed: u64, what: &str, case: &AdversarialCase) {
+    let report = shrink_case(case, |cand| {
+        // Any outcome other than "the check fails" — including a panic
+        // in the harness itself — rejects the candidate.
+        matches!(
+            catch_unwind(AssertUnwindSafe(|| check_seed(cand).is_err())),
+            Ok(true)
+        )
+    });
+    let dir = std::path::Path::new("target/fuzz");
+    let _ = std::fs::create_dir_all(dir);
+    let survivors: Vec<&str> = report
+        .case
+        .design
+        .constraints
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    let _ = std::fs::write(
+        dir.join("failing_seed.txt"),
+        format!(
+            "seed={seed}\nreason={what}\nrepro: adversarial_case({seed})\n\
+             {}\nminimal constraints: {survivors:?}\n",
+            report.summary()
+        ),
     );
 }
 
@@ -162,7 +199,7 @@ fn fuzz_differential_over_adversarial_seeds() {
             Ok(Ok(true)) => overconstrained += 1,
             Ok(Ok(false)) => {}
             Ok(Err(why)) => {
-                record_failure(seed, &why);
+                record_shrunk_failure(seed, &why, &adversarial_case(seed));
                 panic!("seed {seed}: {why}");
             }
             Err(_) => {
