@@ -1,0 +1,244 @@
+//! `trace_query`: analytics over schema-v1 JSONL route traces and the
+//! bench-regression gate (DESIGN.md §14).
+//!
+//! Subcommands:
+//!
+//! * `stats <trace.jsonl> [--json]` — per-event-kind counts, selection
+//!   and deletion totals, deciding-tier and counter breakdowns, and
+//!   per-phase wall-clock, via [`bgr_io::TraceStats`]. `--json` prints
+//!   one machine-readable object for CI.
+//! * `diff <a.jsonl> <b.jsonl> [--json]` — first divergence of the
+//!   deterministic prefixes via [`bgr_io::trace_divergence`]; exits 1
+//!   when the traces diverge.
+//! * `gate --bench <BENCH_deletion.json> --baseline <baseline.json>
+//!   [--threshold PCT] [--json]` — compares the `RATE` scoreboard
+//!   deletions/s against a committed baseline and exits 1 on a
+//!   regression beyond `PCT` percent (default 15). `BGR_BLESS=1`
+//!   (re)writes the baseline from the bench output instead.
+//!
+//! Everything is read-side: this tool never routes, so it can analyze
+//! traces from any producer (bench bins, `bgr-serve` job streams once
+//! progress records are stripped, CI artifacts).
+
+use std::process::ExitCode;
+
+use bgr_io::{trace_divergence, Json, TraceStats};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace_query stats <trace.jsonl> [--json]\n\
+         \x20      trace_query diff <a.jsonl> <b.jsonl> [--json]\n\
+         \x20      trace_query gate --bench <BENCH_deletion.json> --baseline <baseline.json>\n\
+         \x20                       [--threshold PCT] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mut pos = args.iter().filter(|a| !a.starts_with("--"));
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            pos.next(); // the subcommand itself
+            let Some(path) = pos.next() else {
+                return usage();
+            };
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let stats = match TraceStats::from_jsonl(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if json {
+                println!("{}", stats.to_json());
+            } else {
+                print!("{}", stats.to_ascii());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            pos.next();
+            let (Some(a), Some(b)) = (pos.next(), pos.next()) else {
+                return usage();
+            };
+            let (ta, tb) = match (read(a), read(b)) {
+                (Ok(ta), Ok(tb)) => (ta, tb),
+                (Err(c), _) | (_, Err(c)) => return c,
+            };
+            match trace_divergence(&ta, &tb) {
+                None => {
+                    if json {
+                        println!("{{\"schema\":1,\"kind\":\"trace_diff\",\"diverged\":false}}");
+                    } else {
+                        println!("traces match on their deterministic prefix");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Some(detail) => {
+                    if json {
+                        println!(
+                            "{{\"schema\":1,\"kind\":\"trace_diff\",\"diverged\":true,\"detail\":\"{}\"}}",
+                            bgr_io::escape_json(&detail)
+                        );
+                    } else {
+                        println!("traces diverge:\n{detail}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("gate") => gate(&args, json),
+        _ => usage(),
+    }
+}
+
+/// The `RATE` scoreboard throughput from a `BENCH_deletion.json`.
+struct BenchPoint {
+    threads: u64,
+    deletions: u64,
+    wall_ms: f64,
+}
+
+impl BenchPoint {
+    fn deletions_per_s(&self) -> f64 {
+        self.deletions as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_bench(text: &str) -> Result<BenchPoint, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("no rows array")?;
+    let row = rows
+        .iter()
+        .find(|r| {
+            r.get("instance").and_then(Json::as_str) == Some("RATE")
+                && r.get("strategy").and_then(Json::as_str) == Some("scoreboard")
+        })
+        .ok_or("no RATE scoreboard row")?;
+    Ok(BenchPoint {
+        threads: row.get("threads").and_then(Json::as_u64).unwrap_or(1),
+        deletions: row
+            .get("deletions")
+            .and_then(Json::as_u64)
+            .ok_or("row lacks deletions")?,
+        wall_ms: row
+            .get("wall_ms")
+            .and_then(Json::as_f64)
+            .filter(|w| *w > 0.0)
+            .ok_or("row lacks a positive wall_ms")?,
+    })
+}
+
+fn gate(args: &[String], json: bool) -> ExitCode {
+    let Some(bench_path) = flag_value(args, "--bench") else {
+        return usage();
+    };
+    let Some(baseline_path) = flag_value(args, "--baseline") else {
+        return usage();
+    };
+    let threshold: f64 = match flag_value(args, "--threshold") {
+        None => 15.0,
+        Some(v) => match v.parse() {
+            Ok(t) => t,
+            Err(_) => return usage(),
+        },
+    };
+    let bench_text = match read(bench_path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let point = match parse_bench(&bench_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{bench_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rate = point.deletions_per_s();
+
+    if std::env::var("BGR_BLESS").is_ok_and(|v| v == "1") {
+        let out = format!(
+            "{{\"schema\":1,\"kind\":\"bench_baseline\",\"instance\":\"RATE\",\
+             \"strategy\":\"scoreboard\",\"threads\":{},\"deletions\":{},\
+             \"deletions_per_s\":{:.1}}}\n",
+            point.threads, point.deletions, rate
+        );
+        if let Some(dir) = std::path::Path::new(baseline_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(baseline_path, &out) {
+            eprintln!("cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("blessed {baseline_path} at {rate:.0} deletions/s");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match read(baseline_path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let base_rate = match Json::parse(&baseline_text)
+        .map_err(|e| e.to_string())
+        .and_then(|doc| {
+            doc.get("deletions_per_s")
+                .and_then(Json::as_f64)
+                .filter(|r| *r > 0.0)
+                .ok_or_else(|| "baseline lacks a positive deletions_per_s".to_string())
+        }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let floor = base_rate * (1.0 - threshold / 100.0);
+    let pass = rate >= floor;
+    let delta_pct = (rate / base_rate - 1.0) * 100.0;
+    if json {
+        println!(
+            "{{\"schema\":1,\"kind\":\"bench_gate\",\"pass\":{pass},\
+             \"deletions_per_s\":{rate:.1},\"baseline_per_s\":{base_rate:.1},\
+             \"delta_pct\":{delta_pct:.1},\"threshold_pct\":{threshold:.1}}}"
+        );
+    } else {
+        println!(
+            "RATE scoreboard: {rate:.0} deletions/s vs baseline {base_rate:.0} \
+             ({delta_pct:+.1}%, floor {floor:.0} at -{threshold:.0}%) — {}",
+            if pass { "pass" } else { "REGRESSION" }
+        );
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "deletion throughput regressed more than {threshold:.0}% — \
+             investigate, or re-bless tests/golden/bench_baseline.json with BGR_BLESS=1 \
+             if the change is intentional"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -5,9 +5,13 @@
 //! the deterministic event prefix against it and reports the first
 //! divergence.
 //!
-//! Usage: `trace_summary [out_dir]` — writes `trace.jsonl` and
-//! `trace_summary.txt` under `out_dir` (default `target/trace`). CI
-//! uploads both, so every PR's routing behavior is diffable.
+//! Usage: `trace_summary [out_dir] [--json]` — writes `trace.jsonl`,
+//! `trace_summary.txt`, the hierarchical self-profile (`profile.txt`
+//! ASCII call-tree + `profile.folded` flamegraph-collapsed stacks) and
+//! `trace_stats.json` under `out_dir` (default `target/trace`). CI
+//! uploads them, so every PR's routing behavior is diffable. `--json`
+//! additionally prints the [`bgr_io::TraceStats`] object to stdout for
+//! machine consumers.
 //!
 //! Golden check: the deterministic prefix (meta + event lines) is
 //! compared against `tests/golden/trace.jsonl` (override the path with
@@ -17,18 +21,24 @@
 
 use bgr_core::{Counter, GlobalRouter, RouterConfig, TraceSummary};
 use bgr_gen::golden_instance;
-use bgr_io::{deterministic_lines, trace_divergence, write_trace_jsonl};
+use bgr_io::{deterministic_lines, trace_divergence, write_trace_jsonl, TraceStats};
 
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "target/trace".to_owned());
+    let mut out_dir = "target/trace".to_owned();
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            out_dir = arg;
+        }
+    }
 
     let ds = golden_instance();
     println!("{}: {} nets", ds.name, ds.design.circuit.nets().len());
 
-    let (routed, trace) = GlobalRouter::new(RouterConfig::default())
-        .route_traced(
+    let (routed, trace, profile) = GlobalRouter::new(RouterConfig::default())
+        .route_profiled(
             ds.design.circuit.clone(),
             ds.placement.clone(),
             ds.design.constraints.clone(),
@@ -73,7 +83,7 @@ fn main() {
         &routed.result,
     );
     println!("independent audit ({} checks):", audit.total_checks());
-    print!("{audit}");
+    print!("{}", audit.table());
     if !audit.is_clean() {
         eprintln!("audit FAILED — the trace below describes a corrupted route");
         std::process::exit(1);
@@ -93,6 +103,25 @@ fn main() {
         "wrote {jsonl_path} ({} records) and {text_path}",
         jsonl.lines().count()
     );
+
+    // Hierarchical self-profile (DESIGN.md §14): where the route's wall
+    // clock went, by phase and scope. Diagnostic only — the profiled
+    // run's deterministic event stream is what the golden check below
+    // certifies, so profiling demonstrably didn't perturb the route.
+    print!("{}", profile.to_ascii());
+    let profile_path = format!("{out_dir}/profile.txt");
+    let folded_path = format!("{out_dir}/profile.folded");
+    std::fs::write(&profile_path, profile.to_ascii()).expect("write profile.txt");
+    std::fs::write(&folded_path, profile.to_folded()).expect("write profile.folded");
+    println!("wrote {profile_path} and {folded_path}");
+
+    let stats = TraceStats::from_jsonl(&jsonl).expect("own trace parses");
+    let stats_path = format!("{out_dir}/trace_stats.json");
+    std::fs::write(&stats_path, format!("{}\n", stats.to_json())).expect("write trace_stats.json");
+    println!("wrote {stats_path}");
+    if json {
+        println!("{}", stats.to_json());
+    }
 
     let golden_path =
         std::env::var("BGR_GOLDEN").unwrap_or_else(|_| "tests/golden/trace.jsonl".to_owned());

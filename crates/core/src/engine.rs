@@ -78,7 +78,7 @@ use crate::density::DensityMap;
 use crate::graph::{REdgeKind, RoutingGraph};
 use crate::par;
 use crate::probe::{
-    Corruption, Counter, Hist, NoopProbe, Phase, Probe, RekeyCause, RekeyCauses, TraceEvent,
+    Corruption, Counter, Hist, NoopProbe, Phase, Probe, RekeyCause, RekeyCauses, Scope, TraceEvent,
 };
 use crate::scoreboard::Scoreboard;
 use crate::select::{compare, deciding_tier, DecidingTier, EdgeKey};
@@ -1269,7 +1269,13 @@ impl<P: Probe> Engine<P> {
         };
         let mut sb = Scoreboard::with_shards(map, self.graphs.len(), order);
         self.apply_corruption();
+        if P::PROFILING {
+            self.probe.scope_enter(Scope::Rekey);
+        }
         self.rekey_nets(&mut sb, &nets, false);
+        if P::PROFILING {
+            self.probe.scope_exit(Scope::Rekey);
+        }
         let mut selections: u64 = 0;
         let complete = loop {
             // The budget check precedes the pop, so the stop point (and
@@ -1279,7 +1285,14 @@ impl<P: Probe> Engine<P> {
                 break false;
             }
             self.apply_corruption();
-            let Some(key) = sb.pop_valid_probed(&self.density, &mut self.probe) else {
+            if P::PROFILING {
+                self.probe.scope_enter(Scope::Select);
+            }
+            let popped = sb.pop_valid_probed(&self.density, &mut self.probe);
+            let Some(key) = popped else {
+                if P::PROFILING {
+                    self.probe.scope_exit(Scope::Select);
+                }
                 break true;
             };
             debug_assert!(
@@ -1302,10 +1315,18 @@ impl<P: Probe> Engine<P> {
                     tier,
                 });
             }
+            if P::PROFILING {
+                self.probe.scope_exit(Scope::Select);
+                self.probe.scope_enter(Scope::DeleteModify);
+            }
             self.clear_delta();
             self.delete_with_partner(key.net, key.edge);
             self.selection_log.push((key.net, key.edge));
             selections += 1;
+            if P::PROFILING {
+                self.probe.scope_exit(Scope::DeleteModify);
+                self.probe.scope_enter(Scope::DeriveDirty);
+            }
 
             // Dirty set: changed nets ∪ window-affected nets ∪ nets of
             // refreshed constraints, restricted to the scope, each net
@@ -1341,8 +1362,28 @@ impl<P: Probe> Engine<P> {
                 self.probe.rekey(net, cause);
                 dirty_nets.push(net);
             }
-            self.rekey_nets(&mut sb, &dirty_nets, true);
-            self.maybe_step_audit(start + selections);
+            if P::PROFILING {
+                self.probe.scope_exit(Scope::DeriveDirty);
+                // Per-cause attribution: re-key each dirty net alone so
+                // its wall-clock lands under `rekey:<cause>`. Same nets,
+                // same order, same keys pushed — deterministic
+                // observables are untouched; only the batch-size
+                // diagnostics (MergeBatchSize, ParBatch) differ, which
+                // strategy-dependent counters are allowed to do.
+                self.probe.scope_enter(Scope::Rekey);
+                for &(net, cause) in &dirty {
+                    self.probe.scope_enter(Scope::RekeyFor(cause));
+                    self.rekey_nets(&mut sb, &[net], true);
+                    self.probe.scope_exit(Scope::RekeyFor(cause));
+                }
+                self.probe.scope_exit(Scope::Rekey);
+                self.probe.scope_enter(Scope::Audit);
+                self.maybe_step_audit(start + selections);
+                self.probe.scope_exit(Scope::Audit);
+            } else {
+                self.rekey_nets(&mut sb, &dirty_nets, true);
+                self.maybe_step_audit(start + selections);
+            }
         };
         DeletionRun {
             selections,

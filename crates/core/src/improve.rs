@@ -7,7 +7,7 @@ use bgr_netlist::NetId;
 
 use crate::config::CriteriaOrder;
 use crate::engine::Engine;
-use crate::probe::{Counter, Phase, Probe, TraceEvent};
+use crate::probe::{Counter, Phase, Probe, Scope, TraceEvent};
 
 const EPS: f64 = 1e-6;
 
@@ -94,6 +94,9 @@ fn timing_score<P: Probe>(engine: &Engine<P>) -> (f64, f64) {
 /// Reroutes one net, reverting if the timing score regresses (the
 /// improvement phases must never make things worse).
 fn reroute_guarded<P: Probe>(engine: &mut Engine<P>, net: NetId, order: CriteriaOrder) {
+    if P::PROFILING {
+        engine.probe_mut().scope_enter(Scope::Reroute);
+    }
     let snap = engine.snapshot(net);
     let before = timing_score(engine);
     engine.reroute_net(net, order);
@@ -108,6 +111,9 @@ fn reroute_guarded<P: Probe>(engine: &mut Engine<P>, net: NetId, order: Criteria
         engine
             .probe_mut()
             .event(TraceEvent::RerouteAccepted { net });
+    }
+    if P::PROFILING {
+        engine.probe_mut().scope_exit(Scope::Reroute);
     }
 }
 

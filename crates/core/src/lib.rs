@@ -85,7 +85,8 @@ pub use graph::{REdge, REdgeKind, RVert, RVertKind, RoutingGraph};
 pub use improve::{PhaseLimits, PhaseOutcome};
 pub use probe::{
     CollectingProbe, Corruption, Counter, Fault, FaultProbe, Hist, NoopProbe, Phase, PhaseSpan,
-    Probe, RekeyCause, RekeyCauses, RouteTrace, TraceEvent, FAULT_MARKER, HIST_BUCKETS,
+    Probe, ProfileEntry, ProfileTree, ProfilingProbe, RekeyCause, RekeyCauses, RouteTrace, Scope,
+    TraceEvent, FAULT_MARKER, HIST_BUCKETS,
 };
 pub use report::{ChannelCongestion, CongestionReport, TraceSummary};
 pub use result::{

@@ -27,6 +27,7 @@
 //! `bgr_io::write_trace_jsonl` serializes it and
 //! [`crate::report::TraceSummary`] renders it for humans.
 
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use bgr_netlist::NetId;
@@ -179,6 +180,56 @@ impl RekeyCauses {
     /// `(cause, count)` pairs in [`RekeyCause::ALL`] order.
     pub fn iter(&self) -> impl Iterator<Item = (RekeyCause, usize)> + '_ {
         RekeyCause::ALL.iter().map(|&c| (c, self.of(c)))
+    }
+}
+
+/// A profiled sub-phase scope of the hot path.
+///
+/// Scopes are the profiler's vocabulary: nestable wall-clock brackets
+/// *inside* a [`Phase`], emitted via [`Probe::scope_enter`] /
+/// [`Probe::scope_exit`] only when [`Probe::PROFILING`] is on. Like
+/// phase spans, scope timings are diagnostics — wall-clock stays
+/// confined to the probe and never enters the deterministic
+/// [`TraceEvent`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Champion tournament: popping (and stale-draining) the next valid
+    /// deletion candidate from the scoreboard.
+    Select,
+    /// Applying the selected deletion: edge removal, differential
+    /// cascade, dangling-chain pruning and density mutation.
+    DeleteModify,
+    /// Deriving the dirty set from the invalidation contract's clauses.
+    DeriveDirty,
+    /// Re-keying champions over the dirty set (the dominant cost at
+    /// paper scale — see ROADMAP "incremental STA").
+    Rekey,
+    /// Re-keying attributed to one [`RekeyCause`] — children of
+    /// [`Scope::Rekey`] when per-cause attribution is enabled
+    /// (single-thread profiling runs).
+    RekeyFor(RekeyCause),
+    /// One guarded reroute attempt in an improvement phase.
+    Reroute,
+    /// An in-engine self-audit (`VerifyLevel::Phases`/`Steps`).
+    Audit,
+}
+
+impl Scope {
+    /// Stable label (used by the folded-stack output and the profile
+    /// tree).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scope::Select => "select",
+            Scope::DeleteModify => "delete_modify",
+            Scope::DeriveDirty => "derive_dirty",
+            Scope::Rekey => "rekey",
+            Scope::RekeyFor(RekeyCause::Graph) => "rekey:graph",
+            Scope::RekeyFor(RekeyCause::AggregateMoved) => "rekey:aggregate_moved",
+            Scope::RekeyFor(RekeyCause::SpanOverlap) => "rekey:span_overlap",
+            Scope::RekeyFor(RekeyCause::Constraint) => "rekey:constraint",
+            Scope::Reroute => "reroute",
+            Scope::Audit => "audit",
+        }
     }
 }
 
@@ -507,6 +558,14 @@ pub trait Probe {
     /// `false` of [`NoopProbe`] those branches constant-fold away.
     const ENABLED: bool = true;
 
+    /// Whether this probe profiles sub-phase [`Scope`]s. Call sites use
+    /// this to skip restructuring done *only* for time attribution
+    /// (e.g. splitting one dirty-set re-key batch into per-cause
+    /// sub-batches); with the default `false` those branches
+    /// constant-fold away, so non-profiling runs keep the exact hot
+    /// path.
+    const PROFILING: bool = false;
+
     /// A deterministic decision event.
     fn event(&mut self, _ev: TraceEvent) {}
 
@@ -527,6 +586,13 @@ pub trait Probe {
 
     /// A router phase ended.
     fn phase_exit(&mut self, _phase: Phase) {}
+
+    /// A profiled sub-phase scope began (nestable; see [`Scope`]). Only
+    /// called on hot paths when [`Probe::PROFILING`] is on.
+    fn scope_enter(&mut self, _scope: Scope) {}
+
+    /// A profiled sub-phase scope ended.
+    fn scope_exit(&mut self, _scope: Scope) {}
 
     /// Deterministic events recorded so far (phase markers included).
     /// Non-recording probes report 0. Checkpointing reads this to carry
@@ -747,6 +813,264 @@ impl Probe for CollectingProbe {
             });
         }
         self.events.push(TraceEvent::PhaseExit { phase });
+    }
+}
+
+/// One aggregated node of a [`ProfileTree`]: a `(phase, scope…)` stack
+/// position with call count and cumulative wall-clock.
+#[derive(Debug, Clone)]
+struct ProfileNode {
+    label: &'static str,
+    children: Vec<usize>,
+    calls: u64,
+    total: Duration,
+}
+
+/// One flattened profile-tree entry (for reports and machine output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Stack of labels from the root phase down to this node.
+    pub path: Vec<&'static str>,
+    /// Times the scope was entered.
+    pub calls: u64,
+    /// Cumulative wall-clock including children.
+    pub total: Duration,
+    /// Wall-clock excluding profiled children (`total − Σ children`).
+    pub self_time: Duration,
+}
+
+/// Aggregated call-tree of profiled phases and scopes with self/total
+/// wall-clock, produced by [`ProfilingProbe::finish`].
+///
+/// Pure diagnostics: built entirely from probe-side monotonic
+/// timestamps, rendered as an ASCII tree ([`ProfileTree::to_ascii`])
+/// or folded stacks ([`ProfileTree::to_folded`], the
+/// "flamegraph-collapsed" format `inferno`/`flamegraph.pl` consume).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileTree {
+    nodes: Vec<ProfileNode>,
+    roots: Vec<usize>,
+}
+
+impl ProfileTree {
+    fn children_total(&self, idx: usize) -> Duration {
+        self.nodes[idx]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].total)
+            .sum()
+    }
+
+    fn self_time(&self, idx: usize) -> Duration {
+        self.nodes[idx]
+            .total
+            .saturating_sub(self.children_total(idx))
+    }
+
+    /// Depth-first flattening in recording order.
+    pub fn entries(&self) -> Vec<ProfileEntry> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<(usize, Vec<&'static str>)> =
+            self.roots.iter().rev().map(|&r| (r, Vec::new())).collect();
+        while let Some((idx, prefix)) = stack.pop() {
+            let node = &self.nodes[idx];
+            let mut path = prefix.clone();
+            path.push(node.label);
+            out.push(ProfileEntry {
+                path: path.clone(),
+                calls: node.calls,
+                total: node.total,
+                self_time: self.self_time(idx),
+            });
+            for &child in node.children.iter().rev() {
+                stack.push((child, path.clone()));
+            }
+        }
+        out
+    }
+
+    /// Total profiled wall-clock (sum over root phases).
+    pub fn total(&self) -> Duration {
+        self.roots.iter().map(|&r| self.nodes[r].total).sum()
+    }
+
+    /// Indented tree: one line per node with total/self/calls columns.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>10}",
+            "phase/scope", "total", "self", "calls"
+        );
+        for entry in self.entries() {
+            let indent = "  ".repeat(entry.path.len() - 1);
+            let label = entry.path.last().copied().unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12} {:>12} {:>10}",
+                format!("{indent}{label}"),
+                format_duration(entry.total),
+                format_duration(entry.self_time),
+                entry.calls
+            );
+        }
+        out
+    }
+
+    /// Folded-stack ("flamegraph-collapsed") output: one
+    /// `phase;scope;… <self-µs>` line per node with nonzero self time.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for entry in self.entries() {
+            let us = entry.self_time.as_micros();
+            if us == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {us}", entry.path.join(";"));
+        }
+        out
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us >= 1_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// A [`Probe`] that collects the full [`RouteTrace`] *and* aggregates
+/// nestable phase/scope spans into a [`ProfileTree`].
+///
+/// `PROFILING == true` turns on the engine's scope hooks (and its
+/// per-[`RekeyCause`] re-key attribution path); the deterministic
+/// observables are still byte-identical to a [`CollectingProbe`] run —
+/// proven by `tests/metrics_determinism.rs`.
+pub struct ProfilingProbe {
+    inner: CollectingProbe,
+    tree: ProfileTree,
+    /// Open stack: `(node index, enter timestamp)`.
+    stack: Vec<(usize, Instant)>,
+}
+
+impl ProfilingProbe {
+    /// Creates an empty profiling collector.
+    pub fn new() -> Self {
+        Self {
+            inner: CollectingProbe::new(),
+            tree: ProfileTree::default(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Consumes the probe into its trace and aggregated profile.
+    /// Unbalanced opens (a route that errored mid-scope) are dropped,
+    /// mirroring [`CollectingProbe::finish`].
+    pub fn finish(self) -> (RouteTrace, ProfileTree) {
+        (self.inner.finish(), self.tree)
+    }
+
+    fn open(&mut self, label: &'static str) {
+        let parent = self.stack.last().map(|&(idx, _)| idx);
+        let siblings: &[usize] = match parent {
+            Some(p) => &self.tree.nodes[p].children,
+            None => &self.tree.roots,
+        };
+        let existing = siblings
+            .iter()
+            .copied()
+            .find(|&idx| self.tree.nodes[idx].label == label);
+        let idx = match existing {
+            Some(idx) => idx,
+            None => {
+                let idx = self.tree.nodes.len();
+                self.tree.nodes.push(ProfileNode {
+                    label,
+                    children: Vec::new(),
+                    calls: 0,
+                    total: Duration::ZERO,
+                });
+                match parent {
+                    Some(p) => self.tree.nodes[p].children.push(idx),
+                    None => self.tree.roots.push(idx),
+                }
+                idx
+            }
+        };
+        self.tree.nodes[idx].calls += 1;
+        self.stack.push((idx, Instant::now()));
+    }
+
+    fn close(&mut self, label: &'static str) {
+        if let Some((idx, started)) = self.stack.pop() {
+            debug_assert_eq!(
+                self.tree.nodes[idx].label, label,
+                "unbalanced scope markers"
+            );
+            self.tree.nodes[idx].total += started.elapsed();
+        }
+    }
+}
+
+impl Default for ProfilingProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ProfilingProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilingProbe")
+            .field("inner", &self.inner)
+            .field("nodes", &self.tree.nodes.len())
+            .field("open", &self.stack.len())
+            .finish()
+    }
+}
+
+impl Probe for ProfilingProbe {
+    const PROFILING: bool = true;
+
+    fn event(&mut self, ev: TraceEvent) {
+        self.inner.event(ev);
+    }
+
+    fn count(&mut self, c: Counter, by: u64) {
+        self.inner.count(c, by);
+    }
+
+    fn sample(&mut self, h: Hist, value: u64) {
+        self.inner.sample(h, value);
+    }
+
+    fn rekey(&mut self, net: NetId, cause: RekeyCause) {
+        self.inner.rekey(net, cause);
+    }
+
+    fn phase_enter(&mut self, phase: Phase) {
+        self.inner.phase_enter(phase);
+        self.open(phase.label());
+    }
+
+    fn phase_exit(&mut self, phase: Phase) {
+        self.close(phase.label());
+        self.inner.phase_exit(phase);
+    }
+
+    fn scope_enter(&mut self, scope: Scope) {
+        self.open(scope.label());
+    }
+
+    fn scope_exit(&mut self, scope: Scope) {
+        self.close(scope.label());
+    }
+
+    fn events_len(&self) -> usize {
+        self.inner.events_len()
     }
 }
 
@@ -973,6 +1297,7 @@ impl<P: Probe> PhaseTracked<P> {
 
 impl<P: Probe> Probe for PhaseTracked<P> {
     const ENABLED: bool = P::ENABLED;
+    const PROFILING: bool = P::PROFILING;
 
     fn event(&mut self, ev: TraceEvent) {
         self.inner.event(ev);
@@ -1002,6 +1327,14 @@ impl<P: Probe> Probe for PhaseTracked<P> {
 
     fn phase_exit(&mut self, phase: Phase) {
         self.inner.phase_exit(phase);
+    }
+
+    fn scope_enter(&mut self, scope: Scope) {
+        self.inner.scope_enter(scope);
+    }
+
+    fn scope_exit(&mut self, scope: Scope) {
+        self.inner.scope_exit(scope);
     }
 
     fn events_len(&self) -> usize {
@@ -1163,6 +1496,103 @@ mod tests {
         let mut p = FaultProbe::new(Fault::Corrupt(skew));
         assert_eq!(p.corruption(), Some(skew));
         assert_eq!(p.corruption(), Some(skew));
+    }
+
+    #[test]
+    fn profiling_probe_builds_an_aggregated_tree() {
+        let mut p = ProfilingProbe::new();
+        p.phase_enter(Phase::InitialRouting);
+        for _ in 0..3 {
+            p.scope_enter(Scope::Select);
+            p.scope_exit(Scope::Select);
+            p.scope_enter(Scope::Rekey);
+            p.scope_enter(Scope::RekeyFor(RekeyCause::Graph));
+            p.scope_exit(Scope::RekeyFor(RekeyCause::Graph));
+            p.scope_exit(Scope::Rekey);
+        }
+        p.event(TraceEvent::NetBecameTree { net: NetId::new(0) });
+        p.phase_exit(Phase::InitialRouting);
+        p.phase_enter(Phase::ImproveArea);
+        p.scope_enter(Scope::Reroute);
+        p.scope_exit(Scope::Reroute);
+        p.phase_exit(Phase::ImproveArea);
+
+        let (trace, tree) = p.finish();
+        // The inner trace is a normal collecting trace.
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.events.len(), 5); // 2×(enter+exit) + net-tree
+
+        let entries = tree.entries();
+        let paths: Vec<String> = entries.iter().map(|e| e.path.join(";")).collect();
+        assert_eq!(
+            paths,
+            [
+                "initial_routing",
+                "initial_routing;select",
+                "initial_routing;rekey",
+                "initial_routing;rekey;rekey:graph",
+                "improve_area",
+                "improve_area;reroute",
+            ]
+        );
+        let select = &entries[1];
+        assert_eq!(select.calls, 3, "repeated scopes aggregate");
+        let rekey = &entries[2];
+        assert!(rekey.total >= entries[3].total, "parent covers child");
+        assert!(rekey.self_time <= rekey.total);
+        // Root self-time excludes profiled children.
+        let root = &entries[0];
+        assert!(root.self_time <= root.total);
+        assert!(tree.total() >= root.total);
+    }
+
+    #[test]
+    fn profile_tree_renders_ascii_and_folded() {
+        let mut p = ProfilingProbe::new();
+        p.phase_enter(Phase::InitialRouting);
+        p.scope_enter(Scope::Select);
+        std::thread::sleep(Duration::from_millis(2));
+        p.scope_exit(Scope::Select);
+        p.phase_exit(Phase::InitialRouting);
+        let (_, tree) = p.finish();
+
+        let ascii = tree.to_ascii();
+        assert!(ascii.contains("phase/scope"), "{ascii}");
+        assert!(ascii.contains("initial_routing"), "{ascii}");
+        assert!(ascii.contains("  select"), "{ascii}");
+
+        let folded = tree.to_folded();
+        let select_line = folded
+            .lines()
+            .find(|l| l.starts_with("initial_routing;select "))
+            .expect("folded stack for the scope");
+        let us: u64 = select_line
+            .rsplit(' ')
+            .next()
+            .expect("self-time field")
+            .parse()
+            .expect("numeric self-time");
+        assert!(us >= 2_000, "slept 2ms inside the scope: {us}µs");
+    }
+
+    #[test]
+    fn scope_labels_are_stable_and_unique() {
+        let all = [
+            Scope::Select,
+            Scope::DeleteModify,
+            Scope::DeriveDirty,
+            Scope::Rekey,
+            Scope::RekeyFor(RekeyCause::Graph),
+            Scope::RekeyFor(RekeyCause::AggregateMoved),
+            Scope::RekeyFor(RekeyCause::SpanOverlap),
+            Scope::RekeyFor(RekeyCause::Constraint),
+            Scope::Reroute,
+            Scope::Audit,
+        ];
+        let mut labels: Vec<&str> = all.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
     }
 
     #[test]

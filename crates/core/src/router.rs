@@ -6,7 +6,9 @@ use bgr_timing::PathConstraint;
 
 use crate::config::RouterConfig;
 use crate::error::RouteError;
-use crate::probe::{CollectingProbe, NoopProbe, PhaseTracked, Probe, RouteTrace};
+use crate::probe::{
+    CollectingProbe, NoopProbe, PhaseTracked, Probe, ProfileTree, ProfilingProbe, RouteTrace,
+};
 use crate::result::RoutingResult;
 use crate::session::{RouteSession, StepOutcome};
 
@@ -76,6 +78,29 @@ impl GlobalRouter {
     ) -> Result<(Routed, RouteTrace), RouteError> {
         self.route_with_probe(circuit, placement, constraints, CollectingProbe::new())
             .map(|(routed, probe)| (routed, probe.finish()))
+    }
+
+    /// [`GlobalRouter::route`] observed by a [`ProfilingProbe`]: the
+    /// full [`RouteTrace`] plus an aggregated phase/scope
+    /// [`ProfileTree`] with per-[`crate::probe::RekeyCause`] re-key
+    /// time attribution. Deterministic observables are identical to a
+    /// [`GlobalRouter::route_traced`] run; profiling only adds
+    /// probe-side wall-clock aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GlobalRouter::route`].
+    pub fn route_profiled(
+        &self,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+    ) -> Result<(Routed, RouteTrace, ProfileTree), RouteError> {
+        self.route_with_probe(circuit, placement, constraints, ProfilingProbe::new())
+            .map(|(routed, probe)| {
+                let (trace, profile) = probe.finish();
+                (routed, trace, profile)
+            })
     }
 
     /// [`GlobalRouter::route`] behind a panic-isolation boundary.

@@ -54,6 +54,64 @@ fn opt_u64(v: Option<u64>) -> String {
     }
 }
 
+/// FNV-1a 64-bit hash of a design text — the integrity check of the
+/// design-by-reference checkpoint mode. Stable across platforms (pure
+/// byte fold, no seeding).
+pub fn design_hash(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Paths of an externalized design, stored verbatim in `design-ref`
+/// lines of a by-reference checkpoint. Relative paths resolve against
+/// the base directory given to [`parse_checkpoint_in`] (conventionally
+/// the checkpoint's own directory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignRefs {
+    /// Netlist file (`.bgrn`).
+    pub netlist: String,
+    /// Placement file (`.bgrp`).
+    pub placement: String,
+    /// Constraints file (`.bgrt`).
+    pub constraints: String,
+}
+
+/// Writes a snapshot's design to `<stem>.bgrn` / `.bgrp` / `.bgrt`
+/// under `dir` and returns the (relative) [`DesignRefs`] for
+/// [`write_checkpoint_ref`]. Queues that route the same circuit many
+/// times call this once and shrink every subsequent checkpoint from
+/// ~40 kB to ~1 kB.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation, file writes).
+pub fn externalize_design(
+    snap: &EngineSnapshot,
+    dir: &std::path::Path,
+    stem: &str,
+) -> std::io::Result<DesignRefs> {
+    std::fs::create_dir_all(dir)?;
+    let refs = DesignRefs {
+        netlist: format!("{stem}.bgrn"),
+        placement: format!("{stem}.bgrp"),
+        constraints: format!("{stem}.bgrt"),
+    };
+    std::fs::write(dir.join(&refs.netlist), write_netlist(&snap.circuit))?;
+    std::fs::write(
+        dir.join(&refs.placement),
+        write_placement(&snap.circuit, &snap.placement),
+    )?;
+    std::fs::write(
+        dir.join(&refs.constraints),
+        write_constraints(&snap.circuit, &snap.constraints),
+    )?;
+    Ok(refs)
+}
+
 /// Serializes a snapshot to the checkpoint text format.
 pub fn write_checkpoint(snap: &EngineSnapshot) -> String {
     let mut out = String::new();
@@ -69,7 +127,45 @@ pub fn write_checkpoint(snap: &EngineSnapshot) -> String {
     let _ = writeln!(out, "begin constraints");
     out.push_str(&write_constraints(&snap.circuit, &snap.constraints));
     let _ = writeln!(out, "end constraints");
+    write_state(&mut out, snap);
+    out
+}
 
+/// [`write_checkpoint`] in design-by-reference mode: instead of
+/// embedding the design, emits one `design-ref <kind> <fnv64> <path>`
+/// line per design file (hashing the snapshot's own canonical
+/// serialization, so a file produced by [`externalize_design`] always
+/// verifies). Such a checkpoint must be restored with
+/// [`parse_checkpoint_in`]; the plain parser reports a structured
+/// error directing there.
+pub fn write_checkpoint_ref(snap: &EngineSnapshot, refs: &DesignRefs) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(
+        out,
+        "design-ref netlist {:016x} {}",
+        design_hash(&write_netlist(&snap.circuit)),
+        refs.netlist
+    );
+    let _ = writeln!(
+        out,
+        "design-ref placement {:016x} {}",
+        design_hash(&write_placement(&snap.circuit, &snap.placement)),
+        refs.placement
+    );
+    let _ = writeln!(
+        out,
+        "design-ref constraints {:016x} {}",
+        design_hash(&write_constraints(&snap.circuit, &snap.constraints)),
+        refs.constraints
+    );
+    write_state(&mut out, snap);
+    out
+}
+
+/// The design-independent tail of a checkpoint: config, stage, stats,
+/// recovery, logs, masks — shared by both writer modes.
+fn write_state(out: &mut String, snap: &EngineSnapshot) {
     let c = &snap.config;
     let _ = writeln!(
         out,
@@ -208,7 +304,6 @@ pub fn write_checkpoint(snap: &EngineSnapshot) -> String {
         let _ = writeln!(out, "a {bits}");
     }
     let _ = writeln!(out, "end checkpoint");
-    out
 }
 
 /// Line cursor over the checkpoint text, tracking 1-based positions for
@@ -234,6 +329,11 @@ impl<'a> Cursor<'a> {
             }
             None => Err(ParseError::new(0, "unexpected end of checkpoint")),
         }
+    }
+
+    /// The upcoming line, without consuming it.
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.clone().next().map(|(_, l)| l)
     }
 
     /// Next line, which must start with `keyword `; returns the rest.
@@ -335,6 +435,90 @@ impl<'a> Cursor<'a> {
 // errors point at the offending line; a struct literal can't do that.
 #[allow(clippy::field_reassign_with_default)]
 pub fn parse_checkpoint(text: &str) -> Result<EngineSnapshot, ParseError> {
+    parse_checkpoint_inner(text, None)
+}
+
+/// [`parse_checkpoint`] that can additionally restore design-by-reference
+/// checkpoints ([`write_checkpoint_ref`]): relative `design-ref` paths
+/// resolve against `base_dir` (conventionally the checkpoint's own
+/// directory), each referenced file's FNV-1a hash is re-computed and
+/// verified against the recorded one, and a mismatch — a swapped or
+/// edited design file — is a structured [`ParseError`], never a
+/// mis-restored session.
+///
+/// # Errors
+///
+/// Everything [`parse_checkpoint`] reports, plus unreadable reference
+/// files and design-hash mismatches.
+pub fn parse_checkpoint_in(
+    text: &str,
+    base_dir: &std::path::Path,
+) -> Result<EngineSnapshot, ParseError> {
+    parse_checkpoint_inner(text, Some(base_dir))
+}
+
+/// One `design-ref <kind> <fnv64> <path>` line: resolve, read, verify.
+fn design_ref_text(
+    cur: &mut Cursor,
+    kind: &str,
+    base_dir: Option<&std::path::Path>,
+) -> Result<String, ParseError> {
+    let rest = cur.field("design-ref")?;
+    let mut parts = rest.splitn(3, ' ');
+    match parts.next() {
+        Some(k) if k == kind => {}
+        other => {
+            return Err(cur.err(format!(
+                "expected `design-ref {kind} ...`, got kind {other:?}"
+            )))
+        }
+    }
+    let hash_raw = parts
+        .next()
+        .ok_or_else(|| cur.err(format!("design-ref {kind}: missing hash")))?;
+    let expected = u64::from_str_radix(hash_raw, 16)
+        .map_err(|_| cur.err(format!("design-ref {kind}: bad hash {hash_raw:?}")))?;
+    let path = parts
+        .next()
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| cur.err(format!("design-ref {kind}: missing path")))?;
+    let Some(base_dir) = base_dir else {
+        return Err(cur.err(format!(
+            "checkpoint stores its {kind} by reference ({path}); restore it with \
+             parse_checkpoint_in and the checkpoint's directory"
+        )));
+    };
+    let full = {
+        let p = std::path::Path::new(path);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            base_dir.join(p)
+        }
+    };
+    let text = std::fs::read_to_string(&full).map_err(|e| {
+        cur.err(format!(
+            "design-ref {kind}: cannot read {}: {e}",
+            full.display()
+        ))
+    })?;
+    let got = design_hash(&text);
+    if got != expected {
+        return Err(cur.err(format!(
+            "design-ref {kind}: hash mismatch for {} (checkpoint records {expected:016x}, \
+             file hashes to {got:016x}) — the referenced design changed since the checkpoint \
+             was written",
+            full.display()
+        )));
+    }
+    Ok(text)
+}
+
+#[allow(clippy::field_reassign_with_default)]
+fn parse_checkpoint_inner(
+    text: &str,
+    base_dir: Option<&std::path::Path>,
+) -> Result<EngineSnapshot, ParseError> {
     let mut cur = Cursor::new(text);
     let header = cur.next()?;
     match header.strip_prefix("bgr-checkpoint v") {
@@ -347,13 +531,24 @@ pub fn parse_checkpoint(text: &str) -> Result<EngineSnapshot, ParseError> {
         None => return Err(cur.err(format!("not a bgr checkpoint (header {header:?})"))),
     }
 
-    let netlist_text = cur.block("netlist")?;
+    let by_reference = cur.peek().is_some_and(|l| l.starts_with("design-ref "));
+    let (netlist_text, placement_text, constraints_text) = if by_reference {
+        (
+            design_ref_text(&mut cur, "netlist", base_dir)?,
+            design_ref_text(&mut cur, "placement", base_dir)?,
+            design_ref_text(&mut cur, "constraints", base_dir)?,
+        )
+    } else {
+        (
+            cur.block("netlist")?,
+            cur.block("placement")?,
+            cur.block("constraints")?,
+        )
+    };
     let circuit =
         parse_netlist(&netlist_text).map_err(|e| cur.err(format!("embedded netlist: {e}")))?;
-    let placement_text = cur.block("placement")?;
     let placement = parse_placement(&circuit, &placement_text)
         .map_err(|e| cur.err(format!("embedded placement: {e}")))?;
-    let constraints_text = cur.block("constraints")?;
     let constraints = parse_constraints(&circuit, &constraints_text)
         .map_err(|e| cur.err(format!("embedded constraints: {e}")))?;
 
@@ -612,6 +807,101 @@ mod tests {
         assert_eq!(a, b);
         // And the re-serialization is byte-identical.
         assert_eq!(write_checkpoint(&back), text);
+    }
+
+    #[test]
+    fn by_reference_round_trips_and_compacts() {
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join("bgr_ckpt_ref_roundtrip");
+        let refs = externalize_design(&snap, &dir, "design").unwrap();
+        let text = write_checkpoint_ref(&snap, &refs);
+        let embedded = write_checkpoint(&snap);
+        assert!(
+            text.len() * 5 < embedded.len(),
+            "by-reference checkpoint should be a small fraction of the embedded one \
+             ({} vs {} bytes)",
+            text.len(),
+            embedded.len()
+        );
+
+        let back = parse_checkpoint_in(&text, &dir).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.stage, snap.stage);
+        assert_eq!(back.stats, snap.stats);
+        assert_eq!(back.events_emitted, snap.events_emitted);
+        assert_eq!(back.feeds, snap.feeds);
+        assert_eq!(back.alive, snap.alive);
+        let a: Vec<u64> = back.branch_lens.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = snap.branch_lens.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        // The restored snapshot re-serializes to the identical ref text
+        // (same design → same hashes) and to the identical embedded text.
+        assert_eq!(write_checkpoint_ref(&back, &refs), text);
+        assert_eq!(write_checkpoint(&back), embedded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn by_reference_without_resolver_is_structured() {
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join("bgr_ckpt_ref_noresolve");
+        let refs = externalize_design(&snap, &dir, "design").unwrap();
+        let text = write_checkpoint_ref(&snap, &refs);
+        let err = parse_checkpoint(&text).unwrap_err();
+        assert!(err.message.contains("parse_checkpoint_in"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn by_reference_hash_mismatch_and_missing_file_are_structured() {
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join("bgr_ckpt_ref_tamper");
+        let refs = externalize_design(&snap, &dir, "design").unwrap();
+        let text = write_checkpoint_ref(&snap, &refs);
+
+        // Tamper with the referenced netlist: caught by the hash, with a
+        // message naming the file and both hashes.
+        let netlist_path = dir.join(&refs.netlist);
+        let original = std::fs::read_to_string(&netlist_path).unwrap();
+        std::fs::write(&netlist_path, format!("{original}\n")).unwrap();
+        let err = parse_checkpoint_in(&text, &dir).unwrap_err();
+        assert!(err.message.contains("hash mismatch"), "{err}");
+        assert!(err.message.contains("design.bgrn"), "{err}");
+
+        // Remove it entirely: a structured read error, not a panic.
+        std::fs::remove_file(&netlist_path).unwrap();
+        let err = parse_checkpoint_in(&text, &dir).unwrap_err();
+        assert!(err.message.contains("cannot read"), "{err}");
+
+        // Malformed ref lines are structured too.
+        for bad in [
+            "design-ref netlist zzzz design.bgrn",
+            "design-ref netlist 0123",
+            "design-ref placement 0123456789abcdef design.bgrp",
+        ] {
+            let mangled = text
+                .lines()
+                .map(|l| {
+                    if l.starts_with("design-ref netlist") {
+                        bad.to_string()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            assert!(parse_checkpoint_in(&mangled, &dir).is_err(), "{bad}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn design_hash_is_stable_and_content_sensitive() {
+        // Pinned FNV-1a 64 vectors: a changed algorithm would silently
+        // orphan every existing by-reference checkpoint.
+        assert_eq!(design_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(design_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(design_hash("net n0"), design_hash("net n1"));
     }
 
     #[test]

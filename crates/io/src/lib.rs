@@ -47,18 +47,23 @@
 pub mod checkpoint;
 pub mod constraints;
 pub mod error;
+pub mod json;
 pub mod netlist;
 pub mod placement;
 pub mod svg;
 pub mod trace;
 
-pub use checkpoint::{parse_checkpoint, write_checkpoint};
+pub use checkpoint::{
+    design_hash, externalize_design, parse_checkpoint, parse_checkpoint_in, write_checkpoint,
+    write_checkpoint_ref, DesignRefs,
+};
 pub use constraints::{parse_constraints, write_constraints};
 pub use error::ParseError;
+pub use json::{escape_json, Json, JsonError};
 pub use netlist::{parse_netlist, write_netlist};
 pub use placement::{parse_placement, write_placement};
 pub use svg::render_svg;
 pub use trace::{
     deterministic_event_lines, deterministic_lines, trace_divergence, write_trace_jsonl,
-    write_trace_jsonl_offset,
+    write_trace_jsonl_offset, TraceStats,
 };

@@ -24,6 +24,8 @@ use std::fmt::Write as _;
 
 use bgr_core::probe::{Counter, Hist, RouteTrace, TraceEvent};
 
+use crate::json::Json;
+
 fn write_event(out: &mut String, seq: usize, ev: &TraceEvent) {
     let _ = write!(out, "{{\"type\":\"event\",\"seq\":{seq},");
     match *ev {
@@ -234,6 +236,196 @@ pub fn write_trace_jsonl_offset(trace: &RouteTrace, seq_offset: u64) -> String {
     out
 }
 
+/// Aggregated analytics over one schema-v1 trace JSONL document — the
+/// read-side counterpart of [`write_trace_jsonl`], computed entirely
+/// from the serialized text so it works on archived traces from other
+/// runs/machines (the `trace_query` CLI is a thin shell around it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Events declared by the meta line.
+    pub meta_events: u64,
+    /// `(kind, count)` per event kind, in first-appearance order.
+    pub kind_counts: Vec<(String, u64)>,
+    /// `(tier, count)` provenance breakdown over `deletion_selected`
+    /// events, in first-appearance order.
+    pub tier_counts: Vec<(String, u64)>,
+    /// Deletion selections (`deletion_selected` events).
+    pub selections: u64,
+    /// Total deleted edges: selections + cascades + fallbacks + pruned
+    /// edge counts.
+    pub deletions: u64,
+    /// `(name, value)` of every counter line, in document order (the
+    /// per-[`bgr_core::RekeyCause`] `rekeys_*` provenance lives here).
+    pub counters: Vec<(String, u64)>,
+    /// `(phase, wall_us, events)` per span line, summed over repeated
+    /// phases (a resumed session emits one span per slice).
+    pub phase_walls: Vec<(String, u64, u64)>,
+}
+
+impl TraceStats {
+    /// Parses a trace JSONL document and aggregates its statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line (1-based) on
+    /// any JSON or schema violation.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut stats = TraceStats::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let ty = record
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: record without \"type\"", i + 1))?;
+            match ty {
+                "meta" => {
+                    stats.meta_events += record
+                        .get("events")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("line {}: meta without \"events\"", i + 1))?;
+                }
+                "event" => {
+                    let kind = record
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {}: event without \"kind\"", i + 1))?;
+                    bump(&mut stats.kind_counts, kind, 1);
+                    match kind {
+                        "deletion_selected" => {
+                            stats.selections += 1;
+                            stats.deletions += 1;
+                            if let Some(tier) = record.get("tier").and_then(Json::as_str) {
+                                bump(&mut stats.tier_counts, tier, 1);
+                            }
+                        }
+                        "cascade_deleted" | "fallback_deleted" => stats.deletions += 1,
+                        "pruned" => {
+                            stats.deletions +=
+                                record.get("count").and_then(Json::as_u64).unwrap_or(0);
+                        }
+                        _ => {}
+                    }
+                }
+                "counter" => {
+                    let name = record
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {}: counter without \"name\"", i + 1))?;
+                    let value = record.get("value").and_then(Json::as_u64).unwrap_or(0);
+                    bump(&mut stats.counters, name, value);
+                }
+                "hist" => {}
+                "span" => {
+                    let phase = record
+                        .get("phase")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {}: span without \"phase\"", i + 1))?;
+                    let wall = record.get("wall_us").and_then(Json::as_u64).unwrap_or(0);
+                    let events = record.get("events").and_then(Json::as_u64).unwrap_or(0);
+                    match stats.phase_walls.iter_mut().find(|(p, _, _)| p == phase) {
+                        Some(row) => {
+                            row.1 += wall;
+                            row.2 += events;
+                        }
+                        None => stats.phase_walls.push((phase.to_string(), wall, events)),
+                    }
+                }
+                other => return Err(format!("line {}: unknown record type {other:?}", i + 1)),
+            }
+        }
+        Ok(stats)
+    }
+
+    /// One counter's value (0 when the document has no such line).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Human-readable digest.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "events {} · selections {} · deletions {}",
+            self.meta_events, self.selections, self.deletions
+        );
+        let _ = writeln!(out, "event kinds:");
+        for (kind, n) in &self.kind_counts {
+            let _ = writeln!(out, "  {kind:<24} {n:>8}");
+        }
+        if !self.tier_counts.is_empty() {
+            let _ = writeln!(out, "deciding tiers:");
+            for (tier, n) in &self.tier_counts {
+                let _ = writeln!(out, "  {tier:<24} {n:>8}");
+            }
+        }
+        if !self.phase_walls.is_empty() {
+            let _ = writeln!(out, "phase wall-clock:");
+            for (phase, wall_us, events) in &self.phase_walls {
+                let _ = writeln!(
+                    out,
+                    "  {phase:<24} {:>9.2}ms {events:>8} events",
+                    *wall_us as f64 / 1_000.0
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<28} {v:>12}");
+            }
+        }
+        out
+    }
+
+    /// Machine-readable digest (one JSON object, for CI consumers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":1,\"kind\":\"trace_stats\"");
+        let _ = write!(
+            out,
+            ",\"events\":{},\"selections\":{},\"deletions\":{}",
+            self.meta_events, self.selections, self.deletions
+        );
+        let fields = |pairs: &[(String, u64)]| {
+            pairs
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", crate::json::escape_json(k)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = write!(out, ",\"event_kinds\":{{{}}}", fields(&self.kind_counts));
+        let _ = write!(out, ",\"deciding_tiers\":{{{}}}", fields(&self.tier_counts));
+        let _ = write!(out, ",\"counters\":{{{}}}", fields(&self.counters));
+        let spans = self
+            .phase_walls
+            .iter()
+            .map(|(p, wall, events)| {
+                format!(
+                    "{{\"phase\":\"{}\",\"wall_us\":{wall},\"events\":{events}}}",
+                    crate::json::escape_json(p)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(out, ",\"phases\":[{spans}]}}");
+        out
+    }
+}
+
+fn bump(rows: &mut Vec<(String, u64)>, key: &str, by: u64) {
+    match rows.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v += by,
+        None => rows.push((key.to_string(), by)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +533,86 @@ mod tests {
         // A golden holding only the deterministic prefix compares clean
         // against the full document.
         assert_eq!(trace_divergence(&det, &text), None);
+    }
+
+    #[test]
+    fn trace_stats_aggregate_the_serialized_document() {
+        let mut p = CollectingProbe::new();
+        p.phase_enter(Phase::InitialRouting);
+        p.event(TraceEvent::DeletionSelected {
+            net: NetId::new(2),
+            edge: 5,
+            tier: DecidingTier::DMax,
+        });
+        p.event(TraceEvent::CascadeDeleted {
+            net: NetId::new(3),
+            edge: 5,
+        });
+        p.event(TraceEvent::Pruned {
+            net: NetId::new(2),
+            count: 3,
+        });
+        p.event(TraceEvent::DeletionSelected {
+            net: NetId::new(4),
+            edge: 0,
+            tier: DecidingTier::OnlyCandidate,
+        });
+        p.count(Counter::KeyEval, 42);
+        p.rekey(NetId::new(1), bgr_core::RekeyCause::Graph);
+        p.phase_exit(Phase::InitialRouting);
+        let text = write_trace_jsonl(&p.finish());
+
+        let stats = TraceStats::from_jsonl(&text).expect("well-formed document");
+        assert_eq!(stats.meta_events, 6); // 2 phase markers + 4 decision events
+        assert_eq!(stats.selections, 2);
+        assert_eq!(stats.deletions, 2 + 1 + 3);
+        assert_eq!(stats.counter("key_evals"), 42);
+        assert_eq!(stats.counter("rekeys_graph"), 1);
+        assert_eq!(stats.counter("no_such_counter"), 0);
+        let kinds: Vec<&str> = stats.kind_counts.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "phase_enter",
+                "deletion_selected",
+                "cascade_deleted",
+                "pruned",
+                "phase_exit"
+            ]
+        );
+        assert_eq!(
+            stats.tier_counts,
+            [("d_max".to_string(), 1), ("only_candidate".to_string(), 1)]
+        );
+        assert_eq!(stats.phase_walls.len(), 1);
+        assert_eq!(stats.phase_walls[0].0, "initial_routing");
+        assert_eq!(stats.phase_walls[0].2, 4, "interior events of the span");
+
+        let ascii = stats.to_ascii();
+        assert!(ascii.contains("selections 2"), "{ascii}");
+        assert!(ascii.contains("deletion_selected"), "{ascii}");
+
+        let json = stats.to_json();
+        let parsed = Json::parse(&json).expect("self-parsing digest");
+        assert_eq!(parsed.get("selections").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            parsed
+                .get("deciding_tiers")
+                .and_then(|t| t.get("d_max"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn trace_stats_reject_malformed_lines() {
+        let err = TraceStats::from_jsonl("{\"type\":\"event\"}").expect_err("missing kind");
+        assert!(err.contains("line 1"), "{err}");
+        let err = TraceStats::from_jsonl("not json").expect_err("not json");
+        assert!(err.contains("line 1"), "{err}");
+        let err =
+            TraceStats::from_jsonl("{\"type\":\"mystery\"}").expect_err("unknown record type");
+        assert!(err.contains("mystery"), "{err}");
     }
 
     #[test]

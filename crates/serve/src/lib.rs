@@ -39,17 +39,115 @@
 //! clears the flag and the job continues from exactly where it stopped.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use bgr_core::probe::CollectingProbe;
 use bgr_core::session::{RouteSession, SessionStage, StepOutcome};
 use bgr_core::{par, RouteError, Routed, RouterConfig};
 use bgr_io::{
-    deterministic_event_lines, parse_checkpoint, write_checkpoint, write_trace_jsonl_offset,
+    deterministic_event_lines, escape_json, parse_checkpoint, write_checkpoint,
+    write_trace_jsonl_offset,
 };
 use bgr_layout::Placement;
+use bgr_metrics::{CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry};
 use bgr_netlist::Circuit;
 use bgr_timing::PathConstraint;
 use bgr_verify::{audit, AuditReport};
+
+/// The serve layer's operational metrics, registered on a shared
+/// [`MetricsRegistry`] and updated at slice boundaries.
+///
+/// Everything here is *diagnostic*: the registry observes the queue
+/// from the outside and is never consulted by routing decisions, so
+/// attaching one changes no deterministic observable — job streams,
+/// checkpoints and audits are byte-identical with and without metrics
+/// (asserted by `tests/metrics_determinism.rs`). Wall clock touches
+/// exactly one cell, `slice_latency_us`.
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    /// Runnable jobs at the start of the most recent round.
+    pub queue_depth: GaugeHandle,
+    /// Wall-clock of one job slice, µs (the only wall-clock metric).
+    pub slice_latency_us: HistogramHandle,
+    /// Slices executed across all jobs.
+    pub slices_total: CounterHandle,
+    /// Deletion-loop selections performed across all jobs.
+    pub selections_total: CounterHandle,
+    /// Deterministic trace events emitted across all jobs.
+    pub events_total: CounterHandle,
+    /// Serialized checkpoint bytes written at suspensions.
+    pub checkpoint_bytes_total: CounterHandle,
+    /// Completion audits where every invariant held.
+    pub audit_clean_total: CounterHandle,
+    /// Completion audits with at least one divergence.
+    pub audit_failed_total: CounterHandle,
+    /// Cooperative cancellation requests accepted.
+    pub cancellations_total: CounterHandle,
+    /// Jobs that reached `Completed`.
+    pub jobs_completed_total: CounterHandle,
+    /// Jobs that reached `Failed` (structural error or failed audit).
+    pub jobs_failed_total: CounterHandle,
+}
+
+impl ServeMetrics {
+    /// Registers the serve metric family on `registry`. Idempotent:
+    /// registering twice attaches to the same underlying cells.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            queue_depth: registry.gauge(
+                "bgr_queue_depth",
+                "Runnable jobs at the start of the most recent round",
+                &[],
+            ),
+            slice_latency_us: registry.histogram(
+                "bgr_slice_latency_us",
+                "Wall-clock latency of one job slice in microseconds",
+                &[],
+            ),
+            slices_total: registry.counter("bgr_slices_total", "Job slices executed", &[]),
+            selections_total: registry.counter(
+                "bgr_selections_total",
+                "Deletion-loop selections performed across all jobs",
+                &[],
+            ),
+            events_total: registry.counter(
+                "bgr_trace_events_total",
+                "Deterministic trace events emitted across all jobs",
+                &[],
+            ),
+            checkpoint_bytes_total: registry.counter(
+                "bgr_checkpoint_bytes_total",
+                "Serialized checkpoint bytes written at suspensions",
+                &[],
+            ),
+            audit_clean_total: registry.counter(
+                "bgr_audit_total",
+                "Completion audits by verdict",
+                &[("verdict", "clean")],
+            ),
+            audit_failed_total: registry.counter(
+                "bgr_audit_total",
+                "Completion audits by verdict",
+                &[("verdict", "failed")],
+            ),
+            cancellations_total: registry.counter(
+                "bgr_cancellations_total",
+                "Cooperative cancellation requests accepted",
+                &[],
+            ),
+            jobs_completed_total: registry.counter(
+                "bgr_jobs_terminal_total",
+                "Jobs that reached a terminal state",
+                &[("state", "completed")],
+            ),
+            jobs_failed_total: registry.counter(
+                "bgr_jobs_terminal_total",
+                "Jobs that reached a terminal state",
+                &[("state", "failed")],
+            ),
+        }
+    }
+}
 
 /// Where a job stands in its lifecycle (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,12 +361,23 @@ impl Job {
                             &routed.result,
                         );
                         let clean = report.is_clean();
-                        self.stream_record(&format!(
-                            "{{\"type\":\"done\",\"slice\":{},\"state\":\"{}\",\"audit_clean\":{clean},\"checks\":{}}}",
+                        // One-line `Display`s of the audit and (when
+                        // present) the residual-violation report embed
+                        // as single JSON strings — both deterministic,
+                        // so the stream stays thread-count invariant.
+                        let mut line = format!(
+                            "{{\"type\":\"done\",\"slice\":{},\"state\":\"{}\",\"audit_clean\":{clean},\"checks\":{},\"audit\":\"{}\"",
                             self.slices,
                             if clean { "completed" } else { "failed" },
-                            report.total_checks()
-                        ));
+                            report.total_checks(),
+                            escape_json(&report.to_string()),
+                        );
+                        if let Some(v) = &routed.result.violations {
+                            let _ =
+                                write!(line, ",\"violations\":\"{}\"", escape_json(&v.to_string()));
+                        }
+                        line.push('}');
+                        self.stream_record(&line);
                         self.audit = Some(report);
                         self.routed = Some(routed);
                         self.state = if clean {
@@ -288,12 +397,26 @@ impl Job {
 #[derive(Debug, Default)]
 pub struct JobQueue {
     jobs: Vec<Job>,
+    metrics: Option<ServeMetrics>,
 }
 
 impl JobQueue {
     /// An empty queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty queue reporting into `registry` (see [`ServeMetrics`]).
+    pub fn with_metrics(registry: &MetricsRegistry) -> Self {
+        Self {
+            jobs: Vec::new(),
+            metrics: Some(ServeMetrics::register(registry)),
+        }
+    }
+
+    /// Attaches (or replaces) the queue's metrics sink.
+    pub fn attach_metrics(&mut self, metrics: ServeMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Submits a job; returns its id (stable index into the queue).
@@ -353,6 +476,11 @@ impl JobQueue {
     /// Panics on an id [`JobQueue::submit`] never returned.
     pub fn cancel(&mut self, id: usize) {
         if !self.jobs[id].state.is_terminal() {
+            if !self.jobs[id].cancelled {
+                if let Some(m) = &self.metrics {
+                    m.cancellations_total.inc();
+                }
+            }
             self.jobs[id].cancelled = true;
         }
     }
@@ -379,11 +507,47 @@ impl JobQueue {
     /// `scoped_map` preserves submission order, so round outcomes are
     /// deterministic for any thread count.
     pub fn run_round(&mut self, threads: usize) -> usize {
+        let metrics = self.metrics.clone();
         let mut active: Vec<&mut Job> = self.jobs.iter_mut().filter(|j| j.runnable()).collect();
+        if let Some(m) = &metrics {
+            m.queue_depth.set(active.len() as i64);
+        }
         if active.is_empty() {
             return 0;
         }
-        par::scoped_map(threads, &mut active, |job| job.advance_slice());
+        par::scoped_map(threads, &mut active, |job| match &metrics {
+            None => job.advance_slice(),
+            Some(m) => {
+                let before_selections = job.selections_done;
+                let before_events = job.events_emitted;
+                let had_audit = job.audit.is_some();
+                let start = Instant::now();
+                job.advance_slice();
+                m.slice_latency_us
+                    .observe(start.elapsed().as_micros() as u64);
+                m.slices_total.inc();
+                m.selections_total
+                    .add(job.selections_done - before_selections);
+                m.events_total.add(job.events_emitted - before_events);
+                if let Some(cp) = &job.checkpoint {
+                    m.checkpoint_bytes_total.add(cp.len() as u64);
+                }
+                if !had_audit {
+                    if let Some(report) = &job.audit {
+                        if report.is_clean() {
+                            m.audit_clean_total.inc();
+                        } else {
+                            m.audit_failed_total.inc();
+                        }
+                    }
+                }
+                match job.state {
+                    SessionState::Completed => m.jobs_completed_total.inc(),
+                    SessionState::Failed => m.jobs_failed_total.inc(),
+                    _ => {}
+                }
+            }
+        });
         active.len()
     }
 
@@ -452,8 +616,78 @@ mod tests {
                 "job {i} stream diverged"
             );
             assert!(job.stream().contains("\"type\":\"done\""));
+            // The audit's stable one-line `Display` is embedded in the
+            // done record verbatim.
+            let want_audit = format!(
+                "\"audit\":\"{}\"",
+                escape_json(&job.audit().unwrap().to_string())
+            );
+            assert!(job.stream().contains(&want_audit), "{}", job.stream());
+            assert!(job.stream().contains("\"audit\":\"audit clean: "));
         }
         assert!(q.settled());
+    }
+
+    #[test]
+    fn metrics_observe_the_queue_without_touching_streams() {
+        let config = RouterConfig::default();
+        let registry = MetricsRegistry::new();
+        let mut plain = JobQueue::new();
+        let mut metered = JobQueue::with_metrics(&registry);
+        for seed in [3u64, 11] {
+            let (c, p, k) = small_case(seed);
+            plain.submit(
+                format!("s{seed}"),
+                c.clone(),
+                p.clone(),
+                k.clone(),
+                config.clone(),
+                Some(4),
+            );
+            metered.submit(format!("s{seed}"), c, p, k, config.clone(), Some(4));
+        }
+        metered.cancel(1);
+        metered.reactivate(1);
+        plain.run(2);
+        metered.run(2);
+
+        // Deterministic observables are byte-identical with and
+        // without a registry attached.
+        for (a, b) in plain.jobs().iter().zip(metered.jobs()) {
+            assert_eq!(a.stream(), b.stream());
+            assert_eq!(a.state(), b.state());
+        }
+
+        let m = ServeMetrics::register(&registry); // idempotent re-attach
+        let slices: u64 = metered.jobs().iter().map(|j| j.slices()).sum();
+        let selections: u64 = metered.jobs().iter().map(|j| j.selections_done()).sum();
+        let events: u64 = metered.jobs().iter().map(|j| j.events_emitted()).sum();
+        assert_eq!(m.slices_total.get(), slices);
+        assert_eq!(m.selections_total.get(), selections);
+        assert_eq!(m.events_total.get(), events);
+        assert_eq!(m.slice_latency_us.count(), slices);
+        assert_eq!(m.audit_clean_total.get(), 2);
+        assert_eq!(m.audit_failed_total.get(), 0);
+        assert_eq!(m.jobs_completed_total.get(), 2);
+        assert_eq!(m.jobs_failed_total.get(), 0);
+        assert_eq!(m.cancellations_total.get(), 1);
+        assert!(m.checkpoint_bytes_total.get() > 0, "quota'd jobs suspend");
+        assert_eq!(m.queue_depth.get(), 0, "settled queue reports empty");
+
+        let text = registry.render_prometheus();
+        for name in [
+            "bgr_queue_depth",
+            "bgr_slice_latency_us_bucket",
+            "bgr_slices_total",
+            "bgr_selections_total",
+            "bgr_trace_events_total",
+            "bgr_checkpoint_bytes_total",
+            "bgr_audit_total{verdict=\"clean\"}",
+            "bgr_jobs_terminal_total{state=\"completed\"}",
+            "bgr_cancellations_total",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
     }
 
     #[test]

@@ -167,17 +167,45 @@ impl AuditReport {
     pub fn total_checks(&self) -> u64 {
         self.verdicts.iter().map(|v| v.checks).sum()
     }
-}
 
-impl std::fmt::Display for AuditReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    /// Multi-line per-invariant table (one verdict per line), for
+    /// human-facing reports; the [`Display`](std::fmt::Display) impl
+    /// stays one line for log streams.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         for v in &self.verdicts {
             match &v.failure {
-                None => writeln!(f, "{:<12} ok ({} checks)", v.invariant.label(), v.checks)?,
-                Some(fail) => writeln!(f, "{:<12} FAIL: {fail}", v.invariant.label())?,
+                None => {
+                    let _ = writeln!(out, "{:<12} ok ({} checks)", v.invariant.label(), v.checks);
+                }
+                Some(fail) => {
+                    let _ = writeln!(out, "{:<12} FAIL: {fail}", v.invariant.label());
+                }
             }
         }
-        Ok(())
+        out
+    }
+}
+
+/// Stable one-line summary, suitable for embedding in JSONL streams:
+/// `audit clean: 6 invariants, N checks` when every oracle held, or
+/// `audit FAILED (k/6 invariants): <first failure>` otherwise.
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.verdicts.len();
+        if self.is_clean() {
+            write!(
+                f,
+                "audit clean: {} invariants, {} checks",
+                total,
+                self.total_checks()
+            )
+        } else {
+            let failed = self.verdicts.iter().filter(|v| v.failure.is_some()).count();
+            let first = self.first_failure().expect("not clean implies a failure");
+            write!(f, "audit FAILED ({failed}/{total} invariants): {first}")
+        }
     }
 }
 
@@ -988,10 +1016,36 @@ mod tests {
         assert_eq!(report.verdicts.len(), Invariant::ALL.len());
         assert!(report.total_checks() > 0);
         assert!(report.first_failure().is_none());
-        let text = report.to_string();
+        let table = report.table();
         for inv in Invariant::ALL {
-            assert!(text.contains(inv.label()), "{text}");
+            assert!(table.contains(inv.label()), "{table}");
         }
+    }
+
+    #[test]
+    fn display_is_one_stable_line() {
+        let (circuit, placement, cons, config, mut result) = route_tiny();
+        let clean = audit(&circuit, &placement, &cons, &config, &result);
+        let line = clean.to_string();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert_eq!(
+            line,
+            format!(
+                "audit clean: {} invariants, {} checks",
+                Invariant::ALL.len(),
+                clean.total_checks()
+            )
+        );
+
+        result.channel_tracks[0] += 1;
+        let failed = audit(&circuit, &placement, &cons, &config, &result);
+        let line = failed.to_string();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert!(line.starts_with("audit FAILED ("), "{line}");
+        assert!(
+            line.contains(&failed.first_failure().unwrap().to_string()),
+            "{line}"
+        );
     }
 
     #[test]

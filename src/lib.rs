@@ -16,6 +16,7 @@
 //! | [`io`] | `bgr-io` | text interchange formats (.bgrn/.bgrp/.bgrt) + SVG rendering |
 //! | [`verify`] | `bgr-verify` | independent from-scratch audit of routing results |
 //! | [`serve`] | `bgr-serve` | sessionized job queue: budgeted slices, checkpoints, resume |
+//! | [`metrics`] | `bgr-metrics` | operational metrics registry + Prometheus text exporter |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@ pub use bgr_core as router;
 pub use bgr_gen as gen;
 pub use bgr_io as io;
 pub use bgr_layout as layout;
+pub use bgr_metrics as metrics;
 pub use bgr_netlist as netlist;
 pub use bgr_serve as serve;
 pub use bgr_timing as timing;

@@ -1,0 +1,154 @@
+//! Observability must be free (DESIGN.md §14): attaching the
+//! hierarchical self-profiler or a metrics registry changes no
+//! deterministic observable.
+//!
+//! * [`ProfilingProbe`] vs [`CollectingProbe`]: identical `TraceEvent`
+//!   streams and selection logs across threads ∈ {1, 8} × shards ∈
+//!   {1, 4} — even though profiling restructures the deletion loop's
+//!   rekey batches for per-cause attribution.
+//! * `bgr-serve` job streams: byte-identical with and without a
+//!   [`MetricsRegistry`] attached, across thread counts.
+//! * The Prometheus exposition itself renders the serve metric family
+//!   deterministically (names, labels, ordering).
+
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::metrics::MetricsRegistry;
+use bgr::router::{GlobalRouter, RouterConfig};
+use bgr::serve::JobQueue;
+
+fn params() -> GenParams {
+    GenParams {
+        logic_cells: 220,
+        rows: 6,
+        diff_pairs: 2,
+        num_constraints: 6,
+        ..GenParams::small(0x0B5E7)
+    }
+}
+
+#[test]
+fn profiling_probe_changes_no_deterministic_observable() {
+    let p = params();
+    let design = generate(&p);
+    let placement = place_design(&design, &p, PlacementStyle::EvenFeed);
+
+    type DeterministicKey = (Vec<String>, Vec<(bgr::netlist::NetId, u32)>);
+    let mut reference: Option<DeterministicKey> = None;
+    for threads in [1usize, 8] {
+        for shards in [1usize, 4] {
+            let config = RouterConfig {
+                threads,
+                shards,
+                ..RouterConfig::default()
+            };
+            let (traced, trace) = GlobalRouter::new(config.clone())
+                .route_traced(
+                    design.circuit.clone(),
+                    placement.clone(),
+                    design.constraints.clone(),
+                )
+                .expect("instance routes");
+            let (profiled, profile_trace, profile) = GlobalRouter::new(config)
+                .route_profiled(
+                    design.circuit.clone(),
+                    placement.clone(),
+                    design.constraints.clone(),
+                )
+                .expect("instance routes");
+
+            assert_eq!(
+                trace.events, profile_trace.events,
+                "threads={threads} shards={shards}: profiling changed the event stream"
+            );
+            assert_eq!(
+                traced.result.stats.selection_log, profiled.result.stats.selection_log,
+                "threads={threads} shards={shards}: profiling changed the selection log"
+            );
+            assert!(profile.total() > std::time::Duration::ZERO);
+            assert!(!profile.entries().is_empty());
+
+            // And every (threads, shards) cell agrees with the first.
+            let key = (
+                bgr::io::deterministic_lines(&bgr::io::write_trace_jsonl(&trace))
+                    .lines()
+                    .map(str::to_owned)
+                    .collect::<Vec<_>>(),
+                traced.result.stats.selection_log.clone(),
+            );
+            match &reference {
+                None => reference = Some(key),
+                Some(want) => assert_eq!(
+                    want, &key,
+                    "threads={threads} shards={shards}: deterministic stream drifted"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_streams_are_identical_with_and_without_metrics() {
+    let p = params();
+    let design = generate(&p);
+    let placement = place_design(&design, &p, PlacementStyle::EvenFeed);
+
+    let mut reference: Option<Vec<String>> = None;
+    for threads in [1usize, 8] {
+        for metered in [false, true] {
+            let registry = MetricsRegistry::new();
+            let mut q = if metered {
+                JobQueue::with_metrics(&registry)
+            } else {
+                JobQueue::new()
+            };
+            for (i, quota) in [Some(3), None].iter().enumerate() {
+                q.submit(
+                    format!("job{i}"),
+                    design.circuit.clone(),
+                    placement.clone(),
+                    design.constraints.clone(),
+                    RouterConfig::default(),
+                    *quota,
+                );
+            }
+            q.run(threads);
+            let streams: Vec<String> = q.jobs().iter().map(|j| j.stream().to_string()).collect();
+            match &reference {
+                None => reference = Some(streams),
+                Some(want) => assert_eq!(
+                    want, &streams,
+                    "threads={threads} metered={metered}: job streams drifted"
+                ),
+            }
+            if metered {
+                // The exposition is live and renders every family.
+                let text = registry.render_prometheus();
+                for name in ["bgr_slices_total", "bgr_slice_latency_us_count"] {
+                    assert!(text.contains(name), "missing {name}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_exposition_renders_deterministically() {
+    // Two registries fed the same deterministic updates render
+    // byte-identically — wall-clock lives only in values the test
+    // doesn't exercise (the latency histogram stays empty here).
+    let render = || {
+        let registry = MetricsRegistry::new();
+        let m = bgr::serve::ServeMetrics::register(&registry);
+        m.slices_total.add(7);
+        m.selections_total.add(41);
+        m.queue_depth.set(3);
+        m.audit_clean_total.inc();
+        m.jobs_completed_total.inc();
+        registry.render_prometheus()
+    };
+    let a = render();
+    assert_eq!(a, render());
+    assert!(a.contains("bgr_audit_total{verdict=\"clean\"} 1"), "{a}");
+    assert!(a.contains("bgr_jobs_terminal_total{state=\"completed\"} 1"));
+    assert!(a.contains("bgr_queue_depth 3"));
+}
