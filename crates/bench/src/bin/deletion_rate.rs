@@ -16,9 +16,12 @@
 //! `target/bench/BENCH_deletion.json`) so the bench trajectory is
 //! tracked across PRs.
 //!
-//! Usage: `deletion_rate [--smoke] [out.json]` — `--smoke` routes only
-//! the `RATE` scoreboard rows (the CI matrix runs one smoke per
-//! `BGR_THREADS` configuration).
+//! Usage: `deletion_rate [--smoke] [--paper] [out.json]` — `--smoke`
+//! routes only the `RATE` scoreboard rows (the CI matrix runs one
+//! smoke per `BGR_THREADS` configuration); `--paper` additionally
+//! routes one scoreboard row for each of `C2P1`/`C3P1`, giving the
+//! regression gate paper-scale throughput rows without the full
+//! bench's strategy sweeps.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -165,10 +168,13 @@ fn rate_dataset() -> DataSet {
 
 fn main() {
     let mut smoke = false;
+    let mut paper = false;
     let mut out_path = "target/bench/BENCH_deletion.json".to_owned();
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--paper" {
+            paper = true;
         } else {
             out_path = arg;
         }
@@ -189,6 +195,19 @@ fn main() {
         let threads = RouterConfig::default().threads;
         println!("{} (smoke): {} nets", ds.name, nets);
         run(&ds, SelectionStrategy::Scoreboard, threads, &mut records);
+        if paper {
+            // Paper-scale gate rows: one scoreboard pass each, so the
+            // C2P1/C3P1 deletions/s baselines are regression-gated
+            // without the full bench's strategy sweeps.
+            for ds in [c2_cached(), c3_cached()] {
+                println!(
+                    "{} (paper gate): {} nets",
+                    ds.name,
+                    ds.design.circuit.nets().len()
+                );
+                run(ds, SelectionStrategy::Scoreboard, threads, &mut records);
+            }
+        }
         write_json(&records, &out_path);
         return;
     }

@@ -11,10 +11,13 @@
 //!   deterministic prefixes via [`bgr_io::trace_divergence`]; exits 1
 //!   when the traces diverge.
 //! * `gate --bench <BENCH_deletion.json> --baseline <baseline.json>
-//!   [--threshold PCT] [--json]` — compares the `RATE` scoreboard
-//!   deletions/s against a committed baseline and exits 1 on a
-//!   regression beyond `PCT` percent (default 15). `BGR_BLESS=1`
-//!   (re)writes the baseline from the bench output instead.
+//!   [--threshold PCT] [--json]` — compares every scoreboard
+//!   deletions/s row (`RATE` plus the paper-scale `C2P1`/`C3P1` rows,
+//!   keyed by instance/strategy/threads) against a committed baseline
+//!   and exits 1 when any row regresses beyond `PCT` percent (default
+//!   15) or a blessed row is missing. `BGR_BLESS=1` (re)writes the
+//!   baseline from the bench output instead — run it on the same
+//!   `deletion_rate` invocation the gate consumes.
 //!
 //! Everything is read-side: this tool never routes, so it can analyze
 //! traces from any producer (bench bins, `bgr-serve` job streams once
@@ -105,8 +108,11 @@ fn main() -> ExitCode {
     }
 }
 
-/// The `RATE` scoreboard throughput from a `BENCH_deletion.json`.
+/// One gated throughput point, keyed by `(instance, strategy,
+/// threads)` — RATE plus the paper-scale C2P1/C3P1 rows.
 struct BenchPoint {
+    instance: String,
+    strategy: String,
     threads: u64,
     deletions: u64,
     wall_ms: f64,
@@ -115,6 +121,10 @@ struct BenchPoint {
 impl BenchPoint {
     fn deletions_per_s(&self) -> f64 {
         self.deletions as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn key(&self) -> String {
+        format!("{}/{}/t{}", self.instance, self.strategy, self.threads)
     }
 }
 
@@ -125,31 +135,93 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn parse_bench(text: &str) -> Result<BenchPoint, String> {
+/// Every gateable (scoreboard) row of a `BENCH_deletion.json`.
+fn parse_bench(text: &str) -> Result<Vec<BenchPoint>, String> {
     let doc = Json::parse(text).map_err(|e| e.to_string())?;
     let rows = doc
         .get("rows")
         .and_then(Json::as_arr)
         .ok_or("no rows array")?;
-    let row = rows
-        .iter()
-        .find(|r| {
-            r.get("instance").and_then(Json::as_str) == Some("RATE")
-                && r.get("strategy").and_then(Json::as_str) == Some("scoreboard")
-        })
-        .ok_or("no RATE scoreboard row")?;
-    Ok(BenchPoint {
-        threads: row.get("threads").and_then(Json::as_u64).unwrap_or(1),
-        deletions: row
-            .get("deletions")
-            .and_then(Json::as_u64)
-            .ok_or("row lacks deletions")?,
-        wall_ms: row
-            .get("wall_ms")
-            .and_then(Json::as_f64)
-            .filter(|w| *w > 0.0)
-            .ok_or("row lacks a positive wall_ms")?,
-    })
+    let mut points = Vec::new();
+    for row in rows {
+        // Only the production strategy is gated; rescan-oracle rows
+        // exist for speedup reporting, not as a performance contract.
+        if row.get("strategy").and_then(Json::as_str) != Some("scoreboard") {
+            continue;
+        }
+        points.push(BenchPoint {
+            instance: row
+                .get("instance")
+                .and_then(Json::as_str)
+                .ok_or("row lacks an instance")?
+                .to_string(),
+            strategy: "scoreboard".to_string(),
+            threads: row.get("threads").and_then(Json::as_u64).unwrap_or(1),
+            deletions: row
+                .get("deletions")
+                .and_then(Json::as_u64)
+                .ok_or("row lacks deletions")?,
+            wall_ms: row
+                .get("wall_ms")
+                .and_then(Json::as_f64)
+                .filter(|w| *w > 0.0)
+                .ok_or("row lacks a positive wall_ms")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("no scoreboard rows to gate".to_string());
+    }
+    Ok(points)
+}
+
+/// One baseline row: the key plus the blessed throughput.
+struct BaselinePoint {
+    instance: String,
+    strategy: String,
+    threads: u64,
+    deletions_per_s: f64,
+}
+
+impl BaselinePoint {
+    fn key(&self) -> String {
+        format!("{}/{}/t{}", self.instance, self.strategy, self.threads)
+    }
+}
+
+/// Parses a baseline file: the multi-row `{"rows":[...]}` form, or the
+/// legacy single-row object (treated as one row) so pre-existing
+/// baselines keep gating until re-blessed.
+fn parse_baseline(text: &str) -> Result<Vec<BaselinePoint>, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let row_objs: Vec<&Json> = match doc.get("rows").and_then(Json::as_arr) {
+        Some(rows) => rows.iter().collect(),
+        None => vec![&doc],
+    };
+    let mut points = Vec::new();
+    for row in row_objs {
+        points.push(BaselinePoint {
+            instance: row
+                .get("instance")
+                .and_then(Json::as_str)
+                .ok_or("baseline row lacks an instance")?
+                .to_string(),
+            strategy: row
+                .get("strategy")
+                .and_then(Json::as_str)
+                .ok_or("baseline row lacks a strategy")?
+                .to_string(),
+            threads: row.get("threads").and_then(Json::as_u64).unwrap_or(1),
+            deletions_per_s: row
+                .get("deletions_per_s")
+                .and_then(Json::as_f64)
+                .filter(|r| *r > 0.0)
+                .ok_or("baseline row lacks a positive deletions_per_s")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("baseline has no rows".to_string());
+    }
+    Ok(points)
 }
 
 fn gate(args: &[String], json: bool) -> ExitCode {
@@ -170,22 +242,32 @@ fn gate(args: &[String], json: bool) -> ExitCode {
         Ok(t) => t,
         Err(c) => return c,
     };
-    let point = match parse_bench(&bench_text) {
+    let points = match parse_bench(&bench_text) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{bench_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let rate = point.deletions_per_s();
 
     if std::env::var("BGR_BLESS").is_ok_and(|v| v == "1") {
-        let out = format!(
-            "{{\"schema\":1,\"kind\":\"bench_baseline\",\"instance\":\"RATE\",\
-             \"strategy\":\"scoreboard\",\"threads\":{},\"deletions\":{},\
-             \"deletions_per_s\":{:.1}}}\n",
-            point.threads, point.deletions, rate
-        );
+        // Bless exactly the scoreboard rows of the given bench file —
+        // run the same deletion_rate invocation CI's gate step uses, so
+        // the baseline demands only rows the gate will have.
+        let mut out = String::from("{\"schema\":1,\"kind\":\"bench_baseline\",\"rows\":[\n");
+        for (i, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                " {{\"instance\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\
+                 \"deletions\":{},\"deletions_per_s\":{:.1}}}{}\n",
+                p.instance,
+                p.strategy,
+                p.threads,
+                p.deletions,
+                p.deletions_per_s(),
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]}\n");
         if let Some(dir) = std::path::Path::new(baseline_path).parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -193,7 +275,13 @@ fn gate(args: &[String], json: bool) -> ExitCode {
             eprintln!("cannot write {baseline_path}: {e}");
             return ExitCode::from(2);
         }
-        println!("blessed {baseline_path} at {rate:.0} deletions/s");
+        for p in &points {
+            println!(
+                "blessed {}: {:.0} deletions/s",
+                p.key(),
+                p.deletions_per_s()
+            );
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -201,34 +289,52 @@ fn gate(args: &[String], json: bool) -> ExitCode {
         Ok(t) => t,
         Err(c) => return c,
     };
-    let base_rate = match Json::parse(&baseline_text)
-        .map_err(|e| e.to_string())
-        .and_then(|doc| {
-            doc.get("deletions_per_s")
-                .and_then(Json::as_f64)
-                .filter(|r| *r > 0.0)
-                .ok_or_else(|| "baseline lacks a positive deletions_per_s".to_string())
-        }) {
-        Ok(r) => r,
+    let baselines = match parse_baseline(&baseline_text) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("{baseline_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let floor = base_rate * (1.0 - threshold / 100.0);
-    let pass = rate >= floor;
-    let delta_pct = (rate / base_rate - 1.0) * 100.0;
+
+    // Every blessed row must be present and fast enough; extra bench
+    // rows (e.g. a thread sweep from a full run) pass through ungated.
+    let mut pass = true;
+    let mut row_reports = Vec::new();
+    for base in &baselines {
+        let key = base.key();
+        let Some(point) = points.iter().find(|p| p.key() == key) else {
+            pass = false;
+            eprintln!("{key}: blessed in the baseline but missing from {bench_path}");
+            row_reports.push(format!(
+                "{{\"key\":\"{key}\",\"pass\":false,\"missing\":true}}"
+            ));
+            continue;
+        };
+        let rate = point.deletions_per_s();
+        let floor = base.deletions_per_s * (1.0 - threshold / 100.0);
+        let row_pass = rate >= floor;
+        pass &= row_pass;
+        let delta_pct = (rate / base.deletions_per_s - 1.0) * 100.0;
+        row_reports.push(format!(
+            "{{\"key\":\"{key}\",\"pass\":{row_pass},\"deletions_per_s\":{rate:.1},\
+             \"baseline_per_s\":{:.1},\"delta_pct\":{delta_pct:.1}}}",
+            base.deletions_per_s
+        ));
+        if !json {
+            println!(
+                "{key}: {rate:.0} deletions/s vs baseline {:.0} \
+                 ({delta_pct:+.1}%, floor {floor:.0} at -{threshold:.0}%) — {}",
+                base.deletions_per_s,
+                if row_pass { "pass" } else { "REGRESSION" }
+            );
+        }
+    }
     if json {
         println!(
             "{{\"schema\":1,\"kind\":\"bench_gate\",\"pass\":{pass},\
-             \"deletions_per_s\":{rate:.1},\"baseline_per_s\":{base_rate:.1},\
-             \"delta_pct\":{delta_pct:.1},\"threshold_pct\":{threshold:.1}}}"
-        );
-    } else {
-        println!(
-            "RATE scoreboard: {rate:.0} deletions/s vs baseline {base_rate:.0} \
-             ({delta_pct:+.1}%, floor {floor:.0} at -{threshold:.0}%) — {}",
-            if pass { "pass" } else { "REGRESSION" }
+             \"threshold_pct\":{threshold:.1},\"rows\":[{}]}}",
+            row_reports.join(",")
         );
     }
     if pass {

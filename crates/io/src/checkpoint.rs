@@ -112,6 +112,30 @@ pub fn externalize_design(
     Ok(refs)
 }
 
+/// Re-serializes a checkpoint with its embedded [`RouterConfig`]
+/// replaced — the speculative-portfolio helper: each arm races the
+/// *same* suspended state under different knobs.
+///
+/// Only deterministically safe knobs should differ between arms:
+/// `criteria_order` (changes future deletion decisions — the point of
+/// racing), `threads`/`shards`/`selection` (proven
+/// observable-invariant), budgets and verify level. Changing
+/// `use_constraints` or the delay model mid-run re-interprets state the
+/// suspended session already computed and is rejected by nothing here —
+/// callers own that contract.
+///
+/// # Errors
+///
+/// A structured [`ParseError`] when `text` is not a valid checkpoint.
+pub fn reconfigure_checkpoint(
+    text: &str,
+    config: &bgr_core::RouterConfig,
+) -> Result<String, ParseError> {
+    let mut snap = parse_checkpoint(text)?;
+    snap.config = config.clone();
+    Ok(write_checkpoint(&snap))
+}
+
 /// Serializes a snapshot to the checkpoint text format.
 pub fn write_checkpoint(snap: &EngineSnapshot) -> String {
     let mut out = String::new();

@@ -54,8 +54,8 @@ pub mod svg;
 pub mod trace;
 
 pub use checkpoint::{
-    design_hash, externalize_design, parse_checkpoint, parse_checkpoint_in, write_checkpoint,
-    write_checkpoint_ref, DesignRefs,
+    design_hash, externalize_design, parse_checkpoint, parse_checkpoint_in, reconfigure_checkpoint,
+    write_checkpoint, write_checkpoint_ref, DesignRefs,
 };
 pub use constraints::{parse_constraints, write_constraints};
 pub use error::ParseError;
@@ -64,6 +64,6 @@ pub use netlist::{parse_netlist, write_netlist};
 pub use placement::{parse_placement, write_placement};
 pub use svg::render_svg;
 pub use trace::{
-    deterministic_event_lines, deterministic_lines, trace_divergence, write_trace_jsonl,
-    write_trace_jsonl_offset, TraceStats,
+    deterministic_event_lines, deterministic_lines, segment_seq_span, trace_divergence,
+    write_trace_jsonl, write_trace_jsonl_offset, TraceStats,
 };

@@ -177,6 +177,45 @@ pub fn deterministic_event_lines(trace_text: &str) -> String {
         .collect()
 }
 
+/// Validates a per-slice trace segment (event lines only, as produced
+/// by [`deterministic_event_lines`]) and returns its `seq` span as
+/// `Some((first, last))`, or `None` for a segment with no events.
+///
+/// This is the coordinator's frame-safety check before splicing a
+/// remote worker's segment into a job stream: every line must be a
+/// parsable `"type":"event"` record and the `seq` numbers must be
+/// contiguous, so a truncated or reordered segment is rejected as a
+/// structured error instead of silently corrupting the stream.
+///
+/// # Errors
+///
+/// A message naming the first offending line (1-based) on non-event
+/// lines, unparsable JSON, a missing `seq`, or a `seq` gap.
+pub fn segment_seq_span(segment: &str) -> Result<Option<(u64, u64)>, String> {
+    let mut span: Option<(u64, u64)> = None;
+    for (i, line) in segment.lines().enumerate() {
+        let lineno = i + 1;
+        let v = crate::json::Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if v.get("type").and_then(crate::json::Json::as_str) != Some("event") {
+            return Err(format!("line {lineno}: not a \"type\":\"event\" record"));
+        }
+        let seq = v
+            .get("seq")
+            .and_then(crate::json::Json::as_u64)
+            .ok_or_else(|| format!("line {lineno}: event lacks a seq"))?;
+        span = match span {
+            None => Some((seq, seq)),
+            Some((first, last)) if seq == last + 1 => Some((first, seq)),
+            Some((_, last)) => {
+                return Err(format!(
+                    "line {lineno}: seq {seq} does not continue {last} (segment not contiguous)"
+                ))
+            }
+        };
+    }
+    Ok(span)
+}
+
 /// Serializes a trace as JSON lines (see the [module docs](self) for the
 /// schema).
 pub fn write_trace_jsonl(trace: &RouteTrace) -> String {

@@ -371,6 +371,393 @@ impl MetricsRegistry {
     }
 }
 
+/// Point-in-time value of one metric sample inside a
+/// [`MetricsSnapshot`]. The variant doubles as the sample's kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram reading: per-bucket (non-cumulative) counts on the
+    /// fixed [`HIST_BOUNDS`] ladder plus the `+Inf` overflow bucket,
+    /// and the running sum / count.
+    Histogram {
+        /// Non-cumulative bucket counts; last entry is `+Inf`.
+        buckets: Vec<u64>,
+        /// Sum of observed values.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One sample (label set + value) of a snapshot family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapSample {
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: SnapValue,
+}
+
+/// One metric family of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapFamily {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Samples in registration order.
+    pub samples: Vec<SnapSample>,
+}
+
+/// Structured error of [`MetricsSnapshot::parse`]. Damaged snapshot
+/// text (truncation, corruption, version skew) always degrades to this
+/// — never a panic — mirroring the checkpoint codec's contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotParseError {
+    /// 1-based line of the offending input (0 = whole document).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metrics snapshot line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SnapshotParseError {}
+
+const SNAPSHOT_HEADER: &str = "bgr-metrics-snapshot v1";
+
+/// Escapes a token for the snapshot wire text: backslash, newline and
+/// space become `\\`, `\n`, `\_` so every token is whitespace-free.
+fn escape_token(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            ' ' => out.push_str("\\_"),
+            c => out.push(c),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("\\0");
+    }
+    out
+}
+
+fn unescape_token(s: &str) -> Option<String> {
+    if s == "\\0" {
+        return Some(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('_') => out.push(' '),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// A point-in-time, serializable copy of a registry's families and
+/// values — the unit a `bgr-net` worker ships upstream so the
+/// coordinator can fold per-worker registries into one fleet view
+/// ([`MetricsRegistry::merge`] / [`MetricsRegistry::render_merged`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Families in registration order.
+    pub families: Vec<SnapFamily>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot to the versioned line-oriented wire
+    /// text. Round-trips exactly through [`MetricsSnapshot::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{SNAPSHOT_HEADER}");
+        for family in &self.families {
+            let _ = writeln!(
+                out,
+                "family {} {}",
+                escape_token(&family.name),
+                escape_token(&family.help)
+            );
+            for sample in &family.samples {
+                let mut line = format!("sample {}", sample.labels.len());
+                for (k, v) in &sample.labels {
+                    let _ = write!(line, " {} {}", escape_token(k), escape_token(v));
+                }
+                match &sample.value {
+                    SnapValue::Counter(v) => {
+                        let _ = write!(line, " counter {v}");
+                    }
+                    SnapValue::Gauge(v) => {
+                        let _ = write!(line, " gauge {v}");
+                    }
+                    SnapValue::Histogram {
+                        buckets,
+                        sum,
+                        count,
+                    } => {
+                        let _ = write!(line, " histogram {sum} {count}");
+                        for b in buckets {
+                            let _ = write!(line, " {b}");
+                        }
+                    }
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let _ = writeln!(out, "end {}", self.families.len());
+        out
+    }
+
+    /// Parses wire text produced by [`MetricsSnapshot::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotParseError`] on version skew, truncation (the trailing
+    /// `end <count>` line is mandatory), or any malformed line.
+    pub fn parse(text: &str) -> Result<Self, SnapshotParseError> {
+        let err = |line: usize, message: String| SnapshotParseError { line, message };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, SNAPSHOT_HEADER)) => {}
+            Some((_, other)) => {
+                return Err(err(
+                    1,
+                    format!("bad header {other:?} (want {SNAPSHOT_HEADER:?})"),
+                ))
+            }
+            None => return Err(err(0, "empty snapshot".into())),
+        }
+        let mut snap = MetricsSnapshot::default();
+        let mut ended = false;
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if ended {
+                return Err(err(lineno, "content after end".into()));
+            }
+            let mut tok = line.split(' ');
+            match tok.next() {
+                Some("family") => {
+                    let name = tok
+                        .next()
+                        .and_then(unescape_token)
+                        .ok_or_else(|| err(lineno, "family lacks a name".into()))?;
+                    let help = tok
+                        .next()
+                        .and_then(unescape_token)
+                        .ok_or_else(|| err(lineno, "family lacks help text".into()))?;
+                    if tok.next().is_some() {
+                        return Err(err(lineno, "trailing tokens after family".into()));
+                    }
+                    snap.families.push(SnapFamily {
+                        name,
+                        help,
+                        samples: Vec::new(),
+                    });
+                }
+                Some("sample") => {
+                    let family = snap
+                        .families
+                        .last_mut()
+                        .ok_or_else(|| err(lineno, "sample before any family".into()))?;
+                    let nlabels: usize = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(lineno, "sample lacks a label count".into()))?;
+                    if nlabels > 64 {
+                        return Err(err(lineno, format!("implausible label count {nlabels}")));
+                    }
+                    let mut labels = Vec::with_capacity(nlabels);
+                    for _ in 0..nlabels {
+                        let k = tok
+                            .next()
+                            .and_then(unescape_token)
+                            .ok_or_else(|| err(lineno, "truncated label key".into()))?;
+                        let v = tok
+                            .next()
+                            .and_then(unescape_token)
+                            .ok_or_else(|| err(lineno, "truncated label value".into()))?;
+                        labels.push((k, v));
+                    }
+                    let kind = tok
+                        .next()
+                        .ok_or_else(|| err(lineno, "sample lacks a kind".into()))?;
+                    let value = match kind {
+                        "counter" => SnapValue::Counter(
+                            tok.next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| err(lineno, "bad counter value".into()))?,
+                        ),
+                        "gauge" => SnapValue::Gauge(
+                            tok.next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| err(lineno, "bad gauge value".into()))?,
+                        ),
+                        "histogram" => {
+                            let sum = tok
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| err(lineno, "bad histogram sum".into()))?;
+                            let count = tok
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| err(lineno, "bad histogram count".into()))?;
+                            let mut buckets = Vec::with_capacity(HIST_BOUNDS.len() + 1);
+                            for _ in 0..=HIST_BOUNDS.len() {
+                                buckets.push(tok.next().and_then(|t| t.parse().ok()).ok_or_else(
+                                    || err(lineno, "truncated histogram buckets".into()),
+                                )?);
+                            }
+                            SnapValue::Histogram {
+                                buckets,
+                                sum,
+                                count,
+                            }
+                        }
+                        other => return Err(err(lineno, format!("unknown sample kind {other:?}"))),
+                    };
+                    if tok.next().is_some() {
+                        return Err(err(lineno, "trailing tokens after sample".into()));
+                    }
+                    family.samples.push(SnapSample { labels, value });
+                }
+                Some("end") => {
+                    let n: usize = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(lineno, "end lacks a family count".into()))?;
+                    if n != snap.families.len() {
+                        return Err(err(
+                            lineno,
+                            format!("end says {n} families, read {}", snap.families.len()),
+                        ));
+                    }
+                    ended = true;
+                }
+                _ => return Err(err(lineno, format!("unknown line {line:?}"))),
+            }
+        }
+        if !ended {
+            return Err(err(0, "truncated snapshot (no end line)".into()));
+        }
+        Ok(snap)
+    }
+}
+
+impl MetricsRegistry {
+    /// Captures a point-in-time [`MetricsSnapshot`] of every family and
+    /// sample. Relaxed reads — a snapshot taken while writers are
+    /// active is per-cell consistent, which is all fleet aggregation
+    /// needs.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            families: inner
+                .families
+                .iter()
+                .map(|family| SnapFamily {
+                    name: family.name.clone(),
+                    help: family.help.clone(),
+                    samples: family
+                        .samples
+                        .iter()
+                        .map(|sample| SnapSample {
+                            labels: sample.labels.clone(),
+                            value: match &sample.cell {
+                                Cell::Counter(h) => SnapValue::Counter(h.get()),
+                                Cell::Gauge(h) => SnapValue::Gauge(h.get()),
+                                Cell::Histogram(h) => SnapValue::Histogram {
+                                    buckets: h
+                                        .0
+                                        .buckets
+                                        .iter()
+                                        .map(|b| b.load(Ordering::Relaxed))
+                                        .collect(),
+                                    sum: h.sum(),
+                                    count: h.count(),
+                                },
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds a snapshot into this registry: counters and histograms
+    /// accumulate, gauges add (fleet gauges are sums — two workers with
+    /// queue depth 3 merge to 6). Families and samples the registry has
+    /// not seen are registered on the fly (in the snapshot's order), so
+    /// merging heterogeneous worker registries is total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot sample's kind contradicts an existing
+    /// registration — the same loud failure as direct re-registration.
+    pub fn merge(&self, snap: &MetricsSnapshot) {
+        for family in &snap.families {
+            for sample in &family.samples {
+                let labels: Vec<(&str, &str)> = sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match &sample.value {
+                    SnapValue::Counter(v) => {
+                        self.counter(&family.name, &family.help, &labels).add(*v);
+                    }
+                    SnapValue::Gauge(v) => {
+                        self.gauge(&family.name, &family.help, &labels).add(*v);
+                    }
+                    SnapValue::Histogram {
+                        buckets,
+                        sum,
+                        count,
+                    } => {
+                        let h = self.histogram(&family.name, &family.help, &labels);
+                        for (i, b) in buckets.iter().take(h.0.buckets.len()).enumerate() {
+                            h.0.buckets[i].fetch_add(*b, Ordering::Relaxed);
+                        }
+                        h.0.sum.fetch_add(*sum, Ordering::Relaxed);
+                        h.0.count.fetch_add(*count, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders this registry's own state plus every snapshot in `snaps`
+    /// folded together, as one Prometheus exposition — the fleet view a
+    /// coordinator exports. Non-destructive: neither this registry nor
+    /// the snapshots are modified. Deterministic: this registry's
+    /// families first (registration order), then unseen families in
+    /// snapshot order.
+    pub fn render_merged(&self, snaps: &[MetricsSnapshot]) -> String {
+        let merged = MetricsRegistry::new();
+        merged.merge(&self.snapshot());
+        for snap in snaps {
+            merged.merge(snap);
+        }
+        merged.render_prometheus()
+    }
+}
+
 /// Running metrics endpoint; shuts down (and joins its thread) on drop.
 #[derive(Debug)]
 pub struct MetricsServer {
@@ -642,6 +1029,154 @@ bgr_slice_latency_us_count 2
         );
 
         server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_wire_text() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("bgr_w_total", "Widgets, with \"quotes\" and\nnewline.", &[])
+            .add(7);
+        registry
+            .gauge("bgr_depth", "Depth now.", &[("worker", "w one")])
+            .set(-3);
+        let h = registry.histogram("bgr_lat_us", "Latency.", &[]);
+        h.observe(3);
+        h.observe(999_999);
+        let snap = registry.snapshot();
+        let text = snap.to_text();
+        let back = MetricsSnapshot::parse(&text).expect("round-trip parses");
+        assert_eq!(back, snap);
+        // Empty-string tokens survive the escaping.
+        let registry2 = MetricsRegistry::new();
+        registry2.counter("bgr_e_total", "", &[("k", "")]).inc();
+        let snap2 = registry2.snapshot();
+        assert_eq!(
+            MetricsSnapshot::parse(&snap2.to_text()).expect("empty tokens parse"),
+            snap2
+        );
+    }
+
+    #[test]
+    fn snapshot_parse_rejects_damage_structurally() {
+        let registry = MetricsRegistry::new();
+        registry.counter("bgr_d_total", "d", &[("a", "b")]).add(2);
+        registry.histogram("bgr_d_us", "h", &[]).observe(5);
+        let text = registry.snapshot().to_text();
+        // Truncation at every line boundary (losing `end` must fail).
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 0..lines.len() {
+            let cut = lines[..keep].join("\n");
+            assert!(
+                MetricsSnapshot::parse(&cut).is_err(),
+                "cut after {keep} lines parsed cleanly"
+            );
+        }
+        for (damaged, what) in [
+            (text.replacen("v1", "v2", 1), "version skew"),
+            (text.replacen("counter", "conter", 1), "bad kind"),
+            (text.replacen("sample 1", "sample 9", 1), "label count lie"),
+            (text.replacen("end 2", "end 7", 1), "family count lie"),
+            (format!("{text}family x y\n"), "content after end"),
+        ] {
+            assert_ne!(damaged, text, "{what}: mutation did not apply");
+            assert!(
+                MetricsSnapshot::parse(&damaged).is_err(),
+                "{what} parsed cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_fleet_exposition_is_golden() {
+        // Two workers with overlapping families plus a coordinator-only
+        // family; the merged exposition sums counters/gauges/histograms
+        // and appends unseen families in snapshot order.
+        let coord = MetricsRegistry::new();
+        coord
+            .counter("bgr_slices_total", "Job slices executed", &[])
+            .add(1);
+        let w1 = MetricsRegistry::new();
+        w1.counter("bgr_slices_total", "Job slices executed", &[])
+            .add(4);
+        w1.gauge("bgr_queue_depth", "Depth", &[]).set(2);
+        let h1 = w1.histogram("bgr_slice_latency_us", "Latency", &[]);
+        h1.observe(2);
+        let w2 = MetricsRegistry::new();
+        w2.counter("bgr_slices_total", "Job slices executed", &[])
+            .add(5);
+        w2.gauge("bgr_queue_depth", "Depth", &[]).set(3);
+        let h2 = w2.histogram("bgr_slice_latency_us", "Latency", &[]);
+        h2.observe(2);
+        h2.observe(600_000);
+        w2.counter(
+            "bgr_worker_only_total",
+            "Only worker 2 has this",
+            &[("worker", "w2")],
+        )
+        .add(8);
+
+        // Ship both worker registries through the wire text, as the
+        // coordinator receives them.
+        let snaps = [
+            MetricsSnapshot::parse(&w1.snapshot().to_text()).expect("w1 wire round-trip"),
+            MetricsSnapshot::parse(&w2.snapshot().to_text()).expect("w2 wire round-trip"),
+        ];
+        let merged = coord.render_merged(&snaps);
+        let expected = "\
+# HELP bgr_slices_total Job slices executed
+# TYPE bgr_slices_total counter
+bgr_slices_total 10
+# HELP bgr_queue_depth Depth
+# TYPE bgr_queue_depth gauge
+bgr_queue_depth 5
+# HELP bgr_slice_latency_us Latency
+# TYPE bgr_slice_latency_us histogram
+bgr_slice_latency_us_bucket{le=\"1\"} 0
+bgr_slice_latency_us_bucket{le=\"2\"} 2
+bgr_slice_latency_us_bucket{le=\"4\"} 2
+bgr_slice_latency_us_bucket{le=\"8\"} 2
+bgr_slice_latency_us_bucket{le=\"16\"} 2
+bgr_slice_latency_us_bucket{le=\"32\"} 2
+bgr_slice_latency_us_bucket{le=\"64\"} 2
+bgr_slice_latency_us_bucket{le=\"128\"} 2
+bgr_slice_latency_us_bucket{le=\"256\"} 2
+bgr_slice_latency_us_bucket{le=\"512\"} 2
+bgr_slice_latency_us_bucket{le=\"1024\"} 2
+bgr_slice_latency_us_bucket{le=\"2048\"} 2
+bgr_slice_latency_us_bucket{le=\"4096\"} 2
+bgr_slice_latency_us_bucket{le=\"8192\"} 2
+bgr_slice_latency_us_bucket{le=\"16384\"} 2
+bgr_slice_latency_us_bucket{le=\"32768\"} 2
+bgr_slice_latency_us_bucket{le=\"65536\"} 2
+bgr_slice_latency_us_bucket{le=\"131072\"} 2
+bgr_slice_latency_us_bucket{le=\"262144\"} 2
+bgr_slice_latency_us_bucket{le=\"524288\"} 2
+bgr_slice_latency_us_bucket{le=\"+Inf\"} 3
+bgr_slice_latency_us_sum 600004
+bgr_slice_latency_us_count 3
+# HELP bgr_worker_only_total Only worker 2 has this
+# TYPE bgr_worker_only_total counter
+bgr_worker_only_total{worker=\"w2\"} 8
+";
+        assert_eq!(merged, expected);
+        // render_merged is non-destructive: the coordinator registry
+        // still reads its own values.
+        assert_eq!(
+            coord
+                .counter("bgr_slices_total", "Job slices executed", &[])
+                .get(),
+            1
+        );
+        // merge() itself accumulates when called repeatedly.
+        let fold = MetricsRegistry::new();
+        fold.merge(&snaps[0]);
+        fold.merge(&snaps[0]);
+        assert_eq!(
+            fold.counter("bgr_slices_total", "Job slices executed", &[])
+                .get(),
+            8
+        );
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! `bgr-worker`: a pull-based slice worker for `bgr-coordinator`
+//! (DESIGN.md §15).
+//!
+//! Connects to the coordinator (`--addr`, or `--addr-file` to poll a
+//! file the coordinator writes after binding port 0), drains leases
+//! until the coordinator settles, ships its metrics snapshot, and
+//! exits. `--metrics-out` additionally writes this worker's own
+//! Prometheus exposition for per-worker CI artifacts. `--die-on-lease
+//! K` is crash injection: take the K-th lease and vanish, leaving the
+//! lease to expire and be reassigned.
+//!
+//! Usage:
+//!   bgr-worker [--addr HOST:PORT | --addr-file PATH] [--name NAME]
+//!              [--die-on-lease K] [--metrics-out PATH]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bgr_metrics::MetricsRegistry;
+use bgr_net::{run_worker, WorkerOptions};
+
+struct Args {
+    addr: Option<String>,
+    addr_file: Option<String>,
+    name: String,
+    die_on_lease: Option<u64>,
+    metrics_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bgr-worker [--addr HOST:PORT | --addr-file PATH] [--name NAME]\n\
+         \x20                 [--die-on-lease K] [--metrics-out PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        addr_file: None,
+        name: format!("worker-{}", std::process::id()),
+        die_on_lease: None,
+        metrics_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value(&flag)),
+            "--addr-file" => args.addr_file = Some(value(&flag)),
+            "--name" => args.name = value(&flag),
+            "--die-on-lease" => {
+                let v = value(&flag);
+                args.die_on_lease = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad value for --die-on-lease: {v}");
+                    usage()
+                }));
+            }
+            "--metrics-out" => args.metrics_out = Some(value(&flag)),
+            _ => usage(),
+        }
+    }
+    if args.addr.is_none() && args.addr_file.is_none() {
+        eprintln!("one of --addr or --addr-file is required");
+        usage()
+    }
+    args
+}
+
+/// Polls `path` until the coordinator has written its bound address
+/// (up to ~30 s).
+fn wait_addr_file(path: &str) -> Option<String> {
+    for _ in 0..3000 {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return Some(addr.to_string());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let addr = match (&args.addr, &args.addr_file) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(path)) => match wait_addr_file(path) {
+            Some(addr) => addr,
+            None => {
+                eprintln!("timed out waiting for addr file {path}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => unreachable!("parse_args requires one"),
+    };
+    let mut opts = WorkerOptions::named(&args.name);
+    opts.die_on_lease = args.die_on_lease;
+    let registry = MetricsRegistry::new();
+    let report = match run_worker(&addr, &opts, &registry) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("worker {}: {e}", args.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "worker {}: {} lease(s), {} slice(s){}",
+        args.name,
+        report.leases,
+        report.slices,
+        if report.died {
+            " — died by injection"
+        } else {
+            ""
+        }
+    );
+    if let Some(path) = &args.metrics_out {
+        if std::fs::write(path, registry.render_prometheus()).is_err() {
+            eprintln!("cannot write metrics to {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

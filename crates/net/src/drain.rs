@@ -1,0 +1,214 @@
+//! The coordinator's TCP serving loop.
+//!
+//! One handler thread per worker connection; every worker frame gets
+//! exactly one reply (strict request/response, no pipelining):
+//!
+//! | worker sends        | coordinator replies                        |
+//! |---------------------|--------------------------------------------|
+//! | `Hello`             | `Welcome`, or `Nack(version-skew)` + close |
+//! | `LeaseReq`          | `Lease` or `NoWork{settled}`               |
+//! | `Result`            | `Lease` or `NoWork{settled}` (next work)   |
+//! | `Heartbeat`         | `Heartbeat` (echo)                         |
+//! | `Metrics`           | `Bye`                                      |
+//! | `Bye`               | (close)                                    |
+//!
+//! A dropped connection releases nothing: the worker's lease stays
+//! until its deadline, then [`Coordinator::next_lease`] re-grants the
+//! identical spec to the next asker. That is the crash-recovery path —
+//! exercised by `tests/distributed_determinism.rs` with a worker that
+//! takes a lease and dies.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bgr_metrics::MetricsSnapshot;
+
+use crate::coordinator::Coordinator;
+use crate::frame::PROTO_VERSION;
+use crate::proto::{recv, send, Message, ProtoError};
+
+fn lease_or_nowork(coord: &Mutex<Coordinator>) -> Message {
+    let mut c = coord.lock().expect("coordinator mutex");
+    match c.next_lease(Instant::now()) {
+        Some(spec) => Message::Lease {
+            job: spec.job as u64,
+            slice: spec.slice,
+            quota: spec.quota,
+            checkpoint: spec.checkpoint,
+        },
+        None => Message::NoWork {
+            settled: c.settled(),
+        },
+    }
+}
+
+fn nack(w: &mut TcpStream, code: &str, detail: String) -> Result<(), ProtoError> {
+    send(
+        w,
+        &Message::Nack {
+            code: code.to_string(),
+            detail,
+        },
+    )
+}
+
+/// Serves one worker connection until it disconnects.
+fn handle_worker(mut stream: TcpStream, coord: &Mutex<Coordinator>) -> Result<(), ProtoError> {
+    let _ = stream.set_nodelay(true);
+    let worker = match recv(&mut stream)? {
+        Message::Hello { version, worker } if version == PROTO_VERSION => {
+            send(
+                &mut stream,
+                &Message::Welcome {
+                    version: PROTO_VERSION,
+                },
+            )?;
+            worker
+        }
+        Message::Hello { version, .. } => {
+            nack(
+                &mut stream,
+                "version-skew",
+                format!("peer v{version}, local v{PROTO_VERSION}"),
+            )?;
+            return Ok(());
+        }
+        other => {
+            nack(
+                &mut stream,
+                "bad-request",
+                format!("expected HELLO, got kind {}", other.kind()),
+            )?;
+            return Ok(());
+        }
+    };
+    loop {
+        let msg = match recv(&mut stream) {
+            Ok(m) => m,
+            // A vanished worker is the crash path, not an error: its
+            // lease expires and is re-granted.
+            Err(ProtoError::Frame(_)) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::LeaseReq => {
+                let reply = lease_or_nowork(coord);
+                send(&mut stream, &reply)?;
+            }
+            Message::Result {
+                job,
+                slice,
+                outcome,
+            } => {
+                match outcome.into_outcome() {
+                    Ok(out) => {
+                        coord.lock().expect("coordinator mutex").apply_result(
+                            job as usize,
+                            slice,
+                            out,
+                        );
+                        // Stale results are harmless duplicates (the
+                        // applied one was byte-identical); either way
+                        // the worker just needs its next instruction.
+                        let reply = lease_or_nowork(coord);
+                        send(&mut stream, &reply)?;
+                    }
+                    Err(e) => nack(&mut stream, "bad-request", e.to_string())?,
+                }
+            }
+            Message::Heartbeat { job, slice } => {
+                coord.lock().expect("coordinator mutex").heartbeat(
+                    job as usize,
+                    slice,
+                    Instant::now(),
+                );
+                send(&mut stream, &Message::Heartbeat { job, slice })?;
+            }
+            Message::Metrics { snapshot } => match MetricsSnapshot::parse(&snapshot) {
+                Ok(snap) => {
+                    coord
+                        .lock()
+                        .expect("coordinator mutex")
+                        .add_worker_snapshot(worker.clone(), snap);
+                    send(&mut stream, &Message::Bye)?;
+                }
+                Err(e) => nack(&mut stream, "bad-request", e.to_string())?,
+            },
+            Message::Bye => {
+                let _ = stream.flush();
+                return Ok(());
+            }
+            other => nack(
+                &mut stream,
+                "bad-request",
+                format!("unexpected kind {}", other.kind()),
+            )?,
+        }
+    }
+}
+
+/// Serves `listener` until the coordinator settles *and* every worker
+/// connection has closed, then returns the drained coordinator (queue
+/// streams, portfolio decisions, collected worker snapshots).
+///
+/// # Errors
+///
+/// [`ProtoError::Frame`] when the listener cannot be polled. Worker
+/// protocol violations are answered with `Nack` and logged nowhere —
+/// they affect only that connection.
+///
+/// # Panics
+///
+/// Panics if a handler thread panicked (nothing in the handler should).
+pub fn serve_drain(
+    listener: TcpListener,
+    coordinator: Coordinator,
+) -> Result<Coordinator, ProtoError> {
+    listener.set_nonblocking(true).map_err(|e| {
+        ProtoError::Frame(crate::frame::FrameError::Io {
+            message: e.to_string(),
+        })
+    })?;
+    let coord = Arc::new(Mutex::new(coordinator));
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handlers = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let coord = Arc::clone(&coord);
+                let active = Arc::clone(&active);
+                active.fetch_add(1, Ordering::SeqCst);
+                handlers.push(std::thread::spawn(move || {
+                    let result = handle_worker(stream, &coord);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    result
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let done = active.load(Ordering::SeqCst) == 0
+                    && coord.lock().expect("coordinator mutex").settled();
+                if done {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                return Err(ProtoError::Frame(crate::frame::FrameError::Io {
+                    message: e.to_string(),
+                }))
+            }
+        }
+    }
+    drop(listener);
+    for h in handlers {
+        h.join().expect("worker handler thread")?;
+    }
+    Ok(Arc::try_unwrap(coord)
+        .expect("all handler threads joined")
+        .into_inner()
+        .expect("coordinator mutex"))
+}

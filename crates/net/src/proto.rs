@@ -1,0 +1,751 @@
+//! Typed messages atop the frame codec.
+//!
+//! Payloads are line-oriented text — `key value` lines plus
+//! byte-length-prefixed blocks for multi-line text (checkpoints, trace
+//! segments) — in the same self-describing style as the repo's other
+//! interchange formats. Floats travel as `f64::to_bits` hex, exactly
+//! like the checkpoint codec, so a verdict survives the wire
+//! bit-identically. Decoding never panics; every malformed payload maps
+//! to a structured [`ProtoError`].
+
+use std::fmt;
+
+use bgr_core::RouteError;
+use bgr_serve::{FinishVerdict, SliceOutcome};
+
+use crate::frame::{Frame, FrameError};
+
+/// Why a payload failed to decode into a [`Message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The underlying frame was damaged.
+    Frame(FrameError),
+    /// The frame's kind byte names no known message.
+    UnknownKind {
+        /// The unknown discriminant.
+        kind: u8,
+    },
+    /// The payload text does not parse as the kind's schema.
+    Malformed {
+        /// What went wrong, with field context.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Frame(e) => write!(f, "{e}"),
+            Self::UnknownKind { kind } => write!(f, "unknown message kind {kind}"),
+            Self::Malformed { message } => write!(f, "malformed payload: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<FrameError> for ProtoError {
+    fn from(e: FrameError) -> Self {
+        Self::Frame(e)
+    }
+}
+
+fn malformed(message: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed {
+        message: message.into(),
+    }
+}
+
+/// A slice result in wire form: [`SliceOutcome`] minus the
+/// non-serializable in-process artifacts (`Routed`, `AuditReport`),
+/// whose deterministic content travels inside the [`FinishVerdict`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// The session suspended at a fresh checkpoint.
+    Suspended {
+        /// Serialized checkpoint of the suspension.
+        checkpoint: String,
+        /// Stage label the session parked at.
+        stage: String,
+        /// Events emitted across the whole session.
+        events_emitted: u64,
+        /// Selections performed across the whole session.
+        selections_done: u64,
+        /// The slice's event lines at the stream's global offset.
+        events_jsonl: String,
+    },
+    /// The session finished and was audited on the worker.
+    Finished {
+        /// Events emitted across the whole session.
+        events_emitted: u64,
+        /// Selections performed across the whole session.
+        selections_done: u64,
+        /// The slice's event lines at the stream's global offset.
+        events_jsonl: String,
+        /// The deterministic completion verdict.
+        verdict: FinishVerdict,
+    },
+    /// The slice failed structurally on the worker.
+    Failed {
+        /// The structured error's display.
+        message: String,
+    },
+}
+
+/// Stage labels are `&'static str` throughout the serve layer; map a
+/// wire string back onto the known set (a lease result can only park at
+/// a pipeline stage the session state machine has).
+fn intern_stage(label: &str) -> Result<&'static str, ProtoError> {
+    const STAGES: &[&str] = &[
+        "setup",
+        "initial_routing",
+        "recover_violate",
+        "improve_delay",
+        "improve_area",
+        "finished",
+    ];
+    STAGES
+        .iter()
+        .find(|&&s| s == label)
+        .copied()
+        .ok_or_else(|| malformed(format!("unknown stage label {label:?}")))
+}
+
+impl WireOutcome {
+    /// Projects an in-process outcome onto its wire form, dropping the
+    /// artifacts that cannot (and need not) travel.
+    pub fn from_outcome(out: &SliceOutcome) -> Self {
+        match out {
+            SliceOutcome::Suspended {
+                checkpoint,
+                stage,
+                events_emitted,
+                selections_done,
+                events_jsonl,
+            } => Self::Suspended {
+                checkpoint: checkpoint.clone(),
+                stage: (*stage).to_string(),
+                events_emitted: *events_emitted,
+                selections_done: *selections_done,
+                events_jsonl: events_jsonl.clone(),
+            },
+            SliceOutcome::Finished {
+                events_emitted,
+                selections_done,
+                events_jsonl,
+                verdict,
+                ..
+            } => Self::Finished {
+                events_emitted: *events_emitted,
+                selections_done: *selections_done,
+                events_jsonl: events_jsonl.clone(),
+                verdict: verdict.clone(),
+            },
+            SliceOutcome::Failed { error } => Self::Failed {
+                message: error.to_string(),
+            },
+        }
+    }
+
+    /// Reconstructs the [`SliceOutcome`] a coordinator applies.
+    /// Remote finishes carry no `Routed`/`AuditReport`; remote failures
+    /// surface as [`RouteError::Internal`] in phase `"remote"`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on a stage label outside the session
+    /// state machine's set.
+    pub fn into_outcome(self) -> Result<SliceOutcome, ProtoError> {
+        Ok(match self {
+            Self::Suspended {
+                checkpoint,
+                stage,
+                events_emitted,
+                selections_done,
+                events_jsonl,
+            } => SliceOutcome::Suspended {
+                checkpoint,
+                stage: intern_stage(&stage)?,
+                events_emitted,
+                selections_done,
+                events_jsonl,
+            },
+            Self::Finished {
+                events_emitted,
+                selections_done,
+                events_jsonl,
+                verdict,
+            } => SliceOutcome::Finished {
+                events_emitted,
+                selections_done,
+                events_jsonl,
+                verdict,
+                routed: None,
+                report: None,
+            },
+            Self::Failed { message } => SliceOutcome::Failed {
+                error: RouteError::Internal {
+                    phase: "remote",
+                    message,
+                },
+            },
+        })
+    }
+}
+
+/// Every message of the `bgr-net` protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → coordinator: first frame of a connection.
+    Hello {
+        /// The worker's protocol version (checked against ours).
+        version: u16,
+        /// Self-chosen worker name (diagnostics and audit lines only —
+        /// never a determinism input).
+        worker: String,
+    },
+    /// Coordinator → worker: handshake accepted.
+    Welcome {
+        /// The coordinator's protocol version.
+        version: u16,
+    },
+    /// Worker → coordinator: ready for a lease.
+    LeaseReq,
+    /// Coordinator → worker: one slice of work.
+    Lease {
+        /// Queue id of the job.
+        job: u64,
+        /// Slice index this lease produces.
+        slice: u64,
+        /// Per-slice selection quota.
+        quota: Option<u64>,
+        /// Checkpoint to resume from (self-contained).
+        checkpoint: String,
+    },
+    /// Coordinator → worker: nothing leasable right now.
+    NoWork {
+        /// Whether the drain is over (workers should report metrics and
+        /// disconnect) rather than momentarily idle (retry).
+        settled: bool,
+    },
+    /// Worker → coordinator: a completed lease.
+    Result {
+        /// Queue id of the job.
+        job: u64,
+        /// Slice index the lease named.
+        slice: u64,
+        /// What the slice concluded.
+        outcome: WireOutcome,
+    },
+    /// Worker → coordinator: still computing a lease; extends its
+    /// deadline.
+    Heartbeat {
+        /// Queue id of the leased job.
+        job: u64,
+        /// Slice index of the lease.
+        slice: u64,
+    },
+    /// Either direction: a structured refusal.
+    Nack {
+        /// Stable machine-readable code (`version-skew`,
+        /// `stale-result`, `bad-request`, ...).
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Worker → coordinator: the worker registry's snapshot for fleet
+    /// aggregation, sent once when the drain settles.
+    Metrics {
+        /// `bgr-metrics-snapshot v1` wire text.
+        snapshot: String,
+    },
+    /// Worker → coordinator: clean disconnect.
+    Bye,
+}
+
+// --- payload text helpers ---------------------------------------------
+
+fn put_line(out: &mut Vec<u8>, key: &str, value: impl fmt::Display) {
+    out.extend_from_slice(key.as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(value.to_string().as_bytes());
+    out.push(b'\n');
+}
+
+/// `key <bytelen>\n<bytes>\n` — the only place raw multi-line text
+/// (checkpoints, trace segments) enters a payload.
+fn put_block(out: &mut Vec<u8>, key: &str, text: &str) {
+    put_line(out, key, text.len());
+    out.extend_from_slice(text.as_bytes());
+    out.push(b'\n');
+}
+
+/// Sequential reader over a payload with field-context errors.
+struct PayloadReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(payload: &'a [u8]) -> Self {
+        Self { rest: payload }
+    }
+
+    /// Next `key value` line; checks the key.
+    fn line(&mut self, key: &str) -> Result<&'a str, ProtoError> {
+        let nl = self
+            .rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| malformed(format!("missing line {key:?}")))?;
+        let line = std::str::from_utf8(&self.rest[..nl])
+            .map_err(|_| malformed(format!("line {key:?} is not utf-8")))?;
+        self.rest = &self.rest[nl + 1..];
+        let (k, v) = line
+            .split_once(' ')
+            .ok_or_else(|| malformed(format!("line {line:?} has no value")))?;
+        if k != key {
+            return Err(malformed(format!("expected key {key:?}, found {k:?}")));
+        }
+        Ok(v)
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, ProtoError> {
+        let v = self.line(key)?;
+        v.parse()
+            .map_err(|_| malformed(format!("{key} is not a u64: {v:?}")))
+    }
+
+    fn bool(&mut self, key: &str) -> Result<bool, ProtoError> {
+        match self.line(key)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            v => Err(malformed(format!("{key} is not a bool: {v:?}"))),
+        }
+    }
+
+    /// `f64` carried as `to_bits` hex (checkpoint-codec convention).
+    fn f64_bits(&mut self, key: &str) -> Result<f64, ProtoError> {
+        let v = self.line(key)?;
+        let bits = u64::from_str_radix(v, 16)
+            .map_err(|_| malformed(format!("{key} is not f64 hex bits: {v:?}")))?;
+        Ok(f64::from_bits(bits))
+    }
+
+    /// Byte-length-prefixed text block.
+    fn block(&mut self, key: &str) -> Result<String, ProtoError> {
+        let len: usize = self
+            .line(key)?
+            .parse()
+            .map_err(|_| malformed(format!("{key} block length is not a usize")))?;
+        if self.rest.len() < len + 1 {
+            return Err(malformed(format!(
+                "{key} block truncated: need {} bytes, have {}",
+                len + 1,
+                self.rest.len()
+            )));
+        }
+        let text = std::str::from_utf8(&self.rest[..len])
+            .map_err(|_| malformed(format!("{key} block is not utf-8")))?
+            .to_string();
+        if self.rest[len] != b'\n' {
+            return Err(malformed(format!("{key} block missing terminator")));
+        }
+        self.rest = &self.rest[len + 1..];
+        Ok(text)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(malformed(format!(
+                "{} trailing bytes after message",
+                self.rest.len()
+            )))
+        }
+    }
+}
+
+fn put_quota(out: &mut Vec<u8>, quota: Option<u64>) {
+    match quota {
+        Some(q) => put_line(out, "quota", q),
+        None => put_line(out, "quota", "none"),
+    }
+}
+
+fn read_quota(r: &mut PayloadReader<'_>) -> Result<Option<u64>, ProtoError> {
+    match r.line("quota")? {
+        "none" => Ok(None),
+        v => v
+            .parse()
+            .map(Some)
+            .map_err(|_| malformed(format!("quota is not a u64: {v:?}"))),
+    }
+}
+
+fn put_verdict(out: &mut Vec<u8>, v: &FinishVerdict) {
+    put_line(out, "audit_clean", v.audit_clean);
+    put_line(out, "audit_checks", v.audit_checks);
+    put_block(out, "audit_line", &v.audit_line);
+    match &v.violations_line {
+        Some(line) => {
+            put_line(out, "violations", "some");
+            put_block(out, "violations_line", line);
+        }
+        None => put_line(out, "violations", "none"),
+    }
+    put_line(out, "feasible", v.feasible);
+    put_line(
+        out,
+        "worst_margin_ps",
+        format!("{:x}", v.worst_margin_ps.to_bits()),
+    );
+    put_line(out, "area_tracks", v.area_tracks);
+    put_line(
+        out,
+        "total_length_um",
+        format!("{:x}", v.total_length_um.to_bits()),
+    );
+}
+
+fn read_verdict(r: &mut PayloadReader<'_>) -> Result<FinishVerdict, ProtoError> {
+    let audit_clean = r.bool("audit_clean")?;
+    let audit_checks = r.u64("audit_checks")?;
+    let audit_line = r.block("audit_line")?;
+    let violations_line = match r.line("violations")? {
+        "some" => Some(r.block("violations_line")?),
+        "none" => None,
+        v => return Err(malformed(format!("violations marker {v:?}"))),
+    };
+    Ok(FinishVerdict {
+        audit_clean,
+        audit_checks,
+        audit_line,
+        violations_line,
+        feasible: r.bool("feasible")?,
+        worst_margin_ps: r.f64_bits("worst_margin_ps")?,
+        area_tracks: r.u64("area_tracks")?,
+        total_length_um: r.f64_bits("total_length_um")?,
+    })
+}
+
+impl Message {
+    /// The frame kind discriminant this message travels under.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Self::Hello { .. } => 1,
+            Self::Welcome { .. } => 2,
+            Self::LeaseReq => 3,
+            Self::Lease { .. } => 4,
+            Self::NoWork { .. } => 5,
+            Self::Result { .. } => 6,
+            Self::Heartbeat { .. } => 7,
+            Self::Nack { .. } => 8,
+            Self::Metrics { .. } => 9,
+            Self::Bye => 10,
+        }
+    }
+
+    /// Serializes the payload text for this message.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Hello { version, worker } => {
+                put_line(&mut out, "version", version);
+                put_block(&mut out, "worker", worker);
+            }
+            Self::Welcome { version } => put_line(&mut out, "version", version),
+            Self::LeaseReq | Self::Bye => {}
+            Self::Lease {
+                job,
+                slice,
+                quota,
+                checkpoint,
+            } => {
+                put_line(&mut out, "job", job);
+                put_line(&mut out, "slice", slice);
+                put_quota(&mut out, *quota);
+                put_block(&mut out, "checkpoint", checkpoint);
+            }
+            Self::NoWork { settled } => put_line(&mut out, "settled", settled),
+            Self::Result {
+                job,
+                slice,
+                outcome,
+            } => {
+                put_line(&mut out, "job", job);
+                put_line(&mut out, "slice", slice);
+                match outcome {
+                    WireOutcome::Suspended {
+                        checkpoint,
+                        stage,
+                        events_emitted,
+                        selections_done,
+                        events_jsonl,
+                    } => {
+                        put_line(&mut out, "outcome", "suspended");
+                        put_line(&mut out, "stage", stage);
+                        put_line(&mut out, "events_emitted", events_emitted);
+                        put_line(&mut out, "selections_done", selections_done);
+                        put_block(&mut out, "checkpoint", checkpoint);
+                        put_block(&mut out, "events_jsonl", events_jsonl);
+                    }
+                    WireOutcome::Finished {
+                        events_emitted,
+                        selections_done,
+                        events_jsonl,
+                        verdict,
+                    } => {
+                        put_line(&mut out, "outcome", "finished");
+                        put_line(&mut out, "events_emitted", events_emitted);
+                        put_line(&mut out, "selections_done", selections_done);
+                        put_block(&mut out, "events_jsonl", events_jsonl);
+                        put_verdict(&mut out, verdict);
+                    }
+                    WireOutcome::Failed { message } => {
+                        put_line(&mut out, "outcome", "failed");
+                        put_block(&mut out, "message", message);
+                    }
+                }
+            }
+            Self::Heartbeat { job, slice } => {
+                put_line(&mut out, "job", job);
+                put_line(&mut out, "slice", slice);
+            }
+            Self::Nack { code, detail } => {
+                put_block(&mut out, "code", code);
+                put_block(&mut out, "detail", detail);
+            }
+            Self::Metrics { snapshot } => put_block(&mut out, "snapshot", snapshot),
+        }
+        out
+    }
+
+    /// Decodes a frame into a typed message.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::UnknownKind`] on an unrecognized discriminant,
+    /// [`ProtoError::Malformed`] on any schema violation — including
+    /// trailing bytes after a complete message. Never panics.
+    pub fn decode(frame: &Frame) -> Result<Self, ProtoError> {
+        let mut r = PayloadReader::new(&frame.payload);
+        let msg = match frame.kind {
+            1 => Self::Hello {
+                version: r
+                    .line("version")?
+                    .parse()
+                    .map_err(|_| malformed("version is not a u16"))?,
+                worker: r.block("worker")?,
+            },
+            2 => Self::Welcome {
+                version: r
+                    .line("version")?
+                    .parse()
+                    .map_err(|_| malformed("version is not a u16"))?,
+            },
+            3 => Self::LeaseReq,
+            4 => Self::Lease {
+                job: r.u64("job")?,
+                slice: r.u64("slice")?,
+                quota: read_quota(&mut r)?,
+                checkpoint: r.block("checkpoint")?,
+            },
+            5 => Self::NoWork {
+                settled: r.bool("settled")?,
+            },
+            6 => {
+                let job = r.u64("job")?;
+                let slice = r.u64("slice")?;
+                let outcome = match r.line("outcome")? {
+                    "suspended" => WireOutcome::Suspended {
+                        stage: r.line("stage")?.to_string(),
+                        events_emitted: r.u64("events_emitted")?,
+                        selections_done: r.u64("selections_done")?,
+                        checkpoint: r.block("checkpoint")?,
+                        events_jsonl: r.block("events_jsonl")?,
+                    },
+                    "finished" => WireOutcome::Finished {
+                        events_emitted: r.u64("events_emitted")?,
+                        selections_done: r.u64("selections_done")?,
+                        events_jsonl: r.block("events_jsonl")?,
+                        verdict: read_verdict(&mut r)?,
+                    },
+                    "failed" => WireOutcome::Failed {
+                        message: r.block("message")?,
+                    },
+                    v => return Err(malformed(format!("unknown outcome {v:?}"))),
+                };
+                Self::Result {
+                    job,
+                    slice,
+                    outcome,
+                }
+            }
+            7 => Self::Heartbeat {
+                job: r.u64("job")?,
+                slice: r.u64("slice")?,
+            },
+            8 => Self::Nack {
+                code: r.block("code")?,
+                detail: r.block("detail")?,
+            },
+            9 => Self::Metrics {
+                snapshot: r.block("snapshot")?,
+            },
+            10 => Self::Bye,
+            kind => return Err(ProtoError::UnknownKind { kind }),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Writes `msg` as one frame.
+///
+/// # Errors
+///
+/// Propagates [`FrameError`] from the transport.
+pub fn send(w: &mut impl std::io::Write, msg: &Message) -> Result<(), ProtoError> {
+    crate::frame::write_frame(w, msg.kind(), &msg.encode_payload())?;
+    Ok(())
+}
+
+/// Reads one frame and decodes it.
+///
+/// # Errors
+///
+/// Structured [`ProtoError`] on transport or schema damage.
+pub fn recv(r: &mut impl std::io::Read) -> Result<Message, ProtoError> {
+    let frame = crate::frame::read_frame(r)?;
+    Message::decode(&frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, encode_frame};
+
+    fn round_trip(msg: Message) {
+        let bytes = encode_frame(msg.kind(), &msg.encode_payload());
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip(Message::Hello {
+            version: 1,
+            worker: "w0".into(),
+        });
+        round_trip(Message::Welcome { version: 1 });
+        round_trip(Message::LeaseReq);
+        round_trip(Message::Lease {
+            job: 3,
+            slice: 7,
+            quota: Some(16),
+            checkpoint: "bgr-checkpoint v1\nfake\n".into(),
+        });
+        round_trip(Message::Lease {
+            job: 0,
+            slice: 0,
+            quota: None,
+            checkpoint: String::new(),
+        });
+        round_trip(Message::NoWork { settled: true });
+        round_trip(Message::Result {
+            job: 2,
+            slice: 4,
+            outcome: WireOutcome::Suspended {
+                checkpoint: "cp\nwith\nlines".into(),
+                stage: "improve_delay".into(),
+                events_emitted: 42,
+                selections_done: 17,
+                events_jsonl: "{\"type\":\"event\",\"seq\":41}\n".into(),
+            },
+        });
+        round_trip(Message::Result {
+            job: 2,
+            slice: 5,
+            outcome: WireOutcome::Finished {
+                events_emitted: 99,
+                selections_done: 31,
+                events_jsonl: String::new(),
+                verdict: FinishVerdict {
+                    audit_clean: true,
+                    audit_checks: 120,
+                    audit_line: "audit clean: 120 checks".into(),
+                    violations_line: Some("2 nets violate".into()),
+                    feasible: false,
+                    worst_margin_ps: -3.25,
+                    area_tracks: 44,
+                    total_length_um: 1234.5678,
+                },
+            },
+        });
+        round_trip(Message::Result {
+            job: 1,
+            slice: 0,
+            outcome: WireOutcome::Failed {
+                message: "checkpoint damaged".into(),
+            },
+        });
+        round_trip(Message::Heartbeat { job: 1, slice: 2 });
+        round_trip(Message::Nack {
+            code: "stale-result".into(),
+            detail: "slice 3 already applied".into(),
+        });
+        round_trip(Message::Metrics {
+            snapshot: "bgr-metrics-snapshot v1\nend 0\n".into(),
+        });
+        round_trip(Message::Bye);
+    }
+
+    #[test]
+    fn verdict_floats_survive_bit_identically() {
+        for margin in [f64::INFINITY, -0.0, 1e-300, -17.125] {
+            let msg = Message::Result {
+                job: 0,
+                slice: 0,
+                outcome: WireOutcome::Finished {
+                    events_emitted: 0,
+                    selections_done: 0,
+                    events_jsonl: String::new(),
+                    verdict: FinishVerdict {
+                        audit_clean: true,
+                        audit_checks: 1,
+                        audit_line: "a".into(),
+                        violations_line: None,
+                        feasible: true,
+                        worst_margin_ps: margin,
+                        area_tracks: 0,
+                        total_length_um: margin,
+                    },
+                },
+            };
+            let bytes = encode_frame(msg.kind(), &msg.encode_payload());
+            let (frame, _) = decode_frame(&bytes).unwrap();
+            let back = Message::decode(&frame).unwrap();
+            let Message::Result {
+                outcome: WireOutcome::Finished { verdict, .. },
+                ..
+            } = back
+            else {
+                panic!("wrong shape");
+            };
+            assert_eq!(verdict.worst_margin_ps.to_bits(), margin.to_bits());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Message::Heartbeat { job: 1, slice: 2 }.encode_payload();
+        payload.extend_from_slice(b"junk\n");
+        let bytes = encode_frame(7, &payload);
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(ProtoError::Malformed { .. })
+        ));
+    }
+}

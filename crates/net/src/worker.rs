@@ -1,0 +1,236 @@
+//! The pull-based slice worker.
+//!
+//! [`run_worker`] connects to a coordinator, performs the
+//! HELLO/WELCOME version handshake, then loops: request a lease,
+//! execute it with the *same* [`bgr_serve::run_slice`] the local queue
+//! uses, return the result, repeat — until the coordinator reports the
+//! drain settled, at which point the worker ships its metrics snapshot
+//! and disconnects. The worker holds no routing state between leases:
+//! everything it needs is in the checkpoint, everything it learned is
+//! in the result.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use bgr_metrics::{CounterHandle, HistogramHandle, MetricsRegistry};
+use bgr_serve::run_slice;
+
+use crate::frame::PROTO_VERSION;
+use crate::proto::{recv, send, Message, ProtoError, WireOutcome};
+
+/// Per-worker operational counters, merged fleet-wide by the
+/// coordinator via snapshot shipping.
+#[derive(Debug, Clone)]
+pub struct WorkerMetrics {
+    /// Leases accepted.
+    pub leases_total: CounterHandle,
+    /// Wall-clock of one leased slice, µs.
+    pub slice_latency_us: HistogramHandle,
+    /// Leased slices that suspended again.
+    pub suspended_total: CounterHandle,
+    /// Leased slices that finished their session.
+    pub finished_total: CounterHandle,
+    /// Leased slices that failed structurally.
+    pub failed_total: CounterHandle,
+}
+
+impl WorkerMetrics {
+    /// Registers the worker metric family on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            leases_total: registry.counter(
+                "bgr_worker_leases_total",
+                "Slice leases accepted by this worker",
+                &[],
+            ),
+            slice_latency_us: registry.histogram(
+                "bgr_worker_slice_latency_us",
+                "Wall-clock latency of one leased slice in microseconds",
+                &[],
+            ),
+            suspended_total: registry.counter(
+                "bgr_worker_slices_suspended_total",
+                "Leased slices that suspended at a new checkpoint",
+                &[],
+            ),
+            finished_total: registry.counter(
+                "bgr_worker_slices_finished_total",
+                "Leased slices that finished their session",
+                &[],
+            ),
+            failed_total: registry.counter(
+                "bgr_worker_slices_failed_total",
+                "Leased slices that failed structurally",
+                &[],
+            ),
+        }
+    }
+}
+
+/// How a worker runs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Self-chosen name, sent in HELLO (diagnostics only).
+    pub name: String,
+    /// Crash injection for tests: accept the k-th lease (1-based) and
+    /// drop the connection without replying, leaving the lease to
+    /// expire and be reassigned.
+    pub die_on_lease: Option<u64>,
+    /// Sleep between lease polls while the coordinator has no work.
+    pub poll: Duration,
+}
+
+impl WorkerOptions {
+    /// Defaults: the given name, no crash injection, 5 ms poll.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            die_on_lease: None,
+            poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// What a worker did over one drain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Leases accepted.
+    pub leases: u64,
+    /// Slices executed to a result.
+    pub slices: u64,
+    /// Whether crash injection terminated the worker.
+    pub died: bool,
+}
+
+/// Connects to the coordinator at `addr` and drains leases until the
+/// coordinator settles (or crash injection fires). The worker's
+/// metrics land in `registry` and are shipped to the coordinator as a
+/// snapshot just before the clean disconnect.
+///
+/// # Errors
+///
+/// Structured [`ProtoError`] on connect failure, version skew
+/// (surfaced via the coordinator's `Nack`), or any protocol violation.
+pub fn run_worker(
+    addr: &str,
+    opts: &WorkerOptions,
+    registry: &MetricsRegistry,
+) -> Result<WorkerReport, ProtoError> {
+    let metrics = WorkerMetrics::register(registry);
+    let mut stream = TcpStream::connect(addr).map_err(|e| {
+        ProtoError::Frame(crate::frame::FrameError::Io {
+            message: format!("connect {addr}: {e}"),
+        })
+    })?;
+    let _ = stream.set_nodelay(true);
+    send(
+        &mut stream,
+        &Message::Hello {
+            version: PROTO_VERSION,
+            worker: opts.name.clone(),
+        },
+    )?;
+    match recv(&mut stream)? {
+        Message::Welcome { .. } => {}
+        Message::Nack { code, detail } => {
+            return Err(ProtoError::Malformed {
+                message: format!("coordinator refused handshake: {code}: {detail}"),
+            })
+        }
+        other => {
+            return Err(ProtoError::Malformed {
+                message: format!("expected WELCOME, got kind {}", other.kind()),
+            })
+        }
+    }
+    let mut report = WorkerReport {
+        leases: 0,
+        slices: 0,
+        died: false,
+    };
+    send(&mut stream, &Message::LeaseReq)?;
+    loop {
+        match recv(&mut stream)? {
+            Message::Lease {
+                job,
+                slice,
+                quota,
+                checkpoint,
+            } => {
+                report.leases += 1;
+                metrics.leases_total.inc();
+                if opts.die_on_lease == Some(report.leases) {
+                    // Crash injection: vanish mid-slice. The dropped
+                    // connection leaves the lease to expire; the
+                    // coordinator reassigns the identical spec.
+                    drop(stream);
+                    report.died = true;
+                    return Ok(report);
+                }
+                // Keep the lease alive across the slice: one heartbeat
+                // up front resets the deadline granted at lease time.
+                send(&mut stream, &Message::Heartbeat { job, slice })?;
+                match recv(&mut stream)? {
+                    Message::Heartbeat { .. } => {}
+                    other => {
+                        return Err(ProtoError::Malformed {
+                            message: format!("expected HEARTBEAT echo, got kind {}", other.kind()),
+                        })
+                    }
+                }
+                let start = Instant::now();
+                let out = run_slice(&checkpoint, quota);
+                metrics
+                    .slice_latency_us
+                    .observe(start.elapsed().as_micros() as u64);
+                report.slices += 1;
+                let wire = WireOutcome::from_outcome(&out);
+                match &wire {
+                    WireOutcome::Suspended { .. } => metrics.suspended_total.inc(),
+                    WireOutcome::Finished { .. } => metrics.finished_total.inc(),
+                    WireOutcome::Failed { .. } => metrics.failed_total.inc(),
+                }
+                send(
+                    &mut stream,
+                    &Message::Result {
+                        job,
+                        slice,
+                        outcome: wire,
+                    },
+                )?;
+            }
+            Message::NoWork { settled: false } => {
+                std::thread::sleep(opts.poll);
+                send(&mut stream, &Message::LeaseReq)?;
+            }
+            Message::NoWork { settled: true } => {
+                send(
+                    &mut stream,
+                    &Message::Metrics {
+                        snapshot: registry.snapshot().to_text(),
+                    },
+                )?;
+                match recv(&mut stream)? {
+                    Message::Bye => {}
+                    other => {
+                        return Err(ProtoError::Malformed {
+                            message: format!("expected BYE, got kind {}", other.kind()),
+                        })
+                    }
+                }
+                send(&mut stream, &Message::Bye)?;
+                return Ok(report);
+            }
+            Message::Nack { code, detail } => {
+                return Err(ProtoError::Malformed {
+                    message: format!("coordinator nack: {code}: {detail}"),
+                })
+            }
+            other => {
+                return Err(ProtoError::Malformed {
+                    message: format!("unexpected kind {}", other.kind()),
+                })
+            }
+        }
+    }
+}

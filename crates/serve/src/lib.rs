@@ -54,6 +54,202 @@ use bgr_netlist::Circuit;
 use bgr_timing::PathConstraint;
 use bgr_verify::{audit, AuditReport};
 
+/// Deterministic summary of a *finished* route slice: everything a
+/// coordinator needs to build the job's `done` stream record and to
+/// rank speculative-portfolio arms, with nothing non-serializable.
+///
+/// Every field is a pure function of the slice's inputs (checkpoint +
+/// quota), so two workers finishing the same lease produce equal
+/// verdicts — the property `bgr-net`'s deterministic result acceptance
+/// rests on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishVerdict {
+    /// Whether the independent completion audit found no divergence.
+    pub audit_clean: bool,
+    /// Comparisons the audit performed.
+    pub audit_checks: u64,
+    /// The audit report's stable one-line `Display`.
+    pub audit_line: String,
+    /// The residual-violation report's one-line `Display`, when the
+    /// route finished best-effort with constraints still violated.
+    pub violations_line: Option<String>,
+    /// No residual violations (the portfolio's first-rank key).
+    pub feasible: bool,
+    /// Worst constraint margin in ps (`+∞` with no constraints) — the
+    /// portfolio's delay key, larger is better.
+    pub worst_margin_ps: f64,
+    /// Sum of final channel track maxima — the portfolio's area key,
+    /// smaller is better.
+    pub area_tracks: u64,
+    /// Total routed wirelength in µm (reporting only).
+    pub total_length_um: f64,
+}
+
+impl FinishVerdict {
+    /// Whether this verdict wins over `other` under the portfolio's
+    /// total deterministic order: audited feasibility first, then worst
+    /// margin (descending — more slack wins), then area tracks
+    /// (ascending), then total length (ascending). Ties fall through to
+    /// `false` so the caller's arm-index order (ascending) decides —
+    /// completing the total order.
+    pub fn beats(&self, other: &FinishVerdict) -> bool {
+        let ok_self = self.audit_clean && self.feasible;
+        let ok_other = other.audit_clean && other.feasible;
+        if ok_self != ok_other {
+            return ok_self;
+        }
+        match self.worst_margin_ps.total_cmp(&other.worst_margin_ps) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+        if self.area_tracks != other.area_tracks {
+            return self.area_tracks < other.area_tracks;
+        }
+        self.total_length_um.total_cmp(&other.total_length_um) == std::cmp::Ordering::Less
+    }
+}
+
+/// What one budgeted slice of a checkpointed session concluded — the
+/// transport-agnostic result of [`run_slice`], applied to a [`Job`] by
+/// the local queue and shipped over `bgr-net` by remote workers.
+#[derive(Debug)]
+pub enum SliceOutcome {
+    /// The session suspended again: a fresh checkpoint plus the slice's
+    /// deterministic event lines (already serialized at the stream's
+    /// global `seq` offset).
+    Suspended {
+        /// Serialized checkpoint of the suspension.
+        checkpoint: String,
+        /// Stable label of the stage the session parked at.
+        stage: &'static str,
+        /// Deterministic events emitted across the whole session.
+        events_emitted: u64,
+        /// Global selections performed across the whole session.
+        selections_done: u64,
+        /// The slice's `"type":"event"` lines, newline-terminated.
+        events_jsonl: String,
+    },
+    /// The session finished and was audited.
+    Finished {
+        /// Deterministic events emitted across the whole session.
+        events_emitted: u64,
+        /// Global selections performed across the whole session.
+        selections_done: u64,
+        /// The slice's `"type":"event"` lines, newline-terminated.
+        events_jsonl: String,
+        /// The deterministic completion verdict.
+        verdict: FinishVerdict,
+        /// The finished route — present only when the slice ran
+        /// in-process (never crosses the wire).
+        routed: Option<Box<Routed>>,
+        /// The full audit report — in-process only, like `routed`.
+        report: Option<AuditReport>,
+    },
+    /// The slice failed structurally.
+    Failed {
+        /// The structured error.
+        error: RouteError,
+    },
+}
+
+/// Runs one budgeted slice from a serialized checkpoint: parse →
+/// resume → one [`RouteSession::step`] → re-checkpoint or finish +
+/// independent audit. **This is the single slice execution path** —
+/// [`JobQueue`] calls it for local rounds and `bgr-net` workers call it
+/// for leased slices, so a distributed drain is byte-identical to a
+/// local one by construction, not by parallel maintenance of two
+/// pipelines.
+///
+/// Self-contained: the checkpoint embeds the design, configuration and
+/// the global event offset, so `(checkpoint, quota)` fully determines
+/// the outcome.
+pub fn run_slice(checkpoint: &str, quota: Option<u64>) -> SliceOutcome {
+    let snap = match parse_checkpoint(checkpoint) {
+        Ok(snap) => snap,
+        Err(e) => {
+            return SliceOutcome::Failed {
+                error: RouteError::Checkpoint {
+                    message: e.to_string(),
+                },
+            }
+        }
+    };
+    let start_events = snap.events_emitted;
+    let constraints = snap.constraints.clone();
+    let config = snap.config.clone();
+    let mut session = match RouteSession::resume(snap, CollectingProbe::new()) {
+        Ok(s) => s,
+        Err(e) => return SliceOutcome::Failed { error: e },
+    };
+    let outcome = match session.step(quota) {
+        Ok(o) => o,
+        Err(e) => return SliceOutcome::Failed { error: e },
+    };
+    match outcome {
+        StepOutcome::Suspended => {
+            let snap = session.snapshot();
+            let stage = snap.stage.label();
+            let events_emitted = snap.events_emitted;
+            let selections_done = session.selections_done();
+            let checkpoint = write_checkpoint(&snap);
+            let trace = session.into_probe().finish();
+            SliceOutcome::Suspended {
+                checkpoint,
+                stage,
+                events_emitted,
+                selections_done,
+                events_jsonl: deterministic_event_lines(&write_trace_jsonl_offset(
+                    &trace,
+                    start_events,
+                )),
+            }
+        }
+        StepOutcome::Ready => {
+            let events_emitted = session.events_emitted();
+            let selections_done = session.selections_done();
+            match session.finish() {
+                Ok((routed, probe)) => {
+                    let trace = probe.finish();
+                    let events_jsonl =
+                        deterministic_event_lines(&write_trace_jsonl_offset(&trace, start_events));
+                    let report = audit(
+                        &routed.circuit,
+                        &routed.placement,
+                        &constraints,
+                        &config,
+                        &routed.result,
+                    );
+                    let verdict = FinishVerdict {
+                        audit_clean: report.is_clean(),
+                        audit_checks: report.total_checks(),
+                        audit_line: report.to_string(),
+                        violations_line: routed.result.violations.as_ref().map(|v| v.to_string()),
+                        feasible: routed.result.violations.is_none(),
+                        worst_margin_ps: routed.result.timing.worst_margin_ps(),
+                        area_tracks: routed
+                            .result
+                            .channel_tracks
+                            .iter()
+                            .map(|&t| t.max(0) as u64)
+                            .sum(),
+                        total_length_um: routed.result.total_length_um,
+                    };
+                    SliceOutcome::Finished {
+                        events_emitted,
+                        selections_done,
+                        events_jsonl,
+                        verdict,
+                        routed: Some(Box::new(routed)),
+                        report: Some(report),
+                    }
+                }
+                Err(e) => SliceOutcome::Failed { error: e },
+            }
+        }
+    }
+}
+
 /// The serve layer's operational metrics, registered on a shared
 /// [`MetricsRegistry`] and updated at slice boundaries.
 ///
@@ -207,6 +403,7 @@ pub struct Job {
     error: Option<RouteError>,
     audit: Option<AuditReport>,
     routed: Option<Routed>,
+    verdict: Option<FinishVerdict>,
 }
 
 impl Job {
@@ -267,9 +464,16 @@ impl Job {
     }
 
     /// The finished route (present once the session completed, even if
-    /// the audit then failed it).
+    /// the audit then failed it). Absent when the finishing slice ran on
+    /// a remote worker — the wire ships the [`FinishVerdict`] instead.
     pub fn routed(&self) -> Option<&Routed> {
         self.routed.as_ref()
+    }
+
+    /// The deterministic completion verdict (present once the session
+    /// finished, locally or remotely).
+    pub fn verdict(&self) -> Option<&FinishVerdict> {
+        self.verdict.as_ref()
     }
 
     fn runnable(&self) -> bool {
@@ -300,97 +504,133 @@ impl Job {
         self.stream_record(&line);
     }
 
-    /// Runs one slice: restore (or start) → one `step` → checkpoint or
-    /// finish+audit. The only entry point that mutates routing state.
-    fn advance_slice(&mut self) {
-        self.state = SessionState::Running;
-        let start_events = self.events_emitted;
-        let session = match &self.checkpoint {
-            None => RouteSession::start(
-                self.config.clone(),
-                self.circuit.clone(),
-                self.placement.clone(),
-                self.constraints.clone(),
-                CollectingProbe::new(),
-            ),
-            Some(text) => parse_checkpoint(text)
-                .map_err(|e| RouteError::Checkpoint {
-                    message: e.to_string(),
-                })
-                .and_then(|snap| RouteSession::resume(snap, CollectingProbe::new())),
-        };
-        let mut session = match session {
-            Ok(s) => s,
-            Err(e) => return self.fail(e),
-        };
-        let outcome = match session.step(self.slice_quota) {
-            Ok(o) => o,
-            Err(e) => return self.fail(e),
-        };
-        self.slices += 1;
-        match outcome {
-            StepOutcome::Suspended => {
-                let snap = session.snapshot();
-                self.stage = snap.stage.label();
-                self.events_emitted = snap.events_emitted;
-                self.selections_done = session.selections_done();
-                self.checkpoint = Some(write_checkpoint(&snap));
-                let trace = session.into_probe().finish();
-                let slice_jsonl = write_trace_jsonl_offset(&trace, start_events);
-                let events = deterministic_event_lines(&slice_jsonl);
-                self.stream.push_str(&events);
+    /// Starts the session and parks it at a step-0 checkpoint without
+    /// advancing, so *every* slice — local round or remote lease — runs
+    /// from a checkpoint through [`run_slice`]. Setup events (feed
+    /// assignment, graph build) land in the stream at offset 0, exactly
+    /// where the monolithic run puts them; the first real slice then
+    /// continues at the checkpoint's embedded `seq` offset, keeping the
+    /// concatenated stream byte-identical to the pre-distributed path.
+    fn materialize_checkpoint(&mut self) -> Result<(), RouteError> {
+        if self.checkpoint.is_some() {
+            return Ok(());
+        }
+        let session = RouteSession::start(
+            self.config.clone(),
+            self.circuit.clone(),
+            self.placement.clone(),
+            self.constraints.clone(),
+            CollectingProbe::new(),
+        )?;
+        let snap = session.snapshot();
+        self.stage = snap.stage.label();
+        self.events_emitted = snap.events_emitted;
+        self.selections_done = session.selections_done();
+        self.checkpoint = Some(write_checkpoint(&snap));
+        let trace = session.into_probe().finish();
+        self.stream
+            .push_str(&deterministic_event_lines(&write_trace_jsonl_offset(
+                &trace, 0,
+            )));
+        Ok(())
+    }
+
+    /// Folds a [`SliceOutcome`] into the job — the one place slice
+    /// results become job state, shared by the local round path and
+    /// [`JobQueue::apply_remote`].
+    fn apply_outcome(&mut self, out: SliceOutcome) {
+        match out {
+            SliceOutcome::Suspended {
+                checkpoint,
+                stage,
+                events_emitted,
+                selections_done,
+                events_jsonl,
+            } => {
+                self.slices += 1;
+                self.stage = stage;
+                self.events_emitted = events_emitted;
+                self.selections_done = selections_done;
+                self.checkpoint = Some(checkpoint);
+                self.stream.push_str(&events_jsonl);
                 self.progress_record();
                 self.state = SessionState::Suspended;
             }
-            StepOutcome::Ready => {
+            SliceOutcome::Finished {
+                events_emitted,
+                selections_done,
+                events_jsonl,
+                verdict,
+                routed,
+                report,
+            } => {
+                self.slices += 1;
                 self.stage = SessionStage::Finished.label();
-                self.events_emitted = session.events_emitted();
-                self.selections_done = session.selections_done();
+                self.events_emitted = events_emitted;
+                self.selections_done = selections_done;
                 self.checkpoint = None;
-                match session.finish() {
-                    Ok((routed, probe)) => {
-                        let trace = probe.finish();
-                        let slice_jsonl = write_trace_jsonl_offset(&trace, start_events);
-                        self.stream
-                            .push_str(&deterministic_event_lines(&slice_jsonl));
-                        let report = audit(
-                            &routed.circuit,
-                            &routed.placement,
-                            &self.constraints,
-                            &self.config,
-                            &routed.result,
-                        );
-                        let clean = report.is_clean();
-                        // One-line `Display`s of the audit and (when
-                        // present) the residual-violation report embed
-                        // as single JSON strings — both deterministic,
-                        // so the stream stays thread-count invariant.
-                        let mut line = format!(
-                            "{{\"type\":\"done\",\"slice\":{},\"state\":\"{}\",\"audit_clean\":{clean},\"checks\":{},\"audit\":\"{}\"",
-                            self.slices,
-                            if clean { "completed" } else { "failed" },
-                            report.total_checks(),
-                            escape_json(&report.to_string()),
-                        );
-                        if let Some(v) = &routed.result.violations {
-                            let _ =
-                                write!(line, ",\"violations\":\"{}\"", escape_json(&v.to_string()));
-                        }
-                        line.push('}');
-                        self.stream_record(&line);
-                        self.audit = Some(report);
-                        self.routed = Some(routed);
-                        self.state = if clean {
-                            SessionState::Completed
-                        } else {
-                            SessionState::Failed
-                        };
-                    }
-                    Err(e) => self.fail(e),
+                self.stream.push_str(&events_jsonl);
+                let clean = verdict.audit_clean;
+                // One-line `Display`s of the audit and (when present)
+                // the residual-violation report embed as single JSON
+                // strings — both deterministic, so the stream stays
+                // thread-count invariant, and both carried by the
+                // verdict so a remotely finished job writes the same
+                // bytes a local finish would.
+                let mut line = format!(
+                    "{{\"type\":\"done\",\"slice\":{},\"state\":\"{}\",\"audit_clean\":{clean},\"checks\":{},\"audit\":\"{}\"",
+                    self.slices,
+                    if clean { "completed" } else { "failed" },
+                    verdict.audit_checks,
+                    escape_json(&verdict.audit_line),
+                );
+                if let Some(v) = &verdict.violations_line {
+                    let _ = write!(line, ",\"violations\":\"{}\"", escape_json(v));
                 }
+                line.push('}');
+                self.stream_record(&line);
+                self.audit = report;
+                self.routed = routed.map(|b| *b);
+                self.verdict = Some(verdict);
+                self.state = if clean {
+                    SessionState::Completed
+                } else {
+                    SessionState::Failed
+                };
             }
+            SliceOutcome::Failed { error } => self.fail(error),
         }
     }
+
+    /// Runs one slice in-process: materialize the first checkpoint if
+    /// needed, then [`run_slice`] → [`Job::apply_outcome`]. Local
+    /// rounds and remote leases thus execute the identical slice code.
+    fn advance_slice(&mut self) {
+        self.state = SessionState::Running;
+        if let Err(e) = self.materialize_checkpoint() {
+            return self.fail(e);
+        }
+        let checkpoint = self.checkpoint.clone().expect("materialized above");
+        let out = run_slice(&checkpoint, self.slice_quota);
+        self.apply_outcome(out);
+    }
+}
+
+/// A leasable unit of work: everything a worker needs to run one slice
+/// of a job, with no reference back to in-process state — the
+/// checkpoint embeds the design and configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseSpec {
+    /// Queue id of the job this lease advances.
+    pub job: usize,
+    /// The slice index this lease will produce (the job's current
+    /// [`Job::slices`] count). Results for any other index are stale
+    /// and rejected by [`JobQueue::apply_remote`].
+    pub slice: u64,
+    /// The job's per-slice selection quota.
+    pub quota: Option<u64>,
+    /// The serialized checkpoint the slice resumes from.
+    pub checkpoint: String,
 }
 
 /// A queue of routing jobs advanced in budgeted, checkpointed slices.
@@ -449,6 +689,7 @@ impl JobQueue {
             error: None,
             audit: None,
             routed: None,
+            verdict: None,
         });
         self.jobs.len() - 1
     }
@@ -558,6 +799,147 @@ impl JobQueue {
             rounds += 1;
         }
         rounds
+    }
+
+    /// Submits a job that starts from an existing serialized checkpoint
+    /// instead of raw design inputs — the speculative-portfolio path:
+    /// fan one suspended checkpoint under several configuration arms
+    /// (see `bgr_io::reconfigure_checkpoint`) and race them.
+    ///
+    /// The job parks `Suspended` with its counters adopted from the
+    /// snapshot; its stream begins at the checkpoint (earlier slices
+    /// belong to whichever job produced it).
+    ///
+    /// # Errors
+    ///
+    /// Structured [`RouteError::Checkpoint`] when `checkpoint` does not
+    /// parse.
+    pub fn submit_checkpoint(
+        &mut self,
+        name: impl Into<String>,
+        checkpoint: &str,
+        slice_quota: Option<u64>,
+    ) -> Result<usize, RouteError> {
+        let snap = parse_checkpoint(checkpoint).map_err(|e| RouteError::Checkpoint {
+            message: e.to_string(),
+        })?;
+        self.jobs.push(Job {
+            name: name.into(),
+            circuit: snap.circuit,
+            placement: snap.placement,
+            constraints: snap.constraints,
+            config: snap.config,
+            slice_quota,
+            state: SessionState::Suspended,
+            checkpoint: Some(checkpoint.to_string()),
+            stream: String::new(),
+            cancelled: false,
+            stage: snap.stage.label(),
+            slices: 0,
+            events_emitted: snap.events_emitted,
+            selections_done: snap.stats.selection_log.len() as u64,
+            error: None,
+            audit: None,
+            routed: None,
+            verdict: None,
+        });
+        Ok(self.jobs.len() - 1)
+    }
+
+    /// The next leasable slice of job `id`, materializing the first
+    /// checkpoint of a `Created` job on demand. Returns `Ok(None)` for
+    /// terminal or cancelled jobs.
+    ///
+    /// Leasing consumes nothing: the identical spec is returned until a
+    /// result for it is applied, which is what makes expiry-driven
+    /// re-leasing deterministic — every worker handed this lease
+    /// computes the same [`SliceOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the structured error when materializing the first
+    /// checkpoint fails (the job is failed as a side effect, exactly as
+    /// a local round would).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id [`JobQueue::submit`] never returned.
+    pub fn lease_spec(&mut self, id: usize) -> Result<Option<LeaseSpec>, RouteError> {
+        if !self.jobs[id].runnable() {
+            return Ok(None);
+        }
+        if self.jobs[id].checkpoint.is_none() {
+            if let Err(e) = self.jobs[id].materialize_checkpoint() {
+                self.jobs[id].fail(e.clone());
+                if let Some(m) = &self.metrics {
+                    m.jobs_failed_total.inc();
+                }
+                return Err(e);
+            }
+        }
+        let job = &self.jobs[id];
+        Ok(Some(LeaseSpec {
+            job: id,
+            slice: job.slices,
+            quota: job.slice_quota,
+            checkpoint: job.checkpoint.clone().expect("materialized above"),
+        }))
+    }
+
+    /// Applies a slice outcome computed elsewhere (a worker draining a
+    /// lease). Accepted only when `slice` equals the job's current
+    /// [`Job::slices`] count and the job can still advance — duplicate
+    /// results from expired-and-reassigned leases and stale
+    /// re-deliveries return `false` and change nothing. Acceptance is
+    /// deterministic despite racing workers because any worker's
+    /// outcome for a given `(checkpoint, quota)` lease is
+    /// byte-identical, so *which* duplicate lands first cannot matter.
+    ///
+    /// Updates the queue's metrics exactly as a local round would,
+    /// except `bgr_slice_latency_us`: a remote slice's wall clock is
+    /// observed by the worker's own registry and folded in via
+    /// snapshot merging, not re-measured here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id [`JobQueue::submit`] never returned.
+    pub fn apply_remote(&mut self, id: usize, slice: u64, out: SliceOutcome) -> bool {
+        {
+            let job = &self.jobs[id];
+            if !job.runnable() || slice != job.slices {
+                return false;
+            }
+        }
+        let job = &mut self.jobs[id];
+        let before_selections = job.selections_done;
+        let before_events = job.events_emitted;
+        let had_verdict = job.verdict.is_some();
+        job.apply_outcome(out);
+        if let Some(m) = &self.metrics {
+            let job = &self.jobs[id];
+            m.slices_total.inc();
+            m.selections_total
+                .add(job.selections_done - before_selections);
+            m.events_total.add(job.events_emitted - before_events);
+            if let Some(cp) = &job.checkpoint {
+                m.checkpoint_bytes_total.add(cp.len() as u64);
+            }
+            if !had_verdict {
+                if let Some(verdict) = &job.verdict {
+                    if verdict.audit_clean {
+                        m.audit_clean_total.inc();
+                    } else {
+                        m.audit_failed_total.inc();
+                    }
+                }
+            }
+            match job.state {
+                SessionState::Completed => m.jobs_completed_total.inc(),
+                SessionState::Failed => m.jobs_failed_total.inc(),
+                _ => {}
+            }
+        }
+        true
     }
 }
 

@@ -17,6 +17,7 @@
 //! | [`verify`] | `bgr-verify` | independent from-scratch audit of routing results |
 //! | [`serve`] | `bgr-serve` | sessionized job queue: budgeted slices, checkpoints, resume |
 //! | [`metrics`] | `bgr-metrics` | operational metrics registry + Prometheus text exporter |
+//! | [`net`] | `bgr-net` | distributed slice draining: wire protocol, coordinator, workers |
 //!
 //! # Quickstart
 //!
@@ -64,6 +65,7 @@ pub use bgr_gen as gen;
 pub use bgr_io as io;
 pub use bgr_layout as layout;
 pub use bgr_metrics as metrics;
+pub use bgr_net as net;
 pub use bgr_netlist as netlist;
 pub use bgr_serve as serve;
 pub use bgr_timing as timing;

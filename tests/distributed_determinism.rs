@@ -1,0 +1,262 @@
+//! Distributed ≡ local, byte for byte (DESIGN.md §15).
+//!
+//! A fleet of TCP loopback workers draining a coordinator must leave
+//! the job queue in *exactly* the state a single-process
+//! [`JobQueue::run`] produces: per-job streams (trace events with
+//! contiguous `seq`, progress records, audited `done` records)
+//! byte-identical, states, counters and completion verdicts equal —
+//! for any worker count, and even when a worker takes a lease and dies
+//! mid-slice (its lease expires and is reassigned, by construction with
+//! an identical outcome).
+//!
+//! Speculative portfolio racing rides the same proof: one suspended
+//! checkpoint fanned under three improvement-criteria arms picks the
+//! same winner with the same arm streams whether drained by one worker
+//! or by three with crash injection.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::io::write_checkpoint;
+use bgr::metrics::MetricsRegistry;
+use bgr::net::{run_worker, serve_drain, Coordinator, NetMetrics, WorkerOptions};
+use bgr::router::config::CriteriaOrder;
+use bgr::router::{CollectingProbe, RouteSession, RouterConfig};
+use bgr::serve::{JobQueue, SessionState};
+
+fn small_case(
+    seed: u64,
+) -> (
+    bgr::netlist::Circuit,
+    bgr::layout::Placement,
+    Vec<bgr::timing::PathConstraint>,
+) {
+    let params = GenParams::small(seed);
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    (design.circuit, placement, design.constraints)
+}
+
+fn submit_fleet_jobs(queue: &mut JobQueue) {
+    for (i, seed) in [3u64, 11, 42, 7].iter().enumerate() {
+        let (c, p, k) = small_case(*seed);
+        // Mixed quotas: multi-slice jobs and a run-to-completion job.
+        let quota = if i == 3 { None } else { Some(4 + 2 * i as u64) };
+        queue.submit(format!("job{i}"), c, p, k, RouterConfig::default(), quota);
+    }
+}
+
+/// Drains `coordinator` over TCP loopback with the given worker
+/// options (one thread per worker), returning the drained coordinator
+/// and each worker's (report, registry).
+fn drain_over_loopback(
+    coordinator: Coordinator,
+    workers: Vec<WorkerOptions>,
+) -> (Coordinator, Vec<(bgr::net::WorkerReport, MetricsRegistry)>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || serve_drain(listener, coordinator).expect("drain"));
+    let worker_threads: Vec<_> = workers
+        .into_iter()
+        .map(|opts| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let registry = MetricsRegistry::new();
+                let report = run_worker(&addr, &opts, &registry).expect("worker");
+                (report, registry)
+            })
+        })
+        .collect();
+    let reports: Vec<_> = worker_threads
+        .into_iter()
+        .map(|t| t.join().expect("worker thread"))
+        .collect();
+    (server.join().expect("server thread"), reports)
+}
+
+#[test]
+fn fleet_drain_is_byte_identical_to_local_run() {
+    // Reference: the plain single-process queue.
+    let mut local = JobQueue::new();
+    submit_fleet_jobs(&mut local);
+    local.run(4);
+
+    // Distributed: three workers over TCP loopback.
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let coordinator = Coordinator::new(queue, Duration::from_secs(10));
+    let (drained, reports) = drain_over_loopback(
+        coordinator,
+        (0..3)
+            .map(|i| WorkerOptions::named(format!("w{i}")))
+            .collect(),
+    );
+
+    assert!(drained.all_completed());
+    for (i, (dist, loc)) in drained
+        .queue()
+        .jobs()
+        .iter()
+        .zip(local.jobs().iter())
+        .enumerate()
+    {
+        assert_eq!(dist.state(), SessionState::Completed, "job {i}");
+        assert_eq!(dist.slices(), loc.slices(), "job {i} slice count");
+        assert_eq!(dist.selections_done(), loc.selections_done(), "job {i}");
+        assert_eq!(dist.events_emitted(), loc.events_emitted(), "job {i}");
+        // The load-bearing assertion: merged streams byte-identical.
+        assert_eq!(dist.stream(), loc.stream(), "job {i} stream diverged");
+        // Completion verdicts agree with the local audit.
+        let verdict = dist.verdict().expect("remote verdict");
+        let local_audit = loc.audit().expect("local audit");
+        assert_eq!(verdict.audit_line, local_audit.to_string(), "job {i}");
+        assert!(verdict.audit_clean, "job {i}");
+    }
+    // The slices were genuinely spread over the fleet, and every
+    // live worker shipped a metrics snapshot for aggregation.
+    let total: u64 = reports.iter().map(|(r, _)| r.slices).sum();
+    let local_slices: u64 = local.jobs().iter().map(|j| j.slices()).sum();
+    assert_eq!(total, local_slices, "fleet executed exactly the work");
+    assert!(
+        reports.iter().filter(|(r, _)| r.slices > 0).count() >= 2,
+        "work should spread across the fleet"
+    );
+    assert_eq!(drained.worker_snapshots().len(), 3);
+}
+
+#[test]
+fn killed_worker_lease_expires_and_is_reassigned() {
+    let mut local = JobQueue::new();
+    submit_fleet_jobs(&mut local);
+    local.run(1);
+
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let registry = MetricsRegistry::new();
+    // Short lease timeout so the dead worker's slice is reassigned
+    // quickly. The timeout is wall clock; the *outcome* is not.
+    let coordinator = Coordinator::new(queue, Duration::from_millis(250)).with_metrics(&registry);
+    let mut victim = WorkerOptions::named("victim");
+    victim.die_on_lease = Some(2); // take the 2nd lease, vanish mid-slice
+    let (drained, reports) =
+        drain_over_loopback(coordinator, vec![victim, WorkerOptions::named("survivor")]);
+
+    let died: Vec<_> = reports.iter().filter(|(r, _)| r.died).collect();
+    assert_eq!(died.len(), 1, "crash injection must have fired");
+    assert_eq!(died[0].0.slices, 1, "victim died before its 2nd slice");
+
+    // The orphaned lease expired and was re-granted.
+    let metrics = NetMetrics::register(&registry);
+    assert!(
+        metrics.leases_expired_total.get() >= 1,
+        "expected at least one expired-lease re-grant"
+    );
+
+    // And the crash changed nothing observable.
+    assert!(drained.all_completed());
+    for (i, (dist, loc)) in drained
+        .queue()
+        .jobs()
+        .iter()
+        .zip(local.jobs().iter())
+        .enumerate()
+    {
+        assert_eq!(dist.stream(), loc.stream(), "job {i} stream diverged");
+    }
+    // Only the survivor shipped a snapshot; the victim vanished.
+    assert_eq!(drained.worker_snapshots().len(), 1);
+    assert_eq!(drained.worker_snapshots()[0].0, "survivor");
+}
+
+/// A mid-run suspended checkpoint of a small instance — the portfolio
+/// race's shared starting point.
+fn mid_run_checkpoint() -> String {
+    let (c, p, k) = small_case(11);
+    let mut session = RouteSession::start(RouterConfig::default(), c, p, k, CollectingProbe::new())
+        .expect("session starts");
+    for _ in 0..2 {
+        session.step(Some(4)).expect("step");
+    }
+    write_checkpoint(&session.snapshot())
+}
+
+fn three_arms() -> Vec<(String, RouterConfig)> {
+    [
+        CriteriaOrder::DelayFirst,
+        CriteriaOrder::AreaFirst,
+        CriteriaOrder::DensityOnly,
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, order)| {
+        let config = RouterConfig {
+            criteria_order: order,
+            ..RouterConfig::default()
+        };
+        (format!("arm{i}"), config)
+    })
+    .collect()
+}
+
+fn race(workers: Vec<WorkerOptions>) -> Coordinator {
+    let queue = JobQueue::new();
+    let mut coordinator = Coordinator::new(queue, Duration::from_millis(250));
+    coordinator
+        .race_portfolio("race", &mid_run_checkpoint(), &three_arms(), Some(8), 64)
+        .expect("portfolio submits");
+    let (drained, _) = drain_over_loopback(coordinator, workers);
+    drained
+}
+
+#[test]
+fn portfolio_race_picks_the_same_winner_under_any_fleet() {
+    let solo = race(vec![WorkerOptions::named("w0")]);
+    let mut victim = WorkerOptions::named("victim");
+    victim.die_on_lease = Some(3);
+    let fleet = race(vec![
+        WorkerOptions::named("w0"),
+        WorkerOptions::named("w1"),
+        victim,
+    ]);
+
+    let p_solo = &solo.portfolios()[0];
+    let p_fleet = &fleet.portfolios()[0];
+    assert!(p_solo.decided && p_fleet.decided);
+    let winner = p_solo.winner.expect("an arm finishes within budget");
+    assert_eq!(
+        p_fleet.winner,
+        Some(winner),
+        "winner must not depend on fleet"
+    );
+
+    for (pos, (&a, &b)) in p_solo.arms.iter().zip(p_fleet.arms.iter()).enumerate() {
+        let ja = solo.queue().job(a);
+        let jb = fleet.queue().job(b);
+        assert_eq!(ja.stream(), jb.stream(), "arm {pos} stream diverged");
+        assert_eq!(ja.slices(), jb.slices(), "arm {pos} slice count");
+        assert!(ja.slices() <= 64, "arm {pos} exceeded its budget");
+        match (ja.verdict(), jb.verdict()) {
+            (Some(va), Some(vb)) => assert_eq!(va, vb, "arm {pos} verdict diverged"),
+            (None, None) => {}
+            other => panic!("arm {pos} verdict presence diverged: {other:?}"),
+        }
+    }
+    // The decided winner must actually be best under the total order.
+    let winner_verdict = solo
+        .queue()
+        .job(p_solo.arms[winner])
+        .verdict()
+        .expect("winner has a verdict");
+    for (pos, &id) in p_solo.arms.iter().enumerate() {
+        if pos == winner {
+            continue;
+        }
+        if let Some(v) = solo.queue().job(id).verdict() {
+            assert!(
+                !v.beats(winner_verdict),
+                "arm {pos} should not beat the declared winner"
+            );
+        }
+    }
+}
