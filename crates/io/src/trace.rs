@@ -181,11 +181,12 @@ pub fn deterministic_event_lines(trace_text: &str) -> String {
 /// by [`deterministic_event_lines`]) and returns its `seq` span as
 /// `Some((first, last))`, or `None` for a segment with no events.
 ///
-/// This is the coordinator's frame-safety check before splicing a
-/// remote worker's segment into a job stream: every line must be a
-/// parsable `"type":"event"` record and the `seq` numbers must be
-/// contiguous, so a truncated or reordered segment is rejected as a
-/// structured error instead of silently corrupting the stream.
+/// This is the frame-safety check `bgr_serve::JobQueue::apply_remote`
+/// runs before splicing a remote worker's segment into a job stream:
+/// every line must be a parsable `"type":"event"` record and the `seq`
+/// numbers must be contiguous, so a truncated or reordered segment is
+/// rejected as a structured error instead of silently corrupting the
+/// stream.
 ///
 /// # Errors
 ///

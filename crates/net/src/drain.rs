@@ -91,7 +91,13 @@ fn handle_worker(mut stream: TcpStream, coord: &Mutex<Coordinator>) -> Result<()
             // A vanished worker is the crash path, not an error: its
             // lease expires and is re-granted.
             Err(ProtoError::Frame(_)) => return Ok(()),
-            Err(e) => return Err(e),
+            // A well-framed but malformed payload is a protocol
+            // violation: answer Nack and close. Connection-local —
+            // the drain itself is unaffected.
+            Err(e) => {
+                let _ = nack(&mut stream, "bad-request", e.to_string());
+                return Ok(());
+            }
         };
         match msg {
             Message::LeaseReq => {
@@ -150,19 +156,34 @@ fn handle_worker(mut stream: TcpStream, coord: &Mutex<Coordinator>) -> Result<()
     }
 }
 
+/// Decrements the live-connection counter on drop, so even a panicking
+/// handler thread un-counts itself and cannot wedge the accept loop's
+/// settle check.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Serves `listener` until the coordinator settles *and* every worker
 /// connection has closed, then returns the drained coordinator (queue
 /// streams, portfolio decisions, collected worker snapshots).
 ///
 /// # Errors
 ///
-/// [`ProtoError::Frame`] when the listener cannot be polled. Worker
-/// protocol violations are answered with `Nack` and logged nowhere —
-/// they affect only that connection.
+/// [`ProtoError::Frame`] when the listener cannot be polled. Anything a
+/// single worker connection does wrong — malformed payloads, version
+/// skew, vanishing mid-stream — is answered with `Nack` where the
+/// stream still works and affects only that connection: the drained
+/// coordinator is returned regardless.
 ///
 /// # Panics
 ///
-/// Panics if a handler thread panicked (nothing in the handler should).
+/// Panics if a handler thread panicked (nothing in the handler should;
+/// the drain still settles first, because [`ActiveGuard`] un-counts the
+/// dead connection).
 pub fn serve_drain(
     listener: TcpListener,
     coordinator: Coordinator,
@@ -180,12 +201,11 @@ pub fn serve_drain(
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
                 let coord = Arc::clone(&coord);
-                let active = Arc::clone(&active);
                 active.fetch_add(1, Ordering::SeqCst);
+                let guard = ActiveGuard(Arc::clone(&active));
                 handlers.push(std::thread::spawn(move || {
-                    let result = handle_worker(stream, &coord);
-                    active.fetch_sub(1, Ordering::SeqCst);
-                    result
+                    let _guard = guard;
+                    handle_worker(stream, &coord)
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -205,7 +225,10 @@ pub fn serve_drain(
     }
     drop(listener);
     for h in handlers {
-        h.join().expect("worker handler thread")?;
+        // A handler's Err is a send failure to a worker that already
+        // misbehaved or vanished — connection-local by design, never a
+        // reason to discard the fully drained coordinator.
+        let _ = h.join().expect("worker handler thread");
     }
     Ok(Arc::try_unwrap(coord)
         .expect("all handler threads joined")

@@ -132,7 +132,20 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Serializes one frame to bytes (magic, version, kind, length,
 /// payload, checksum).
+///
+/// # Panics
+///
+/// Panics when `payload` exceeds [`MAX_PAYLOAD`]: every peer would
+/// reject such a frame as `Oversize`, and past `u32::MAX` the length
+/// field could not even represent it (the `as u32` cast would truncate,
+/// emitting a corrupt frame). [`write_frame`] checks first and returns
+/// the cap violation as a structured error instead.
 pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "frame payload length {} exceeds cap {MAX_PAYLOAD}",
+        payload.len()
+    );
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
@@ -212,8 +225,15 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
 ///
 /// # Errors
 ///
+/// [`FrameError::Oversize`] when `payload` exceeds [`MAX_PAYLOAD`]
+/// (mirroring the decode-side cap, with nothing written to `w`),
 /// [`FrameError::Io`] on a write failure.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(FrameError::Oversize {
+            len: u32::try_from(payload.len()).unwrap_or(u32::MAX),
+        });
+    }
     w.write_all(&encode_frame(kind, payload))?;
     w.flush()?;
     Ok(())
@@ -288,6 +308,18 @@ mod tests {
             assert_eq!(frame.kind, kind);
             assert_eq!(frame.payload, payload);
         }
+    }
+
+    #[test]
+    fn oversize_payloads_are_refused_at_encode_time() {
+        let payload = vec![0u8; MAX_PAYLOAD as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, 1, &payload).unwrap_err();
+        assert!(
+            matches!(err, FrameError::Oversize { len } if len == MAX_PAYLOAD + 1),
+            "{err:?}"
+        );
+        assert!(sink.is_empty(), "nothing may reach the stream");
     }
 
     #[test]

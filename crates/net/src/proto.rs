@@ -337,10 +337,12 @@ impl<'a> PayloadReader<'a> {
             .line(key)?
             .parse()
             .map_err(|_| malformed(format!("{key} block length is not a usize")))?;
-        if self.rest.len() < len + 1 {
+        // `<=` rather than `< len + 1`: `len` is attacker-controlled and
+        // may be `usize::MAX`, where `len + 1` would overflow.
+        if self.rest.len() <= len {
             return Err(malformed(format!(
                 "{key} block truncated: need {} bytes, have {}",
-                len + 1,
+                len as u128 + 1,
                 self.rest.len()
             )));
         }
@@ -734,6 +736,26 @@ mod tests {
                 panic!("wrong shape");
             };
             assert_eq!(verdict.worst_margin_ps.to_bits(), margin.to_bits());
+        }
+    }
+
+    #[test]
+    fn lying_block_lengths_are_malformed_not_panics() {
+        // A well-framed Hello whose block length lies: usize::MAX would
+        // overflow a naive `len + 1` availability check, and the other
+        // values claim more bytes than the payload carries.
+        for len in [
+            usize::MAX.to_string(),
+            (usize::MAX - 1).to_string(),
+            "4096".to_string(),
+        ] {
+            let payload = format!("version 1\nworker {len}\nw0\n");
+            let bytes = encode_frame(1, payload.as_bytes());
+            let (frame, _) = decode_frame(&bytes).unwrap();
+            assert!(matches!(
+                Message::decode(&frame),
+                Err(ProtoError::Malformed { .. })
+            ));
         }
     }
 

@@ -45,7 +45,7 @@ use bgr_core::probe::CollectingProbe;
 use bgr_core::session::{RouteSession, SessionStage, StepOutcome};
 use bgr_core::{par, RouteError, Routed, RouterConfig};
 use bgr_io::{
-    deterministic_event_lines, escape_json, parse_checkpoint, write_checkpoint,
+    deterministic_event_lines, escape_json, parse_checkpoint, segment_seq_span, write_checkpoint,
     write_trace_jsonl_offset,
 };
 use bgr_layout::Placement;
@@ -895,6 +895,15 @@ impl JobQueue {
     /// outcome for a given `(checkpoint, quota)` lease is
     /// byte-identical, so *which* duplicate lands first cannot matter.
     ///
+    /// The outcome's trace segment is validated with
+    /// [`bgr_io::segment_seq_span`] before splicing: every line must be
+    /// a parsable `"type":"event"` record whose `seq` numbers
+    /// contiguously continue the job's stream (first = the job's
+    /// [`Job::events_emitted`], last + 1 = the outcome's
+    /// `events_emitted`). A truncated, reordered, or otherwise damaged
+    /// segment is rejected (`false`, job unchanged and still leasable)
+    /// instead of silently corrupting the stream.
+    ///
     /// Updates the queue's metrics exactly as a local round would,
     /// except `bgr_slice_latency_us`: a remote slice's wall clock is
     /// observed by the worker's own registry and folded in via
@@ -908,6 +917,28 @@ impl JobQueue {
             let job = &self.jobs[id];
             if !job.runnable() || slice != job.slices {
                 return false;
+            }
+            if let SliceOutcome::Suspended {
+                events_emitted,
+                events_jsonl,
+                ..
+            }
+            | SliceOutcome::Finished {
+                events_emitted,
+                events_jsonl,
+                ..
+            } = &out
+            {
+                let contiguous = match segment_seq_span(events_jsonl) {
+                    Ok(Some((first, last))) => {
+                        first == job.events_emitted && last.checked_add(1) == Some(*events_emitted)
+                    }
+                    Ok(None) => *events_emitted == job.events_emitted,
+                    Err(_) => false,
+                };
+                if !contiguous {
+                    return false;
+                }
             }
         }
         let job = &mut self.jobs[id];
@@ -1111,6 +1142,70 @@ mod tests {
         q.run(2);
         assert_eq!(q.job(id).state(), SessionState::Completed);
         assert_eq!(deterministic_event_lines(q.job(id).stream()), want);
+    }
+
+    #[test]
+    fn apply_remote_rejects_damaged_trace_segments() {
+        let config = RouterConfig::default();
+        let (c, p, k) = small_case(29);
+        let mut q = JobQueue::new();
+        let id = q.submit("remote", c, p, k, config, Some(2));
+        let spec = q.lease_spec(id).unwrap().unwrap();
+        let out = run_slice(&spec.checkpoint, spec.quota);
+        let SliceOutcome::Suspended {
+            checkpoint,
+            stage,
+            events_emitted,
+            selections_done,
+            events_jsonl,
+        } = out
+        else {
+            panic!("quota 2 must suspend");
+        };
+        assert!(
+            events_jsonl.lines().count() >= 2,
+            "damage variants below need at least two event lines"
+        );
+        let stream_before = q.job(id).stream().to_string();
+
+        // Each damaged variant of the honest segment must be rejected
+        // with the job unchanged and still leasable.
+        let truncated = events_jsonl
+            .lines()
+            .skip(1)
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        let reordered = {
+            let mut lines: Vec<&str> = events_jsonl.lines().collect();
+            lines.reverse();
+            lines.iter().map(|l| format!("{l}\n")).collect::<String>()
+        };
+        for damaged in [truncated, reordered, "not json\n".to_string()] {
+            let out = SliceOutcome::Suspended {
+                checkpoint: checkpoint.clone(),
+                stage,
+                events_emitted,
+                selections_done,
+                events_jsonl: damaged,
+            };
+            assert!(!q.apply_remote(id, spec.slice, out));
+            assert_eq!(q.job(id).stream(), stream_before);
+            assert_eq!(q.job(id).slices(), spec.slice);
+        }
+
+        // The honest segment is accepted.
+        assert!(q.apply_remote(
+            id,
+            spec.slice,
+            SliceOutcome::Suspended {
+                checkpoint,
+                stage,
+                events_emitted,
+                selections_done,
+                events_jsonl,
+            }
+        ));
+        assert_eq!(q.job(id).slices(), spec.slice + 1);
     }
 
     #[test]

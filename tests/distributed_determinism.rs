@@ -169,6 +169,62 @@ fn killed_worker_lease_expires_and_is_reassigned() {
     assert_eq!(drained.worker_snapshots()[0].0, "survivor");
 }
 
+#[test]
+fn misbehaving_client_is_connection_local() {
+    use bgr::net::{recv, send, write_frame, Message, PROTO_VERSION};
+
+    let mut local = JobQueue::new();
+    submit_fleet_jobs(&mut local);
+    local.run(1);
+
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let coordinator = Coordinator::new(queue, Duration::from_secs(10));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || serve_drain(listener, coordinator).expect("drain"));
+
+    // A rogue client: valid handshake, then a well-framed RESULT whose
+    // payload is garbage at the proto layer. It must be answered with
+    // a Nack and cost nothing beyond its own connection.
+    {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect rogue");
+        send(
+            &mut stream,
+            &Message::Hello {
+                version: PROTO_VERSION,
+                worker: "rogue".into(),
+            },
+        )
+        .expect("hello");
+        assert!(matches!(
+            recv(&mut stream).expect("welcome"),
+            Message::Welcome { .. }
+        ));
+        write_frame(&mut stream, 6, b"garbage, not the Result schema\n").expect("rogue frame");
+        match recv(&mut stream).expect("nack") {
+            Message::Nack { code, .. } => assert_eq!(code, "bad-request"),
+            other => panic!("expected Nack, got {other:?}"),
+        }
+    }
+
+    // An honest worker still drains everything, and the fully drained
+    // coordinator comes back despite the rogue's protocol violation.
+    let registry = MetricsRegistry::new();
+    run_worker(&addr, &WorkerOptions::named("honest"), &registry).expect("worker");
+    let drained = server.join().expect("server thread");
+    assert!(drained.all_completed());
+    for (i, (dist, loc)) in drained
+        .queue()
+        .jobs()
+        .iter()
+        .zip(local.jobs().iter())
+        .enumerate()
+    {
+        assert_eq!(dist.stream(), loc.stream(), "job {i} stream diverged");
+    }
+}
+
 /// A mid-run suspended checkpoint of a small instance — the portfolio
 /// race's shared starting point.
 fn mid_run_checkpoint() -> String {
