@@ -1,0 +1,350 @@
+//! Append-only crash-recovery journal (`.bgrj`).
+//!
+//! The coordinator's durability layer (DESIGN.md §15) logs every
+//! applied slice result as one journal record; a killed coordinator
+//! restarts, replays the journal against a freshly submitted queue, and
+//! lands on the exact pre-crash state. The codec follows the `.bgrc`
+//! conventions: line-oriented text headers, byte-length-prefixed
+//! payload blocks, per-record FNV-1a 64 checksums, and structured
+//! [`ParseError`]s for every damage class.
+//!
+//! ```text
+//! bgr-journal v1
+//! record <kind> <payload-bytes> <fnv1a-hex>
+//! <payload bytes>
+//! record <kind> <payload-bytes> <fnv1a-hex>
+//! <payload bytes>
+//! ...
+//! ```
+//!
+//! Crash tolerance is asymmetric by design: a **torn tail** (the
+//! process died mid-append) is expected and tolerated — replay stops at
+//! the last complete record and reports [`JournalTail::Truncated`] —
+//! while damage *before* the tail (a flipped bit, an edited record) is
+//! a structured error, never a silent partial replay.
+//!
+//! File creation uses the workspace's atomic-rename discipline (header
+//! written to a sibling temp file, then renamed), so a concurrently
+//! starting reader never observes a header-less journal.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::ParseError;
+
+/// First line of every journal file.
+pub const JOURNAL_MAGIC: &str = "bgr-journal v1";
+
+/// FNV-1a 64-bit — the same integrity hash the frame codec and the
+/// design-reference checkpoints use.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One replayable record: an opaque payload under a short kind tag
+/// (the coordinator journals applied slice results as `result`
+/// records whose payload is the wire `RESULT` message text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Record kind tag (no whitespace).
+    pub kind: String,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// How the journal ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalTail {
+    /// Every byte belonged to a complete record.
+    Clean,
+    /// The final record was torn mid-append (process death). Replay is
+    /// valid up to the reported byte offset.
+    Truncated {
+        /// Byte offset of the first torn byte.
+        at: usize,
+    },
+}
+
+/// Serializes one record (header line + payload + newline).
+pub fn encode_journal_record(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(
+        format!("record {kind} {} {:016x}\n", payload.len(), fnv1a(payload)).as_bytes(),
+    );
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+    out
+}
+
+/// Parses a journal byte-for-byte.
+///
+/// Returns the complete records plus a [`JournalTail`] describing
+/// whether the file ended cleanly or mid-append.
+///
+/// # Errors
+///
+/// [`ParseError`] on a missing/foreign header, a malformed record
+/// header line that is *not* the torn tail, a record kind containing
+/// whitespace, or a payload checksum mismatch — the damage classes a
+/// crash cannot produce.
+pub fn read_journal(bytes: &[u8]) -> Result<(Vec<JournalEntry>, JournalTail), ParseError> {
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ParseError::new(1, "missing journal header line"))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| ParseError::new(1, "journal header is not utf-8"))?;
+    if header != JOURNAL_MAGIC {
+        return Err(ParseError::new(
+            1,
+            format!("expected header {JOURNAL_MAGIC:?}, found {header:?}"),
+        ));
+    }
+    let mut entries = Vec::new();
+    let mut pos = header_end + 1;
+    let mut line_no = 2usize;
+    while pos < bytes.len() {
+        let record_start = pos;
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            // No newline: a header line torn mid-write.
+            return Ok((entries, JournalTail::Truncated { at: record_start }));
+        };
+        let line = match std::str::from_utf8(&bytes[pos..pos + nl]) {
+            Ok(l) => l,
+            Err(_) => return Err(ParseError::new(line_no, "record header line is not utf-8")),
+        };
+        let mut fields = line.split(' ');
+        let (kind, len, sum) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some("record"), Some(kind), Some(len), Some(sum), None) => (kind, len, sum),
+            _ => {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("malformed record header {line:?}"),
+                ))
+            }
+        };
+        let len: usize = len.parse().map_err(|_| {
+            ParseError::new(line_no, format!("record length is not a usize: {len:?}"))
+        })?;
+        let carried = u64::from_str_radix(sum, 16).map_err(|_| {
+            ParseError::new(line_no, format!("record checksum is not hex: {sum:?}"))
+        })?;
+        let payload_start = pos + nl + 1;
+        // `saturating_add` keeps a lying length from overflowing; the
+        // bounds check below rejects it as a torn tail either way.
+        let payload_end = payload_start.saturating_add(len);
+        if payload_end >= bytes.len() {
+            // Payload (or its trailing newline) torn mid-write. A
+            // *lying* length is indistinguishable from a torn payload
+            // without the checksum, and a torn payload is the expected
+            // crash artifact — tolerate, stop here.
+            return Ok((entries, JournalTail::Truncated { at: record_start }));
+        }
+        let payload = &bytes[payload_start..payload_end];
+        if bytes[payload_end] != b'\n' {
+            return Err(ParseError::new(
+                line_no,
+                "record payload missing terminator",
+            ));
+        }
+        let computed = fnv1a(payload);
+        if computed != carried {
+            return Err(ParseError::new(
+                line_no,
+                format!(
+                    "record checksum mismatch: computed {computed:016x}, carried {carried:016x}"
+                ),
+            ));
+        }
+        entries.push(JournalEntry {
+            kind: kind.to_string(),
+            payload: payload.to_vec(),
+        });
+        line_no += 1 + payload.iter().filter(|&&b| b == b'\n').count() + 1;
+        pos = payload_end + 1;
+    }
+    Ok((entries, JournalTail::Clean))
+}
+
+/// Append-only journal writer.
+///
+/// [`JournalWriter::create`] writes the header via a sibling temp file
+/// and an atomic rename (the `bgr-metrics` exporter discipline), then
+/// reopens for append; [`JournalWriter::open_append`] attaches to an
+/// existing journal after its records have been replayed. Each
+/// [`JournalWriter::append`] issues a single `write_all` of the whole
+/// encoded record, so a process crash can tear at most the final
+/// record — exactly the damage class [`read_journal`] tolerates.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path` (truncating any previous one)
+    /// and returns a writer positioned after the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let tmp = path.with_extension("bgrj.tmp");
+        std::fs::write(&tmp, format!("{JOURNAL_MAGIC}\n"))?;
+        std::fs::rename(&tmp, &path)?;
+        Self::open_append(path)
+    }
+
+    /// Opens an existing journal for appending. The caller is expected
+    /// to have replayed it first ([`read_journal`]); this constructor
+    /// only verifies the header so appends never extend a foreign file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or `InvalidData` when `path` does not start
+    /// with the journal header.
+    pub fn open_append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let head = std::fs::read(&path)?;
+        let ok = head
+            .get(..JOURNAL_MAGIC.len())
+            .is_some_and(|h| h == JOURNAL_MAGIC.as_bytes());
+        if !ok {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not a bgr journal", path.display()),
+            ));
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Self { file, path })
+    }
+
+    /// Appends one record and flushes it to the OS, so the record
+    /// survives a process kill (full power-loss durability would add an
+    /// fsync per record; the coordinator's threat model is process
+    /// death, where the kernel's page cache is enough).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, kind: &str, payload: &[u8]) -> std::io::Result<()> {
+        debug_assert!(
+            !kind.contains(char::is_whitespace) && !kind.is_empty(),
+            "record kinds are single tokens"
+        );
+        self.file.write_all(&encode_journal_record(kind, payload))?;
+        self.file.flush()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut bytes = format!("{JOURNAL_MAGIC}\n").into_bytes();
+        bytes.extend_from_slice(&encode_journal_record("result", b"job 0\nslice 1\n"));
+        bytes.extend_from_slice(&encode_journal_record("result", b"job 2\nslice 0\n"));
+        bytes
+    }
+
+    #[test]
+    fn round_trips_and_reports_a_clean_tail() {
+        let (entries, tail) = read_journal(&sample()).unwrap();
+        assert_eq!(tail, JournalTail::Clean);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, "result");
+        assert_eq!(entries[0].payload, b"job 0\nslice 1\n");
+        assert_eq!(entries[1].payload, b"job 2\nslice 0\n");
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_at_every_byte() {
+        let bytes = sample();
+        let full = read_journal(&bytes).unwrap().0;
+        let first_record_end = format!("{JOURNAL_MAGIC}\n").len()
+            + encode_journal_record("result", b"job 0\nslice 1\n").len();
+        // Any truncation strictly inside the second record must replay
+        // exactly the first and flag the tail.
+        for cut in first_record_end + 1..bytes.len() {
+            let (entries, tail) = read_journal(&bytes[..cut])
+                .unwrap_or_else(|e| panic!("cut at {cut}: unexpected error {e}"));
+            assert_eq!(entries.len(), 1, "cut at {cut}");
+            assert_eq!(entries[0], full[0], "cut at {cut}");
+            assert!(
+                matches!(tail, JournalTail::Truncated { .. }),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_structured_error() {
+        let mut bytes = sample();
+        // Flip a payload byte of the *first* record: checksum mismatch,
+        // not a tolerated tail.
+        let off = format!("{JOURNAL_MAGIC}\n").len() + "record result 14 0000000000000000\n".len();
+        bytes[off] ^= 0x40;
+        let err = read_journal(&bytes).unwrap_err();
+        assert!(err.message.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn foreign_headers_and_garbage_are_rejected() {
+        assert!(read_journal(b"").is_err());
+        assert!(read_journal(b"bgr-journal v9\n").is_err());
+        assert!(read_journal(b"bgr-checkpoint v1\n").is_err());
+        let mut bytes = format!("{JOURNAL_MAGIC}\n").into_bytes();
+        bytes.extend_from_slice(b"not a record\n");
+        assert!(read_journal(&bytes).is_err());
+        // Non-hex checksum field.
+        let mut bytes = format!("{JOURNAL_MAGIC}\n").into_bytes();
+        bytes.extend_from_slice(b"record result 1 zz\nx\n");
+        assert!(read_journal(&bytes).is_err());
+    }
+
+    #[test]
+    fn writer_creates_appends_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("bgr-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drain.bgrj");
+        {
+            let mut w = JournalWriter::create(&path).unwrap();
+            w.append("result", b"first\n").unwrap();
+        }
+        {
+            let bytes = std::fs::read(&path).unwrap();
+            let (entries, tail) = read_journal(&bytes).unwrap();
+            assert_eq!(tail, JournalTail::Clean);
+            assert_eq!(entries.len(), 1);
+            let mut w = JournalWriter::open_append(&path).unwrap();
+            w.append("result", b"second\n").unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let (entries, _) = read_journal(&bytes).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].payload, b"second\n");
+        assert!(JournalWriter::open_append(dir.join("missing.bgrj")).is_err());
+        std::fs::write(dir.join("foreign.txt"), "hello\n").unwrap();
+        assert!(JournalWriter::open_append(dir.join("foreign.txt")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -47,6 +47,7 @@
 pub mod checkpoint;
 pub mod constraints;
 pub mod error;
+pub mod journal;
 pub mod json;
 pub mod netlist;
 pub mod placement;
@@ -59,6 +60,9 @@ pub use checkpoint::{
 };
 pub use constraints::{parse_constraints, write_constraints};
 pub use error::ParseError;
+pub use journal::{
+    encode_journal_record, read_journal, JournalEntry, JournalTail, JournalWriter, JOURNAL_MAGIC,
+};
 pub use json::{escape_json, Json, JsonError};
 pub use netlist::{parse_netlist, write_netlist};
 pub use placement::{parse_placement, write_placement};

@@ -1,0 +1,151 @@
+//! `bgr-chaos-proxy`: a deterministic fault-injection TCP proxy for
+//! `bgr-net` fleets (DESIGN.md §15 "Failure model").
+//!
+//! Sits between `bgr-worker` processes and a `bgr-coordinator`,
+//! injecting connection resets (frame-boundary and mid-frame), stalls,
+//! and duplicate delivery on a SplitMix64 schedule that is a pure
+//! function of `--seed` — a failing chaos run replays exactly.
+//!
+//! `--upstream-file` re-reads the coordinator's `--addr-file` on every
+//! inbound connection, so a coordinator killed and restarted on a new
+//! ephemeral port is picked up transparently; workers reconnect through
+//! the proxy as if the coordinator had merely stalled.
+//!
+//! Runs until killed. Prints the listening address on stdout (and to
+//! `--listen-file`, written atomically, for scripts that race startup).
+//!
+//! Usage:
+//!   bgr-chaos-proxy (--upstream HOST:PORT | --upstream-file PATH)
+//!                   [--listen HOST:PORT] [--listen-file PATH]
+//!                   [--seed S] [--reset-per-frame P] [--mid-frame P]
+//!                   [--stall-per-frame P] [--stall-ms T]
+//!                   [--duplicate-per-frame P] [--stats-every-ms T]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bgr_net::chaos::{ChaosOptions, ChaosUpstream};
+
+struct Args {
+    listen: String,
+    listen_file: Option<String>,
+    upstream: Option<ChaosUpstream>,
+    opts: ChaosOptions,
+    stats_every_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bgr-chaos-proxy (--upstream HOST:PORT | --upstream-file PATH)\n\
+         \x20                      [--listen HOST:PORT] [--listen-file PATH]\n\
+         \x20                      [--seed S] [--reset-per-frame P] [--mid-frame P]\n\
+         \x20                      [--stall-per-frame P] [--stall-ms T]\n\
+         \x20                      [--duplicate-per-frame P] [--stats-every-ms T]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_num(flag: &str, v: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {v}");
+        usage()
+    })
+}
+
+fn parse_prob(flag: &str, v: &str) -> f64 {
+    let p: f64 = v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {v}");
+        usage()
+    });
+    if !(0.0..=1.0).contains(&p) {
+        eprintln!("{flag} must be a probability in [0, 1], got {v}");
+        usage()
+    }
+    p
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_string(),
+        listen_file: None,
+        upstream: None,
+        opts: ChaosOptions::quiet(1),
+        stats_every_ms: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value(&flag),
+            "--listen-file" => args.listen_file = Some(value(&flag)),
+            "--upstream" => args.upstream = Some(ChaosUpstream::Addr(value(&flag))),
+            "--upstream-file" => {
+                args.upstream = Some(ChaosUpstream::AddrFile(value(&flag).into()));
+            }
+            "--seed" => args.opts.seed = parse_num(&flag, &value(&flag)),
+            "--reset-per-frame" => args.opts.reset_per_frame = parse_prob(&flag, &value(&flag)),
+            "--mid-frame" => args.opts.mid_frame = parse_prob(&flag, &value(&flag)),
+            "--stall-per-frame" => args.opts.stall_per_frame = parse_prob(&flag, &value(&flag)),
+            "--stall-ms" => {
+                args.opts.stall = Duration::from_millis(parse_num(&flag, &value(&flag)));
+            }
+            "--duplicate-per-frame" => {
+                args.opts.duplicate_per_frame = parse_prob(&flag, &value(&flag));
+            }
+            "--stats-every-ms" => args.stats_every_ms = parse_num(&flag, &value(&flag)),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some(upstream) = args.upstream else {
+        eprintln!("one of --upstream / --upstream-file is required");
+        usage()
+    };
+    let proxy =
+        match bgr_net::chaos::ChaosProxy::start_on(&args.listen, upstream, args.opts.clone()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot bind {}: {e}", args.listen);
+                return ExitCode::FAILURE;
+            }
+        };
+    println!(
+        "chaos proxy listening on {} (seed {})",
+        proxy.addr(),
+        args.opts.seed
+    );
+    if let Some(path) = &args.listen_file {
+        // Write-then-rename so pollers never read a partial address.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, proxy.addr())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .is_err()
+        {
+            eprintln!("cannot write listen file {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    loop {
+        std::thread::sleep(Duration::from_millis(if args.stats_every_ms == 0 {
+            60_000
+        } else {
+            args.stats_every_ms
+        }));
+        if args.stats_every_ms > 0 {
+            let s = proxy.stats();
+            println!(
+                "chaos: conns={} frames={} resets={} (mid-frame {}) stalls={} duplicates={}",
+                s.connections, s.frames, s.resets, s.mid_frame_resets, s.stalls, s.duplicates
+            );
+        }
+    }
+}

@@ -16,6 +16,16 @@
 //! * `--addr-file PATH` — writes the actually-bound address (written
 //!   atomically; lets CI bind port 0 and point workers at the file).
 //!
+//! Crash recovery and auth (DESIGN.md §15 "Failure model"):
+//!
+//! * `--journal PATH` — write-ahead outcome journal. Every applied
+//!   RESULT is journaled before it mutates the queue; if PATH already
+//!   exists (this process is a restart after a kill), the journal is
+//!   replayed first — the queue resumes at the exact pre-crash state
+//!   and the finished drain is byte-identical to an uninterrupted run;
+//! * `--token SECRET` — require workers to present SECRET in HELLO
+//!   (constant-time compare; mismatches are refused with `Nack`).
+//!
 //! Exit code 1 if any non-portfolio job failed or a race ended with no
 //! winner.
 //!
@@ -23,6 +33,7 @@
 //!   bgr-coordinator [--addr HOST:PORT] [--addr-file PATH] [--jobs N]
 //!                   [--quota Q] [--seed S] [--lease-timeout-ms T]
 //!                   [--portfolio N] [--arm-slices K]
+//!                   [--journal PATH] [--token SECRET]
 //!                   [--metrics-out PATH] [--trace-out DIR]
 
 use std::net::TcpListener;
@@ -30,8 +41,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use bgr_core::config::CriteriaOrder;
+use bgr_io::JournalWriter;
 use bgr_metrics::MetricsRegistry;
-use bgr_net::{serve_drain, Coordinator};
+use bgr_net::{serve_drain_with, Coordinator, DrainOptions};
 use bgr_serve::JobQueue;
 
 struct Args {
@@ -43,6 +55,8 @@ struct Args {
     lease_timeout_ms: u64,
     portfolio: u64,
     arm_slices: u64,
+    journal: Option<String>,
+    token: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
 }
@@ -52,6 +66,7 @@ fn usage() -> ! {
         "usage: bgr-coordinator [--addr HOST:PORT] [--addr-file PATH] [--jobs N]\n\
          \x20                      [--quota Q] [--seed S] [--lease-timeout-ms T]\n\
          \x20                      [--portfolio N] [--arm-slices K]\n\
+         \x20                      [--journal PATH] [--token SECRET]\n\
          \x20                      [--metrics-out PATH] [--trace-out DIR]"
     );
     std::process::exit(2)
@@ -74,6 +89,8 @@ fn parse_args() -> Args {
         lease_timeout_ms: 5000,
         portfolio: 0,
         arm_slices: 64,
+        journal: None,
+        token: None,
         metrics_out: None,
         trace_out: None,
     };
@@ -101,6 +118,8 @@ fn parse_args() -> Args {
             "--lease-timeout-ms" => args.lease_timeout_ms = parse_num(&flag, &value(&flag)),
             "--portfolio" => args.portfolio = parse_num(&flag, &value(&flag)),
             "--arm-slices" => args.arm_slices = parse_num(&flag, &value(&flag)),
+            "--journal" => args.journal = Some(value(&flag)),
+            "--token" => args.token = Some(value(&flag)),
             "--metrics-out" => args.metrics_out = Some(value(&flag)),
             "--trace-out" => args.trace_out = Some(value(&flag)),
             _ => usage(),
@@ -175,6 +194,42 @@ fn main() -> ExitCode {
             args.portfolio, args.arm_slices
         );
     }
+    // Journal replay must happen after submission (same jobs, same
+    // order as the run that wrote it) and before serving.
+    if let Some(path) = &args.journal {
+        let existing = std::path::Path::new(path).exists();
+        if existing {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read journal {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match coordinator.replay_journal(&bytes) {
+                Ok(stats) => println!(
+                    "journal {path}: replayed {} result(s) ({} stale)",
+                    stats.applied, stats.stale
+                ),
+                Err(e) => {
+                    eprintln!("journal {path} is damaged: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let writer = if existing {
+            JournalWriter::open_append(path)
+        } else {
+            JournalWriter::create(path)
+        };
+        match writer {
+            Ok(w) => coordinator = coordinator.with_journal(w),
+            Err(e) => {
+                eprintln!("cannot open journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let listener = match TcpListener::bind(&args.addr) {
         Ok(l) => l,
         Err(e) => {
@@ -196,7 +251,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let coordinator = match serve_drain(listener, coordinator) {
+    let drain_opts = DrainOptions {
+        token: args.token.clone(),
+    };
+    let coordinator = match serve_drain_with(listener, coordinator, &drain_opts) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("drain failed: {e}");
@@ -204,6 +262,10 @@ fn main() -> ExitCode {
         }
     };
     let mut ok = true;
+    if let Some(message) = coordinator.journal_degradation() {
+        eprintln!("journal degraded mid-drain: {message}");
+        ok = false;
+    }
     for (i, job) in coordinator.queue().jobs().iter().enumerate() {
         println!(
             "job {i} [{}]: state={} slices={} selections={} events={}",

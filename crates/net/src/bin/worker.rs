@@ -4,14 +4,28 @@
 //! Connects to the coordinator (`--addr`, or `--addr-file` to poll a
 //! file the coordinator writes after binding port 0), drains leases
 //! until the coordinator settles, ships its metrics snapshot, and
-//! exits. `--metrics-out` additionally writes this worker's own
-//! Prometheus exposition for per-worker CI artifacts. `--die-on-lease
-//! K` is crash injection: take the K-th lease and vanish, leaving the
-//! lease to expire and be reassigned.
+//! exits. Transport faults are absorbed by reconnecting with bounded
+//! exponential backoff (`--retry-max`/`--retry-base-ms`/
+//! `--retry-cap-ms`); `--token` authenticates against a coordinator
+//! running with a shared secret. `--metrics-out` additionally writes
+//! this worker's own Prometheus exposition for per-worker CI artifacts.
+//!
+//! Crash injection for CI and chaos runs:
+//!
+//! * `--die-on-lease K` — take the K-th lease and vanish, leaving the
+//!   lease to expire and be reassigned;
+//! * `--die-after-result K` — sever the connection right after
+//!   submitting the K-th result, then recover through the ordinary
+//!   reconnect-and-resend path (the worker keeps running);
+//! * `--slice-delay-ms T` — sleep T ms inside every slice, simulating
+//!   slow work (the in-slice heartbeat keeps the lease alive).
 //!
 //! Usage:
 //!   bgr-worker [--addr HOST:PORT | --addr-file PATH] [--name NAME]
-//!              [--die-on-lease K] [--metrics-out PATH]
+//!              [--token SECRET] [--die-on-lease K]
+//!              [--die-after-result K] [--slice-delay-ms T]
+//!              [--retry-max N] [--retry-base-ms T] [--retry-cap-ms T]
+//!              [--metrics-out PATH]
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -23,16 +37,32 @@ struct Args {
     addr: Option<String>,
     addr_file: Option<String>,
     name: String,
+    token: Option<String>,
     die_on_lease: Option<u64>,
+    die_after_result: Option<u64>,
+    slice_delay_ms: Option<u64>,
+    retry_max: Option<u64>,
+    retry_base_ms: Option<u64>,
+    retry_cap_ms: Option<u64>,
     metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bgr-worker [--addr HOST:PORT | --addr-file PATH] [--name NAME]\n\
-         \x20                 [--die-on-lease K] [--metrics-out PATH]"
+         \x20                 [--token SECRET] [--die-on-lease K]\n\
+         \x20                 [--die-after-result K] [--slice-delay-ms T]\n\
+         \x20                 [--retry-max N] [--retry-base-ms T] [--retry-cap-ms T]\n\
+         \x20                 [--metrics-out PATH]"
     );
     std::process::exit(2)
+}
+
+fn parse_num(flag: &str, v: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {v}");
+        usage()
+    })
 }
 
 fn parse_args() -> Args {
@@ -40,7 +70,13 @@ fn parse_args() -> Args {
         addr: None,
         addr_file: None,
         name: format!("worker-{}", std::process::id()),
+        token: None,
         die_on_lease: None,
+        die_after_result: None,
+        slice_delay_ms: None,
+        retry_max: None,
+        retry_base_ms: None,
+        retry_cap_ms: None,
         metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -55,13 +91,13 @@ fn parse_args() -> Args {
             "--addr" => args.addr = Some(value(&flag)),
             "--addr-file" => args.addr_file = Some(value(&flag)),
             "--name" => args.name = value(&flag),
-            "--die-on-lease" => {
-                let v = value(&flag);
-                args.die_on_lease = Some(v.parse().unwrap_or_else(|_| {
-                    eprintln!("bad value for --die-on-lease: {v}");
-                    usage()
-                }));
-            }
+            "--token" => args.token = Some(value(&flag)),
+            "--die-on-lease" => args.die_on_lease = Some(parse_num(&flag, &value(&flag))),
+            "--die-after-result" => args.die_after_result = Some(parse_num(&flag, &value(&flag))),
+            "--slice-delay-ms" => args.slice_delay_ms = Some(parse_num(&flag, &value(&flag))),
+            "--retry-max" => args.retry_max = Some(parse_num(&flag, &value(&flag))),
+            "--retry-base-ms" => args.retry_base_ms = Some(parse_num(&flag, &value(&flag))),
+            "--retry-cap-ms" => args.retry_cap_ms = Some(parse_num(&flag, &value(&flag))),
             "--metrics-out" => args.metrics_out = Some(value(&flag)),
             _ => usage(),
         }
@@ -102,7 +138,19 @@ fn main() -> ExitCode {
         (None, None) => unreachable!("parse_args requires one"),
     };
     let mut opts = WorkerOptions::named(&args.name);
+    opts.token = args.token;
     opts.die_on_lease = args.die_on_lease;
+    opts.die_after_result = args.die_after_result;
+    opts.slice_delay = args.slice_delay_ms.map(Duration::from_millis);
+    if let Some(n) = args.retry_max {
+        opts.retry_max = n.min(u64::from(u32::MAX)) as u32;
+    }
+    if let Some(t) = args.retry_base_ms {
+        opts.retry_base = Duration::from_millis(t);
+    }
+    if let Some(t) = args.retry_cap_ms {
+        opts.retry_cap = Duration::from_millis(t);
+    }
     let registry = MetricsRegistry::new();
     let report = match run_worker(&addr, &opts, &registry) {
         Ok(r) => r,
@@ -112,10 +160,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "worker {}: {} lease(s), {} slice(s){}",
+        "worker {}: {} lease(s), {} slice(s), {} reconnect(s){}",
         args.name,
         report.leases,
         report.slices,
+        report.reconnects,
         if report.died {
             " — died by injection"
         } else {

@@ -1,0 +1,458 @@
+//! Deterministic fault-injection TCP proxy.
+//!
+//! [`ChaosProxy`] sits between workers and a coordinator and injects
+//! the faults real links produce — connection resets (at frame
+//! boundaries and mid-frame, i.e. partial writes), read/write stalls,
+//! and duplicate delivery — on a schedule driven entirely by the
+//! workspace's SplitMix64 PRNG. Same seed, same per-connection fault
+//! schedule: a chaos run that fails is *replayable*.
+//!
+//! The proxy is frame-aware but not frame-validating: it parses just
+//! enough of the `BGRW` header to find frame boundaries (so injections
+//! land at protocol-meaningful points) and forwards bytes verbatim
+//! otherwise. Anything it cannot frame is treated as a dead stream and
+//! severed — which is itself just another fault the endpoints must
+//! survive.
+//!
+//! Determinism note: the *schedule* is deterministic per (connection
+//! index, direction); which schedule a logical worker experiences
+//! depends on connection arrival order, which is scheduling noise. That
+//! is exactly the point — DESIGN.md §15 proves the drain's observables
+//! are invariant under any interleaving, so the harness is free to vary
+//! timing while asserting byte-identical outcomes.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bgr_netlist::rng::SplitMix64;
+
+use crate::frame::{HEADER_LEN, MAX_PAYLOAD};
+
+/// Where the proxy forwards to. An address file is re-read on *every*
+/// inbound connection, so a coordinator that restarts on a fresh
+/// ephemeral port is picked up as soon as it rewrites its `--addr-file`.
+#[derive(Debug, Clone)]
+pub enum ChaosUpstream {
+    /// A fixed `host:port`.
+    Addr(String),
+    /// A file holding `host:port` (the coordinator's `--addr-file`).
+    AddrFile(PathBuf),
+}
+
+impl ChaosUpstream {
+    fn resolve(&self) -> std::io::Result<String> {
+        match self {
+            Self::Addr(a) => Ok(a.clone()),
+            Self::AddrFile(p) => Ok(std::fs::read_to_string(p)?.trim().to_string()),
+        }
+    }
+}
+
+/// Fault probabilities and magnitudes. All draws happen per forwarded
+/// frame, in a fixed order, whether or not the fault fires — so two
+/// runs with the same seed see identical schedules even when different
+/// faults fire.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// PRNG seed; the whole fault schedule is a pure function of it
+    /// (plus connection index and direction).
+    pub seed: u64,
+    /// Probability a frame triggers a connection reset.
+    pub reset_per_frame: f64,
+    /// Given a reset, probability it tears mid-frame (a partial write)
+    /// rather than at the frame boundary.
+    pub mid_frame: f64,
+    /// Probability a frame is stalled before forwarding.
+    pub stall_per_frame: f64,
+    /// How long a stall holds the frame.
+    pub stall: Duration,
+    /// Probability a worker→coordinator RESULT/HEARTBEAT frame is
+    /// delivered twice (one coordinator reply is then swallowed, so the
+    /// worker still sees strict request/response).
+    pub duplicate_per_frame: f64,
+}
+
+impl ChaosOptions {
+    /// A quiet proxy (no faults) for the given seed — the baseline
+    /// configuration tests start from.
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            reset_per_frame: 0.0,
+            mid_frame: 0.0,
+            stall_per_frame: 0.0,
+            stall: Duration::from_millis(40),
+            duplicate_per_frame: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    resets: AtomicU64,
+    mid_frame_resets: AtomicU64,
+    stalls: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+/// What the proxy did, read at any time via [`ChaosProxy::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Inbound connections accepted.
+    pub connections: u64,
+    /// Frames forwarded (both directions).
+    pub frames: u64,
+    /// Connections severed by injection (boundary + mid-frame).
+    pub resets: u64,
+    /// The subset of resets that tore a frame mid-write.
+    pub mid_frame_resets: u64,
+    /// Frames held by a stall before forwarding.
+    pub stalls: u64,
+    /// Worker→coordinator frames delivered twice.
+    pub duplicates: u64,
+}
+
+/// A running fault-injection proxy. Dropping it stops the accept loop;
+/// live pump threads die with their sockets.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `127.0.0.1:0` and starts proxying to `upstream` with the
+    /// given fault schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn start(upstream: ChaosUpstream, opts: ChaosOptions) -> std::io::Result<Self> {
+        Self::start_on("127.0.0.1:0", upstream, opts)
+    }
+
+    /// [`ChaosProxy::start`] on an explicit listen address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn start_on(
+        listen: &str,
+        upstream: ChaosUpstream,
+        opts: ChaosOptions,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || accept_loop(&listener, &upstream, &opts, &stop, &counters))
+        };
+        Ok(Self {
+            addr,
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The `host:port` workers should connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            resets: self.counters.resets.load(Ordering::Relaxed),
+            mid_frame_resets: self.counters.mid_frame_resets.load(Ordering::Relaxed),
+            stalls: self.counters.stalls.load(Ordering::Relaxed),
+            duplicates: self.counters.duplicates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and joins the accept loop. Established
+    /// connections keep pumping until they close on their own.
+    pub fn shutdown(mut self) -> ChaosStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &ChaosUpstream,
+    opts: &ChaosOptions,
+    stop: &AtomicBool,
+    counters: &Arc<Counters>,
+) {
+    let mut conn_index: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((inbound, _)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = inbound.set_nodelay(true);
+                let up = upstream.resolve().and_then(TcpStream::connect);
+                let Ok(outbound) = up else {
+                    // No coordinator right now (it may be mid-restart):
+                    // the worker sees a reset and retries through its
+                    // backoff, which is exactly the contract.
+                    let _ = inbound.shutdown(Shutdown::Both);
+                    conn_index += 1;
+                    continue;
+                };
+                let _ = outbound.set_nodelay(true);
+                spawn_pumps(inbound, outbound, conn_index, opts, counters);
+                conn_index += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Swallow-one-reply ledger: each duplicated worker→coordinator frame
+/// provokes one extra coordinator reply, which the opposite pump drops
+/// to preserve the worker's strict request/response view.
+type DropLedger = Arc<AtomicU64>;
+
+fn spawn_pumps(
+    inbound: TcpStream,
+    outbound: TcpStream,
+    conn_index: u64,
+    opts: &ChaosOptions,
+    counters: &Arc<Counters>,
+) {
+    let drop_replies: DropLedger = Arc::new(AtomicU64::new(0));
+    // Worker → coordinator: the only direction where duplication is
+    // injected (RESULT/HEARTBEAT duplicates are provably harmless;
+    // duplicating coordinator frames would desync the worker).
+    {
+        let src = inbound.try_clone();
+        let dst = outbound.try_clone();
+        let opts = opts.clone();
+        let counters = Arc::clone(counters);
+        let ledger = Arc::clone(&drop_replies);
+        if let (Ok(src), Ok(dst)) = (src, dst) {
+            std::thread::spawn(move || {
+                pump(
+                    src,
+                    dst,
+                    SplitMix64::new(opts.seed ^ (conn_index * 2).wrapping_add(0x9e37_79b9)),
+                    &opts,
+                    Direction::ToCoordinator,
+                    &ledger,
+                    &counters,
+                );
+            });
+        }
+    }
+    // Coordinator → worker.
+    let opts = opts.clone();
+    let counters = Arc::clone(counters);
+    std::thread::spawn(move || {
+        pump(
+            outbound,
+            inbound,
+            SplitMix64::new(opts.seed ^ (conn_index * 2 + 1).wrapping_add(0x9e37_79b9)),
+            &opts,
+            Direction::ToWorker,
+            &drop_replies,
+            &counters,
+        );
+    });
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    ToCoordinator,
+    ToWorker,
+}
+
+/// Reads exactly one frame's bytes from `src` (header first, then the
+/// payload and checksum the header promises). `None` on EOF, a dead
+/// stream, or anything that cannot be framed.
+fn read_frame_bytes(src: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    src.read_exact(&mut header).ok()?;
+    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let mut rest = vec![0u8; len as usize + 8];
+    src.read_exact(&mut rest).ok()?;
+    let mut frame = header.to_vec();
+    frame.append(&mut rest);
+    Some(frame)
+}
+
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    mut rng: SplitMix64,
+    opts: &ChaosOptions,
+    dir: Direction,
+    drop_replies: &DropLedger,
+    counters: &Counters,
+) {
+    loop {
+        let Some(frame) = read_frame_bytes(&mut src) else {
+            sever(&src, &dst);
+            return;
+        };
+        counters.frames.fetch_add(1, Ordering::Relaxed);
+        // Fixed draw order, every draw taken unconditionally: the PRNG
+        // stream stays aligned across runs regardless of which faults
+        // fire, keeping the whole schedule a function of the seed.
+        let reset = rng.next_bool(opts.reset_per_frame);
+        let mid = rng.next_bool(opts.mid_frame);
+        let stall = rng.next_bool(opts.stall_per_frame);
+        let duplicate = rng.next_bool(opts.duplicate_per_frame);
+
+        if reset {
+            counters.resets.fetch_add(1, Ordering::Relaxed);
+            if mid && frame.len() > 1 {
+                // Partial write: half a frame, then the plug is pulled.
+                counters.mid_frame_resets.fetch_add(1, Ordering::Relaxed);
+                let _ = dst.write_all(&frame[..frame.len() / 2]);
+                let _ = dst.flush();
+            }
+            sever(&src, &dst);
+            return;
+        }
+        if stall {
+            counters.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(opts.stall);
+        }
+        if dir == Direction::ToWorker && drop_replies.load(Ordering::SeqCst) > 0 {
+            // This reply answers a duplicate the worker never sent:
+            // swallow it so the worker keeps strict request/response.
+            drop_replies.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        if dst.write_all(&frame).and_then(|()| dst.flush()).is_err() {
+            sever(&src, &dst);
+            return;
+        }
+        if duplicate && dir == Direction::ToCoordinator && matches!(frame.get(6), Some(6 | 7)) {
+            // Deliver RESULT/HEARTBEAT twice. The coordinator answers
+            // both (the duplicate lands stale); the ledger swallows one
+            // reply on the way back.
+            counters.duplicates.fetch_add(1, Ordering::Relaxed);
+            drop_replies.fetch_add(1, Ordering::SeqCst);
+            if dst.write_all(&frame).and_then(|()| dst.flush()).is_err() {
+                sever(&src, &dst);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_frame, read_frame};
+
+    #[test]
+    fn quiet_proxy_passes_frames_through_verbatim() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap().to_string();
+        let proxy =
+            ChaosProxy::start(ChaosUpstream::Addr(up_addr), ChaosOptions::quiet(7)).unwrap();
+
+        let echo = std::thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().unwrap();
+            let frame = read_frame(&mut conn).unwrap();
+            crate::frame::write_frame(&mut conn, frame.kind, &frame.payload).unwrap();
+        });
+
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        let payload = b"chaos pass-through".to_vec();
+        client.write_all(&encode_frame(3, &payload)).unwrap();
+        let back = read_frame(&mut client).unwrap();
+        assert_eq!(back.kind, 3);
+        assert_eq!(back.payload, payload);
+        echo.join().unwrap();
+
+        let stats = proxy.shutdown();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.resets + stats.stalls + stats.duplicates, 0);
+    }
+
+    #[test]
+    fn unreachable_upstream_resets_the_client() {
+        // Bind-then-drop: a port with nothing listening.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let proxy = ChaosProxy::start(ChaosUpstream::Addr(dead), ChaosOptions::quiet(7)).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        // The proxy severs; our read observes EOF/reset, never a hang.
+        let mut buf = [0u8; 16];
+        let n = client.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "severed connection must not deliver bytes");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn fault_schedule_is_a_pure_function_of_the_seed() {
+        let opts = ChaosOptions {
+            seed: 42,
+            reset_per_frame: 0.2,
+            mid_frame: 0.5,
+            stall_per_frame: 0.3,
+            stall: Duration::from_millis(1),
+            duplicate_per_frame: 0.25,
+        };
+        let draw = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            (0..64)
+                .map(|_| {
+                    (
+                        rng.next_bool(opts.reset_per_frame),
+                        rng.next_bool(opts.mid_frame),
+                        rng.next_bool(opts.stall_per_frame),
+                        rng.next_bool(opts.duplicate_per_frame),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(opts.seed), draw(opts.seed));
+        assert_ne!(draw(opts.seed), draw(opts.seed + 1));
+    }
+}

@@ -31,9 +31,12 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use bgr_core::{RouteError, RouterConfig};
-use bgr_io::reconfigure_checkpoint;
+use bgr_io::{read_journal, reconfigure_checkpoint, JournalWriter};
 use bgr_metrics::{CounterHandle, MetricsRegistry, MetricsSnapshot};
-use bgr_serve::{JobQueue, LeaseSpec, SessionState, SliceOutcome};
+use bgr_serve::{JobQueue, LeaseSpec, ReplayStats, SessionState, SliceOutcome};
+
+use crate::frame::Frame;
+use crate::proto::{Message, ProtoError, WireOutcome};
 
 /// Diagnostic counters for the coordination layer, registered beside
 /// the queue's [`bgr_serve::ServeMetrics`]. Observational only — no
@@ -118,6 +121,8 @@ pub struct Coordinator {
     portfolios: Vec<Portfolio>,
     metrics: Option<NetMetrics>,
     worker_snapshots: Vec<(String, MetricsSnapshot)>,
+    journal: Option<JournalWriter>,
+    journal_degraded: Option<String>,
 }
 
 impl Coordinator {
@@ -131,6 +136,8 @@ impl Coordinator {
             portfolios: Vec::new(),
             metrics: None,
             worker_snapshots: Vec::new(),
+            journal: None,
+            journal_degraded: None,
         }
     }
 
@@ -138,6 +145,78 @@ impl Coordinator {
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.metrics = Some(NetMetrics::register(registry));
         self
+    }
+
+    /// Attaches a write-ahead outcome journal: every applied `RESULT`
+    /// is appended (as its wire payload) before it mutates the queue,
+    /// so a killed coordinator can [`Self::replay_journal`] back to the
+    /// exact queue state. Attach *after* replaying — replayed results
+    /// go through [`JobQueue::replay`], which never journals, so a
+    /// restart does not duplicate records.
+    pub fn with_journal(mut self, writer: JournalWriter) -> Self {
+        self.journal = Some(writer);
+        self
+    }
+
+    /// The first journal-append failure, if any. Durability degrades
+    /// (the drain itself continues); operators alert on this.
+    pub fn journal_degradation(&self) -> Option<&str> {
+        self.journal_degraded.as_deref()
+    }
+
+    /// The lease timeout this coordinator grants under.
+    pub fn lease_timeout(&self) -> Duration {
+        self.lease_timeout
+    }
+
+    /// Heartbeat cadence advertised in WELCOME: a quarter of the lease
+    /// timeout (min 1 ms), so a slow-but-alive worker refreshes its
+    /// lease several times per deadline window.
+    pub fn heartbeat_cadence_ms(&self) -> u64 {
+        (self.lease_timeout.as_millis() as u64 / 4).max(1)
+    }
+
+    /// Replays a journal's bytes into the queue via
+    /// [`JobQueue::replay`], returning what was applied. Jobs (and any
+    /// portfolio) must already be re-submitted in their original order;
+    /// stale or duplicate records are rejected by the same slice-index
+    /// validation as live results, so replaying a journal twice is
+    /// harmless.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] when the journal itself is damaged
+    /// mid-file or a record does not decode as a `RESULT` payload (a
+    /// torn tail from a crash mid-append is tolerated, not an error).
+    pub fn replay_journal(&mut self, bytes: &[u8]) -> Result<ReplayStats, ProtoError> {
+        let (entries, _tail) = read_journal(bytes).map_err(|e| ProtoError::Malformed {
+            message: format!("journal: {e}"),
+        })?;
+        let mut outcomes = Vec::with_capacity(entries.len());
+        for entry in entries {
+            if entry.kind != "result" {
+                continue;
+            }
+            // Journal records carry the `RESULT` wire payload verbatim;
+            // re-frame under its discriminant to reuse the decoder.
+            let frame = Frame {
+                kind: 6,
+                payload: entry.payload,
+            };
+            match Message::decode(&frame)? {
+                Message::Result {
+                    job,
+                    slice,
+                    outcome,
+                } => outcomes.push((job as usize, slice, outcome.into_outcome()?)),
+                other => {
+                    return Err(ProtoError::Malformed {
+                        message: format!("journal result record decoded as kind {}", other.kind()),
+                    })
+                }
+            }
+        }
+        Ok(self.queue.replay(outcomes))
     }
 
     /// The wrapped queue (streams, states, verdicts).
@@ -314,6 +393,25 @@ impl Coordinator {
                 m.results_stale_total.inc();
             }
             return false;
+        }
+        // Write-ahead: journal the result before it mutates the queue.
+        // Only plausibly applicable results are journaled (the replay
+        // path re-validates through `apply_remote` anyway, so an
+        // over-journaled stale record would merely be re-rejected).
+        if self.journal.is_some() && self.queue.job(job).slices() == slice {
+            let payload = Message::Result {
+                job: job as u64,
+                slice,
+                outcome: WireOutcome::from_outcome(&out),
+            }
+            .encode_payload();
+            let writer = self.journal.as_mut().expect("checked above");
+            if let Err(e) = writer.append("result", &payload) {
+                // Durability degrades; the in-memory drain continues.
+                self.journal_degraded
+                    .get_or_insert_with(|| format!("journal append failed: {e}"));
+                self.journal = None;
+            }
         }
         let applied = self.queue.apply_remote(job, slice, out);
         if applied {

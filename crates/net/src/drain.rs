@@ -30,6 +30,30 @@ use crate::coordinator::Coordinator;
 use crate::frame::PROTO_VERSION;
 use crate::proto::{recv, send, Message, ProtoError};
 
+/// Serving policy knobs for [`serve_drain_with`].
+#[derive(Debug, Clone, Default)]
+pub struct DrainOptions {
+    /// Shared-secret auth token. When set, a HELLO must carry a
+    /// matching token (compared constant-time) or the connection is
+    /// answered `Nack(auth)` and closed. When `None`, any HELLO is
+    /// accepted (loopback/dev topologies).
+    pub token: Option<String>,
+}
+
+/// Constant-time equality over secrets: the comparison's runtime
+/// depends only on the *lengths*, never on where the bytes diverge, so
+/// a remote cannot binary-search the token byte by byte off timing.
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
 fn lease_or_nowork(coord: &Mutex<Coordinator>) -> Message {
     let mut c = coord.lock().expect("coordinator mutex");
     match c.next_lease(Instant::now()) {
@@ -56,14 +80,39 @@ fn nack(w: &mut TcpStream, code: &str, detail: String) -> Result<(), ProtoError>
 }
 
 /// Serves one worker connection until it disconnects.
-fn handle_worker(mut stream: TcpStream, coord: &Mutex<Coordinator>) -> Result<(), ProtoError> {
+fn handle_worker(
+    mut stream: TcpStream,
+    coord: &Mutex<Coordinator>,
+    opts: &DrainOptions,
+) -> Result<(), ProtoError> {
     let _ = stream.set_nodelay(true);
     let worker = match recv(&mut stream)? {
-        Message::Hello { version, worker } if version == PROTO_VERSION => {
+        Message::Hello {
+            version,
+            worker,
+            token,
+        } if version == PROTO_VERSION => {
+            if let Some(want) = &opts.token {
+                let got = token.unwrap_or_default();
+                if !ct_eq(want.as_bytes(), got.as_bytes()) {
+                    nack(
+                        &mut stream,
+                        "auth",
+                        // Never echo what was presented.
+                        "token mismatch".to_string(),
+                    )?;
+                    return Ok(());
+                }
+            }
+            let heartbeat_ms = coord
+                .lock()
+                .expect("coordinator mutex")
+                .heartbeat_cadence_ms();
             send(
                 &mut stream,
                 &Message::Welcome {
                     version: PROTO_VERSION,
+                    heartbeat_ms,
                 },
             )?;
             worker
@@ -188,6 +237,23 @@ pub fn serve_drain(
     listener: TcpListener,
     coordinator: Coordinator,
 ) -> Result<Coordinator, ProtoError> {
+    serve_drain_with(listener, coordinator, &DrainOptions::default())
+}
+
+/// [`serve_drain`] with explicit [`DrainOptions`] (auth token).
+///
+/// # Errors
+///
+/// As [`serve_drain`].
+///
+/// # Panics
+///
+/// As [`serve_drain`].
+pub fn serve_drain_with(
+    listener: TcpListener,
+    coordinator: Coordinator,
+    options: &DrainOptions,
+) -> Result<Coordinator, ProtoError> {
     listener.set_nonblocking(true).map_err(|e| {
         ProtoError::Frame(crate::frame::FrameError::Io {
             message: e.to_string(),
@@ -201,11 +267,12 @@ pub fn serve_drain(
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
                 let coord = Arc::clone(&coord);
+                let opts = options.clone();
                 active.fetch_add(1, Ordering::SeqCst);
                 let guard = ActiveGuard(Arc::clone(&active));
                 handlers.push(std::thread::spawn(move || {
                     let _guard = guard;
-                    handle_worker(stream, &coord)
+                    handle_worker(stream, &coord, &opts)
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -234,4 +301,19 @@ pub fn serve_drain(
         .expect("all handler threads joined")
         .into_inner()
         .expect("coordinator mutex"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn ct_eq_matches_plain_equality() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"secret", b"secret"));
+        assert!(!ct_eq(b"secret", b"secreT"));
+        assert!(!ct_eq(b"secret", b"secre"));
+        assert!(!ct_eq(b"", b"x"));
+        assert!(!ct_eq(b"short", b"a much longer presented token"));
+    }
 }

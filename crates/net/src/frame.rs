@@ -23,7 +23,10 @@ pub const MAGIC: [u8; 4] = *b"BGRW";
 
 /// Wire protocol version. Bumped on any incompatible change; peers
 /// exchange it in the HELLO/WELCOME handshake and refuse skew.
-pub const PROTO_VERSION: u16 = 1;
+///
+/// v2: HELLO carries an optional auth token, WELCOME carries the
+/// coordinator's heartbeat cadence.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Hard ceiling on a frame's payload length. Checkpoints for realistic
 /// designs are a few MB of text; 256 MB rejects length-field corruption

@@ -16,6 +16,15 @@
 //! * [`drain`] / [`worker`] — the TCP serving loop and the pull-based
 //!   worker (binaries `bgr-coordinator`, `bgr-worker`).
 //!
+//! Robustness rides on top (DESIGN.md §15 "Failure model"):
+//! [`chaos`] is a deterministic fault-injection proxy (binary
+//! `bgr-chaos-proxy`) for resets, stalls, partial writes and duplicate
+//! delivery; the worker reconnects through transport faults with
+//! bounded backoff and heartbeats mid-slice; the coordinator can
+//! journal every applied result ([`Coordinator::with_journal`]) and
+//! replay the journal after a crash, and can require a shared-secret
+//! auth token ([`drain::DrainOptions`]).
+//!
 //! The determinism claim, precisely: for the same submitted jobs, the
 //! merged per-job streams (trace events with contiguous `seq`, progress
 //! records, audited `done` records) after a distributed drain are
@@ -45,14 +54,16 @@
 //! assert!(drained.all_completed());
 //! ```
 
+pub mod chaos;
 pub mod coordinator;
 pub mod drain;
 pub mod frame;
 pub mod proto;
 pub mod worker;
 
+pub use chaos::{ChaosOptions, ChaosProxy, ChaosStats, ChaosUpstream};
 pub use coordinator::{Coordinator, NetMetrics, Portfolio};
-pub use drain::serve_drain;
+pub use drain::{serve_drain, serve_drain_with, DrainOptions};
 pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, MAX_PAYLOAD,
     PROTO_VERSION,

@@ -15,7 +15,8 @@ use bgr_serve::{FinishVerdict, SliceOutcome};
 
 use crate::frame::{Frame, FrameError};
 
-/// Why a payload failed to decode into a [`Message`].
+/// Why a payload failed to decode into a [`Message`] — or, for the
+/// worker's retry layer, why a connection attempt or exchange failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtoError {
     /// The underlying frame was damaged.
@@ -30,6 +31,24 @@ pub enum ProtoError {
         /// What went wrong, with field context.
         message: String,
     },
+    /// A TCP connect failed, with its [`std::io::ErrorKind`] preserved
+    /// so the retry layer can classify `ConnectionRefused`/`TimedOut`
+    /// without string matching.
+    Connect {
+        /// The connect error's kind.
+        kind: std::io::ErrorKind,
+        /// The full error message, with the address.
+        message: String,
+    },
+    /// The peer answered with a structured `Nack` refusal (auth
+    /// mismatch, version skew, ...). Never retryable: the peer will
+    /// refuse again.
+    Refused {
+        /// The Nack's stable machine-readable code.
+        code: String,
+        /// The Nack's human-readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -38,6 +57,45 @@ impl fmt::Display for ProtoError {
             Self::Frame(e) => write!(f, "{e}"),
             Self::UnknownKind { kind } => write!(f, "unknown message kind {kind}"),
             Self::Malformed { message } => write!(f, "malformed payload: {message}"),
+            Self::Connect { kind, message } => write!(f, "connect failed ({kind:?}): {message}"),
+            Self::Refused { code, detail } => write!(f, "peer refused [{code}]: {detail}"),
+        }
+    }
+}
+
+impl ProtoError {
+    /// Whether reconnecting could plausibly clear this error.
+    ///
+    /// Retryable means the *transport* died or desynced — the stream
+    /// was cut mid-frame, bytes were damaged in flight, or the peer was
+    /// momentarily unreachable. A fresh connection re-handshakes and
+    /// resumes; the coordinator's stale-slice rejection makes resent
+    /// results harmless.
+    ///
+    /// Fatal means retrying reproduces the failure deterministically: a
+    /// schema violation, an unknown message, a version skew, an
+    /// oversize frame, or a structured refusal (wrong token).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Self::Frame(e) => matches!(
+                e,
+                FrameError::Io { .. }
+                    | FrameError::Truncated { .. }
+                    | FrameError::ChecksumMismatch { .. }
+                    | FrameError::BadMagic { .. }
+            ),
+            Self::Connect { kind, .. } => matches!(
+                kind,
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::NotConnected
+                    | std::io::ErrorKind::AddrNotAvailable
+            ),
+            Self::UnknownKind { .. } | Self::Malformed { .. } | Self::Refused { .. } => false,
         }
     }
 }
@@ -203,11 +261,18 @@ pub enum Message {
         /// Self-chosen worker name (diagnostics and audit lines only —
         /// never a determinism input).
         worker: String,
+        /// Shared-secret auth token, when the fleet runs with one. The
+        /// frame checksum is integrity only; this is the authentication
+        /// layer (compared constant-time on the coordinator).
+        token: Option<String>,
     },
     /// Coordinator → worker: handshake accepted.
     Welcome {
         /// The coordinator's protocol version.
         version: u16,
+        /// Heartbeat cadence the coordinator wants while a slice runs
+        /// (derived from its lease timeout; 0 means "no preference").
+        heartbeat_ms: u64,
     },
     /// Worker → coordinator: ready for a lease.
     LeaseReq,
@@ -452,11 +517,28 @@ impl Message {
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Self::Hello { version, worker } => {
+            Self::Hello {
+                version,
+                worker,
+                token,
+            } => {
                 put_line(&mut out, "version", version);
                 put_block(&mut out, "worker", worker);
+                match token {
+                    Some(t) => {
+                        put_line(&mut out, "token", "some");
+                        put_block(&mut out, "token_text", t);
+                    }
+                    None => put_line(&mut out, "token", "none"),
+                }
             }
-            Self::Welcome { version } => put_line(&mut out, "version", version),
+            Self::Welcome {
+                version,
+                heartbeat_ms,
+            } => {
+                put_line(&mut out, "version", version);
+                put_line(&mut out, "heartbeat_ms", heartbeat_ms);
+            }
             Self::LeaseReq | Self::Bye => {}
             Self::Lease {
                 job,
@@ -533,18 +615,29 @@ impl Message {
     pub fn decode(frame: &Frame) -> Result<Self, ProtoError> {
         let mut r = PayloadReader::new(&frame.payload);
         let msg = match frame.kind {
-            1 => Self::Hello {
-                version: r
+            1 => {
+                let version = r
                     .line("version")?
                     .parse()
-                    .map_err(|_| malformed("version is not a u16"))?,
-                worker: r.block("worker")?,
-            },
+                    .map_err(|_| malformed("version is not a u16"))?;
+                let worker = r.block("worker")?;
+                let token = match r.line("token")? {
+                    "some" => Some(r.block("token_text")?),
+                    "none" => None,
+                    v => return Err(malformed(format!("token marker {v:?}"))),
+                };
+                Self::Hello {
+                    version,
+                    worker,
+                    token,
+                }
+            }
             2 => Self::Welcome {
                 version: r
                     .line("version")?
                     .parse()
                     .map_err(|_| malformed("version is not a u16"))?,
+                heartbeat_ms: r.u64("heartbeat_ms")?,
             },
             3 => Self::LeaseReq,
             4 => Self::Lease {
@@ -639,8 +732,17 @@ mod tests {
         round_trip(Message::Hello {
             version: 1,
             worker: "w0".into(),
+            token: None,
         });
-        round_trip(Message::Welcome { version: 1 });
+        round_trip(Message::Hello {
+            version: 2,
+            worker: "w1".into(),
+            token: Some("hunter2".into()),
+        });
+        round_trip(Message::Welcome {
+            version: 1,
+            heartbeat_ms: 1250,
+        });
         round_trip(Message::LeaseReq);
         round_trip(Message::Lease {
             job: 3,
@@ -757,6 +859,62 @@ mod tests {
                 Err(ProtoError::Malformed { .. })
             ));
         }
+    }
+
+    #[test]
+    fn retryability_splits_transport_from_schema() {
+        // Transport death and in-flight damage: reconnect can clear it.
+        for e in [
+            ProtoError::Frame(FrameError::Io {
+                message: "broken pipe".into(),
+            }),
+            ProtoError::Frame(FrameError::Truncated { at: "payload" }),
+            ProtoError::Frame(FrameError::ChecksumMismatch {
+                computed: 1,
+                carried: 2,
+            }),
+            ProtoError::Frame(FrameError::BadMagic { found: [0; 4] }),
+            ProtoError::Connect {
+                kind: std::io::ErrorKind::ConnectionRefused,
+                message: "connect 127.0.0.1:9: refused".into(),
+            },
+            ProtoError::Connect {
+                kind: std::io::ErrorKind::TimedOut,
+                message: "connect: timed out".into(),
+            },
+        ] {
+            assert!(e.is_retryable(), "{e}");
+        }
+        // Deterministic failures: retrying reproduces them.
+        for e in [
+            ProtoError::Frame(FrameError::VersionSkew { got: 9, want: 2 }),
+            ProtoError::Frame(FrameError::Oversize { len: u32::MAX }),
+            ProtoError::UnknownKind { kind: 200 },
+            ProtoError::Malformed {
+                message: "junk".into(),
+            },
+            ProtoError::Refused {
+                code: "auth".into(),
+                detail: "token mismatch".into(),
+            },
+            ProtoError::Connect {
+                kind: std::io::ErrorKind::PermissionDenied,
+                message: "connect: eperm".into(),
+            },
+        ] {
+            assert!(!e.is_retryable(), "{e}");
+        }
+    }
+
+    #[test]
+    fn bad_token_marker_is_malformed() {
+        let payload = b"version 2\nworker 2\nw0\ntoken maybe\n";
+        let bytes = encode_frame(1, payload);
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(ProtoError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Lease-table semantics, driven purely in-process with explicit
+//! instants (no sockets, no sleeps): heartbeat bookkeeping on unknown
+//! and stale targets, expiry re-grants, and the byte-identical-regrant
+//! guarantee that makes reassignment invisible (DESIGN.md §15).
+
+use std::time::{Duration, Instant};
+
+use bgr_metrics::MetricsRegistry;
+use bgr_net::{Coordinator, NetMetrics};
+use bgr_serve::{run_slice, JobQueue};
+
+const TIMEOUT: Duration = Duration::from_millis(250);
+const EPS: Duration = Duration::from_millis(1);
+
+fn queue_with_jobs(n: u64) -> JobQueue {
+    let mut queue = JobQueue::new();
+    for i in 0..n {
+        let params = bgr_gen::GenParams::small(3 + i);
+        let design = bgr_gen::generate(&params);
+        let placement = bgr_gen::place_design(&design, &params, bgr_gen::PlacementStyle::EvenFeed);
+        queue.submit(
+            format!("job{i}"),
+            design.circuit,
+            placement,
+            design.constraints,
+            bgr_core::RouterConfig::default(),
+            Some(4),
+        );
+    }
+    queue
+}
+
+#[test]
+fn heartbeats_on_unknown_or_stale_targets_are_ignored() {
+    let registry = MetricsRegistry::new();
+    let mut coord = Coordinator::new(queue_with_jobs(2), TIMEOUT).with_metrics(&registry);
+    let metrics = NetMetrics::register(&registry);
+    let t0 = Instant::now();
+    let spec = coord.next_lease(t0).expect("job 0 leasable");
+    assert_eq!((spec.job, spec.slice), (0, 0));
+
+    // Unknown job: no lease entry, nothing to extend.
+    coord.heartbeat(99, 0, t0);
+    // Stale slice index on a live lease: ignored, not extended.
+    coord.heartbeat(spec.job, spec.slice + 7, t0);
+    assert_eq!(metrics.heartbeats_total.get(), 0);
+
+    // A live heartbeat halfway through the window extends the lease...
+    coord.heartbeat(spec.job, spec.slice, t0 + TIMEOUT / 2);
+    assert_eq!(metrics.heartbeats_total.get(), 1);
+
+    // ...so past the original deadline, job 0 is still held: the next
+    // grant is job 1, and nothing counts as expired.
+    let next = coord
+        .next_lease(t0 + TIMEOUT + EPS)
+        .expect("job 1 leasable");
+    assert_eq!(next.job, 1, "heartbeat must have kept job 0's lease");
+    assert_eq!(metrics.leases_expired_total.get(), 0);
+    assert_eq!(metrics.leases_granted_total.get(), 2);
+}
+
+#[test]
+fn expired_lease_regrant_is_byte_identical_and_duplicates_land_stale() {
+    let registry = MetricsRegistry::new();
+    let mut coord = Coordinator::new(queue_with_jobs(1), TIMEOUT).with_metrics(&registry);
+    let metrics = NetMetrics::register(&registry);
+    let t0 = Instant::now();
+    let first = coord.next_lease(t0).expect("leasable");
+
+    // No heartbeat: the lease expires, and the re-grant hands the next
+    // asker the *identical* spec — same job, slice, quota, checkpoint
+    // bytes. Reassignment changes nothing a worker computes.
+    let regrant = coord.next_lease(t0 + TIMEOUT + EPS).expect("re-grantable");
+    assert_eq!(first, regrant, "regrant spec must be byte-identical");
+    assert_eq!(metrics.leases_granted_total.get(), 2);
+    assert_eq!(metrics.leases_expired_total.get(), 1);
+
+    // The presumed-dead worker heartbeats its old lease anyway. Same
+    // (job, slice) as the re-grant — extending is harmless (rule 2:
+    // both workers will produce byte-identical outcomes) and counted.
+    coord.heartbeat(first.job, first.slice, t0 + TIMEOUT + 2 * EPS);
+    assert_eq!(metrics.heartbeats_total.get(), 1);
+
+    // Both workers answer. The slice outcome is a pure function of
+    // (checkpoint, quota), so compute it twice: first application
+    // advances the job, the duplicate is rejected stale.
+    let out_a = run_slice(&first.checkpoint, first.quota);
+    let out_b = run_slice(&regrant.checkpoint, regrant.quota);
+    assert!(coord.apply_result(first.job, first.slice, out_a));
+    assert!(!coord.apply_result(regrant.job, regrant.slice, out_b));
+    assert_eq!(metrics.results_applied_total.get(), 1);
+    assert_eq!(metrics.results_stale_total.get(), 1);
+
+    // A result for a job id the queue never issued is stale too,
+    // never a panic.
+    let stray = run_slice(&first.checkpoint, first.quota);
+    assert!(!coord.apply_result(42, 0, stray));
+    assert_eq!(metrics.results_stale_total.get(), 2);
+}

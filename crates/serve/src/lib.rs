@@ -972,6 +972,46 @@ impl JobQueue {
         }
         true
     }
+
+    /// Replays journaled slice outcomes in order, applying each through
+    /// [`JobQueue::apply_remote`]'s full validation — so a torn,
+    /// duplicated, or stale record is counted and skipped, never
+    /// spliced. The queue must hold the same jobs (same submission
+    /// order) as the run that produced the journal; after replay it is
+    /// in exactly the state the original coordinator had when it last
+    /// journaled, and the drain can resume from there.
+    pub fn replay(
+        &mut self,
+        outcomes: impl IntoIterator<Item = (usize, u64, SliceOutcome)>,
+    ) -> ReplayStats {
+        let mut stats = ReplayStats::default();
+        for (id, slice, out) in outcomes {
+            if id < self.jobs.len() {
+                // The run that wrote the journal materialized the first
+                // checkpoint (emitting the deterministic setup events)
+                // before any slice executed; replay must do the same or
+                // the first record's event span has nothing to anchor
+                // to. A materialization failure fails the job exactly
+                // as it would have live, and the record lands stale.
+                let _ = self.lease_spec(id);
+            }
+            if id < self.jobs.len() && self.apply_remote(id, slice, out) {
+                stats.applied += 1;
+            } else {
+                stats.stale += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// What a journal replay applied (see [`JobQueue::replay`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Records that advanced a job.
+    pub applied: u64,
+    /// Records rejected by validation (stale duplicates, unknown jobs).
+    pub stale: u64,
 }
 
 #[cfg(test)]

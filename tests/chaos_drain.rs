@@ -1,0 +1,489 @@
+//! Chaos-hardened distributed draining (DESIGN.md §15 "Failure model").
+//!
+//! Every fault class the failure model names — connection reset at a
+//! frame boundary, reset tearing a frame mid-write, write stalls,
+//! duplicate delivery, worker crash with resend, coordinator kill with
+//! journal restart — is injected here, and after every one of them the
+//! drain completes with job streams, selection logs and audit verdicts
+//! **byte-identical** to an uninterrupted single-process run. Faults
+//! change wall-clock timing; they must never change a byte of output.
+//!
+//! The injection schedule is a pure function of the chaos seed
+//! (`bgr::net::ChaosProxy`), so a failing run replays exactly.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::io::JournalWriter;
+use bgr::metrics::MetricsRegistry;
+use bgr::net::{
+    run_worker, serve_drain, serve_drain_with, ChaosOptions, ChaosProxy, ChaosUpstream,
+    Coordinator, DrainOptions, NetMetrics, ProtoError, WorkerOptions, WorkerReport,
+};
+use bgr::router::RouterConfig;
+use bgr::serve::{run_slice, JobQueue, ReplayStats};
+
+fn small_case(
+    seed: u64,
+) -> (
+    bgr::netlist::Circuit,
+    bgr::layout::Placement,
+    Vec<bgr::timing::PathConstraint>,
+) {
+    let params = GenParams::small(seed);
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    (design.circuit, placement, design.constraints)
+}
+
+fn submit_fleet_jobs(queue: &mut JobQueue) {
+    for (i, seed) in [3u64, 11, 42, 7].iter().enumerate() {
+        let (c, p, k) = small_case(*seed);
+        let quota = if i == 3 { None } else { Some(4 + 2 * i as u64) };
+        queue.submit(format!("job{i}"), c, p, k, RouterConfig::default(), quota);
+    }
+}
+
+/// The uninterrupted single-process reference every faulted drain must
+/// match byte for byte.
+fn local_reference() -> JobQueue {
+    let mut local = JobQueue::new();
+    submit_fleet_jobs(&mut local);
+    local.run(4);
+    local
+}
+
+/// The load-bearing assertion: a drain that went through faults left
+/// the queue byte-identical to the local reference.
+fn assert_matches_local(drained: &Coordinator, local: &JobQueue, ctx: &str) {
+    assert!(drained.all_completed(), "{ctx}: drain did not complete");
+    for (i, (dist, loc)) in drained
+        .queue()
+        .jobs()
+        .iter()
+        .zip(local.jobs().iter())
+        .enumerate()
+    {
+        assert_eq!(
+            dist.stream(),
+            loc.stream(),
+            "{ctx}: job {i} stream diverged"
+        );
+        assert_eq!(dist.slices(), loc.slices(), "{ctx}: job {i} slice count");
+        let verdict = dist.verdict().expect("remote verdict");
+        let local_audit = loc.audit().expect("local audit");
+        assert_eq!(
+            verdict.audit_line,
+            local_audit.to_string(),
+            "{ctx}: job {i} audit verdict diverged"
+        );
+        assert!(verdict.audit_clean, "{ctx}: job {i} audit not clean");
+    }
+}
+
+/// Joins worker threads, tolerating exactly one failure shape: a
+/// *retryable* transport error, which a worker legitimately reports
+/// when the drain settles while it sits in reconnect backoff (its
+/// retries then find nobody listening). Fatal errors and panics fail
+/// the test — no fault class may produce them.
+fn join_workers(
+    handles: Vec<std::thread::JoinHandle<Result<WorkerReport, ProtoError>>>,
+) -> Vec<WorkerReport> {
+    handles
+        .into_iter()
+        .filter_map(|h| match h.join().expect("worker thread must not panic") {
+            Ok(report) => Some(report),
+            Err(e) => {
+                assert!(
+                    e.is_retryable(),
+                    "worker died with a non-retryable error under transport chaos: {e}"
+                );
+                None
+            }
+        })
+        .collect()
+}
+
+/// Resets (frame-boundary and mid-frame), stalls and duplicate
+/// delivery, over a small seed matrix — each seeded drain must be
+/// byte-identical to the local reference, and across the matrix every
+/// injected fault class must actually have fired (a chaos harness that
+/// silently injects nothing proves nothing).
+#[test]
+fn chaos_proxy_faults_leave_the_drain_byte_identical() {
+    let local = local_reference();
+    let mut fired = bgr::net::ChaosStats {
+        connections: 0,
+        frames: 0,
+        resets: 0,
+        mid_frame_resets: 0,
+        stalls: 0,
+        duplicates: 0,
+    };
+    let mut reconnects = 0u64;
+    for seed in [1u64, 7, 42] {
+        let mut queue = JobQueue::new();
+        submit_fleet_jobs(&mut queue);
+        let coordinator = Coordinator::new(queue, Duration::from_millis(500));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let upstream = listener.local_addr().expect("bound").to_string();
+        let server = std::thread::spawn(move || serve_drain(listener, coordinator).expect("drain"));
+
+        let proxy = ChaosProxy::start(
+            ChaosUpstream::Addr(upstream),
+            ChaosOptions {
+                seed,
+                reset_per_frame: 0.05,
+                mid_frame: 0.5,
+                stall_per_frame: 0.06,
+                stall: Duration::from_millis(5),
+                duplicate_per_frame: 0.12,
+            },
+        )
+        .expect("proxy starts");
+        let proxied = proxy.addr().to_string();
+
+        let workers: Vec<_> = (0..3)
+            .map(|i| {
+                let addr = proxied.clone();
+                let mut opts = WorkerOptions::named(format!("w{i}"));
+                opts.retry_max = 25;
+                opts.retry_base = Duration::from_millis(2);
+                opts.retry_cap = Duration::from_millis(40);
+                std::thread::spawn(move || run_worker(&addr, &opts, &MetricsRegistry::new()))
+            })
+            .collect();
+        let reports = join_workers(workers);
+        let drained = server.join().expect("server thread");
+        let stats = proxy.shutdown();
+
+        assert_matches_local(&drained, &local, &format!("seed {seed}"));
+        reconnects += reports.iter().map(|r| r.reconnects).sum::<u64>();
+        fired.resets += stats.resets;
+        fired.mid_frame_resets += stats.mid_frame_resets;
+        fired.stalls += stats.stalls;
+        fired.duplicates += stats.duplicates;
+        fired.frames += stats.frames;
+    }
+    // The harness must have genuinely exercised every fault class.
+    assert!(fired.resets >= 1, "no reset fired across the matrix");
+    assert!(fired.mid_frame_resets >= 1, "no mid-frame tear fired");
+    assert!(fired.stalls >= 1, "no stall fired");
+    assert!(fired.duplicates >= 1, "no duplicate delivery fired");
+    assert!(
+        reconnects >= 1,
+        "resets fired but no worker ever reconnected"
+    );
+}
+
+/// Worker crash right after submitting a result: the connection is
+/// severed before the reply, the worker reconnects through its backoff
+/// and resends the in-doubt result, and the coordinator rejects the
+/// duplicate as stale. The reply that died on the wire had already
+/// granted the next lease, so that orphan must expire and be re-granted
+/// — the two recovery mechanisms compose. No byte of output moves.
+#[test]
+fn worker_crash_after_result_resends_and_lands_stale() {
+    let local = local_reference();
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let registry = MetricsRegistry::new();
+    let coordinator = Coordinator::new(queue, Duration::from_millis(250)).with_metrics(&registry);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || serve_drain(listener, coordinator).expect("drain"));
+
+    let mut opts = WorkerOptions::named("crasher");
+    opts.die_after_result = Some(2);
+    opts.retry_base = Duration::from_millis(2);
+    opts.retry_cap = Duration::from_millis(20);
+    let worker_registry = MetricsRegistry::new();
+    let report = run_worker(&addr, &opts, &worker_registry).expect("worker survives its crash");
+    let drained = server.join().expect("server thread");
+
+    assert!(report.reconnects >= 1, "crash injection must reconnect");
+    assert!(!report.died, "die_after_result recovers; it does not exit");
+    let metrics = NetMetrics::register(&registry);
+    assert!(
+        metrics.results_stale_total.get() >= 1,
+        "the resent result must land stale"
+    );
+    assert!(
+        metrics.leases_expired_total.get() >= 1,
+        "the lease granted in the severed reply must recover by expiry"
+    );
+    assert_matches_local(&drained, &local, "die-after-result");
+}
+
+/// A slow-but-alive worker: its slice takes longer than the entire
+/// lease timeout, but the in-slice heartbeat loop (on the cadence the
+/// coordinator advertised in WELCOME) keeps the lease fresh — the work
+/// is never forfeited to an expiry re-grant.
+#[test]
+fn slow_worker_heartbeats_keep_the_lease_alive() {
+    let (c, p, k) = small_case(5);
+    let mut local = JobQueue::new();
+    local.submit("slow", c, p, k, RouterConfig::default(), None);
+    local.run(1);
+
+    let (c, p, k) = small_case(5);
+    let mut queue = JobQueue::new();
+    queue.submit("slow", c, p, k, RouterConfig::default(), None);
+    let registry = MetricsRegistry::new();
+    // Lease timeout 300 ms, slice pinned to ~700 ms: without
+    // heartbeats the lease would expire twice over.
+    let coordinator = Coordinator::new(queue, Duration::from_millis(300)).with_metrics(&registry);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || serve_drain(listener, coordinator).expect("drain"));
+
+    let mut opts = WorkerOptions::named("tortoise");
+    opts.slice_delay = Some(Duration::from_millis(700));
+    let worker_registry = MetricsRegistry::new();
+    let report = run_worker(&addr, &opts, &worker_registry).expect("worker");
+    let drained = server.join().expect("server thread");
+
+    assert!(report.slices >= 1);
+    let metrics = NetMetrics::register(&registry);
+    assert!(
+        metrics.heartbeats_total.get() >= 2,
+        "the slow slice must have been kept alive by heartbeats, got {}",
+        metrics.heartbeats_total.get()
+    );
+    assert_eq!(
+        metrics.leases_expired_total.get(),
+        0,
+        "a heartbeating worker must never forfeit its lease"
+    );
+    assert_matches_local(&drained, &local, "slow-worker");
+}
+
+/// A worker presenting the wrong shared secret (or none) is refused
+/// with `Nack(auth)` — a fatal, non-retryable error — while an
+/// authenticated worker drains everything as if nothing happened.
+#[test]
+fn wrong_token_is_refused_and_the_drain_still_settles() {
+    let local = local_reference();
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let coordinator = Coordinator::new(queue, Duration::from_secs(10));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let opts = DrainOptions {
+        token: Some("fleet-secret".to_string()),
+    };
+    let server =
+        std::thread::spawn(move || serve_drain_with(listener, coordinator, &opts).expect("drain"));
+
+    let mut intruder = WorkerOptions::named("intruder");
+    intruder.token = Some("wrong-secret".to_string());
+    match run_worker(&addr, &intruder, &MetricsRegistry::new()) {
+        Err(ProtoError::Refused { code, .. }) => assert_eq!(code, "auth"),
+        other => panic!("wrong token must be refused with Nack(auth), got {other:?}"),
+    }
+    // No token at all is refused identically.
+    match run_worker(
+        &addr,
+        &WorkerOptions::named("anon"),
+        &MetricsRegistry::new(),
+    ) {
+        Err(e @ ProtoError::Refused { .. }) => assert!(!e.is_retryable()),
+        other => panic!("tokenless worker must be refused, got {other:?}"),
+    }
+
+    let mut honest = WorkerOptions::named("honest");
+    honest.token = Some("fleet-secret".to_string());
+    run_worker(&addr, &honest, &MetricsRegistry::new()).expect("authenticated worker");
+    let drained = server.join().expect("server thread");
+    assert_matches_local(&drained, &local, "auth");
+}
+
+/// Coordinator kill + restart: the write-ahead journal alone carries
+/// the drain across the crash. The first coordinator applies a few
+/// results and is destroyed without any graceful teardown; a second
+/// process-life re-submits the same jobs, replays the journal to the
+/// exact pre-crash queue state, finishes the drain over TCP — and the
+/// result is byte-identical to a run that never crashed. A torn tail
+/// (kill mid-append) costs exactly the torn record, nothing else.
+#[test]
+fn coordinator_kill_and_journal_restart_is_byte_identical() {
+    let local = local_reference();
+    let dir = std::env::temp_dir().join(format!("bgr-chaos-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("drain.bgrj");
+    let _ = std::fs::remove_file(&path);
+
+    // First life: apply three results, journaling each before it
+    // mutates the queue, then die with no teardown whatsoever.
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let mut first = Coordinator::new(queue, Duration::from_secs(10))
+        .with_journal(JournalWriter::create(&path).expect("journal create"));
+    for _ in 0..3 {
+        let spec = first.next_lease(Instant::now()).expect("leasable");
+        let out = run_slice(&spec.checkpoint, spec.quota);
+        assert!(first.apply_result(spec.job, spec.slice, out));
+    }
+    assert!(first.journal_degradation().is_none());
+    drop(first); // kill -9: in-memory state gone; only the journal survives
+
+    let bytes = std::fs::read(&path).expect("journal survives the crash");
+
+    // A kill mid-append tears the tail: replaying the truncated bytes
+    // loses exactly the torn record and errors on nothing.
+    {
+        let mut torn_queue = JobQueue::new();
+        submit_fleet_jobs(&mut torn_queue);
+        let mut torn = Coordinator::new(torn_queue, Duration::from_secs(10));
+        let stats = torn
+            .replay_journal(&bytes[..bytes.len() - 3])
+            .expect("torn tail is tolerated");
+        assert_eq!(
+            stats,
+            ReplayStats {
+                applied: 2,
+                stale: 0
+            }
+        );
+    }
+
+    // Second life: same jobs, full replay, then finish over TCP with
+    // the journal re-attached in append mode.
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let mut second = Coordinator::new(queue, Duration::from_secs(10));
+    let stats = second.replay_journal(&bytes).expect("replay");
+    assert_eq!(
+        stats,
+        ReplayStats {
+            applied: 3,
+            stale: 0
+        }
+    );
+    // Replaying the same journal twice is harmless: every record is
+    // now stale by slice index.
+    let again = second.replay_journal(&bytes).expect("double replay");
+    assert_eq!(
+        again,
+        ReplayStats {
+            applied: 0,
+            stale: 3
+        }
+    );
+    let second = second.with_journal(JournalWriter::open_append(&path).expect("journal append"));
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || serve_drain(listener, second).expect("drain"));
+    run_worker(
+        &addr,
+        &WorkerOptions::named("finisher"),
+        &MetricsRegistry::new(),
+    )
+    .expect("worker");
+    let drained = server.join().expect("server thread");
+    assert!(drained.journal_degradation().is_none());
+    assert_matches_local(&drained, &local, "journal-restart");
+
+    // The journal now holds every applied result of the whole drain in
+    // order: a third life can reconstruct the *completed* queue from
+    // the journal alone, without executing a single slice.
+    let full = std::fs::read(&path).expect("journal");
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let mut third = Coordinator::new(queue, Duration::from_secs(10));
+    let stats = third.replay_journal(&full).expect("full replay");
+    let total: u64 = local.jobs().iter().map(|j| j.slices()).sum();
+    assert_eq!(
+        stats,
+        ReplayStats {
+            applied: total,
+            stale: 0
+        }
+    );
+    assert_matches_local(&third, &local, "journal-only reconstruction");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// The coordinator restart composes with the chaos proxy: workers keep
+/// pointing at the proxy, the proxy re-reads the coordinator's address
+/// file per connection, and a restart on a *different* ephemeral port
+/// is just another transport fault from the fleet's point of view.
+#[test]
+fn restart_behind_the_proxy_is_transparent_to_workers() {
+    let local = local_reference();
+    let dir = std::env::temp_dir().join(format!("bgr-chaos-addrfile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let addr_file = dir.join("coordinator.addr");
+    let journal = dir.join("drain.bgrj");
+    let _ = std::fs::remove_file(&journal);
+
+    let write_addr = |addr: &str| {
+        let tmp = addr_file.with_extension("tmp");
+        std::fs::write(&tmp, addr).expect("write addr");
+        std::fs::rename(&tmp, &addr_file).expect("rename addr");
+    };
+
+    // First coordinator life, reachable only through the proxy.
+    let mut queue = JobQueue::new();
+    submit_fleet_jobs(&mut queue);
+    let first = Coordinator::new(queue, Duration::from_secs(10))
+        .with_journal(JournalWriter::create(&journal).expect("journal create"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    write_addr(&listener.local_addr().expect("bound").to_string());
+    let proxy = ChaosProxy::start(
+        ChaosUpstream::AddrFile(addr_file.clone()),
+        ChaosOptions::quiet(9),
+    )
+    .expect("proxy starts");
+    let proxied = proxy.addr().to_string();
+
+    // One worker drives the first life just past two results, then the
+    // "machine dies": listener and coordinator vanish mid-drain.
+    let server = std::thread::spawn(move || serve_drain(listener, first));
+    {
+        let addr = proxied.clone();
+        let mut opts = WorkerOptions::named("early");
+        opts.die_on_lease = Some(3); // vanish while the drain is live
+        let report = run_worker(&addr, &opts, &MetricsRegistry::new()).expect("early worker");
+        assert!(report.died);
+    }
+    // Kill the first life: nothing drains it, so the serve loop is
+    // still waiting for connections — drop its listener by replacing
+    // the address file and severing: simplest faithful kill is to
+    // leave it serving an address nobody will dial again and abandon
+    // the thread; the journal holds everything it applied.
+    write_addr("127.0.0.1:1"); // black hole until the restart rebinds
+    drop(server); // abandoned, never joined — a killed process joins nobody
+
+    // Restart on a fresh ephemeral port, replaying the journal.
+    let applied_so_far = {
+        let bytes = std::fs::read(&journal).expect("journal");
+        let mut queue = JobQueue::new();
+        submit_fleet_jobs(&mut queue);
+        let mut second = Coordinator::new(queue, Duration::from_secs(1));
+        let stats = second.replay_journal(&bytes).expect("replay");
+        let second =
+            second.with_journal(JournalWriter::open_append(&journal).expect("journal append"));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("rebind");
+        write_addr(&listener.local_addr().expect("bound").to_string());
+        let server = std::thread::spawn(move || serve_drain(listener, second).expect("drain"));
+        let mut opts = WorkerOptions::named("late");
+        opts.retry_base = Duration::from_millis(2);
+        run_worker(&proxied, &opts, &MetricsRegistry::new()).expect("late worker");
+        let drained = server.join().expect("server thread");
+        assert_matches_local(&drained, &local, "restart-behind-proxy");
+        stats.applied
+    };
+    assert!(
+        applied_so_far >= 2,
+        "the first life must have journaled its progress"
+    );
+    proxy.shutdown();
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&addr_file);
+    let _ = std::fs::remove_dir(&dir);
+}

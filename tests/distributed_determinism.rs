@@ -194,6 +194,7 @@ fn misbehaving_client_is_connection_local() {
             &Message::Hello {
                 version: PROTO_VERSION,
                 worker: "rogue".into(),
+                token: None,
             },
         )
         .expect("hello");
