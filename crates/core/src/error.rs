@@ -43,6 +43,15 @@ pub enum RouteError {
         /// The original panic message.
         message: String,
     },
+    /// A serving-layer slice deadline expired before the slice could
+    /// run (`bgr-serve`'s `QueuePolicy`): the job is abandoned with
+    /// this structured verdict instead of consuming further budget.
+    /// `budget_ms` is the configured per-job budget (0 when the expiry
+    /// was detected remotely, where the original budget is unknown).
+    DeadlineExpired {
+        /// Configured wall-clock budget in milliseconds.
+        budget_ms: u64,
+    },
     /// A checkpoint could not be restored into a live session: version
     /// skew, a truncated or corrupted file, or serialized state
     /// inconsistent with the embedded design (wrong mask lengths, a
@@ -75,6 +84,9 @@ impl std::fmt::Display for RouteError {
             }
             Self::Internal { phase, message } => {
                 write!(f, "internal error during {phase}: {message}")
+            }
+            Self::DeadlineExpired { budget_ms } => {
+                write!(f, "slice deadline expired (budget {budget_ms} ms)")
             }
             Self::Checkpoint { message } => {
                 write!(f, "checkpoint rejected: {message}")

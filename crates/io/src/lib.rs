@@ -61,7 +61,8 @@ pub use checkpoint::{
 pub use constraints::{parse_constraints, write_constraints};
 pub use error::ParseError;
 pub use journal::{
-    encode_journal_record, read_journal, JournalEntry, JournalTail, JournalWriter, JOURNAL_MAGIC,
+    encode_journal_record, read_journal, FileSink, JournalEntry, JournalError, JournalSink,
+    JournalTail, JournalWriter, JOURNAL_MAGIC,
 };
 pub use json::{escape_json, Json, JsonError};
 pub use netlist::{parse_netlist, write_netlist};

@@ -26,6 +26,19 @@
 //! * `--token SECRET` — require workers to present SECRET in HELLO
 //!   (constant-time compare; mismatches are refused with `Nack`).
 //!
+//! Overload governance (DESIGN.md §15 "Overload & degradation
+//! ladder") — every knob defaults off, and an un-tripped knob leaves
+//! the drain byte-identical to an ungoverned one:
+//!
+//! * `--max-jobs N` — admission cap on live jobs; over-cap submissions
+//!   are rejected up front with a structured verdict;
+//! * `--max-conns N` — connection-concurrency cap; excess connections
+//!   are answered `Nack(busy)` with a retry hint and closed;
+//! * `--deadline-ms T` — per-job wall-clock slice budget; expired jobs
+//!   fail with `DeadlineExpired` instead of consuming more fleet time;
+//! * `--max-leases N` — live-lease table depth cap; lease requests at
+//!   the cap are deferred (`NoWork`), throttling fleet concurrency.
+//!
 //! Exit code 1 if any non-portfolio job failed or a race ended with no
 //! winner.
 //!
@@ -34,6 +47,8 @@
 //!                   [--quota Q] [--seed S] [--lease-timeout-ms T]
 //!                   [--portfolio N] [--arm-slices K]
 //!                   [--journal PATH] [--token SECRET]
+//!                   [--max-jobs N] [--max-conns N] [--deadline-ms T]
+//!                   [--max-leases N]
 //!                   [--metrics-out PATH] [--trace-out DIR]
 
 use std::net::TcpListener;
@@ -44,7 +59,7 @@ use bgr_core::config::CriteriaOrder;
 use bgr_io::JournalWriter;
 use bgr_metrics::MetricsRegistry;
 use bgr_net::{serve_drain_with, Coordinator, DrainOptions};
-use bgr_serve::JobQueue;
+use bgr_serve::{JobQueue, QueuePolicy};
 
 struct Args {
     addr: String,
@@ -57,6 +72,10 @@ struct Args {
     arm_slices: u64,
     journal: Option<String>,
     token: Option<String>,
+    max_jobs: Option<u64>,
+    max_conns: Option<u64>,
+    deadline_ms: Option<u64>,
+    max_leases: Option<u64>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
 }
@@ -67,6 +86,8 @@ fn usage() -> ! {
          \x20                      [--quota Q] [--seed S] [--lease-timeout-ms T]\n\
          \x20                      [--portfolio N] [--arm-slices K]\n\
          \x20                      [--journal PATH] [--token SECRET]\n\
+         \x20                      [--max-jobs N] [--max-conns N] [--deadline-ms T]\n\
+         \x20                      [--max-leases N]\n\
          \x20                      [--metrics-out PATH] [--trace-out DIR]"
     );
     std::process::exit(2)
@@ -91,6 +112,10 @@ fn parse_args() -> Args {
         arm_slices: 64,
         journal: None,
         token: None,
+        max_jobs: None,
+        max_conns: None,
+        deadline_ms: None,
+        max_leases: None,
         metrics_out: None,
         trace_out: None,
     };
@@ -120,6 +145,10 @@ fn parse_args() -> Args {
             "--arm-slices" => args.arm_slices = parse_num(&flag, &value(&flag)),
             "--journal" => args.journal = Some(value(&flag)),
             "--token" => args.token = Some(value(&flag)),
+            "--max-jobs" => args.max_jobs = Some(parse_num(&flag, &value(&flag))),
+            "--max-conns" => args.max_conns = Some(parse_num(&flag, &value(&flag))),
+            "--deadline-ms" => args.deadline_ms = Some(parse_num(&flag, &value(&flag))),
+            "--max-leases" => args.max_leases = Some(parse_num(&flag, &value(&flag))),
             "--metrics-out" => args.metrics_out = Some(value(&flag)),
             "--trace-out" => args.trace_out = Some(value(&flag)),
             _ => usage(),
@@ -156,21 +185,34 @@ fn main() -> ExitCode {
     let mut queue = JobQueue::new();
     let registry = MetricsRegistry::new();
     queue.attach_metrics(bgr_serve::ServeMetrics::register(&registry));
+    queue.set_policy(QueuePolicy {
+        max_jobs: args.max_jobs.map(|n| n as usize),
+        max_checkpoint_bytes: None,
+        deadline_ms: args.deadline_ms,
+    });
     for i in 0..args.jobs {
         let params = bgr_gen::GenParams::small(args.seed + i);
         let design = bgr_gen::generate(&params);
         let placement = bgr_gen::place_design(&design, &params, bgr_gen::PlacementStyle::EvenFeed);
-        queue.submit(
+        match queue.try_submit(
             format!("job{i}"),
             design.circuit,
             placement,
             design.constraints,
             bgr_core::RouterConfig::default(),
             args.quota,
-        );
+        ) {
+            Ok(_) => {}
+            Err(verdict) => {
+                // Shed at admission: the structured verdict is the
+                // whole story; the admitted jobs still drain.
+                println!("job{i} rejected ({}): {verdict}", verdict.code());
+            }
+        }
     }
     let mut coordinator = Coordinator::new(queue, Duration::from_millis(args.lease_timeout_ms))
-        .with_metrics(&registry);
+        .with_metrics(&registry)
+        .with_max_live_leases(args.max_leases.map(|n| n as usize));
     if args.portfolio > 0 {
         let spec = match coordinator.queue_mut().lease_spec(0) {
             Ok(Some(spec)) => spec,
@@ -218,7 +260,15 @@ fn main() -> ExitCode {
             }
         }
         let writer = if existing {
-            JournalWriter::open_append(path)
+            // Crash-recovery attach: a kill mid-append leaves a torn
+            // tail, which `recover` truncates so appends land on a
+            // record boundary (`open_append` would refuse the tear).
+            JournalWriter::recover(path).map(|(_, tail, w)| {
+                if let bgr_io::JournalTail::Truncated { at } = tail {
+                    println!("journal {path}: torn tail truncated at byte {at}");
+                }
+                w
+            })
         } else {
             JournalWriter::create(path)
         };
@@ -253,6 +303,8 @@ fn main() -> ExitCode {
     }
     let drain_opts = DrainOptions {
         token: args.token.clone(),
+        max_conns: args.max_conns.map(|n| n as usize),
+        ..DrainOptions::default()
     };
     let coordinator = match serve_drain_with(listener, coordinator, &drain_opts) {
         Ok(c) => c,

@@ -25,9 +25,10 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use bgr_io::{JournalError, JournalSink, JOURNAL_MAGIC};
 use bgr_netlist::rng::SplitMix64;
 
 use crate::frame::{HEADER_LEN, MAX_PAYLOAD};
@@ -381,6 +382,97 @@ fn pump(
     }
 }
 
+/// Deterministic disk-fault schedule for [`FaultyDisk`]. Both knobs
+/// default off; an all-`None` schedule is a perfectly healthy disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskFaults {
+    /// Record-byte capacity: the append that would cross this many
+    /// accepted record bytes is torn mid-write
+    /// ([`JournalError::ShortWrite`]), and every later append fails
+    /// `ENOSPC`-style without writing — the disk filled up.
+    pub fail_after_bytes: Option<u64>,
+    /// Fail every k-th append (1-based) with a storage-full error,
+    /// writing nothing — an intermittently sick device. `Some(0)` is
+    /// treated as off.
+    pub fail_every_kth_append: Option<u64>,
+}
+
+/// An in-memory [`JournalSink`] that injects [`DiskFaults`] — the
+/// journal-side analogue of the TCP proxy above. The backing buffer is
+/// shared ([`FaultyDisk::buffer`]), pre-seeded with the journal header,
+/// so a test can hand the sink to a coordinator, break it on schedule,
+/// and afterwards assert the surviving prefix replays cleanly with
+/// `bgr_io::read_journal`.
+#[derive(Debug)]
+pub struct FaultyDisk {
+    buf: Arc<Mutex<Vec<u8>>>,
+    faults: DiskFaults,
+    /// Record bytes accepted so far (header excluded).
+    written: u64,
+    /// Appends attempted so far (1-based for the k-th check).
+    appends: u64,
+}
+
+impl FaultyDisk {
+    /// A fresh disk holding only the journal header, failing on the
+    /// given schedule.
+    pub fn new(faults: DiskFaults) -> Self {
+        Self {
+            buf: Arc::new(Mutex::new(format!("{JOURNAL_MAGIC}\n").into_bytes())),
+            faults,
+            written: 0,
+            appends: 0,
+        }
+    }
+
+    /// The shared backing buffer (header + every byte accepted, torn
+    /// tails included) for post-drain inspection.
+    pub fn buffer(&self) -> Arc<Mutex<Vec<u8>>> {
+        Arc::clone(&self.buf)
+    }
+}
+
+impl JournalSink for FaultyDisk {
+    fn append_record(&mut self, record: &[u8]) -> Result<(), JournalError> {
+        self.appends += 1;
+        if let Some(k) = self.faults.fail_every_kth_append {
+            if k > 0 && self.appends.is_multiple_of(k) {
+                return Err(JournalError::Io {
+                    kind: std::io::ErrorKind::StorageFull,
+                    message: format!("injected: append {} refused", self.appends),
+                });
+            }
+        }
+        let want = record.len();
+        if let Some(cap) = self.faults.fail_after_bytes {
+            let room = cap.saturating_sub(self.written);
+            if room == 0 {
+                return Err(JournalError::Io {
+                    kind: std::io::ErrorKind::StorageFull,
+                    message: "injected: disk full".to_string(),
+                });
+            }
+            if (room as usize) < want {
+                // Torn record: the bytes that fit land, the rest never
+                // will — exactly what a real ENOSPC mid-append leaves.
+                let wrote = room as usize;
+                self.buf
+                    .lock()
+                    .expect("faulty disk buffer")
+                    .extend_from_slice(&record[..wrote]);
+                self.written += room;
+                return Err(JournalError::ShortWrite { wrote, want });
+            }
+        }
+        self.buf
+            .lock()
+            .expect("faulty disk buffer")
+            .extend_from_slice(record);
+        self.written += want as u64;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +519,76 @@ mod tests {
         let n = client.read(&mut buf).unwrap_or(0);
         assert_eq!(n, 0, "severed connection must not deliver bytes");
         proxy.shutdown();
+    }
+
+    #[test]
+    fn faulty_disk_tears_at_capacity_and_the_prefix_replays() {
+        let mut writer = bgr_io::JournalWriter::with_sink(Box::new(FaultyDisk::new(DiskFaults {
+            fail_after_bytes: Some(60),
+            fail_every_kth_append: None,
+        })));
+        writer.append("result", b"job 0\nslice 0\n").unwrap();
+        let err = writer.append("result", b"job 0\nslice 1\n").unwrap_err();
+        assert!(matches!(err, JournalError::ShortWrite { .. }), "{err}");
+        let err = writer.append("result", b"job 0\nslice 2\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JournalError::Io {
+                    kind: std::io::ErrorKind::StorageFull,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn faulty_disk_buffer_holds_a_replayable_prefix_after_the_tear() {
+        let disk = FaultyDisk::new(DiskFaults {
+            fail_after_bytes: Some(60),
+            fail_every_kth_append: None,
+        });
+        let buf = disk.buffer();
+        let mut writer = bgr_io::JournalWriter::with_sink(Box::new(disk));
+        writer.append("result", b"job 0\nslice 0\n").unwrap();
+        writer.append("result", b"job 0\nslice 1\n").unwrap_err();
+        let bytes = buf.lock().unwrap().clone();
+        let (entries, tail) = bgr_io::read_journal(&bytes).unwrap();
+        assert_eq!(entries.len(), 1, "the record before the tear replays");
+        assert_eq!(entries[0].payload, b"job 0\nslice 0\n");
+        assert!(
+            matches!(tail, bgr_io::JournalTail::Truncated { .. }),
+            "{tail:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_disk_fails_every_kth_append_without_writing() {
+        let disk = FaultyDisk::new(DiskFaults {
+            fail_after_bytes: None,
+            fail_every_kth_append: Some(2),
+        });
+        let buf = disk.buffer();
+        let mut writer = bgr_io::JournalWriter::with_sink(Box::new(disk));
+        writer.append("result", b"a\n").unwrap();
+        let err = writer.append("result", b"b\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JournalError::Io {
+                    kind: std::io::ErrorKind::StorageFull,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        writer.append("result", b"c\n").unwrap();
+        let bytes = buf.lock().unwrap().clone();
+        let (entries, tail) = bgr_io::read_journal(&bytes).unwrap();
+        assert_eq!(tail, bgr_io::JournalTail::Clean);
+        let payloads: Vec<&[u8]> = entries.iter().map(|e| e.payload.as_slice()).collect();
+        assert_eq!(payloads, [b"a\n" as &[u8], b"c\n"]);
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub struct NetMetrics {
     pub results_stale_total: CounterHandle,
     /// Heartbeats that extended a live lease.
     pub heartbeats_total: CounterHandle,
+    /// Connections shed at accept with `Nack(busy)` (concurrency cap).
+    pub conns_shed_total: CounterHandle,
+    /// Lease requests deferred because the live-lease table was at its
+    /// configured depth limit.
+    pub leases_deferred_total: CounterHandle,
+    /// Journal append failures that degraded the coordinator to
+    /// journal-less operation (at most 1 per attached journal).
+    pub journal_degraded_total: CounterHandle,
 }
 
 impl NetMetrics {
@@ -82,6 +90,21 @@ impl NetMetrics {
             heartbeats_total: registry.counter(
                 "bgr_net_heartbeats_total",
                 "Heartbeats that extended a live lease",
+                &[],
+            ),
+            conns_shed_total: registry.counter(
+                "bgr_net_conns_shed_total",
+                "Connections shed at accept with Nack(busy)",
+                &[],
+            ),
+            leases_deferred_total: registry.counter(
+                "bgr_net_leases_deferred_total",
+                "Lease requests deferred by the live-lease depth limit",
+                &[],
+            ),
+            journal_degraded_total: registry.counter(
+                "bgr_net_journal_degraded_total",
+                "Journal failures that degraded to journal-less operation",
                 &[],
             ),
         }
@@ -118,6 +141,7 @@ pub struct Coordinator {
     queue: JobQueue,
     leases: HashMap<usize, Lease>,
     lease_timeout: Duration,
+    max_live_leases: Option<usize>,
     portfolios: Vec<Portfolio>,
     metrics: Option<NetMetrics>,
     worker_snapshots: Vec<(String, MetricsSnapshot)>,
@@ -133,6 +157,7 @@ impl Coordinator {
             queue,
             leases: HashMap::new(),
             lease_timeout,
+            max_live_leases: None,
             portfolios: Vec::new(),
             metrics: None,
             worker_snapshots: Vec::new(),
@@ -145,6 +170,25 @@ impl Coordinator {
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.metrics = Some(NetMetrics::register(registry));
         self
+    }
+
+    /// Caps the live (unexpired) lease table at `max` entries. A lease
+    /// request arriving at the cap is deferred — answered `NoWork`
+    /// rather than granted — until a lease completes or expires.
+    /// Deferral throttles concurrency only; which slices run, and what
+    /// they compute, is unchanged (rule 2: outcomes are pure functions
+    /// of the spec). `None` (the default) grants without depth limit.
+    pub fn with_max_live_leases(mut self, max: Option<usize>) -> Self {
+        self.max_live_leases = max;
+        self
+    }
+
+    /// Records a connection shed at accept by the serving loop's
+    /// concurrency cap (see [`crate::drain::DrainOptions::max_conns`]).
+    pub fn note_connection_shed(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.conns_shed_total.inc();
+        }
     }
 
     /// Attaches a write-ahead outcome journal: every applied `RESULT`
@@ -334,6 +378,15 @@ impl Coordinator {
     /// worker computes.
     pub fn next_lease(&mut self, now: Instant) -> Option<LeaseSpec> {
         self.maintain();
+        if let Some(cap) = self.max_live_leases {
+            let live = self.leases.values().filter(|l| now < l.deadline).count();
+            if live >= cap {
+                if let Some(m) = &self.metrics {
+                    m.leases_deferred_total.inc();
+                }
+                return None;
+            }
+        }
         for id in 0..self.queue.jobs().len() {
             match self.leases.get(&id) {
                 Some(lease) if now < lease.deadline => continue,
@@ -407,10 +460,14 @@ impl Coordinator {
             .encode_payload();
             let writer = self.journal.as_mut().expect("checked above");
             if let Err(e) = writer.append("result", &payload) {
-                // Durability degrades; the in-memory drain continues.
+                // Durability degrades loudly (metric + recorded cause);
+                // the in-memory drain continues.
                 self.journal_degraded
                     .get_or_insert_with(|| format!("journal append failed: {e}"));
                 self.journal = None;
+                if let Some(m) = &self.metrics {
+                    m.journal_degraded_total.inc();
+                }
             }
         }
         let applied = self.queue.apply_remote(job, slice, out);

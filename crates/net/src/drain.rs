@@ -31,13 +31,34 @@ use crate::frame::PROTO_VERSION;
 use crate::proto::{recv, send, Message, ProtoError};
 
 /// Serving policy knobs for [`serve_drain_with`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DrainOptions {
     /// Shared-secret auth token. When set, a HELLO must carry a
     /// matching token (compared constant-time) or the connection is
     /// answered `Nack(auth)` and closed. When `None`, any HELLO is
     /// accepted (loopback/dev topologies).
     pub token: Option<String>,
+    /// Connection-concurrency cap. When set, an accepted connection
+    /// that would exceed the cap is answered `Nack(busy)` carrying
+    /// [`Self::retry_after_ms`] and closed — load is shed at the door
+    /// instead of queueing unbounded handler threads. `None` (the
+    /// default) accepts every connection, exactly as before the cap
+    /// existed.
+    pub max_conns: Option<usize>,
+    /// Retry hint carried on `Nack(busy)` replies, in milliseconds.
+    /// Workers sleep at least this long before reconnecting (their
+    /// deterministic backoff ladder still applies on top).
+    pub retry_after_ms: u64,
+}
+
+impl Default for DrainOptions {
+    fn default() -> Self {
+        Self {
+            token: None,
+            max_conns: None,
+            retry_after_ms: 50,
+        }
+    }
 }
 
 /// Constant-time equality over secrets: the comparison's runtime
@@ -61,6 +82,7 @@ fn lease_or_nowork(coord: &Mutex<Coordinator>) -> Message {
             job: spec.job as u64,
             slice: spec.slice,
             quota: spec.quota,
+            deadline_ms: spec.deadline_ms,
             checkpoint: spec.checkpoint,
         },
         None => Message::NoWork {
@@ -70,11 +92,21 @@ fn lease_or_nowork(coord: &Mutex<Coordinator>) -> Message {
 }
 
 fn nack(w: &mut TcpStream, code: &str, detail: String) -> Result<(), ProtoError> {
+    nack_with_hint(w, code, detail, 0)
+}
+
+fn nack_with_hint(
+    w: &mut TcpStream,
+    code: &str,
+    detail: String,
+    retry_after_ms: u64,
+) -> Result<(), ProtoError> {
     send(
         w,
         &Message::Nack {
             code: code.to_string(),
             detail,
+            retry_after_ms,
         },
     )
 }
@@ -240,7 +272,8 @@ pub fn serve_drain(
     serve_drain_with(listener, coordinator, &DrainOptions::default())
 }
 
-/// [`serve_drain`] with explicit [`DrainOptions`] (auth token).
+/// [`serve_drain`] with explicit [`DrainOptions`] (auth token,
+/// connection-concurrency cap).
 ///
 /// # Errors
 ///
@@ -264,8 +297,27 @@ pub fn serve_drain_with(
     let mut handlers = Vec::new();
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
                 let _ = stream.set_nonblocking(false);
+                if let Some(cap) = options.max_conns {
+                    if active.load(Ordering::SeqCst) >= cap {
+                        // Shed at the door: one busy-Nack with the
+                        // retry hint, then close. No handler thread is
+                        // spawned, so the cap bounds live threads too.
+                        coord
+                            .lock()
+                            .expect("coordinator mutex")
+                            .note_connection_shed();
+                        let _ = nack_with_hint(
+                            &mut stream,
+                            "busy",
+                            format!("connection slots exhausted ({cap} max)"),
+                            options.retry_after_ms,
+                        );
+                        let _ = stream.flush();
+                        continue;
+                    }
+                }
                 let coord = Arc::clone(&coord);
                 let opts = options.clone();
                 active.fetch_add(1, Ordering::SeqCst);

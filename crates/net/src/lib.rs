@@ -61,7 +61,7 @@ pub mod frame;
 pub mod proto;
 pub mod worker;
 
-pub use chaos::{ChaosOptions, ChaosProxy, ChaosStats, ChaosUpstream};
+pub use chaos::{ChaosOptions, ChaosProxy, ChaosStats, ChaosUpstream, DiskFaults, FaultyDisk};
 pub use coordinator::{Coordinator, NetMetrics, Portfolio};
 pub use drain::{serve_drain, serve_drain_with, DrainOptions};
 pub use frame::{

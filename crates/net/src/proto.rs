@@ -40,14 +40,17 @@ pub enum ProtoError {
         /// The full error message, with the address.
         message: String,
     },
-    /// The peer answered with a structured `Nack` refusal (auth
-    /// mismatch, version skew, ...). Never retryable: the peer will
-    /// refuse again.
+    /// The peer answered with a structured `Nack` refusal. Fatal for
+    /// deterministic refusals (auth mismatch, version skew, ...);
+    /// retryable for load shedding (`code == "busy"`), where
+    /// `retry_after_ms` carries the coordinator's backoff hint.
     Refused {
         /// The Nack's stable machine-readable code.
         code: String,
         /// The Nack's human-readable detail.
         detail: String,
+        /// The coordinator's retry-after hint in ms (0 = none given).
+        retry_after_ms: u64,
     },
 }
 
@@ -58,7 +61,7 @@ impl fmt::Display for ProtoError {
             Self::UnknownKind { kind } => write!(f, "unknown message kind {kind}"),
             Self::Malformed { message } => write!(f, "malformed payload: {message}"),
             Self::Connect { kind, message } => write!(f, "connect failed ({kind:?}): {message}"),
-            Self::Refused { code, detail } => write!(f, "peer refused [{code}]: {detail}"),
+            Self::Refused { code, detail, .. } => write!(f, "peer refused [{code}]: {detail}"),
         }
     }
 }
@@ -74,9 +77,12 @@ impl ProtoError {
     ///
     /// Fatal means retrying reproduces the failure deterministically: a
     /// schema violation, an unknown message, a version skew, an
-    /// oversize frame, or a structured refusal (wrong token).
+    /// oversize frame, or a deterministic refusal (wrong token). The
+    /// one retryable refusal is `busy` — transient load shedding, where
+    /// the coordinator explicitly invites a later retry.
     pub fn is_retryable(&self) -> bool {
         match self {
+            Self::Refused { code, .. } => code == "busy",
             Self::Frame(e) => matches!(
                 e,
                 FrameError::Io { .. }
@@ -95,7 +101,7 @@ impl ProtoError {
                     | std::io::ErrorKind::NotConnected
                     | std::io::ErrorKind::AddrNotAvailable
             ),
-            Self::UnknownKind { .. } | Self::Malformed { .. } | Self::Refused { .. } => false,
+            Self::UnknownKind { .. } | Self::Malformed { .. } => false,
         }
     }
 }
@@ -207,7 +213,11 @@ impl WireOutcome {
 
     /// Reconstructs the [`SliceOutcome`] a coordinator applies.
     /// Remote finishes carry no `Routed`/`AuditReport`; remote failures
-    /// surface as [`RouteError::Internal`] in phase `"remote"`.
+    /// surface as [`RouteError::Internal`] in phase `"remote"` — except
+    /// a deadline abandonment, whose canonical message maps back onto
+    /// [`RouteError::DeadlineExpired`] so coordinator-side accounting
+    /// (the `bgr_deadline_missed_total` counter) matches the local
+    /// path. The original budget does not travel; it lands as 0.
     ///
     /// # Errors
     ///
@@ -242,9 +252,13 @@ impl WireOutcome {
                 report: None,
             },
             Self::Failed { message } => SliceOutcome::Failed {
-                error: RouteError::Internal {
-                    phase: "remote",
-                    message,
+                error: if message.starts_with("slice deadline expired") {
+                    RouteError::DeadlineExpired { budget_ms: 0 }
+                } else {
+                    RouteError::Internal {
+                        phase: "remote",
+                        message,
+                    }
                 },
             },
         })
@@ -284,6 +298,10 @@ pub enum Message {
         slice: u64,
         /// Per-slice selection quota.
         quota: Option<u64>,
+        /// Remaining deadline budget in ms under the queue's policy
+        /// (`Some(0)` = already expired, abandon without routing;
+        /// `None` = no deadline governance).
+        deadline_ms: Option<u64>,
         /// Checkpoint to resume from (self-contained).
         checkpoint: String,
     },
@@ -313,10 +331,14 @@ pub enum Message {
     /// Either direction: a structured refusal.
     Nack {
         /// Stable machine-readable code (`version-skew`,
-        /// `stale-result`, `bad-request`, ...).
+        /// `stale-result`, `bad-request`, `busy`, ...).
         code: String,
         /// Human-readable detail.
         detail: String,
+        /// For transient refusals (`busy`): how long the peer suggests
+        /// waiting before retrying, in ms. 0 = no hint (deterministic
+        /// refusals always send 0).
+        retry_after_ms: u64,
     },
     /// Worker → coordinator: the worker registry's snapshot for fleet
     /// aggregation, sent once when the drain settles.
@@ -433,20 +455,20 @@ impl<'a> PayloadReader<'a> {
     }
 }
 
-fn put_quota(out: &mut Vec<u8>, quota: Option<u64>) {
-    match quota {
-        Some(q) => put_line(out, "quota", q),
-        None => put_line(out, "quota", "none"),
+fn put_opt_u64(out: &mut Vec<u8>, key: &str, value: Option<u64>) {
+    match value {
+        Some(v) => put_line(out, key, v),
+        None => put_line(out, key, "none"),
     }
 }
 
-fn read_quota(r: &mut PayloadReader<'_>) -> Result<Option<u64>, ProtoError> {
-    match r.line("quota")? {
+fn read_opt_u64(r: &mut PayloadReader<'_>, key: &str) -> Result<Option<u64>, ProtoError> {
+    match r.line(key)? {
         "none" => Ok(None),
         v => v
             .parse()
             .map(Some)
-            .map_err(|_| malformed(format!("quota is not a u64: {v:?}"))),
+            .map_err(|_| malformed(format!("{key} is not a u64: {v:?}"))),
     }
 }
 
@@ -544,11 +566,13 @@ impl Message {
                 job,
                 slice,
                 quota,
+                deadline_ms,
                 checkpoint,
             } => {
                 put_line(&mut out, "job", job);
                 put_line(&mut out, "slice", slice);
-                put_quota(&mut out, *quota);
+                put_opt_u64(&mut out, "quota", *quota);
+                put_opt_u64(&mut out, "deadline_ms", *deadline_ms);
                 put_block(&mut out, "checkpoint", checkpoint);
             }
             Self::NoWork { settled } => put_line(&mut out, "settled", settled),
@@ -596,9 +620,14 @@ impl Message {
                 put_line(&mut out, "job", job);
                 put_line(&mut out, "slice", slice);
             }
-            Self::Nack { code, detail } => {
+            Self::Nack {
+                code,
+                detail,
+                retry_after_ms,
+            } => {
                 put_block(&mut out, "code", code);
                 put_block(&mut out, "detail", detail);
+                put_line(&mut out, "retry_after_ms", retry_after_ms);
             }
             Self::Metrics { snapshot } => put_block(&mut out, "snapshot", snapshot),
         }
@@ -643,7 +672,8 @@ impl Message {
             4 => Self::Lease {
                 job: r.u64("job")?,
                 slice: r.u64("slice")?,
-                quota: read_quota(&mut r)?,
+                quota: read_opt_u64(&mut r, "quota")?,
+                deadline_ms: read_opt_u64(&mut r, "deadline_ms")?,
                 checkpoint: r.block("checkpoint")?,
             },
             5 => Self::NoWork {
@@ -684,6 +714,7 @@ impl Message {
             8 => Self::Nack {
                 code: r.block("code")?,
                 detail: r.block("detail")?,
+                retry_after_ms: r.u64("retry_after_ms")?,
             },
             9 => Self::Metrics {
                 snapshot: r.block("snapshot")?,
@@ -748,13 +779,22 @@ mod tests {
             job: 3,
             slice: 7,
             quota: Some(16),
+            deadline_ms: Some(1500),
             checkpoint: "bgr-checkpoint v1\nfake\n".into(),
         });
         round_trip(Message::Lease {
             job: 0,
             slice: 0,
             quota: None,
+            deadline_ms: None,
             checkpoint: String::new(),
+        });
+        round_trip(Message::Lease {
+            job: 1,
+            slice: 2,
+            quota: Some(4),
+            deadline_ms: Some(0), // expired budget: worker abandons
+            checkpoint: "bgr-checkpoint v1\nfake\n".into(),
         });
         round_trip(Message::NoWork { settled: true });
         round_trip(Message::Result {
@@ -798,6 +838,12 @@ mod tests {
         round_trip(Message::Nack {
             code: "stale-result".into(),
             detail: "slice 3 already applied".into(),
+            retry_after_ms: 0,
+        });
+        round_trip(Message::Nack {
+            code: "busy".into(),
+            detail: "connection cap reached".into(),
+            retry_after_ms: 250,
         });
         round_trip(Message::Metrics {
             snapshot: "bgr-metrics-snapshot v1\nend 0\n".into(),
@@ -862,6 +908,51 @@ mod tests {
     }
 
     #[test]
+    fn busy_refusals_are_retryable_and_map_their_hint() {
+        let busy = ProtoError::Refused {
+            code: "busy".into(),
+            detail: "4 of 4 handler slots in use".into(),
+            retry_after_ms: 50,
+        };
+        assert!(busy.is_retryable(), "load shedding invites a retry");
+        let auth = ProtoError::Refused {
+            code: "auth".into(),
+            detail: "token mismatch".into(),
+            retry_after_ms: 0,
+        };
+        assert!(!auth.is_retryable(), "deterministic refusals are fatal");
+    }
+
+    #[test]
+    fn deadline_abandonment_maps_back_to_the_structured_error() {
+        let out = WireOutcome::Failed {
+            message: "slice deadline expired (budget 0 ms)".into(),
+        }
+        .into_outcome()
+        .unwrap();
+        assert!(matches!(
+            out,
+            SliceOutcome::Failed {
+                error: RouteError::DeadlineExpired { budget_ms: 0 }
+            }
+        ));
+        let out = WireOutcome::Failed {
+            message: "checkpoint damaged".into(),
+        }
+        .into_outcome()
+        .unwrap();
+        assert!(matches!(
+            out,
+            SliceOutcome::Failed {
+                error: RouteError::Internal {
+                    phase: "remote",
+                    ..
+                }
+            }
+        ));
+    }
+
+    #[test]
     fn retryability_splits_transport_from_schema() {
         // Transport death and in-flight damage: reconnect can clear it.
         for e in [
@@ -896,6 +987,7 @@ mod tests {
             ProtoError::Refused {
                 code: "auth".into(),
                 detail: "token mismatch".into(),
+                retry_after_ms: 0,
             },
             ProtoError::Connect {
                 kind: std::io::ErrorKind::PermissionDenied,

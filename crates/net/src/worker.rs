@@ -50,6 +50,9 @@ pub struct WorkerMetrics {
     pub reconnects_total: CounterHandle,
     /// In-slice heartbeats acknowledged by the coordinator.
     pub heartbeats_total: CounterHandle,
+    /// Leases abandoned unrun because their deadline budget had
+    /// already expired when granted.
+    pub deadline_abandoned_total: CounterHandle,
 }
 
 impl WorkerMetrics {
@@ -89,6 +92,11 @@ impl WorkerMetrics {
             heartbeats_total: registry.counter(
                 "bgr_worker_heartbeats_total",
                 "In-slice heartbeats acknowledged by the coordinator",
+                &[],
+            ),
+            deadline_abandoned_total: registry.counter(
+                "bgr_worker_deadline_abandoned_total",
+                "Leases abandoned unrun because their deadline budget expired",
                 &[],
             ),
         }
@@ -238,7 +246,14 @@ pub fn run_worker(
                 if attempts >= opts.retry_max {
                     return Err(e);
                 }
-                std::thread::sleep(backoff_delay(opts.retry_base, opts.retry_cap, attempts));
+                // Honor the coordinator's retry hint: a busy-shed
+                // connection sleeps at least `retry_after_ms` before
+                // re-dialing, the deterministic ladder applying on top.
+                let mut delay = backoff_delay(opts.retry_base, opts.retry_cap, attempts);
+                if let ProtoError::Refused { retry_after_ms, .. } = &e {
+                    delay = delay.max(Duration::from_millis(*retry_after_ms));
+                }
+                std::thread::sleep(delay);
                 attempts += 1;
                 state.report.reconnects += 1;
                 metrics.reconnects_total.inc();
@@ -279,7 +294,17 @@ fn drain_connection(
                     heartbeat_ms
                 }))
         }
-        Message::Nack { code, detail } => return Err(ProtoError::Refused { code, detail }),
+        Message::Nack {
+            code,
+            detail,
+            retry_after_ms,
+        } => {
+            return Err(ProtoError::Refused {
+                code,
+                detail,
+                retry_after_ms,
+            })
+        }
         other => {
             return Err(ProtoError::Malformed {
                 message: format!("expected WELCOME, got kind {}", other.kind()),
@@ -325,6 +350,7 @@ fn drain_connection(
                 job,
                 slice,
                 quota,
+                deadline_ms,
                 checkpoint,
             } => {
                 idle = 0;
@@ -337,6 +363,22 @@ fn drain_connection(
                     drop(stream);
                     state.report.died = true;
                     return Ok(());
+                }
+                if deadline_ms == Some(0) {
+                    // The slice's budget was already spent when the
+                    // lease was frozen: abandon it unrun. The canonical
+                    // message maps back to `RouteError::DeadlineExpired`
+                    // on the coordinator, same as a local expiry.
+                    metrics.deadline_abandoned_total.inc();
+                    metrics.failed_total.inc();
+                    state.pending = Some((
+                        job,
+                        slice,
+                        WireOutcome::Failed {
+                            message: "slice deadline expired (budget 0 ms)".to_string(),
+                        },
+                    ));
+                    continue;
                 }
                 let start = Instant::now();
                 let (out, hb_err) = run_slice_heartbeating(
@@ -391,7 +433,17 @@ fn drain_connection(
                 send(&mut stream, &Message::Bye)?;
                 return Ok(());
             }
-            Message::Nack { code, detail } => return Err(ProtoError::Refused { code, detail }),
+            Message::Nack {
+                code,
+                detail,
+                retry_after_ms,
+            } => {
+                return Err(ProtoError::Refused {
+                    code,
+                    detail,
+                    retry_after_ms,
+                })
+            }
             other => {
                 return Err(ProtoError::Malformed {
                     message: format!("unexpected kind {}", other.kind()),

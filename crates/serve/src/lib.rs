@@ -39,7 +39,7 @@
 //! clears the flag and the job continues from exactly where it stopped.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bgr_core::probe::CollectingProbe;
 use bgr_core::session::{RouteSession, SessionStage, StepOutcome};
@@ -250,6 +250,92 @@ pub fn run_slice(checkpoint: &str, quota: Option<u64>) -> SliceOutcome {
     }
 }
 
+/// Admission limits for a [`JobQueue`] — the serve layer's half of the
+/// overload-governance ladder (DESIGN.md §15).
+///
+/// Every field is `None` by default, which makes the policy **provably
+/// inert**: an ungoverned queue accepts exactly what it always did and
+/// produces byte-identical streams. Set a limit and the corresponding
+/// intake check turns on; a trip is a structured [`Rejected`] verdict,
+/// never a panic and never a silent drop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Maximum live (non-terminal) jobs the queue will hold.
+    pub max_jobs: Option<usize>,
+    /// Maximum total serialized checkpoint bytes held by live jobs at
+    /// admission time. A queue already holding this much parked state
+    /// refuses new work until something drains.
+    pub max_checkpoint_bytes: Option<u64>,
+    /// Wall-clock budget per admitted job, in milliseconds, measured
+    /// from its first slice materialization. Propagated into every
+    /// [`LeaseSpec`] so remote workers abandon slices whose budget has
+    /// already expired; an expired job fails with
+    /// [`RouteError::DeadlineExpired`] instead of consuming more fleet.
+    pub deadline_ms: Option<u64>,
+}
+
+impl QueuePolicy {
+    /// The default no-limits policy.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Whether no limit is configured (the inert state).
+    pub fn is_unbounded(&self) -> bool {
+        self.max_jobs.is_none() && self.max_checkpoint_bytes.is_none() && self.deadline_ms.is_none()
+    }
+}
+
+/// Structured admission verdict from [`JobQueue::try_submit`]: why the
+/// queue refused a job. Callers (the serve binary, the coordinator)
+/// surface the reason instead of crashing or blocking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The queue already holds [`QueuePolicy::max_jobs`] live jobs.
+    QueueFull {
+        /// The configured cap.
+        max_jobs: usize,
+        /// Live jobs at the moment of refusal.
+        live: usize,
+    },
+    /// Live jobs already hold [`QueuePolicy::max_checkpoint_bytes`] of
+    /// serialized checkpoint state.
+    CheckpointBytes {
+        /// The configured cap.
+        max_bytes: u64,
+        /// Bytes held at the moment of refusal.
+        held: u64,
+    },
+}
+
+impl Rejected {
+    /// Stable kebab-case reason tag (metrics labels, wire details).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::QueueFull { .. } => "queue-full",
+            Self::CheckpointBytes { .. } => "checkpoint-bytes",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { max_jobs, live } => {
+                write!(f, "queue full: {live} live jobs at cap {max_jobs}")
+            }
+            Self::CheckpointBytes { max_bytes, held } => {
+                write!(
+                    f,
+                    "checkpoint budget exhausted: {held} bytes held at cap {max_bytes}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
 /// The serve layer's operational metrics, registered on a shared
 /// [`MetricsRegistry`] and updated at slice boundaries.
 ///
@@ -283,6 +369,12 @@ pub struct ServeMetrics {
     pub jobs_completed_total: CounterHandle,
     /// Jobs that reached `Failed` (structural error or failed audit).
     pub jobs_failed_total: CounterHandle,
+    /// Submissions refused by the admission policy: queue full.
+    pub rejected_queue_full_total: CounterHandle,
+    /// Submissions refused by the admission policy: checkpoint budget.
+    pub rejected_checkpoint_bytes_total: CounterHandle,
+    /// Jobs failed because their wall-clock deadline budget expired.
+    pub deadline_missed_total: CounterHandle,
 }
 
 impl ServeMetrics {
@@ -341,6 +433,21 @@ impl ServeMetrics {
                 "Jobs that reached a terminal state",
                 &[("state", "failed")],
             ),
+            rejected_queue_full_total: registry.counter(
+                "bgr_jobs_rejected_total",
+                "Submissions refused by the admission policy, by reason",
+                &[("reason", "queue-full")],
+            ),
+            rejected_checkpoint_bytes_total: registry.counter(
+                "bgr_jobs_rejected_total",
+                "Submissions refused by the admission policy, by reason",
+                &[("reason", "checkpoint-bytes")],
+            ),
+            deadline_missed_total: registry.counter(
+                "bgr_deadline_missed_total",
+                "Jobs failed because their wall-clock deadline budget expired",
+                &[],
+            ),
         }
     }
 }
@@ -392,6 +499,16 @@ pub struct Job {
     /// Max deletion-loop selections per slice (`None` = run each stage
     /// to its natural end).
     slice_quota: Option<u64>,
+    /// Wall-clock budget in ms from the governing [`QueuePolicy`]
+    /// (`None` = no deadline — the inert default).
+    deadline_ms: Option<u64>,
+    /// When the budget runs out; armed at first materialization.
+    deadline_at: Option<Instant>,
+    /// Remaining-budget value frozen into the [`LeaseSpec`] of the
+    /// current slice, keyed by slice index — expiry-driven re-grants
+    /// must hand out the *identical* spec (DESIGN.md §15 rule 3), so
+    /// the remaining budget is computed once per slice, not per grant.
+    spec_deadline: Option<(u64, u64)>,
     state: SessionState,
     checkpoint: Option<String>,
     stream: String,
@@ -476,8 +593,17 @@ impl Job {
         self.verdict.as_ref()
     }
 
+    /// The job's wall-clock budget in milliseconds, when governed.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
     fn runnable(&self) -> bool {
         !self.state.is_terminal() && !self.cancelled
+    }
+
+    fn deadline_expired(&self) -> bool {
+        self.deadline_at.is_some_and(|at| Instant::now() >= at)
     }
 
     fn fail(&mut self, err: RouteError) {
@@ -512,6 +638,14 @@ impl Job {
     /// continues at the checkpoint's embedded `seq` offset, keeping the
     /// concatenated stream byte-identical to the pre-distributed path.
     fn materialize_checkpoint(&mut self) -> Result<(), RouteError> {
+        // The deadline clock starts at the job's first activity, not at
+        // submission, so a job parked behind a long backlog gets its
+        // full budget once it finally runs.
+        if self.deadline_at.is_none() {
+            if let Some(ms) = self.deadline_ms {
+                self.deadline_at = Some(Instant::now() + Duration::from_millis(ms));
+            }
+        }
         if self.checkpoint.is_some() {
             return Ok(());
         }
@@ -610,7 +744,20 @@ impl Job {
         if let Err(e) = self.materialize_checkpoint() {
             return self.fail(e);
         }
-        let checkpoint = self.checkpoint.clone().expect("materialized above");
+        if self.deadline_expired() {
+            return self.fail(RouteError::DeadlineExpired {
+                budget_ms: self.deadline_ms.unwrap_or(0),
+            });
+        }
+        // A missing checkpoint after a successful materialization is an
+        // internal invariant violation; it degrades this one job with a
+        // structured error instead of tearing the process down.
+        let Some(checkpoint) = self.checkpoint.clone() else {
+            return self.fail(RouteError::Internal {
+                phase: "serve",
+                message: "runnable job has no checkpoint after materialization".into(),
+            });
+        };
         let out = run_slice(&checkpoint, self.slice_quota);
         self.apply_outcome(out);
     }
@@ -629,6 +776,13 @@ pub struct LeaseSpec {
     pub slice: u64,
     /// The job's per-slice selection quota.
     pub quota: Option<u64>,
+    /// Remaining wall-clock budget in ms under the queue's
+    /// [`QueuePolicy::deadline_ms`], frozen per slice so re-grants are
+    /// identical. `Some(0)` means the budget already expired: a worker
+    /// receiving this abandons the slice with
+    /// [`RouteError::DeadlineExpired`] instead of routing. `None` = no
+    /// deadline governance (the inert default).
+    pub deadline_ms: Option<u64>,
     /// The serialized checkpoint the slice resumes from.
     pub checkpoint: String,
 }
@@ -638,6 +792,7 @@ pub struct LeaseSpec {
 pub struct JobQueue {
     jobs: Vec<Job>,
     metrics: Option<ServeMetrics>,
+    policy: QueuePolicy,
 }
 
 impl JobQueue {
@@ -651,6 +806,7 @@ impl JobQueue {
         Self {
             jobs: Vec::new(),
             metrics: Some(ServeMetrics::register(registry)),
+            policy: QueuePolicy::default(),
         }
     }
 
@@ -659,9 +815,67 @@ impl JobQueue {
         self.metrics = Some(metrics);
     }
 
+    /// Installs (or replaces) the queue's admission policy. Only
+    /// [`JobQueue::try_submit`] consults it; jobs already admitted keep
+    /// the deadline they were stamped with.
+    pub fn set_policy(&mut self, policy: QueuePolicy) {
+        self.policy = policy;
+    }
+
+    /// The governing admission policy (unbounded by default).
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Live (non-terminal) jobs currently held.
+    pub fn live_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.state.is_terminal()).count()
+    }
+
+    /// Serialized checkpoint bytes held by live jobs — the quantity
+    /// [`QueuePolicy::max_checkpoint_bytes`] bounds.
+    pub fn held_checkpoint_bytes(&self) -> u64 {
+        self.jobs
+            .iter()
+            .filter(|j| !j.state.is_terminal())
+            .filter_map(|j| j.checkpoint.as_ref())
+            .map(|c| c.len() as u64)
+            .sum()
+    }
+
+    fn admission_verdict(&self) -> Result<(), Rejected> {
+        if let Some(max_jobs) = self.policy.max_jobs {
+            let live = self.live_jobs();
+            if live >= max_jobs {
+                return Err(Rejected::QueueFull { max_jobs, live });
+            }
+        }
+        if let Some(max_bytes) = self.policy.max_checkpoint_bytes {
+            let held = self.held_checkpoint_bytes();
+            if held >= max_bytes {
+                return Err(Rejected::CheckpointBytes { max_bytes, held });
+            }
+        }
+        Ok(())
+    }
+
+    fn count_rejection(&self, verdict: &Rejected) {
+        if let Some(m) = &self.metrics {
+            match verdict {
+                Rejected::QueueFull { .. } => m.rejected_queue_full_total.inc(),
+                Rejected::CheckpointBytes { .. } => m.rejected_checkpoint_bytes_total.inc(),
+            }
+        }
+    }
+
     /// Submits a job; returns its id (stable index into the queue).
     /// `slice_quota` bounds the deletion-loop selections a single slice
     /// may perform (`None` = whole stages per slice).
+    ///
+    /// This is the ungoverned intake: the [`QueuePolicy`] is *not*
+    /// consulted and no deadline is stamped, so pre-governance callers
+    /// keep byte-identical behavior. Bounded intake goes through
+    /// [`JobQueue::try_submit`].
     pub fn submit(
         &mut self,
         name: impl Into<String>,
@@ -671,13 +885,73 @@ impl JobQueue {
         config: RouterConfig,
         slice_quota: Option<u64>,
     ) -> usize {
-        self.jobs.push(Job {
-            name: name.into(),
+        self.push_job(
+            name.into(),
             circuit,
             placement,
             constraints,
             config,
             slice_quota,
+            None,
+        )
+    }
+
+    /// Governed intake: checks the [`QueuePolicy`] and either admits
+    /// the job (stamping the policy's deadline budget on it) or returns
+    /// a structured [`Rejected`] verdict. With the default unbounded
+    /// policy this is exactly [`JobQueue::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] when a configured limit is at capacity; the queue
+    /// is unchanged and the refusal is counted in
+    /// `bgr_jobs_rejected_total` when metrics are attached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_submit(
+        &mut self,
+        name: impl Into<String>,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+        config: RouterConfig,
+        slice_quota: Option<u64>,
+    ) -> Result<usize, Rejected> {
+        if let Err(verdict) = self.admission_verdict() {
+            self.count_rejection(&verdict);
+            return Err(verdict);
+        }
+        Ok(self.push_job(
+            name.into(),
+            circuit,
+            placement,
+            constraints,
+            config,
+            slice_quota,
+            self.policy.deadline_ms,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_job(
+        &mut self,
+        name: String,
+        circuit: Circuit,
+        placement: Placement,
+        constraints: Vec<PathConstraint>,
+        config: RouterConfig,
+        slice_quota: Option<u64>,
+        deadline_ms: Option<u64>,
+    ) -> usize {
+        self.jobs.push(Job {
+            name,
+            circuit,
+            placement,
+            constraints,
+            config,
+            slice_quota,
+            deadline_ms,
+            deadline_at: None,
+            spec_deadline: None,
             state: SessionState::Created,
             checkpoint: None,
             stream: String::new(),
@@ -784,7 +1058,12 @@ impl JobQueue {
                 }
                 match job.state {
                     SessionState::Completed => m.jobs_completed_total.inc(),
-                    SessionState::Failed => m.jobs_failed_total.inc(),
+                    SessionState::Failed => {
+                        m.jobs_failed_total.inc();
+                        if matches!(job.error, Some(RouteError::DeadlineExpired { .. })) {
+                            m.deadline_missed_total.inc();
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -830,6 +1109,9 @@ impl JobQueue {
             constraints: snap.constraints,
             config: snap.config,
             slice_quota,
+            deadline_ms: None,
+            deadline_at: None,
+            spec_deadline: None,
             state: SessionState::Suspended,
             checkpoint: Some(checkpoint.to_string()),
             stream: String::new(),
@@ -877,12 +1159,46 @@ impl JobQueue {
                 return Err(e);
             }
         }
+        let job = &mut self.jobs[id];
+        // Freeze the remaining deadline budget once per slice: an
+        // expiry-driven re-grant of the same slice must hand out the
+        // byte-identical spec (DESIGN.md §15 rule 3), so the wall clock
+        // is consulted only when the slice index moves.
+        let deadline_ms = job.deadline_at.map(|at| {
+            let slice = job.slices;
+            match job.spec_deadline {
+                Some((s, ms)) if s == slice => ms,
+                _ => {
+                    let ms = at
+                        .saturating_duration_since(Instant::now())
+                        .as_millis()
+                        .min(u128::from(u64::MAX)) as u64;
+                    job.spec_deadline = Some((slice, ms));
+                    ms
+                }
+            }
+        });
+        let Some(checkpoint) = job.checkpoint.clone() else {
+            // Invariant violation (runnable job, no checkpoint after a
+            // successful materialization): degrade the one job with a
+            // structured error instead of panicking the coordinator.
+            let e = RouteError::Internal {
+                phase: "serve",
+                message: "runnable job has no checkpoint after materialization".into(),
+            };
+            self.jobs[id].fail(e.clone());
+            if let Some(m) = &self.metrics {
+                m.jobs_failed_total.inc();
+            }
+            return Err(e);
+        };
         let job = &self.jobs[id];
         Ok(Some(LeaseSpec {
             job: id,
             slice: job.slices,
             quota: job.slice_quota,
-            checkpoint: job.checkpoint.clone().expect("materialized above"),
+            deadline_ms,
+            checkpoint,
         }))
     }
 
@@ -966,7 +1282,12 @@ impl JobQueue {
             }
             match job.state {
                 SessionState::Completed => m.jobs_completed_total.inc(),
-                SessionState::Failed => m.jobs_failed_total.inc(),
+                SessionState::Failed => {
+                    m.jobs_failed_total.inc();
+                    if matches!(job.error, Some(RouteError::DeadlineExpired { .. })) {
+                        m.deadline_missed_total.inc();
+                    }
+                }
                 _ => {}
             }
         }
@@ -1246,6 +1567,141 @@ mod tests {
             }
         ));
         assert_eq!(q.job(id).slices(), spec.slice + 1);
+    }
+
+    #[test]
+    fn untripped_policy_is_byte_identical_to_no_policy() {
+        let config = RouterConfig::default();
+        let mut plain = JobQueue::new();
+        let mut governed = JobQueue::new();
+        governed.set_policy(QueuePolicy {
+            max_jobs: Some(64),
+            max_checkpoint_bytes: Some(u64::MAX),
+            deadline_ms: Some(3_600_000),
+        });
+        assert!(!governed.policy().is_unbounded());
+        for seed in [3u64, 11] {
+            let (c, p, k) = small_case(seed);
+            plain.submit(
+                format!("s{seed}"),
+                c.clone(),
+                p.clone(),
+                k.clone(),
+                config.clone(),
+                Some(4),
+            );
+            governed
+                .try_submit(format!("s{seed}"), c, p, k, config.clone(), Some(4))
+                .expect("generous limits admit everything");
+        }
+        plain.run(2);
+        governed.run(2);
+        for (a, b) in plain.jobs().iter().zip(governed.jobs()) {
+            assert_eq!(a.stream(), b.stream(), "governance-on-untripped diverged");
+            assert_eq!(a.state(), b.state());
+        }
+    }
+
+    #[test]
+    fn admission_limits_trip_with_structured_verdicts() {
+        let config = RouterConfig::default();
+        let registry = MetricsRegistry::new();
+        let mut q = JobQueue::with_metrics(&registry);
+        q.set_policy(QueuePolicy {
+            max_jobs: Some(2),
+            max_checkpoint_bytes: None,
+            deadline_ms: None,
+        });
+        for seed in [3u64, 11] {
+            let (c, p, k) = small_case(seed);
+            q.try_submit(format!("s{seed}"), c, p, k, config.clone(), Some(4))
+                .expect("under the cap");
+        }
+        let (c, p, k) = small_case(42);
+        match q.try_submit("over", c, p, k, config.clone(), Some(4)) {
+            Err(Rejected::QueueFull {
+                max_jobs: 2,
+                live: 2,
+            }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+
+        // Terminal jobs release their admission slot.
+        q.run(2);
+        assert_eq!(q.live_jobs(), 0);
+        let (c, p, k) = small_case(42);
+        let id = q
+            .try_submit("after-drain", c, p, k, config.clone(), Some(4))
+            .expect("drained queue admits again");
+
+        // The bytes cap counts live parked checkpoints.
+        q.run_round(1);
+        assert!(q.held_checkpoint_bytes() > 0);
+        q.set_policy(QueuePolicy {
+            max_jobs: None,
+            max_checkpoint_bytes: Some(1),
+            deadline_ms: None,
+        });
+        let (c, p, k) = small_case(7);
+        match q.try_submit("bytes", c, p, k, config.clone(), None) {
+            Err(v @ Rejected::CheckpointBytes { max_bytes: 1, .. }) => {
+                assert_eq!(v.code(), "checkpoint-bytes");
+                assert!(v.to_string().contains("checkpoint budget"));
+            }
+            other => panic!("expected CheckpointBytes, got {other:?}"),
+        }
+        let m = ServeMetrics::register(&registry);
+        assert_eq!(m.rejected_queue_full_total.get(), 1);
+        assert_eq!(m.rejected_checkpoint_bytes_total.get(), 1);
+        q.reactivate(id); // quiet unused warnings: id stays live
+        let _ = q.job(id);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_the_job_with_a_structured_error() {
+        let config = RouterConfig::default();
+        let registry = MetricsRegistry::new();
+        let mut q = JobQueue::with_metrics(&registry);
+        q.set_policy(QueuePolicy {
+            max_jobs: None,
+            max_checkpoint_bytes: None,
+            deadline_ms: Some(0),
+        });
+        let (c, p, k) = small_case(13);
+        let id = q
+            .try_submit("doomed", c, p, k, config.clone(), Some(4))
+            .expect("admission is separate from deadline");
+        assert_eq!(q.job(id).deadline_ms(), Some(0));
+
+        // The lease spec a worker would receive carries the exhausted
+        // budget, and re-requesting it yields the identical spec.
+        let spec = q.lease_spec(id).unwrap().unwrap();
+        assert_eq!(spec.deadline_ms, Some(0));
+        assert_eq!(q.lease_spec(id).unwrap().unwrap(), spec);
+
+        q.run(1);
+        assert_eq!(q.job(id).state(), SessionState::Failed);
+        assert!(
+            matches!(
+                q.job(id).error(),
+                Some(RouteError::DeadlineExpired { budget_ms: 0 })
+            ),
+            "{:?}",
+            q.job(id).error()
+        );
+        assert!(q.job(id).stream().ends_with("\"state\":\"failed\"}\n"));
+        let m = ServeMetrics::register(&registry);
+        assert_eq!(m.deadline_missed_total.get(), 1);
+
+        // An ungoverned job in the same queue is untouched.
+        q.set_policy(QueuePolicy::unbounded());
+        let (c, p, k) = small_case(13);
+        let ok = q
+            .try_submit("fine", c, p, k, config, Some(4))
+            .expect("unbounded");
+        q.run(1);
+        assert_eq!(q.job(ok).state(), SessionState::Completed);
+        assert_eq!(m.deadline_missed_total.get(), 1);
     }
 
     #[test]

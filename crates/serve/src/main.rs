@@ -16,8 +16,19 @@
 //! a scraper can collect the final state. Exit code 1 if any job
 //! failed.
 //!
+//! Overload governance (both default off; un-tripped limits leave the
+//! drain byte-identical to an ungoverned one):
+//!
+//! * `--max-jobs N` — admission cap on live jobs; over-cap submissions
+//!   are refused with a structured verdict and counted in
+//!   `bgr_jobs_rejected_total`;
+//! * `--deadline-ms T` — per-job wall-clock budget from first slice
+//!   materialization; expired jobs fail with `DeadlineExpired` and
+//!   count in `bgr_deadline_missed_total`.
+//!
 //! Usage:
 //!   bgr-serve [--jobs N] [--quota Q] [--threads T] [--seed S]
+//!             [--max-jobs N] [--deadline-ms T]
 //!             [--metrics-addr HOST:PORT] [--metrics-file PATH]
 //!             [--linger-ms MS]
 
@@ -25,13 +36,15 @@ use std::process::ExitCode;
 
 use bgr_core::RouterConfig;
 use bgr_metrics::MetricsRegistry;
-use bgr_serve::JobQueue;
+use bgr_serve::{JobQueue, QueuePolicy};
 
 struct Args {
     jobs: u64,
     quota: Option<u64>,
     threads: usize,
     seed: u64,
+    max_jobs: Option<u64>,
+    deadline_ms: Option<u64>,
     metrics_addr: Option<String>,
     metrics_file: Option<String>,
     linger_ms: u64,
@@ -40,6 +53,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: bgr-serve [--jobs N] [--quota Q] [--threads T] [--seed S]\n\
+         \x20                [--max-jobs N] [--deadline-ms T]\n\
          \x20                [--metrics-addr HOST:PORT] [--metrics-file PATH] [--linger-ms MS]"
     );
     std::process::exit(2)
@@ -54,6 +68,8 @@ fn parse_args() -> Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(4),
         seed: 1,
+        max_jobs: None,
+        deadline_ms: None,
         metrics_addr: None,
         metrics_file: None,
         linger_ms: 0,
@@ -77,6 +93,8 @@ fn parse_args() -> Args {
             }
             "--threads" => args.threads = parse_num(&flag, &value(&flag)) as usize,
             "--seed" => args.seed = parse_num(&flag, &value(&flag)),
+            "--max-jobs" => args.max_jobs = Some(parse_num(&flag, &value(&flag))),
+            "--deadline-ms" => args.deadline_ms = Some(parse_num(&flag, &value(&flag))),
             "--metrics-addr" => args.metrics_addr = Some(value(&flag)),
             "--metrics-file" => args.metrics_file = Some(value(&flag)),
             "--linger-ms" => args.linger_ms = parse_num(&flag, &value(&flag)),
@@ -115,21 +133,30 @@ fn main() -> ExitCode {
     };
 
     let mut queue = JobQueue::with_metrics(&registry);
+    queue.set_policy(QueuePolicy {
+        max_jobs: args.max_jobs.map(|n| n as usize),
+        max_checkpoint_bytes: None,
+        deadline_ms: args.deadline_ms,
+    });
+    let mut admitted = 0u64;
     for i in 0..args.jobs {
         let params = bgr_gen::GenParams::small(args.seed + i);
         let design = bgr_gen::generate(&params);
         let placement = bgr_gen::place_design(&design, &params, bgr_gen::PlacementStyle::EvenFeed);
-        queue.submit(
+        match queue.try_submit(
             format!("job{i}"),
             design.circuit,
             placement,
             design.constraints,
             RouterConfig::default(),
             args.quota,
-        );
+        ) {
+            Ok(_) => admitted += 1,
+            Err(verdict) => println!("job{i} rejected ({}): {verdict}", verdict.code()),
+        }
     }
     println!(
-        "submitted {} jobs (quota {:?}, {} threads)",
+        "submitted {admitted}/{} jobs (quota {:?}, {} threads)",
         args.jobs, args.quota, args.threads
     );
 

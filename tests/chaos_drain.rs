@@ -272,6 +272,7 @@ fn wrong_token_is_refused_and_the_drain_still_settles() {
     let addr = listener.local_addr().expect("bound").to_string();
     let opts = DrainOptions {
         token: Some("fleet-secret".to_string()),
+        ..DrainOptions::default()
     };
     let server =
         std::thread::spawn(move || serve_drain_with(listener, coordinator, &opts).expect("drain"));

@@ -131,6 +131,117 @@ fn serve_streams_are_identical_with_and_without_metrics() {
     }
 }
 
+/// The overload instruments (admission rejections, deadline misses,
+/// connection sheds, lease deferrals, journal degradation) must be as
+/// free as every other metric: a governed-but-untripped queue with the
+/// full instrument set attached produces byte-identical job streams to
+/// a bare ungoverned queue.
+#[test]
+fn overload_instruments_are_perturbation_free() {
+    let p = params();
+    let design = generate(&p);
+    let placement = place_design(&design, &p, PlacementStyle::EvenFeed);
+
+    let mut reference: Option<Vec<String>> = None;
+    for governed in [false, true] {
+        let registry = MetricsRegistry::new();
+        let mut q = if governed {
+            let mut q = JobQueue::with_metrics(&registry);
+            q.set_policy(bgr::serve::QueuePolicy {
+                max_jobs: Some(16),
+                max_checkpoint_bytes: Some(1 << 30),
+                deadline_ms: Some(3_600_000),
+            });
+            q
+        } else {
+            JobQueue::new()
+        };
+        for (i, quota) in [Some(3), None].iter().enumerate() {
+            let submitted = if governed {
+                q.try_submit(
+                    format!("job{i}"),
+                    design.circuit.clone(),
+                    placement.clone(),
+                    design.constraints.clone(),
+                    RouterConfig::default(),
+                    *quota,
+                )
+                .expect("generous limits admit everything")
+            } else {
+                q.submit(
+                    format!("job{i}"),
+                    design.circuit.clone(),
+                    placement.clone(),
+                    design.constraints.clone(),
+                    RouterConfig::default(),
+                    *quota,
+                )
+            };
+            assert_eq!(submitted, i);
+        }
+        q.run(4);
+        let streams: Vec<String> = q.jobs().iter().map(|j| j.stream().to_string()).collect();
+        match &reference {
+            None => reference = Some(streams),
+            Some(want) => assert_eq!(
+                want, &streams,
+                "governed={governed}: untripped governance perturbed a stream"
+            ),
+        }
+        if governed {
+            // Nothing tripped, so every shed instrument reads zero.
+            let m = bgr::serve::ServeMetrics::register(&registry);
+            assert_eq!(m.rejected_queue_full_total.get(), 0);
+            assert_eq!(m.rejected_checkpoint_bytes_total.get(), 0);
+            assert_eq!(m.deadline_missed_total.get(), 0);
+        }
+    }
+}
+
+/// The new instruments render deterministically in the Prometheus
+/// exposition — labeled rejection reasons included — and merge through
+/// the fleet snapshot path like every other counter.
+#[test]
+fn overload_instruments_render_and_merge_deterministically() {
+    let render = || {
+        let registry = MetricsRegistry::new();
+        let m = bgr::serve::ServeMetrics::register(&registry);
+        m.rejected_queue_full_total.add(2);
+        m.rejected_checkpoint_bytes_total.inc();
+        m.deadline_missed_total.add(3);
+        let n = bgr::net::NetMetrics::register(&registry);
+        n.conns_shed_total.add(60);
+        n.leases_deferred_total.add(4);
+        n.journal_degraded_total.inc();
+        registry
+    };
+    let a = render().render_prometheus();
+    assert_eq!(a, render().render_prometheus());
+    assert!(
+        a.contains("bgr_jobs_rejected_total{reason=\"queue-full\"} 2"),
+        "{a}"
+    );
+    assert!(
+        a.contains("bgr_jobs_rejected_total{reason=\"checkpoint-bytes\"} 1"),
+        "{a}"
+    );
+    assert!(a.contains("bgr_deadline_missed_total 3"), "{a}");
+    assert!(a.contains("bgr_net_conns_shed_total 60"), "{a}");
+    assert!(a.contains("bgr_net_leases_deferred_total 4"), "{a}");
+    assert!(a.contains("bgr_net_journal_degraded_total 1"), "{a}");
+
+    // Fleet merge: a worker snapshot carrying the same families sums
+    // into the coordinator's exposition.
+    let coordinator = render();
+    let worker = render();
+    let merged = coordinator.render_merged(&[worker.snapshot()]);
+    assert!(
+        merged.contains("bgr_jobs_rejected_total{reason=\"queue-full\"} 4"),
+        "{merged}"
+    );
+    assert!(merged.contains("bgr_net_conns_shed_total 120"), "{merged}");
+}
+
 #[test]
 fn serve_exposition_renders_deterministically() {
     // Two registries fed the same deterministic updates render

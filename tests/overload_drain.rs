@@ -1,0 +1,433 @@
+//! Overload-safe serving (DESIGN.md §15 "Overload & degradation
+//! ladder").
+//!
+//! A fleet hammered past every configured limit — admission caps,
+//! connection-concurrency caps, lease-table depth, per-job deadlines,
+//! a journal disk that fills up mid-drain — must shed load
+//! *deterministically*: every refusal is a structured verdict (an
+//! admission `Rejected`, a `Nack(busy)` with a retry hint, a
+//! `DeadlineExpired` failure, a journal-degradation marker), never a
+//! panic or a hang, and every job that *was* admitted still completes
+//! byte-identical to a no-pressure single-process run.
+//!
+//! The inverse is asserted too: governance that is configured but
+//! never tripped leaves the drain byte-identical to an ungoverned one
+//! — the overload machinery is provably inert until a limit actually
+//! trips.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use bgr::gen::{generate, place_design, GenParams, PlacementStyle};
+use bgr::io::{read_journal, JournalTail, JournalWriter};
+use bgr::metrics::MetricsRegistry;
+use bgr::net::{
+    run_worker, serve_drain_with, Coordinator, DiskFaults, DrainOptions, FaultyDisk, NetMetrics,
+    ProtoError, WorkerOptions, WorkerReport,
+};
+use bgr::router::{RouteError, RouterConfig};
+use bgr::serve::{JobQueue, QueuePolicy, ServeMetrics, SessionState};
+
+fn small_case(
+    seed: u64,
+) -> (
+    bgr::netlist::Circuit,
+    bgr::layout::Placement,
+    Vec<bgr::timing::PathConstraint>,
+) {
+    let params = GenParams::small(seed);
+    let design = generate(&params);
+    let placement = place_design(&design, &params, PlacementStyle::EvenFeed);
+    (design.circuit, placement, design.constraints)
+}
+
+const FLEET_SEEDS: [u64; 4] = [3, 11, 42, 7];
+
+fn fleet_quota(i: usize) -> Option<u64> {
+    if i == 3 {
+        None
+    } else {
+        Some(4 + 2 * i as u64)
+    }
+}
+
+/// Submits the standard fleet jobs through the *governed* intake,
+/// returning each job's admission verdict.
+fn try_submit_fleet_jobs(queue: &mut JobQueue) -> Vec<Result<usize, bgr::serve::Rejected>> {
+    FLEET_SEEDS
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let (c, p, k) = small_case(seed);
+            queue.try_submit(
+                format!("job{i}"),
+                c,
+                p,
+                k,
+                RouterConfig::default(),
+                fleet_quota(i),
+            )
+        })
+        .collect()
+}
+
+/// The no-pressure single-process reference for the first `n` fleet
+/// jobs, drained with the legacy ungoverned `submit` path.
+fn local_reference(n: usize) -> JobQueue {
+    let mut local = JobQueue::new();
+    for (i, &seed) in FLEET_SEEDS.iter().take(n).enumerate() {
+        let (c, p, k) = small_case(seed);
+        local.submit(
+            format!("job{i}"),
+            c,
+            p,
+            k,
+            RouterConfig::default(),
+            fleet_quota(i),
+        );
+    }
+    local.run(4);
+    local
+}
+
+/// Byte-identity of the drained fleet queue against the local
+/// reference: streams, slice counts, audit verdicts.
+fn assert_matches_local(drained: &Coordinator, local: &JobQueue, ctx: &str) {
+    assert!(drained.all_completed(), "{ctx}: drain did not complete");
+    assert_eq!(
+        drained.queue().jobs().len(),
+        local.jobs().len(),
+        "{ctx}: job count"
+    );
+    for (i, (dist, loc)) in drained
+        .queue()
+        .jobs()
+        .iter()
+        .zip(local.jobs().iter())
+        .enumerate()
+    {
+        assert_eq!(
+            dist.stream(),
+            loc.stream(),
+            "{ctx}: job {i} stream diverged"
+        );
+        assert_eq!(dist.slices(), loc.slices(), "{ctx}: job {i} slice count");
+        let verdict = dist.verdict().expect("remote verdict");
+        let local_audit = loc.audit().expect("local audit");
+        assert_eq!(
+            verdict.audit_line,
+            local_audit.to_string(),
+            "{ctx}: job {i} audit verdict diverged"
+        );
+    }
+}
+
+/// The headline invariant. Every limit is configured *and* hammered
+/// past at once: 4 jobs offered against `max_jobs 3`, a 64-connection
+/// storm against a 4-slot connection cap. The over-limit job is
+/// rejected with a structured verdict, excess connections are answered
+/// `Nack(busy)` (never a hang, never a protocol error), and the three
+/// admitted jobs drain byte-identical to the no-pressure local
+/// reference.
+#[test]
+fn fleet_hammered_past_every_limit_sheds_deterministically() {
+    let local = local_reference(3);
+
+    let registry = MetricsRegistry::new();
+    let mut queue = JobQueue::with_metrics(&registry);
+    queue.set_policy(QueuePolicy {
+        max_jobs: Some(3),
+        max_checkpoint_bytes: None,
+        deadline_ms: None,
+    });
+    let verdicts = try_submit_fleet_jobs(&mut queue);
+    assert_eq!(verdicts.iter().filter(|v| v.is_ok()).count(), 3);
+    match &verdicts[3] {
+        Err(bgr::serve::Rejected::QueueFull { max_jobs, live }) => {
+            assert_eq!((*max_jobs, *live), (3, 3));
+        }
+        other => panic!("job3 must be refused queue-full, got {other:?}"),
+    }
+
+    let coordinator = Coordinator::new(queue, Duration::from_secs(10)).with_metrics(&registry);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let opts = DrainOptions {
+        token: None,
+        max_conns: Some(4),
+        retry_after_ms: 5,
+    };
+    let server =
+        std::thread::spawn(move || serve_drain_with(listener, coordinator, &opts).expect("drain"));
+
+    // The storm: 64 workers against 4 connection slots. Slices are
+    // slowed a little so connections genuinely pile up at the door.
+    let workers: Vec<_> = (0..64)
+        .map(|i| {
+            let addr = addr.clone();
+            let mut opts = WorkerOptions::named(format!("storm{i}"));
+            opts.slice_delay = Some(Duration::from_millis(10));
+            opts.retry_max = 6;
+            opts.retry_base = Duration::from_millis(2);
+            opts.retry_cap = Duration::from_millis(20);
+            std::thread::spawn(move || run_worker(&addr, &opts, &MetricsRegistry::new()))
+        })
+        .collect();
+
+    // Every connection must end in exactly one of the ladder's rungs:
+    // welcomed and drained (Ok), shed with the busy verdict, or — for
+    // stragglers that dialed after the drain settled — a plain
+    // connect/transport failure. Nothing else is acceptable.
+    let mut welcomed = 0u64;
+    let mut shed = 0u64;
+    for h in workers {
+        match h.join().expect("worker thread must not panic") {
+            Ok(WorkerReport { .. }) => welcomed += 1,
+            Err(ProtoError::Refused { code, .. }) => {
+                assert_eq!(code, "busy", "only busy refusals are legitimate here");
+                shed += 1;
+            }
+            Err(e) => assert!(
+                e.is_retryable(),
+                "storm worker died with a non-retryable error: {e}"
+            ),
+        }
+    }
+    let drained = server.join().expect("server thread");
+
+    assert!(welcomed >= 1, "somebody must have drained the queue");
+    assert!(
+        shed >= 1,
+        "a 64-connection storm against 4 slots must shed at the door"
+    );
+    let net = NetMetrics::register(&registry);
+    assert!(
+        net.conns_shed_total.get() >= shed,
+        "every busy refusal is counted: {} < {shed}",
+        net.conns_shed_total.get()
+    );
+    let serve = ServeMetrics::register(&registry);
+    assert_eq!(
+        serve.rejected_queue_full_total.get(),
+        1,
+        "exactly one admission rejection"
+    );
+    assert_matches_local(&drained, &local, "overload storm");
+}
+
+/// Expired deadlines propagate into leases: a job whose budget is
+/// already spent is abandoned *by the worker* (the slice never runs)
+/// and fails with the same structured `DeadlineExpired` verdict the
+/// local path produces, counted coordinator-side.
+#[test]
+fn expired_deadline_is_abandoned_by_workers_with_the_structured_verdict() {
+    let registry = MetricsRegistry::new();
+    let mut queue = JobQueue::with_metrics(&registry);
+    queue.set_policy(QueuePolicy {
+        max_jobs: None,
+        max_checkpoint_bytes: None,
+        deadline_ms: Some(0),
+    });
+    let (c, p, k) = small_case(3);
+    queue
+        .try_submit("doomed", c, p, k, RouterConfig::default(), Some(4))
+        .expect("admission is not the limit under test");
+
+    let coordinator = Coordinator::new(queue, Duration::from_secs(10)).with_metrics(&registry);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || {
+        serve_drain_with(listener, coordinator, &DrainOptions::default()).expect("drain")
+    });
+
+    let worker_registry = MetricsRegistry::new();
+    let report = run_worker(&addr, &WorkerOptions::named("w0"), &worker_registry)
+        .expect("abandonment is a clean outcome, not a worker error");
+    let drained = server.join().expect("server thread");
+
+    assert_eq!(report.leases, 1, "one lease, granted once");
+    assert_eq!(report.slices, 0, "the slice must never run");
+    let job = &drained.queue().jobs()[0];
+    assert_eq!(job.state(), SessionState::Failed);
+    assert!(
+        matches!(job.error(), Some(RouteError::DeadlineExpired { .. })),
+        "structured verdict, got {:?}",
+        job.error()
+    );
+    let serve = ServeMetrics::register(&registry);
+    assert_eq!(serve.deadline_missed_total.get(), 1);
+}
+
+/// A journal disk that fills mid-drain: the append error is a
+/// structured `JournalError`, the coordinator degrades loudly to
+/// journal-less operation (marker + counter), the surviving journal
+/// prefix stays replayable, and the drain itself completes
+/// byte-identical to the reference — durability degrades, correctness
+/// does not.
+#[test]
+fn journal_disk_faults_degrade_loudly_and_the_drain_still_completes() {
+    let local = local_reference(4);
+
+    let registry = MetricsRegistry::new();
+    let mut queue = JobQueue::with_metrics(&registry);
+    for v in try_submit_fleet_jobs(&mut queue) {
+        v.expect("unbounded policy admits everything");
+    }
+    let disk = FaultyDisk::new(DiskFaults {
+        fail_after_bytes: Some(200),
+        fail_every_kth_append: None,
+    });
+    let buffer = disk.buffer();
+    let coordinator = Coordinator::new(queue, Duration::from_secs(10))
+        .with_metrics(&registry)
+        .with_journal(JournalWriter::with_sink(Box::new(disk)));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || {
+        serve_drain_with(listener, coordinator, &DrainOptions::default()).expect("drain")
+    });
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let opts = WorkerOptions::named(format!("w{i}"));
+            std::thread::spawn(move || run_worker(&addr, &opts, &MetricsRegistry::new()))
+        })
+        .collect();
+    for h in workers {
+        h.join()
+            .expect("worker thread")
+            .expect("disk faults are coordinator-side; workers never see them");
+    }
+    let drained = server.join().expect("server thread");
+
+    let degradation = drained
+        .journal_degradation()
+        .expect("the full disk must degrade the journal");
+    assert!(
+        degradation.contains("journal append failed"),
+        "{degradation}"
+    );
+    let net = NetMetrics::register(&registry);
+    assert_eq!(net.journal_degraded_total.get(), 1, "degrades exactly once");
+
+    // The bytes that landed before the fault are a valid journal
+    // prefix: replayable records, at worst a torn tail.
+    let bytes = buffer.lock().expect("disk buffer").clone();
+    let (entries, tail) = read_journal(&bytes).expect("prefix must stay parseable");
+    assert!(
+        !entries.is_empty() || matches!(tail, JournalTail::Truncated { .. }),
+        "something must have been journaled before the disk filled"
+    );
+    assert_matches_local(&drained, &local, "journal degradation");
+}
+
+/// The lease-table depth cap throttles concurrency without changing a
+/// byte: grants beyond the cap are deferred (`NoWork`), counted, and
+/// the drain still matches the reference.
+#[test]
+fn lease_depth_cap_defers_grants_but_drains_identically() {
+    let local = local_reference(4);
+
+    let registry = MetricsRegistry::new();
+    let mut queue = JobQueue::with_metrics(&registry);
+    for v in try_submit_fleet_jobs(&mut queue) {
+        v.expect("unbounded policy admits everything");
+    }
+    let coordinator = Coordinator::new(queue, Duration::from_secs(10))
+        .with_metrics(&registry)
+        .with_max_live_leases(Some(1));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let server = std::thread::spawn(move || {
+        serve_drain_with(listener, coordinator, &DrainOptions::default()).expect("drain")
+    });
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let mut opts = WorkerOptions::named(format!("w{i}"));
+            opts.slice_delay = Some(Duration::from_millis(5));
+            std::thread::spawn(move || run_worker(&addr, &opts, &MetricsRegistry::new()))
+        })
+        .collect();
+    for h in workers {
+        h.join().expect("worker thread").expect("worker");
+    }
+    let drained = server.join().expect("server thread");
+
+    let net = NetMetrics::register(&registry);
+    assert!(
+        net.leases_deferred_total.get() >= 1,
+        "3 workers against a depth of 1 must defer at least once"
+    );
+    assert_matches_local(&drained, &local, "lease depth cap");
+}
+
+/// The inertness proof at fleet level: a drain under fully configured
+/// but never-tripped governance (generous caps on everything) is
+/// byte-identical to a drain with no governance at all — and both
+/// match the local reference.
+#[test]
+fn untripped_governance_is_byte_identical_to_ungoverned() {
+    let local = local_reference(4);
+
+    let run = |governed: bool| -> Coordinator {
+        let mut queue = JobQueue::new();
+        if governed {
+            queue.set_policy(QueuePolicy {
+                max_jobs: Some(100),
+                max_checkpoint_bytes: Some(1 << 30),
+                deadline_ms: Some(3_600_000),
+            });
+        }
+        for v in try_submit_fleet_jobs(&mut queue) {
+            v.expect("generous limits admit everything");
+        }
+        let mut coordinator = Coordinator::new(queue, Duration::from_secs(10));
+        let opts = if governed {
+            coordinator = coordinator.with_max_live_leases(Some(100));
+            DrainOptions {
+                token: None,
+                max_conns: Some(64),
+                retry_after_ms: 5,
+            }
+        } else {
+            DrainOptions::default()
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound").to_string();
+        let server = std::thread::spawn(move || {
+            serve_drain_with(listener, coordinator, &opts).expect("drain")
+        });
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let addr = addr.clone();
+                let opts = WorkerOptions::named(format!("w{i}"));
+                std::thread::spawn(move || run_worker(&addr, &opts, &MetricsRegistry::new()))
+            })
+            .collect();
+        for h in workers {
+            h.join().expect("worker thread").expect("worker");
+        }
+        server.join().expect("server thread")
+    };
+
+    let governed = run(true);
+    let ungoverned = run(false);
+    for (i, (a, b)) in governed
+        .queue()
+        .jobs()
+        .iter()
+        .zip(ungoverned.queue().jobs().iter())
+        .enumerate()
+    {
+        assert_eq!(
+            a.stream(),
+            b.stream(),
+            "job {i}: governance-on-untripped vs off diverged"
+        );
+    }
+    assert_matches_local(&governed, &local, "governed-untripped");
+    assert_matches_local(&ungoverned, &local, "ungoverned");
+}
